@@ -1,0 +1,32 @@
+//! Ablation: AggTrans boundary re-alignment vs none, under bounded
+//! reordering on a lossless domain (DESIGN.md ablation 2, motivating
+//! §6.3).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vpm_bench::banner;
+use vpm_sim::experiments::ablation::aggtrans_alignment;
+
+fn regenerate() {
+    banner("Ablation — AggTrans re-alignment under reordering (lossless domain)");
+    let r = aggtrans_alignment(1);
+    eprintln!("joined aggregates           : {}", r.joined);
+    eprintln!("boundaries re-aligned       : {}", r.alignments_applied);
+    eprintln!("|loss error| with windows   : {} packets", r.aligned_abs_error);
+    eprintln!("|loss error| without        : {} packets", r.stripped_abs_error);
+    eprintln!("\n(without the §6.3 patch-up windows an honest, lossless domain");
+    eprintln!(" shows phantom loss at every boundary that reordering straddled)");
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    regenerate();
+    c.bench_function("ablation_aggtrans_800ms", |b| {
+        b.iter(|| black_box(aggtrans_alignment(2)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Ablation: future-marker keying vs naive self-keyed sampling under an
+//! adversary that fast-paths predictable samples (DESIGN.md ablation 1,
+//! motivating §5.1).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vpm_bench::banner;
+use vpm_sim::experiments::ablation::{sampling_bias, AblationConfig};
+
+fn regenerate() {
+    banner("Ablation — bias resistance of future-marker sampling");
+    let r = sampling_bias(&AblationConfig::default_scenario(1));
+    eprintln!(
+        "true p90 delay under adversary policy : {:>8.3} ms",
+        r.true_p90_ms
+    );
+    eprintln!(
+        "VPM-estimated p90                     : {:>8.3} ms (bias {:.3} ms)",
+        r.vpm_est_p90_ms, r.vpm_bias_ms
+    );
+    eprintln!(
+        "naive-scheme estimated p90            : {:>8.3} ms (bias {:.3} ms)",
+        r.naive_est_p90_ms, r.naive_bias_ms
+    );
+    eprintln!("\n(with self-keyed sampling the adversary hides ~all congestion");
+    eprintln!(" from the estimate; with future-marker keying it gains nothing)");
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    regenerate();
+    let cfg = AblationConfig {
+        duration: vpm_packet::SimDuration::from_millis(200),
+        ..AblationConfig::default_scenario(2)
+    };
+    c.bench_function("ablation_sampling_bias_200ms", |b| {
+        b.iter(|| black_box(sampling_bias(&cfg)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E1 / Figure 2: delay-estimation accuracy vs sampling rate × loss.
+//!
+//! Prints the regenerated figure (same rows/series as the paper) once,
+//! then times a representative cell of the sweep so regressions in the
+//! experiment pipeline are visible.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vpm_bench::banner;
+use vpm_packet::SimDuration;
+use vpm_sim::experiments::fig2;
+
+fn regenerate_figure() {
+    banner("Figure 2 — delay accuracy [ms] vs sampling rate, by loss level");
+    let cfg = fig2::Fig2Config::paper(SimDuration::from_secs(2), 1);
+    let points = fig2::run(&cfg);
+    eprintln!("{}", fig2::render_table(&points));
+    eprintln!("(paper shape: sub-ms at 5%/no-loss; ~2 ms at 1% with 25% loss;");
+    eprintln!(" smooth degradation with both lower rates and higher loss)");
+}
+
+fn bench_fig2_cell(c: &mut Criterion) {
+    regenerate_figure();
+    let mut cfg = fig2::Fig2Config::paper(SimDuration::from_millis(300), 2);
+    cfg.sampling_rates = vec![0.01];
+    cfg.loss_rates = vec![0.25];
+    c.bench_function("fig2_cell_1pct_25loss_300ms", |b| {
+        b.iter(|| black_box(fig2::run(&cfg)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig2_cell
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E2 / Figure 3: loss-computation granularity vs loss rate.
+//!
+//! Prints the regenerated figure (one aggregate per 100k packets, loss
+//! 0–50%), then times a reduced sweep cell.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vpm_bench::banner;
+use vpm_packet::SimDuration;
+use vpm_sim::experiments::fig3;
+
+fn regenerate_figure() {
+    banner("Figure 3 — loss granularity [sec] vs loss rate");
+    let cfg = fig3::Fig3Config::paper(SimDuration::from_secs(20), 1);
+    let points = fig3::run(&cfg);
+    eprintln!("{}", fig3::render_table(&points));
+    eprintln!("(paper shape: ~1 s at no loss — 100k pkts ≈ 1 s at 100 kpps —");
+    eprintln!(" ~1.25× at 25% loss, ~2× at 50%, degrading smoothly)");
+}
+
+fn bench_fig3_cell(c: &mut Criterion) {
+    regenerate_figure();
+    let mut cfg = fig3::Fig3Config::quick(2);
+    cfg.loss_rates = vec![0.25];
+    c.bench_function("fig3_cell_25loss_quick", |b| {
+        b.iter(|| black_box(fig3::run(&cfg)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig3_cell
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Micro-benchmarks for the hashing substrate: the per-packet digest is
+//! the single hash the §7.1 processing model budgets per packet, so its
+//! cost bounds the collector's line rate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use vpm_hash::{digest_bytes, sample_fcn, Digest, DEFAULT_DIGEST_SEED};
+
+fn bench_lookup3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lookup3");
+    for size in [16usize, 24, 64, 256, 1500] {
+        let data: Vec<u8> = (0..size).map(|i| i as u8).collect();
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("hashlittle2_{size}B"), |b| {
+            b.iter(|| vpm_hash::lookup3::hashlittle2(black_box(&data), 0, 0))
+        });
+    }
+    g.finish();
+}
+
+fn bench_digest(c: &mut Criterion) {
+    // 24 bytes is the canonical packet digest input length.
+    let input = [0xabu8; 24];
+    c.bench_function("packet_digest_24B", |b| {
+        b.iter(|| digest_bytes(black_box(&input), DEFAULT_DIGEST_SEED))
+    });
+}
+
+fn bench_sample_fcn(c: &mut Criterion) {
+    c.bench_function("sample_fcn", |b| {
+        b.iter(|| {
+            sample_fcn(
+                black_box(Digest(0x0123_4567_89ab_cdef)),
+                black_box(Digest(0xfedc_ba98_7654_3210)),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_lookup3, bench_digest, bench_sample_fcn);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! E4 + E6 (§7.1 memory & bandwidth): regenerate every overhead number
+//! and time the verifier-side receipt processing (match + join) that a
+//! receipt collector runs per reporting interval.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vpm_bench::{banner, bench_trace};
+use vpm_core::overhead;
+use vpm_core::receipt::PathId;
+use vpm_core::verify::{join_aggregates, match_samples};
+use vpm_core::{Collector, HopConfig, Processor};
+use vpm_packet::{DomainId, HopId, SimDuration};
+
+fn regenerate() {
+    banner("§7.1 overhead model — paper vs this implementation");
+    let report = overhead::section_7_1_report();
+    eprintln!("{:<48} {:>10} {:>10}", "quantity", "paper", "ours");
+    for (label, paper, ours) in &report.rows {
+        let p = if paper.is_nan() {
+            "—".to_string()
+        } else {
+            format!("{paper:.3}")
+        };
+        eprintln!("{label:<48} {p:>10} {ours:>10.3}");
+    }
+}
+
+type HopData = (
+    Vec<vpm_core::receipt::SampleRecord>,
+    Vec<vpm_core::receipt::AggReceipt>,
+    Vec<vpm_core::receipt::SampleRecord>,
+    Vec<vpm_core::receipt::AggReceipt>,
+);
+
+fn hop_outputs() -> HopData {
+    let trace = bench_trace(500, 5);
+    let spec = vpm_trace::TraceConfig::paper_default(1, 0).spec;
+    let path = PathId {
+        spec,
+        prev_hop: None,
+        next_hop: None,
+        max_diff: SimDuration::from_millis(2),
+    };
+    let mk = |hop: u16| {
+        let mut col = Collector::new(
+            HopConfig::new(HopId(hop), DomainId(2))
+                .with_sampling_rate(0.01)
+                .with_aggregate_size(5_000),
+        );
+        col.register_path(path);
+        (col, Processor::new(HopId(hop)))
+    };
+    let (mut c4, mut p4) = mk(4);
+    let (mut c5, mut p5) = mk(5);
+    for tp in &trace {
+        let d = tp.packet.digest();
+        c4.observe_digest(0, d, tp.ts);
+        c5.observe_digest(0, d, tp.ts + SimDuration::from_micros(300));
+    }
+    c4.flush();
+    c5.flush();
+    let b4 = p4.report(&mut c4);
+    let b5 = p5.report(&mut c5);
+    let flat = |b: &vpm_core::processor::ReceiptBatch| {
+        b.samples
+            .iter()
+            .flat_map(|r| r.samples.iter().copied())
+            .collect::<Vec<_>>()
+    };
+    (flat(&b4), b4.aggregates.clone(), flat(&b5), b5.aggregates.clone())
+}
+
+fn bench_verifier_side(c: &mut Criterion) {
+    regenerate();
+    let (s4, a4, s5, a5) = hop_outputs();
+    eprintln!(
+        "\nverifier input: {} + {} samples, {} + {} aggregate receipts",
+        s4.len(),
+        s5.len(),
+        a4.len(),
+        a5.len()
+    );
+    c.bench_function("verifier_match_samples", |b| {
+        b.iter(|| black_box(match_samples(&s4, &s5)))
+    });
+    c.bench_function("verifier_join_aggregates", |b| {
+        b.iter(|| black_box(join_aggregates(&a4, &a5)))
+    });
+}
+
+criterion_group!(benches, bench_verifier_side);
+criterion_main!(benches);

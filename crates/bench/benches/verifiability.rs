@@ -1,0 +1,34 @@
+//! E7 / §7.2 "Verifiability": how a neighbor's tunability choice bounds
+//! how well it can verify another domain's claims.
+//!
+//! Prints the regenerated sweep (X at 1% sampling and 25% loss;
+//! neighbors at 1% and 0.1%), then times a reduced run.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vpm_bench::banner;
+use vpm_packet::SimDuration;
+use vpm_sim::experiments::verifiability;
+
+fn regenerate() {
+    banner("§7.2 Verifiability — verification accuracy vs neighbor rate");
+    let cfg = verifiability::VerifiabilityConfig::paper(SimDuration::from_secs(2), 1);
+    let points = verifiability::run(&cfg);
+    eprintln!("{}", verifiability::render_table(&points));
+    eprintln!("(paper: neighbor at 1% verifies at ~2 ms — X's own accuracy —");
+    eprintln!(" while a neighbor at 0.1% only manages ~5 ms)");
+}
+
+fn bench_verifiability(c: &mut Criterion) {
+    regenerate();
+    let cfg = verifiability::VerifiabilityConfig::quick(2);
+    c.bench_function("verifiability_quick_sweep", |b| {
+        b.iter(|| black_box(verifiability::run(&cfg)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_verifiability
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Shared helpers for the VPM benchmark harness.
+//!
+//! Each Criterion bench in `benches/` regenerates one artifact of the
+//! paper's evaluation (see DESIGN.md's experiment index): it prints the
+//! table/series the paper reports and times the code path that
+//! produces it.
+
+use vpm_packet::SimDuration;
+use vpm_trace::{TraceConfig, TraceGenerator, TracePacket};
+
+/// Standard bench trace: `ms` milliseconds at 100 kpps.
+pub fn bench_trace(ms: u64, seed: u64) -> Vec<TracePacket> {
+    TraceGenerator::new(TraceConfig {
+        target_pps: 100_000.0,
+        duration: SimDuration::from_millis(ms),
+        ..TraceConfig::paper_default(1, seed)
+    })
+    .generate()
+}
+
+/// Print a banner separating regenerated-figure output from Criterion
+/// timing noise.
+pub fn banner(title: &str) {
+    eprintln!("\n================================================================");
+    eprintln!("  {title}");
+    eprintln!("================================================================");
+}

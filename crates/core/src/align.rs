@@ -1,0 +1,149 @@
+//! AggTrans-based receipt re-alignment under bounded reordering
+//! (paper §6.3).
+//!
+//! When reordering pushes a packet across an aggregate boundary between
+//! two HOPs, their packet counts for the adjacent aggregates disagree
+//! even though no packet was lost. Each receipt's `AggTrans` window —
+//! the packet ids observed within `J` of the cut — lets a verifier
+//! reconstruct *which side of the boundary* each near-boundary packet
+//! was counted on at each HOP, and migrate counts so the downstream
+//! receipts correspond to the upstream packet assignment.
+//!
+//! Paper example: HOP 1 observes `⟨… p3 p4 | p5 p6 …⟩` (cut at `p5`),
+//! HOP 4 observes `⟨… p3 | p5 p4 p6 …⟩`. `p4` sits before the cut
+//! upstream but after it downstream, so the verifier migrates `p4` from
+//! HOP 4's later aggregate to its earlier one.
+
+use serde::{Deserialize, Serialize};
+use vpm_hash::Digest;
+
+/// Net migration to apply to a downstream aggregate pair at one
+/// boundary so it matches the upstream packet assignment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Migration {
+    /// Packets the downstream HOP counted *after* the boundary that the
+    /// upstream HOP counted *before* it (move down-count: later →
+    /// earlier).
+    pub to_earlier: u64,
+    /// Packets the downstream HOP counted *before* the boundary that
+    /// the upstream HOP counted *after* it (move: earlier → later).
+    pub to_later: u64,
+}
+
+impl Migration {
+    /// Net adjustment to the aggregate *ending* at this boundary, from
+    /// the downstream HOP's perspective: positive means its count for
+    /// the earlier aggregate should increase.
+    pub fn net_to_earlier(&self) -> i64 {
+        self.to_earlier as i64 - self.to_later as i64
+    }
+}
+
+/// Split a window at the first occurrence of the boundary digest.
+/// Returns `(before, from_boundary_on)`; `None` if absent.
+fn split_at_boundary(window: &[Digest], boundary: Digest) -> Option<(&[Digest], &[Digest])> {
+    let pos = window.iter().position(|&d| d == boundary)?;
+    Some((&window[..pos], &window[pos..]))
+}
+
+/// Compute the migration for one boundary from the `AggTrans` windows
+/// of the two receipts that closed at it.
+///
+/// `boundary` is the digest of the cutting packet (the first packet of
+/// the following aggregate). Returns `None` when either window does not
+/// contain the boundary — the verifier then cannot re-align this
+/// boundary and must fall back to a coarser join.
+pub fn window_migration(
+    up_window: &[Digest],
+    down_window: &[Digest],
+    boundary: Digest,
+) -> Option<Migration> {
+    let (up_before, up_after) = split_at_boundary(up_window, boundary)?;
+    let (down_before, down_after) = split_at_boundary(down_window, boundary)?;
+
+    let mut m = Migration::default();
+    // Packets present in both windows whose side differs.
+    for &d in up_before {
+        if d == boundary {
+            continue;
+        }
+        if down_after.contains(&d) {
+            m.to_earlier += 1; // downstream put it after; upstream before
+        }
+    }
+    for &d in up_after.iter().skip(1) {
+        // skip the boundary itself
+        if down_before.contains(&d) {
+            m.to_later += 1;
+        }
+    }
+    Some(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(xs: &[u64]) -> Vec<Digest> {
+        xs.iter().map(|&x| Digest(x)).collect()
+    }
+
+    #[test]
+    fn paper_example_p4_migrates_to_earlier() {
+        // HOP 1: ⟨p3, p4, p5, p6⟩ window, cut at p5.
+        // HOP 4: ⟨p2, p3, p5, p4⟩ window (p4 reordered past p5).
+        let up = d(&[3, 4, 5, 6]);
+        let down = d(&[2, 3, 5, 4]);
+        let m = window_migration(&up, &down, Digest(5)).unwrap();
+        assert_eq!(m.to_earlier, 1, "p4 must migrate to the earlier aggregate");
+        assert_eq!(m.to_later, 0);
+        assert_eq!(m.net_to_earlier(), 1);
+    }
+
+    #[test]
+    fn aligned_windows_need_no_migration() {
+        let up = d(&[1, 2, 5, 6, 7]);
+        let down = d(&[1, 2, 5, 6, 7]);
+        let m = window_migration(&up, &down, Digest(5)).unwrap();
+        assert_eq!(m, Migration::default());
+    }
+
+    #[test]
+    fn migration_in_both_directions() {
+        // Upstream: 4 before cut, 6 after. Downstream: 6 before, 4 after.
+        let up = d(&[3, 4, 5, 6, 7]);
+        let down = d(&[3, 6, 5, 4, 7]);
+        let m = window_migration(&up, &down, Digest(5)).unwrap();
+        assert_eq!(m.to_earlier, 1); // 4
+        assert_eq!(m.to_later, 1); // 6
+        assert_eq!(m.net_to_earlier(), 0);
+    }
+
+    #[test]
+    fn missing_boundary_means_no_alignment() {
+        let up = d(&[1, 2, 3]);
+        let down = d(&[1, 2, 3]);
+        assert!(window_migration(&up, &down, Digest(9)).is_none());
+    }
+
+    #[test]
+    fn packets_absent_from_other_window_are_ignored() {
+        // A lost packet (present upstream, absent downstream) is a loss
+        // matter, not a reordering matter — no migration for it.
+        let up = d(&[3, 4, 5, 6]);
+        let down = d(&[3, 5, 6]); // p4 lost
+        let m = window_migration(&up, &down, Digest(5)).unwrap();
+        assert_eq!(m, Migration::default());
+    }
+
+    #[test]
+    fn boundary_itself_never_migrates() {
+        // The boundary packet starts the later aggregate at both HOPs
+        // by definition; it must not be counted as a migration even if
+        // other packets shuffle around it.
+        let up = d(&[4, 5, 6]);
+        let down = d(&[4, 5, 6]);
+        let m = window_migration(&up, &down, Digest(5)).unwrap();
+        assert_eq!(m, Migration::default());
+    }
+}

@@ -1,0 +1,356 @@
+//! The data-plane collector module (paper §7).
+//!
+//! "The data-plane part handles per-packet operations and collects
+//! per-aggregate state in a monitoring cache; we refer to it as the
+//! collector module." The collector:
+//!
+//! * classifies each packet into a registered HOP path;
+//! * computes its digest and timestamp;
+//! * feeds the path's [`DelaySampler`] (Algorithm 1) and
+//!   [`Aggregator`] (Algorithm 2);
+//! * accounts every memory access, hash and timestamp so the §7.1
+//!   processing claims can be measured rather than asserted.
+
+use serde::{Deserialize, Serialize};
+use vpm_hash::{Digest, DigestSeed, DEFAULT_DIGEST_SEED};
+use vpm_packet::{Packet, SimTime};
+
+use crate::aggregation::{Aggregator, FinishedAggregate};
+use crate::hop::HopConfig;
+use crate::receipt::{PathId, SampleRecord};
+use crate::sampling::DelaySampler;
+
+/// Per-packet work counters (the §7.1 processing model: "three memory
+/// accesses, one hash function, and one timestamp computation per
+/// packet", plus one access per buffered packet at marker sweeps).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostCounters {
+    /// Packets processed.
+    pub packets: u64,
+    /// Ordinary per-packet memory accesses (lookup, count update,
+    /// buffer store).
+    pub memory_accesses: u64,
+    /// Digest computations.
+    pub hash_ops: u64,
+    /// Timestamp computations.
+    pub timestamp_ops: u64,
+    /// Extra accesses spent sweeping the temp buffer at markers.
+    pub marker_sweep_accesses: u64,
+    /// Packets that matched no registered path.
+    pub unclassified: u64,
+}
+
+/// Per-path measurement state (one "open receipt" set per path, as the
+/// monitoring cache holds).
+#[derive(Debug)]
+pub struct PathState {
+    /// The path identifier receipts will carry.
+    pub path: PathId,
+    /// Algorithm 1 state.
+    pub sampler: DelaySampler,
+    /// Algorithm 2 state.
+    pub aggregator: Aggregator,
+}
+
+/// The data-plane collector.
+#[derive(Debug)]
+pub struct Collector {
+    config: HopConfig,
+    digest_seed: DigestSeed,
+    paths: Vec<PathState>,
+    counters: CostCounters,
+}
+
+impl Collector {
+    /// New collector for a HOP.
+    pub fn new(config: HopConfig) -> Self {
+        Collector {
+            config,
+            digest_seed: DEFAULT_DIGEST_SEED,
+            paths: Vec::new(),
+            counters: CostCounters::default(),
+        }
+    }
+
+    /// Register a path; returns its index for the digest fast path.
+    pub fn register_path(&mut self, path: PathId) -> usize {
+        let mut sampler = DelaySampler::new(self.config.marker, self.config.sampling);
+        if let Some(cap) = self.config.buffer_cap {
+            sampler = sampler.with_buffer_cap(cap);
+        }
+        self.paths.push(PathState {
+            path,
+            sampler,
+            aggregator: Aggregator::new(self.config.partition, self.config.j_window),
+        });
+        self.paths.len() - 1
+    }
+
+    /// Number of registered paths.
+    pub fn path_count(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Access a path's state by index.
+    pub fn path(&self, idx: usize) -> Option<&PathState> {
+        self.paths.get(idx)
+    }
+
+    /// Observe a packet at local time `t`: classify, digest, update.
+    /// Returns the path index it was classified into, if any.
+    pub fn observe(&mut self, pkt: &Packet, t: SimTime) -> Option<usize> {
+        let idx = self
+            .paths
+            .iter()
+            .position(|ps| ps.path.spec.matches(pkt))?;
+        let digest = pkt.digest_with(self.digest_seed);
+        self.counters.hash_ops += 1;
+        self.observe_classified(idx, digest, t);
+        Some(idx)
+    }
+
+    /// Observe a packet whose classification and digest are already
+    /// known (the hot path used by experiment drivers; also counts the
+    /// hash the HOP would have computed).
+    pub fn observe_digest(&mut self, idx: usize, digest: Digest, t: SimTime) {
+        self.counters.hash_ops += 1;
+        self.observe_classified(idx, digest, t);
+    }
+
+    fn observe_classified(&mut self, idx: usize, digest: Digest, t: SimTime) {
+        let Some(ps) = self.paths.get_mut(idx) else {
+            self.counters.unclassified += 1;
+            return;
+        };
+        self.counters.packets += 1;
+        self.counters.timestamp_ops += 1;
+        // §7.1: lookup PathID + update PktCnt + store to temp buffer.
+        self.counters.memory_accesses += 3;
+
+        ps.aggregator.observe(digest, t);
+        if let crate::sampling::ObserveOutcome::Marker { swept, .. } =
+            ps.sampler.observe(digest, t)
+        {
+            // One extra access per buffered packet examined (§7.1).
+            self.counters.marker_sweep_accesses += swept as u64;
+        }
+    }
+
+    /// Flush end-of-stream state on every path.
+    pub fn flush(&mut self) {
+        for ps in &mut self.paths {
+            ps.aggregator.flush();
+        }
+    }
+
+    /// Drain accumulated samples and finished aggregates for one path.
+    pub fn drain_path(&mut self, idx: usize) -> (Vec<SampleRecord>, Vec<FinishedAggregate>) {
+        let ps = &mut self.paths[idx];
+        (ps.sampler.drain(), ps.aggregator.drain())
+    }
+
+    /// Iterate path indices.
+    pub fn path_indices(&self) -> std::ops::Range<usize> {
+        0..self.paths.len()
+    }
+
+    /// Work counters.
+    pub fn counters(&self) -> CostCounters {
+        self.counters
+    }
+
+    /// Bytes of monitoring-cache state currently held: ~20 B of open
+    /// aggregate state per active path (§7.1).
+    pub fn monitoring_cache_bytes(&self) -> usize {
+        self.paths.len() * crate::overhead::PER_PATH_STATE_BYTES
+    }
+
+    /// Bytes of temporary per-packet buffer currently held across all
+    /// paths (7 B per buffered record, §7.1).
+    pub fn temp_buffer_bytes(&self) -> usize {
+        self.paths
+            .iter()
+            .map(|ps| ps.sampler.buffered() * crate::receipt::compact::SAMPLE_RECORD_BYTES)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpm_packet::{DomainId, HeaderSpec, HopId, SimDuration};
+
+    fn config() -> HopConfig {
+        HopConfig::new(HopId(4), DomainId(2))
+            .with_sampling_rate(0.05)
+            .with_aggregate_size(100)
+            .with_marker_rate(0.01)
+            .with_j_window(SimDuration::from_millis(1))
+    }
+
+    fn path_id(spec: HeaderSpec) -> PathId {
+        PathId {
+            spec,
+            prev_hop: Some(HopId(3)),
+            next_hop: Some(HopId(5)),
+            max_diff: SimDuration::from_millis(2),
+        }
+    }
+
+    fn mk_trace(n: usize) -> Vec<vpm_trace::TracePacket> {
+        let cfg = vpm_trace::TraceConfig {
+            target_pps: 50_000.0,
+            duration: SimDuration::from_millis(200),
+            ..vpm_trace::TraceConfig::paper_default(1, 21)
+        };
+        let mut t = vpm_trace::TraceGenerator::new(cfg).generate();
+        t.truncate(n);
+        t
+    }
+
+    #[test]
+    fn classifies_and_counts() {
+        let trace = mk_trace(5_000);
+        let spec = vpm_trace::TraceConfig::paper_default(1, 0).spec;
+        let mut c = Collector::new(config());
+        c.register_path(path_id(spec));
+        for tp in &trace {
+            assert!(c.observe(&tp.packet, tp.ts).is_some());
+        }
+        c.flush();
+        let counters = c.counters();
+        assert_eq!(counters.packets, trace.len() as u64);
+        assert_eq!(counters.hash_ops, trace.len() as u64);
+        assert_eq!(counters.timestamp_ops, trace.len() as u64);
+        assert_eq!(counters.memory_accesses, 3 * trace.len() as u64);
+        let (samples, aggs) = c.drain_path(0);
+        assert!(!samples.is_empty());
+        let total: u64 = aggs.iter().map(|a| a.pkt_cnt).sum();
+        assert_eq!(total, trace.len() as u64);
+    }
+
+    #[test]
+    fn unmatched_packets_rejected() {
+        let trace = mk_trace(10);
+        let mut c = Collector::new(config());
+        c.register_path(path_id(HeaderSpec::new(
+            "1.0.0.0/8".parse().unwrap(),
+            "2.0.0.0/8".parse().unwrap(),
+        )));
+        for tp in &trace {
+            assert!(c.observe(&tp.packet, tp.ts).is_none());
+        }
+        assert_eq!(c.counters().packets, 0);
+    }
+
+    #[test]
+    fn multiple_paths_classified_independently() {
+        let trace = mk_trace(2_000);
+        let real_spec = vpm_trace::TraceConfig::paper_default(1, 0).spec;
+        let decoy = HeaderSpec::new("1.0.0.0/8".parse().unwrap(), "2.0.0.0/8".parse().unwrap());
+        let mut c = Collector::new(config());
+        let decoy_idx = c.register_path(path_id(decoy));
+        let real_idx = c.register_path(path_id(real_spec));
+        for tp in &trace {
+            assert_eq!(c.observe(&tp.packet, tp.ts), Some(real_idx));
+        }
+        c.flush();
+        let (s_decoy, a_decoy) = c.drain_path(decoy_idx);
+        assert!(s_decoy.is_empty() && a_decoy.is_empty());
+        let (s_real, a_real) = c.drain_path(real_idx);
+        assert!(!s_real.is_empty() && !a_real.is_empty());
+    }
+
+    #[test]
+    fn resource_reporting_tracks_state() {
+        let mut c = Collector::new(config());
+        let spec = vpm_trace::TraceConfig::paper_default(1, 0).spec;
+        c.register_path(path_id(spec));
+        assert_eq!(c.monitoring_cache_bytes(), crate::overhead::PER_PATH_STATE_BYTES);
+        let trace = mk_trace(300);
+        for tp in &trace {
+            c.observe(&tp.packet, tp.ts);
+        }
+        // Some packets should be buffered awaiting a marker.
+        assert!(c.temp_buffer_bytes() > 0);
+    }
+
+    /// A HOP observes many concurrent paths; state stays isolated and
+    /// the monitoring cache grows linearly (the §7.1 "100,000 paths ⇒
+    /// 2 MB" model).
+    #[test]
+    fn many_paths_isolated_state() {
+        use std::net::Ipv4Addr;
+        let mut c = Collector::new(config());
+        let n_paths = 200u16;
+        for i in 0..n_paths {
+            // /32-pair paths: each matches exactly one host pair.
+            let spec = HeaderSpec::new(
+                vpm_packet::Ipv4Prefix::new(Ipv4Addr::new(10, 0, (i >> 8) as u8, i as u8), 32)
+                    .unwrap(),
+                vpm_packet::Ipv4Prefix::new(Ipv4Addr::new(20, 0, (i >> 8) as u8, i as u8), 32)
+                    .unwrap(),
+            );
+            c.register_path(path_id(spec));
+        }
+        assert_eq!(
+            c.monitoring_cache_bytes(),
+            n_paths as usize * crate::overhead::PER_PATH_STATE_BYTES
+        );
+        // Send 50 packets down each of three scattered paths.
+        for &target in &[0u16, 57, 199] {
+            for k in 0..50u16 {
+                let mut pkt = vpm_packet::Packet {
+                    seq: 0,
+                    ipv4: vpm_packet::Ipv4Header::simple(
+                        Ipv4Addr::new(10, 0, (target >> 8) as u8, target as u8),
+                        Ipv4Addr::new(20, 0, (target >> 8) as u8, target as u8),
+                        vpm_packet::ipv4::PROTO_UDP,
+                        28,
+                    ),
+                    transport: vpm_packet::Transport::Udp(vpm_packet::UdpHeader {
+                        sport: 1000 + k,
+                        dport: 53,
+                        length: 8,
+                    }),
+                    payload_len: 0,
+                };
+                pkt.ipv4.id = k;
+                assert_eq!(
+                    c.observe(&pkt, SimTime::from_micros(k as u64 * 10)),
+                    Some(target as usize)
+                );
+            }
+        }
+        c.flush();
+        for i in 0..n_paths as usize {
+            let (samples, aggs) = c.drain_path(i);
+            let total: u64 = aggs.iter().map(|a| a.pkt_cnt).sum();
+            if [0usize, 57, 199].contains(&i) {
+                assert_eq!(total, 50, "path {i}");
+            } else {
+                assert_eq!(total, 0, "path {i} must be untouched");
+                assert!(samples.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn marker_sweep_accounting() {
+        let trace = mk_trace(20_000);
+        let spec = vpm_trace::TraceConfig::paper_default(1, 0).spec;
+        let mut c = Collector::new(config());
+        c.register_path(path_id(spec));
+        for tp in &trace {
+            c.observe(&tp.packet, tp.ts);
+        }
+        let counters = c.counters();
+        // Every non-marker packet is swept exactly once (when the next
+        // marker arrives), so sweep accesses ≈ packets − markers −
+        // still-buffered.
+        let ps = c.path(0).unwrap();
+        let expected =
+            counters.packets - ps.sampler.stats().markers - ps.sampler.buffered() as u64;
+        assert_eq!(counters.marker_sweep_accesses, expected);
+    }
+}

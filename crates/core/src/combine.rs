@@ -1,0 +1,214 @@
+//! Receipt combination `⊎` (paper §4).
+//!
+//! Receipts from the *same HOP* can be combined into receipts over a
+//! larger sample set or a coarser aggregate:
+//!
+//! * samples: `⊎ᵢ Rᵢ = ⟨PathID, ∪ᵢ Samplesᵢ⟩`;
+//! * aggregates (consecutive): `⊎ᵢ Rᵢ = ⟨PathID, AggID, Σᵢ PktCntᵢ⟩`
+//!   where `AggID` spans from the first aggregate's first packet to the
+//!   last aggregate's last packet.
+//!
+//! Combination is what lets a verifier compare receipts produced at
+//! different aggregation granularities: it combines the finer HOP's
+//! receipts up to the join of the two partitions.
+
+use crate::receipt::{AggId, AggReceipt, SampleReceipt};
+
+/// Errors from receipt combination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CombineError {
+    /// No receipts were given.
+    Empty,
+    /// Receipts name different paths (combination is per-path).
+    PathMismatch,
+    /// Aggregate receipts are not consecutive: receipt `i+1` does not
+    /// start where receipt `i` ended (detectable when windows overlap).
+    NotConsecutive {
+        /// Index of the first receipt of the offending pair.
+        at: usize,
+    },
+}
+
+impl std::fmt::Display for CombineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CombineError::Empty => write!(f, "no receipts to combine"),
+            CombineError::PathMismatch => write!(f, "receipts name different paths"),
+            CombineError::NotConsecutive { at } => {
+                write!(f, "aggregate receipts {at} and {} are not consecutive", at + 1)
+            }
+        }
+    }
+}
+
+impl std::error::Error for CombineError {}
+
+/// Combine sample receipts from the same HOP and path.
+///
+/// The sample union preserves observation order (receipts are emitted
+/// in order, and samples within a receipt are ordered); exact duplicate
+/// records are dropped.
+pub fn combine_samples(receipts: &[SampleReceipt]) -> Result<SampleReceipt, CombineError> {
+    let first = receipts.first().ok_or(CombineError::Empty)?;
+    if receipts.iter().any(|r| r.path != first.path) {
+        return Err(CombineError::PathMismatch);
+    }
+    let mut seen = std::collections::HashSet::new();
+    let mut samples = Vec::new();
+    for r in receipts {
+        for s in &r.samples {
+            if seen.insert((s.pkt_id, s.time)) {
+                samples.push(*s);
+            }
+        }
+    }
+    Ok(SampleReceipt {
+        path: first.path,
+        samples,
+    })
+}
+
+/// Combine `N` **consecutive** aggregate receipts from the same HOP and
+/// path into one coarser receipt.
+///
+/// Consecutiveness cannot be fully proven from the receipts alone (the
+/// `AggID` digests of adjacent aggregates are distinct packets), but a
+/// necessary condition *is* checkable whenever patch-up windows are
+/// present: receipt `i`'s window must contain receipt `i+1`'s first
+/// packet (the cut that closed `i` starts `i+1`). We enforce that
+/// condition when the window is non-empty.
+pub fn combine_aggregates(receipts: &[AggReceipt]) -> Result<AggReceipt, CombineError> {
+    let first = receipts.first().ok_or(CombineError::Empty)?;
+    if receipts.iter().any(|r| r.path != first.path) {
+        return Err(CombineError::PathMismatch);
+    }
+    for (i, pair) in receipts.windows(2).enumerate() {
+        if !pair[0].agg_trans.is_empty() && !pair[0].trans_contains(pair[1].agg.first) {
+            return Err(CombineError::NotConsecutive { at: i });
+        }
+    }
+    let last = receipts.last().expect("non-empty");
+    Ok(AggReceipt {
+        path: first.path,
+        agg: AggId {
+            first: first.agg.first,
+            last: last.agg.last,
+        },
+        pkt_cnt: receipts.iter().map(|r| r.pkt_cnt).sum(),
+        agg_trans: last.agg_trans.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::receipt::{PathId, SampleRecord};
+    use vpm_hash::Digest;
+    use vpm_packet::{HeaderSpec, SimDuration, SimTime};
+
+    fn path() -> PathId {
+        PathId {
+            spec: HeaderSpec::new(
+                "10.0.0.0/8".parse().unwrap(),
+                "172.16.0.0/12".parse().unwrap(),
+            ),
+            prev_hop: None,
+            next_hop: None,
+            max_diff: SimDuration::from_millis(2),
+        }
+    }
+
+    fn other_path() -> PathId {
+        PathId {
+            max_diff: SimDuration::from_millis(9),
+            ..path()
+        }
+    }
+
+    fn srec(id: u64, us: u64) -> SampleRecord {
+        SampleRecord {
+            pkt_id: Digest(id),
+            time: SimTime::from_micros(us),
+        }
+    }
+
+    #[test]
+    fn combine_samples_unions() {
+        let a = SampleReceipt {
+            path: path(),
+            samples: vec![srec(1, 10), srec(2, 20)],
+        };
+        let b = SampleReceipt {
+            path: path(),
+            samples: vec![srec(2, 20), srec(3, 30)], // overlap on (2,20)
+        };
+        let c = combine_samples(&[a, b]).unwrap();
+        assert_eq!(c.samples, vec![srec(1, 10), srec(2, 20), srec(3, 30)]);
+    }
+
+    #[test]
+    fn combine_samples_rejects_path_mix() {
+        let a = SampleReceipt {
+            path: path(),
+            samples: vec![],
+        };
+        let b = SampleReceipt {
+            path: other_path(),
+            samples: vec![],
+        };
+        assert_eq!(combine_samples(&[a, b]), Err(CombineError::PathMismatch));
+        assert_eq!(combine_samples(&[]), Err(CombineError::Empty));
+    }
+
+    fn agg(first: u64, last: u64, cnt: u64, trans: &[u64]) -> AggReceipt {
+        AggReceipt {
+            path: path(),
+            agg: AggId {
+                first: Digest(first),
+                last: Digest(last),
+            },
+            pkt_cnt: cnt,
+            agg_trans: trans.iter().map(|&d| Digest(d)).collect(),
+        }
+    }
+
+    #[test]
+    fn combine_aggregates_sums_counts() {
+        // aggregates ⟨1..5⟩(3 pkts) ⟨6..9⟩(4 pkts): window of the first
+        // contains 6, the cut that started the second.
+        let a = agg(1, 5, 3, &[4, 5, 6, 7]);
+        let b = agg(6, 9, 4, &[8, 9, 10]);
+        let c = combine_aggregates(&[a, b]).unwrap();
+        assert_eq!(c.pkt_cnt, 7);
+        assert_eq!(c.agg.first, Digest(1));
+        assert_eq!(c.agg.last, Digest(9));
+        // paper: identifier of the union of all N aggregates.
+        assert_eq!(c.agg_trans, vec![Digest(8), Digest(9), Digest(10)]);
+    }
+
+    #[test]
+    fn combine_aggregates_detects_gap() {
+        // First receipt's window does NOT contain the second's first
+        // packet ⇒ they cannot be consecutive.
+        let a = agg(1, 5, 3, &[4, 5, 99]);
+        let b = agg(6, 9, 4, &[]);
+        assert_eq!(
+            combine_aggregates(&[a, b]),
+            Err(CombineError::NotConsecutive { at: 0 })
+        );
+    }
+
+    #[test]
+    fn combine_aggregates_trusts_windowless_receipts() {
+        // Without windows the necessary condition is vacuous.
+        let a = agg(1, 5, 3, &[]);
+        let b = agg(6, 9, 4, &[]);
+        assert!(combine_aggregates(&[a, b]).is_ok());
+    }
+
+    #[test]
+    fn single_receipt_combines_to_itself() {
+        let a = agg(1, 5, 3, &[1, 2]);
+        assert_eq!(combine_aggregates(std::slice::from_ref(&a)).unwrap(), a);
+    }
+}

@@ -1,0 +1,172 @@
+//! Receipt consistency rules for inter-domain links (paper §4).
+//!
+//! Consider HOPs 5 and 6 on opposite ends of the same inter-domain
+//! link. For a commonly sampled packet `p`:
+//!
+//! 1. `R₅.PathID.MaxDiff = R₆.PathID.MaxDiff`
+//! 2. `R₆.Time − R₅.Time ≤ MaxDiff`
+//!
+//! (a correct link introduces no unpredictable delay), and for a common
+//! packet aggregate `α`: `R₅.PktCnt = R₆.PktCnt` (a correct link loses
+//! nothing). A violated rule means either a faulty link or a lie; the
+//! receipt collector discards the receipts and notifies both
+//! neighbors, exposing a liar to the neighbor it implicated (§3.1).
+
+use crate::receipt::{AggId, PathId, SampleRecord};
+use serde::{Deserialize, Serialize};
+use vpm_hash::Digest;
+use vpm_packet::{SimDuration, SimTime};
+
+/// One detected consistency violation on an inter-domain link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkInconsistency {
+    /// The two HOPs advertise different `MaxDiff` values for the link.
+    MaxDiffMismatch {
+        /// Upstream HOP's advertised bound.
+        up: SimDuration,
+        /// Downstream HOP's advertised bound.
+        down: SimDuration,
+    },
+    /// A sampled packet took longer than `MaxDiff` to cross the link
+    /// (rule 2) — a delay claim one of the two HOPs must be wrong
+    /// about, or a genuinely slow link.
+    ExcessLinkDelay {
+        /// The packet in question.
+        pkt_id: Digest,
+        /// Upstream delivery timestamp.
+        up_time: SimTime,
+        /// Downstream reception timestamp.
+        down_time: SimTime,
+        /// Advertised bound.
+        max_diff: SimDuration,
+    },
+    /// A common aggregate whose packet counts disagree — loss on the
+    /// link, or a lie about delivery (rule 3).
+    CountMismatch {
+        /// The aggregate in question.
+        agg: AggId,
+        /// Count claimed delivered by the upstream HOP.
+        up_cnt: u64,
+        /// Count claimed received by the downstream HOP.
+        down_cnt: u64,
+    },
+}
+
+/// Check rule 1 (equal `MaxDiff`) for a pair of path ids across a link.
+pub fn check_max_diff(up: &PathId, down: &PathId) -> Option<LinkInconsistency> {
+    (up.max_diff != down.max_diff).then_some(LinkInconsistency::MaxDiffMismatch {
+        up: up.max_diff,
+        down: down.max_diff,
+    })
+}
+
+/// Check rule 2 for one commonly sampled packet.
+///
+/// The bound is one-sided, exactly as the paper states it: a link may
+/// deliver "early" according to skewed clocks, but it must not exceed
+/// `MaxDiff`.
+pub fn check_sample_pair(
+    up: &SampleRecord,
+    down: &SampleRecord,
+    max_diff: SimDuration,
+) -> Option<LinkInconsistency> {
+    debug_assert_eq!(up.pkt_id, down.pkt_id, "callers match records by PktID");
+    let delta = down.time.signed_delta(up.time);
+    (delta > max_diff.as_nanos() as i64).then_some(LinkInconsistency::ExcessLinkDelay {
+        pkt_id: up.pkt_id,
+        up_time: up.time,
+        down_time: down.time,
+        max_diff,
+    })
+}
+
+/// Check rule 3 for one common aggregate.
+pub fn check_aggregate_pair(
+    agg: AggId,
+    up_cnt: u64,
+    down_cnt: u64,
+) -> Option<LinkInconsistency> {
+    (up_cnt != down_cnt).then_some(LinkInconsistency::CountMismatch {
+        agg,
+        up_cnt,
+        down_cnt,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpm_packet::HeaderSpec;
+
+    fn pid(max_diff_ms: u64) -> PathId {
+        PathId {
+            spec: HeaderSpec::new(
+                "10.0.0.0/8".parse().unwrap(),
+                "172.16.0.0/12".parse().unwrap(),
+            ),
+            prev_hop: None,
+            next_hop: None,
+            max_diff: SimDuration::from_millis(max_diff_ms),
+        }
+    }
+
+    fn rec(id: u64, us: u64) -> SampleRecord {
+        SampleRecord {
+            pkt_id: Digest(id),
+            time: SimTime::from_micros(us),
+        }
+    }
+
+    #[test]
+    fn max_diff_rule() {
+        assert!(check_max_diff(&pid(2), &pid(2)).is_none());
+        match check_max_diff(&pid(2), &pid(3)) {
+            Some(LinkInconsistency::MaxDiffMismatch { up, down }) => {
+                assert_eq!(up, SimDuration::from_millis(2));
+                assert_eq!(down, SimDuration::from_millis(3));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn delay_rule_within_bound() {
+        let md = SimDuration::from_millis(2);
+        assert!(check_sample_pair(&rec(1, 1000), &rec(1, 2500), md).is_none());
+        // Exactly at the bound is consistent (rule is ≤).
+        assert!(check_sample_pair(&rec(1, 0), &rec(1, 2000), md).is_none());
+    }
+
+    #[test]
+    fn delay_rule_violation() {
+        let md = SimDuration::from_millis(2);
+        match check_sample_pair(&rec(7, 0), &rec(7, 2001), md) {
+            Some(LinkInconsistency::ExcessLinkDelay { pkt_id, .. }) => {
+                assert_eq!(pkt_id, Digest(7));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn delay_rule_is_one_sided() {
+        // Downstream clock earlier than upstream (skew): no violation.
+        let md = SimDuration::from_millis(2);
+        assert!(check_sample_pair(&rec(1, 5000), &rec(1, 1000), md).is_none());
+    }
+
+    #[test]
+    fn count_rule() {
+        let agg = AggId {
+            first: Digest(1),
+            last: Digest(2),
+        };
+        assert!(check_aggregate_pair(agg, 100, 100).is_none());
+        match check_aggregate_pair(agg, 100, 97) {
+            Some(LinkInconsistency::CountMismatch { up_cnt, down_cnt, .. }) => {
+                assert_eq!((up_cnt, down_cnt), (100, 97));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! HOP configuration and the full per-HOP pipeline.
+//!
+//! A HOP (hand-off point) is an ingress/egress point on a domain's
+//! perimeter. Its VPM behaviour is governed by four thresholds/windows:
+//!
+//! * `µ` — the marker threshold, a **system-wide design constant**
+//!   (paper §5.1): every HOP must elect the same markers.
+//! * `σ` — the sampling threshold, chosen **locally**: governs the
+//!   delay-sampling rate and thus the sampler's resource cost.
+//! * `δ` — the partition threshold, chosen **locally**: governs
+//!   aggregate size and thus the reporting rate.
+//! * `J` — the safety inter-arrival threshold: packets observed more
+//!   than `J` apart are assumed never to reorder (§6.3); also bounds
+//!   the AggTrans window.
+//! * `MaxDiff` — agreed per inter-domain link (§4).
+
+use serde::{Deserialize, Serialize};
+use vpm_hash::Threshold;
+use vpm_packet::{DomainId, HopId, SimDuration};
+
+use crate::collector::Collector;
+use crate::processor::{Processor, ReceiptBatch};
+use crate::receipt::PathId;
+
+/// The system-wide marker rate: with ~100 kpps per path (the paper's
+/// workload), markers arrive every ~10 ms — the state-retention window
+/// §5.1 describes.
+pub const DEFAULT_MARKER_RATE: f64 = 1e-3;
+
+/// The paper's conservative safety threshold `J` (§7.1: "a conservative
+/// choice is to set J to 10msec").
+pub const DEFAULT_J_WINDOW: SimDuration = SimDuration(10_000_000);
+
+/// Default `MaxDiff` for inter-domain links: 2 ms accommodates
+/// NTP-grade skew plus link transit (§4).
+pub const DEFAULT_MAX_DIFF: SimDuration = SimDuration(2_000_000);
+
+/// Per-HOP tunable configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HopConfig {
+    /// This HOP's identifier.
+    pub hop: HopId,
+    /// The domain the HOP belongs to.
+    pub domain: DomainId,
+    /// Marker threshold `µ` (system-wide).
+    pub marker: Threshold,
+    /// Sampling threshold `σ` (local).
+    pub sampling: Threshold,
+    /// Partition threshold `δ` (local).
+    pub partition: Threshold,
+    /// Safety inter-arrival threshold `J`.
+    pub j_window: SimDuration,
+    /// `MaxDiff` for this HOP's inter-domain link.
+    pub max_diff: SimDuration,
+    /// Optional cap on the sampler's temporary buffer.
+    pub buffer_cap: Option<usize>,
+}
+
+impl HopConfig {
+    /// A configuration with the paper's defaults: 1% sampling, one
+    /// aggregate per 100 000 packets, `J` = 10 ms, `MaxDiff` = 2 ms.
+    pub fn new(hop: HopId, domain: DomainId) -> Self {
+        HopConfig {
+            hop,
+            domain,
+            marker: Threshold::from_rate(DEFAULT_MARKER_RATE),
+            sampling: Threshold::from_rate(0.01),
+            partition: Threshold::from_rate(1.0 / 100_000.0),
+            j_window: DEFAULT_J_WINDOW,
+            max_diff: DEFAULT_MAX_DIFF,
+            buffer_cap: None,
+        }
+    }
+
+    /// Set the delay-sampling rate (fraction of traffic sampled beyond
+    /// markers).
+    pub fn with_sampling_rate(mut self, rate: f64) -> Self {
+        self.sampling = Threshold::from_rate(rate);
+        self
+    }
+
+    /// Set the expected aggregate size in packets.
+    pub fn with_aggregate_size(mut self, pkts: u64) -> Self {
+        assert!(pkts > 0);
+        self.partition = Threshold::from_rate(1.0 / pkts as f64);
+        self
+    }
+
+    /// Set the marker rate (must match every other HOP in the system).
+    pub fn with_marker_rate(mut self, rate: f64) -> Self {
+        self.marker = Threshold::from_rate(rate);
+        self
+    }
+
+    /// Set the safety threshold `J`.
+    pub fn with_j_window(mut self, j: SimDuration) -> Self {
+        self.j_window = j;
+        self
+    }
+
+    /// Set this HOP's link `MaxDiff`.
+    pub fn with_max_diff(mut self, d: SimDuration) -> Self {
+        self.max_diff = d;
+        self
+    }
+
+    /// Cap the sampler's temporary buffer.
+    pub fn with_buffer_cap(mut self, cap: usize) -> Self {
+        self.buffer_cap = Some(cap);
+        self
+    }
+
+    /// The configured sampling rate.
+    pub fn sampling_rate(&self) -> f64 {
+        self.sampling.rate()
+    }
+
+    /// The configured expected aggregate size in packets.
+    pub fn aggregate_size(&self) -> f64 {
+        1.0 / self.partition.rate().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// A HOP's complete VPM pipeline: collector (data plane) + processor
+/// (control plane).
+#[derive(Debug)]
+pub struct HopPipeline {
+    /// The HOP's configuration.
+    pub config: HopConfig,
+    /// Data-plane collector.
+    pub collector: Collector,
+    /// Control-plane processor.
+    pub processor: Processor,
+}
+
+impl HopPipeline {
+    /// Build a pipeline from a configuration.
+    pub fn new(config: HopConfig) -> Self {
+        HopPipeline {
+            collector: Collector::new(config),
+            processor: Processor::new(config.hop),
+            config,
+        }
+    }
+
+    /// Register a path this HOP will observe.
+    pub fn register_path(&mut self, path: PathId) {
+        self.collector.register_path(path);
+    }
+
+    /// Produce a receipt batch covering everything observed since the
+    /// last report (control-plane reporting interval).
+    pub fn report(&mut self) -> ReceiptBatch {
+        self.processor.report(&mut self.collector)
+    }
+
+    /// Flush end-of-stream state (closes open aggregates) and produce a
+    /// final batch.
+    pub fn final_report(&mut self) -> ReceiptBatch {
+        self.collector.flush();
+        self.processor.report(&mut self.collector)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = HopConfig::new(HopId(4), DomainId(2));
+        assert!((c.marker.rate() - 1e-3).abs() < 1e-9);
+        assert!((c.sampling_rate() - 0.01).abs() < 1e-6);
+        assert!((c.aggregate_size() - 100_000.0).abs() < 1.0);
+        assert_eq!(c.j_window, SimDuration::from_millis(10));
+        assert_eq!(c.max_diff, SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = HopConfig::new(HopId(1), DomainId(1))
+            .with_sampling_rate(0.001)
+            .with_aggregate_size(1000)
+            .with_j_window(SimDuration::from_millis(5))
+            .with_max_diff(SimDuration::from_millis(1))
+            .with_buffer_cap(4096);
+        assert!((c.sampling_rate() - 0.001).abs() < 1e-7);
+        assert!((c.aggregate_size() - 1000.0).abs() < 0.1);
+        assert_eq!(c.j_window, SimDuration::from_millis(5));
+        assert_eq!(c.buffer_cap, Some(4096));
+    }
+}

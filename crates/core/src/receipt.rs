@@ -1,0 +1,224 @@
+//! Traffic receipts (paper §4).
+//!
+//! Two kinds of receipts exist:
+//!
+//! * sample receipts `R = ⟨PathID, Samples⟩`, where `Samples` is a
+//!   sequence of `⟨PktID, Time⟩` records;
+//! * aggregate receipts `R = ⟨PathID, AggID, PktCnt, AggTrans⟩`, where
+//!   `AggID` is the digest pair of the aggregate's first and last
+//!   packets, `PktCnt` the number of packets the HOP counted into the
+//!   aggregate, and `AggTrans` the reordering patch-up window of §6.3.
+//!
+//! `PathID = ⟨HeaderSpec, PreviousHOP, NextHOP, MaxDiff⟩` names the HOP
+//! path a receipt refers to and carries the `MaxDiff` bound agreed for
+//! the reporting HOP's inter-domain link.
+
+use serde::{Deserialize, Serialize};
+use vpm_hash::Digest;
+use vpm_packet::{HeaderSpec, HopId, SimDuration, SimTime};
+
+/// `PathID` of a receipt (paper §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PathId {
+    /// Which headers identify the path (at least the origin-prefix pair).
+    pub spec: HeaderSpec,
+    /// The previous HOP on this path (`None` at the path's origin).
+    pub prev_hop: Option<HopId>,
+    /// The next HOP on this path (`None` at the path's end).
+    pub next_hop: Option<HopId>,
+    /// Timestamp-difference bound agreed with the HOP across the
+    /// reporting HOP's inter-domain link.
+    pub max_diff: SimDuration,
+}
+
+/// One sampled measurement: `⟨PktID, Time⟩`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SampleRecord {
+    /// The packet digest.
+    pub pkt_id: Digest,
+    /// When the packet was observed at the reporting HOP (local clock).
+    pub time: SimTime,
+}
+
+/// A receipt for a set of sampled packets.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SampleReceipt {
+    /// Path the samples belong to.
+    pub path: PathId,
+    /// The sampled `⟨PktID, Time⟩` records, in observation order.
+    pub samples: Vec<SampleRecord>,
+}
+
+/// `AggID`: the digests of the first and last packets of an aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AggId {
+    /// Digest of the aggregate's first packet (its cutting point).
+    pub first: Digest,
+    /// Digest of the aggregate's last packet.
+    pub last: Digest,
+}
+
+/// A receipt for a packet aggregate.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AggReceipt {
+    /// Path the aggregate belongs to.
+    pub path: PathId,
+    /// Aggregate identifier.
+    pub agg: AggId,
+    /// Packets the HOP counted into this aggregate.
+    pub pkt_cnt: u64,
+    /// Reordering patch-up: digests of the packets observed within `J`
+    /// time units on either side of the cut that closed this aggregate,
+    /// in observation order (§6.3). Empty when the aggregate was closed
+    /// by end-of-stream flush rather than a cut.
+    pub agg_trans: Vec<Digest>,
+}
+
+/// Compact wire sizes, mirroring the paper's arithmetic (§7.1): a
+/// sample record is a 4-byte truncated digest plus a 3-byte timestamp;
+/// an aggregate receipt is ~22 bytes.
+pub mod compact {
+    use super::*;
+
+    /// Bytes for a truncated `PktID` on the wire.
+    pub const PKT_ID_BYTES: usize = 4;
+    /// Bytes for a truncated timestamp on the wire.
+    pub const TIME_BYTES: usize = 3;
+    /// Bytes per sample record (`⟨PktID, Time⟩`).
+    pub const SAMPLE_RECORD_BYTES: usize = PKT_ID_BYTES + TIME_BYTES;
+    /// Bytes for a `PathID` reference once the full `PathID` has been
+    /// communicated out of band (receipts for the same path share it).
+    pub const PATH_REF_BYTES: usize = 4;
+    /// Bytes for a packet count.
+    pub const PKT_CNT_BYTES: usize = 6;
+
+    /// Compact size of a sample receipt.
+    pub fn sample_receipt_bytes(r: &SampleReceipt) -> usize {
+        PATH_REF_BYTES + r.samples.len() * SAMPLE_RECORD_BYTES
+    }
+
+    /// Compact size of an aggregate receipt. Matches the paper's
+    /// "receipt size (22 bytes)" when `AggTrans` is empty:
+    /// 4 (path ref) + 2·4 (AggID digests) + 6 (count) + 4 (window len).
+    pub fn agg_receipt_bytes(r: &AggReceipt) -> usize {
+        PATH_REF_BYTES
+            + 2 * PKT_ID_BYTES
+            + PKT_CNT_BYTES
+            + 4
+            + r.agg_trans.len() * PKT_ID_BYTES
+    }
+}
+
+impl SampleReceipt {
+    /// Number of sampled records.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Is the receipt empty?
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Look up the record for a packet id (first match).
+    pub fn find(&self, pkt_id: Digest) -> Option<&SampleRecord> {
+        self.samples.iter().find(|s| s.pkt_id == pkt_id)
+    }
+}
+
+impl AggReceipt {
+    /// Does `pkt_id` appear in this receipt's patch-up window?
+    pub fn trans_contains(&self, pkt_id: Digest) -> bool {
+        self.agg_trans.contains(&pkt_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path() -> PathId {
+        PathId {
+            spec: HeaderSpec::new(
+                "10.0.0.0/8".parse().unwrap(),
+                "192.168.0.0/16".parse().unwrap(),
+            ),
+            prev_hop: Some(HopId(3)),
+            next_hop: Some(HopId(5)),
+            max_diff: SimDuration::from_millis(2),
+        }
+    }
+
+    #[test]
+    fn sample_receipt_find() {
+        let r = SampleReceipt {
+            path: path(),
+            samples: vec![
+                SampleRecord {
+                    pkt_id: Digest(1),
+                    time: SimTime::from_millis(1),
+                },
+                SampleRecord {
+                    pkt_id: Digest(2),
+                    time: SimTime::from_millis(2),
+                },
+            ],
+        };
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        assert_eq!(r.find(Digest(2)).unwrap().time, SimTime::from_millis(2));
+        assert!(r.find(Digest(3)).is_none());
+    }
+
+    #[test]
+    fn compact_sizes_match_paper_arithmetic() {
+        // Paper §7.1: sample records are 4+3 bytes; aggregate receipts
+        // are ~22 bytes (without the patch-up window).
+        assert_eq!(compact::SAMPLE_RECORD_BYTES, 7);
+        let agg = AggReceipt {
+            path: path(),
+            agg: AggId {
+                first: Digest(10),
+                last: Digest(20),
+            },
+            pkt_cnt: 100_000,
+            agg_trans: vec![],
+        };
+        assert_eq!(compact::agg_receipt_bytes(&agg), 22);
+        // Window contents add 4 bytes per digest.
+        let agg2 = AggReceipt {
+            agg_trans: vec![Digest(1), Digest(2), Digest(3)],
+            ..agg
+        };
+        assert_eq!(compact::agg_receipt_bytes(&agg2), 22 + 12);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = SampleReceipt {
+            path: path(),
+            samples: vec![SampleRecord {
+                pkt_id: Digest(42),
+                time: SimTime::from_micros(7),
+            }],
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: SampleReceipt = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+
+        let a = AggReceipt {
+            path: path(),
+            agg: AggId {
+                first: Digest(1),
+                last: Digest(2),
+            },
+            pkt_cnt: 3,
+            agg_trans: vec![Digest(9)],
+        };
+        let json = serde_json::to_string(&a).unwrap();
+        let back: AggReceipt = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+        assert!(back.trans_contains(Digest(9)));
+        assert!(!back.trans_contains(Digest(8)));
+    }
+}

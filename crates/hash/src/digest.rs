@@ -1,0 +1,110 @@
+//! Packet digests.
+//!
+//! A digest is the 64-bit fingerprint a HOP computes over the invariant
+//! portion of a packet (IP + transport headers; see
+//! `vpm-packet::Packet::digest`). Every VPM decision — marker election,
+//! delay sampling, aggregate cutting — is driven by digests, so the
+//! digest must be (a) identical at every HOP that observes the packet
+//! and (b) close to uniformly distributed over `u64` for threshold
+//! arithmetic to translate into predictable rates.
+
+use crate::lookup3;
+use serde::{Deserialize, Serialize};
+
+/// Seed for packet digests. All HOPs must use the same seed for the same
+/// traffic, otherwise their receipts cannot be matched; VPM fixes it at
+/// design time, like the marker threshold `µ` (paper §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DigestSeed(pub u64);
+
+/// The system-wide default digest seed.
+pub const DEFAULT_DIGEST_SEED: DigestSeed = DigestSeed(0x5650_4d32_3031_3000); // "VPM2010\0"
+
+/// A 64-bit packet digest (`PktID` in receipt terminology).
+///
+/// Ordering and equality are plain integer semantics; `Digest` is used
+/// directly as the `PktID` field of sample records and aggregate
+/// identifiers.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Digest(pub u64);
+
+impl Digest {
+    /// Map the digest to a float in `[0, 1)`, for diagnostics and tests.
+    #[inline]
+    pub fn as_unit_f64(self) -> f64 {
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl std::fmt::Display for Digest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Digest a byte string with the given seed.
+#[inline]
+pub fn digest_bytes(bytes: &[u8], seed: DigestSeed) -> Digest {
+    Digest(lookup3::hash64(bytes, seed.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn deterministic() {
+        let d1 = digest_bytes(b"packet header bytes", DEFAULT_DIGEST_SEED);
+        let d2 = digest_bytes(b"packet header bytes", DEFAULT_DIGEST_SEED);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn seed_sensitivity() {
+        let a = digest_bytes(b"packet", DigestSeed(1));
+        let b = digest_bytes(b"packet", DigestSeed(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn unit_mapping_in_range() {
+        for x in [0u64, 1, u64::MAX, 0x8000_0000_0000_0000] {
+            let u = Digest(x).as_unit_f64();
+            assert!((0.0..1.0).contains(&u), "{u}");
+        }
+    }
+
+    #[test]
+    fn rough_uniformity_of_unit_mapping() {
+        // Mean of mapped digests over distinct inputs should be ~0.5.
+        let n = 20_000u64;
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += digest_bytes(&i.to_le_bytes(), DEFAULT_DIGEST_SEED).as_unit_f64();
+        }
+        let mean = acc / n as f64;
+        assert!((0.48..0.52).contains(&mean), "mean {mean}");
+    }
+
+    proptest! {
+        #[test]
+        fn digest_is_pure(bytes in proptest::collection::vec(any::<u8>(), 0..128), seed in any::<u64>()) {
+            let s = DigestSeed(seed);
+            prop_assert_eq!(digest_bytes(&bytes, s), digest_bytes(&bytes, s));
+        }
+
+        #[test]
+        fn distinct_suffix_bytes_change_digest(bytes in proptest::collection::vec(any::<u8>(), 1..64)) {
+            let mut other = bytes.clone();
+            let last = other.len() - 1;
+            other[last] = other[last].wrapping_add(1);
+            prop_assert_ne!(
+                digest_bytes(&bytes, DEFAULT_DIGEST_SEED),
+                digest_bytes(&other, DEFAULT_DIGEST_SEED)
+            );
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Hashing substrate for VPM (Verifiable network-Performance Measurements).
+//!
+//! The VPM paper computes per-packet digests with the "Bob" hash — Bob
+//! Jenkins' `lookup3` — because it was shown to behave well on Internet
+//! traffic (Molina et al., ITC 2005, cited as \[19\] in the paper). This
+//! crate provides:
+//!
+//! * [`lookup3`] — a from-scratch, test-vector-verified port of
+//!   `lookup3.c` (`hashlittle`, `hashlittle2`, `hashword`, `hashword2`);
+//! * [`digest`] — 64-bit packet digests built from two independent
+//!   32-bit lookup3 lanes;
+//! * [`sample`] — the keyed `SampleFcn(Digest(q), Digest(p))` of the
+//!   paper's Algorithm 1, which mixes the digest of an already-observed
+//!   packet `q` with the digest of a *future* marker packet `p`;
+//! * [`threshold`] — the threshold arithmetic used for the marker
+//!   threshold `µ`, the sampling threshold `σ` and the partition
+//!   threshold `δ`. Thresholds are totally ordered, which is what gives
+//!   VPM its superset-sampling and nested-partition properties (paper
+//!   §5.2, §6.2).
+//!
+//! Everything here is deterministic and allocation-free: the same bytes
+//! always produce the same digest on every HOP, which is the foundation
+//! of receipt consistency checking.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod digest;
+pub mod lookup3;
+pub mod sample;
+pub mod threshold;
+
+pub use digest::{digest_bytes, Digest, DigestSeed, DEFAULT_DIGEST_SEED};
+pub use sample::{sample_fcn, sample_fcn_keyed, SampleKey};
+pub use threshold::Threshold;

@@ -1,0 +1,301 @@
+//! A faithful Rust port of Bob Jenkins' `lookup3.c` (public domain, May
+//! 2006) — the hash function the VPM paper uses for packet digests.
+//!
+//! The port covers the byte-oriented entry points (`hashlittle`,
+//! `hashlittle2`) and the word-oriented ones (`hashword`, `hashword2`).
+//! The byte-oriented functions here always follow the "read one byte at
+//! a time" code path of the original, which is alignment-independent
+//! and produces identical results to the aligned fast paths of the C
+//! code on little-endian machines (that equivalence is part of
+//! lookup3.c's own self-test).
+//!
+//! Test vectors below are the ones printed by `driver5()` in
+//! `lookup3.c`.
+
+/// `rot()` from lookup3.c — left rotation of a 32-bit word.
+#[inline(always)]
+fn rot(x: u32, k: u32) -> u32 {
+    x.rotate_left(k)
+}
+
+/// `mix()` from lookup3.c — mix three 32-bit values reversibly.
+#[inline(always)]
+fn mix(a: &mut u32, b: &mut u32, c: &mut u32) {
+    *a = a.wrapping_sub(*c);
+    *a ^= rot(*c, 4);
+    *c = c.wrapping_add(*b);
+    *b = b.wrapping_sub(*a);
+    *b ^= rot(*a, 6);
+    *a = a.wrapping_add(*c);
+    *c = c.wrapping_sub(*b);
+    *c ^= rot(*b, 8);
+    *b = b.wrapping_add(*a);
+    *a = a.wrapping_sub(*c);
+    *a ^= rot(*c, 16);
+    *c = c.wrapping_add(*b);
+    *b = b.wrapping_sub(*a);
+    *b ^= rot(*a, 19);
+    *a = a.wrapping_add(*c);
+    *c = c.wrapping_sub(*b);
+    *c ^= rot(*b, 4);
+    *b = b.wrapping_add(*a);
+}
+
+/// `final()` from lookup3.c — final mixing of three 32-bit values into `c`.
+#[inline(always)]
+fn final_mix(a: &mut u32, b: &mut u32, c: &mut u32) {
+    *c ^= *b;
+    *c = c.wrapping_sub(rot(*b, 14));
+    *a ^= *c;
+    *a = a.wrapping_sub(rot(*c, 11));
+    *b ^= *a;
+    *b = b.wrapping_sub(rot(*a, 25));
+    *c ^= *b;
+    *c = c.wrapping_sub(rot(*b, 16));
+    *a ^= *c;
+    *a = a.wrapping_sub(rot(*c, 4));
+    *b ^= *a;
+    *b = b.wrapping_sub(rot(*a, 14));
+    *c ^= *b;
+    *c = c.wrapping_sub(rot(*b, 24));
+}
+
+#[inline(always)]
+fn read_u32_le(k: &[u8]) -> u32 {
+    u32::from_le_bytes([k[0], k[1], k[2], k[3]])
+}
+
+/// Hash a byte slice into two 32-bit values (`hashlittle2` in lookup3.c).
+///
+/// `pc` and `pb` seed the hash; the returned pair is `(c, b)` where `c`
+/// is the primary hash (identical to [`hashlittle`] with seed `pc` when
+/// `pb == 0`) and `b` is a secondary hash worth a few extra bits of
+/// independence.
+pub fn hashlittle2(key: &[u8], pc: u32, pb: u32) -> (u32, u32) {
+    let mut len = key.len();
+    let mut a: u32 = 0xdead_beef_u32
+        .wrapping_add(len as u32)
+        .wrapping_add(pc);
+    let mut b: u32 = a;
+    let mut c: u32 = a.wrapping_add(pb);
+
+    let mut k = key;
+    while len > 12 {
+        a = a.wrapping_add(read_u32_le(&k[0..4]));
+        b = b.wrapping_add(read_u32_le(&k[4..8]));
+        c = c.wrapping_add(read_u32_le(&k[8..12]));
+        mix(&mut a, &mut b, &mut c);
+        len -= 12;
+        k = &k[12..];
+    }
+
+    // Last block: affect all 32 bits of (c). The cascade mirrors the
+    // fall-through switch of the byte-at-a-time path in lookup3.c.
+    if len == 0 {
+        return (c, b); // zero-length strings require no mixing
+    }
+    if len >= 12 {
+        c = c.wrapping_add((k[11] as u32) << 24);
+    }
+    if len >= 11 {
+        c = c.wrapping_add((k[10] as u32) << 16);
+    }
+    if len >= 10 {
+        c = c.wrapping_add((k[9] as u32) << 8);
+    }
+    if len >= 9 {
+        c = c.wrapping_add(k[8] as u32);
+    }
+    if len >= 8 {
+        b = b.wrapping_add((k[7] as u32) << 24);
+    }
+    if len >= 7 {
+        b = b.wrapping_add((k[6] as u32) << 16);
+    }
+    if len >= 6 {
+        b = b.wrapping_add((k[5] as u32) << 8);
+    }
+    if len >= 5 {
+        b = b.wrapping_add(k[4] as u32);
+    }
+    if len >= 4 {
+        a = a.wrapping_add((k[3] as u32) << 24);
+    }
+    if len >= 3 {
+        a = a.wrapping_add((k[2] as u32) << 16);
+    }
+    if len >= 2 {
+        a = a.wrapping_add((k[1] as u32) << 8);
+    }
+    if len >= 1 {
+        a = a.wrapping_add(k[0] as u32);
+    }
+    final_mix(&mut a, &mut b, &mut c);
+    (c, b)
+}
+
+/// Hash a byte slice into a 32-bit value (`hashlittle` in lookup3.c).
+pub fn hashlittle(key: &[u8], initval: u32) -> u32 {
+    hashlittle2(key, initval, 0).0
+}
+
+/// Hash an array of 32-bit words into a 32-bit value (`hashword`).
+pub fn hashword(key: &[u32], initval: u32) -> u32 {
+    hashword2(key, initval, 0).0
+}
+
+/// Hash an array of 32-bit words into two 32-bit values (`hashword2`).
+pub fn hashword2(key: &[u32], pc: u32, pb: u32) -> (u32, u32) {
+    let mut len = key.len();
+    let mut a: u32 = 0xdead_beef_u32
+        .wrapping_add((len as u32) << 2)
+        .wrapping_add(pc);
+    let mut b: u32 = a;
+    let mut c: u32 = a.wrapping_add(pb);
+
+    let mut k = key;
+    while len > 3 {
+        a = a.wrapping_add(k[0]);
+        b = b.wrapping_add(k[1]);
+        c = c.wrapping_add(k[2]);
+        mix(&mut a, &mut b, &mut c);
+        len -= 3;
+        k = &k[3..];
+    }
+    match len {
+        3 => {
+            c = c.wrapping_add(k[2]);
+            b = b.wrapping_add(k[1]);
+            a = a.wrapping_add(k[0]);
+            final_mix(&mut a, &mut b, &mut c);
+        }
+        2 => {
+            b = b.wrapping_add(k[1]);
+            a = a.wrapping_add(k[0]);
+            final_mix(&mut a, &mut b, &mut c);
+        }
+        1 => {
+            a = a.wrapping_add(k[0]);
+            final_mix(&mut a, &mut b, &mut c);
+        }
+        _ => {}
+    }
+    (c, b)
+}
+
+/// Convenience: 64-bit hash of a byte slice built from the two lanes of
+/// [`hashlittle2`] (`c` in the high half, `b` in the low half).
+pub fn hash64(key: &[u8], seed: u64) -> u64 {
+    let (c, b) = hashlittle2(key, (seed >> 32) as u32, seed as u32);
+    ((c as u64) << 32) | (b as u64)
+}
+
+/// Convenience: 64-bit hash of a word slice built from [`hashword2`].
+pub fn hash64_words(key: &[u32], seed: u64) -> u64 {
+    let (c, b) = hashword2(key, (seed >> 32) as u32, seed as u32);
+    ((c as u64) << 32) | (b as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Test vectors from driver5() of lookup3.c.
+    #[test]
+    fn driver5_empty_zero_seeds() {
+        let (c, b) = hashlittle2(b"", 0, 0);
+        assert_eq!(c, 0xdeadbeef);
+        assert_eq!(b, 0xdeadbeef);
+    }
+
+    #[test]
+    fn driver5_empty_pb_deadbeef() {
+        let (c, b) = hashlittle2(b"", 0, 0xdeadbeef);
+        assert_eq!(c, 0xbd5b7dde);
+        assert_eq!(b, 0xdeadbeef);
+    }
+
+    #[test]
+    fn driver5_empty_both_deadbeef() {
+        let (c, b) = hashlittle2(b"", 0xdeadbeef, 0xdeadbeef);
+        assert_eq!(c, 0x9c093ccd);
+        assert_eq!(b, 0xbd5b7dde);
+    }
+
+    #[test]
+    fn driver5_four_score_pair() {
+        let (c, b) = hashlittle2(b"Four score and seven years ago", 0, 0);
+        assert_eq!(c, 0x17770551);
+        assert_eq!(b, 0xce7226e6);
+    }
+
+    #[test]
+    fn driver5_four_score_seed0() {
+        assert_eq!(hashlittle(b"Four score and seven years ago", 0), 0x17770551);
+    }
+
+    #[test]
+    fn driver5_four_score_seed1() {
+        assert_eq!(hashlittle(b"Four score and seven years ago", 1), 0xcd628161);
+    }
+
+    #[test]
+    fn hashword_matches_hashlittle_on_word_aligned_input() {
+        // lookup3.c guarantees hashword(k, n, iv) == hashlittle(k, 4n, iv)
+        // only for little-endian byte orders; verify for a few inputs.
+        let words = [0x0403_0201_u32, 0x0807_0605, 0x0c0b_0a09, 0x100f_0e0d];
+        let bytes: Vec<u8> = (1..=16u8).collect();
+        for n in 0..=4usize {
+            assert_eq!(
+                hashword(&words[..n], 0x1234_5678),
+                hashlittle(&bytes[..4 * n], 0x1234_5678),
+                "mismatch at {n} words"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_lengths_differ() {
+        // Hashes of every prefix of a buffer should all be distinct — a
+        // cheap sanity check lifted from lookup3.c's driver2 spirit.
+        let buf: Vec<u8> = (0..=70u8).collect();
+        let mut seen = std::collections::HashSet::new();
+        for n in 0..buf.len() {
+            assert!(seen.insert(hashlittle(&buf[..n], 0)), "collision at length {n}");
+        }
+    }
+
+    #[test]
+    fn seed_changes_output() {
+        let key = b"vpm";
+        assert_ne!(hashlittle(key, 0), hashlittle(key, 1));
+        assert_ne!(hash64(key, 0), hash64(key, 1));
+    }
+
+    #[test]
+    fn hash64_words_matches_manual_composition() {
+        let words = [1u32, 2, 3, 4, 5];
+        let (c, b) = hashword2(&words, 7, 9);
+        assert_eq!(hash64_words(&words, ((7u64) << 32) | 9), ((c as u64) << 32) | b as u64);
+    }
+
+    #[test]
+    fn avalanche_rough() {
+        // Flipping one input bit should flip ~16 of 32 output bits on
+        // average; accept a generous band since this is a smoke test.
+        let base: Vec<u8> = (0..32u8).collect();
+        let h0 = hashlittle(&base, 0);
+        let mut total = 0u32;
+        let mut trials = 0u32;
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut m = base.clone();
+                m[byte] ^= 1 << bit;
+                total += (hashlittle(&m, 0) ^ h0).count_ones();
+                trials += 1;
+            }
+        }
+        let avg = total as f64 / trials as f64;
+        assert!((10.0..22.0).contains(&avg), "poor avalanche: {avg}");
+    }
+}

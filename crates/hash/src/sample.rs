@@ -1,0 +1,105 @@
+//! The keyed sampling function of Algorithm 1 (paper §5.1).
+//!
+//! `SampleFcn(Digest(q), Digest(p))` decides whether an already-observed
+//! packet `q` is delay-sampled, keyed by the digest of the *next marker
+//! packet* `p`. Because `p` is in the future when `q` is forwarded, a
+//! domain cannot know at forwarding time whether `q`'s fate will be
+//! reported on — this is what makes the sampling bias-resistant.
+//!
+//! The function must be:
+//! * deterministic and identical at every HOP (so thresholds give the
+//!   superset property of §5.2),
+//! * uniform over `u64` for any fixed marker (so a threshold `σ`
+//!   translates into a predictable sampling rate),
+//! * and practically unpredictable without knowing the marker digest.
+
+use crate::digest::Digest;
+use crate::lookup3;
+
+/// A fixed domain-separation key so `SampleFcn` outputs are independent
+/// of raw digest values and of other uses of lookup3 in the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleKey(pub u64);
+
+/// Default domain-separation key for `SampleFcn`.
+pub const DEFAULT_SAMPLE_KEY: SampleKey = SampleKey(0x53_41_4d_50_4c_45_46_4e); // "SAMPLEFN"
+
+/// `SampleFcn(Digest(q), Digest(p))` with the default key.
+///
+/// Returns a uniform 64-bit value; Algorithm 1 samples `q` when this
+/// value exceeds the HOP-local sampling threshold `σ`.
+#[inline]
+pub fn sample_fcn(q: Digest, marker: Digest) -> u64 {
+    sample_fcn_keyed(q, marker, DEFAULT_SAMPLE_KEY)
+}
+
+/// `SampleFcn` with an explicit domain-separation key.
+#[inline]
+pub fn sample_fcn_keyed(q: Digest, marker: Digest, key: SampleKey) -> u64 {
+    let words = [
+        q.0 as u32,
+        (q.0 >> 32) as u32,
+        marker.0 as u32,
+        (marker.0 >> 32) as u32,
+    ];
+    lookup3::hash64_words(&words, key.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn depends_on_both_arguments() {
+        let q = Digest(42);
+        let m1 = Digest(1000);
+        let m2 = Digest(1001);
+        assert_ne!(sample_fcn(q, m1), sample_fcn(q, m2));
+        assert_ne!(sample_fcn(Digest(43), m1), sample_fcn(q, m1));
+    }
+
+    #[test]
+    fn asymmetric_in_arguments() {
+        // SampleFcn(a, b) must differ from SampleFcn(b, a) in general —
+        // the marker plays a distinguished role.
+        let a = Digest(0x1234_5678_9abc_def0);
+        let b = Digest(0x0fed_cba9_8765_4321);
+        assert_ne!(sample_fcn(a, b), sample_fcn(b, a));
+    }
+
+    #[test]
+    fn key_separates_domains() {
+        let q = Digest(7);
+        let m = Digest(11);
+        assert_ne!(
+            sample_fcn_keyed(q, m, SampleKey(1)),
+            sample_fcn_keyed(q, m, SampleKey(2))
+        );
+    }
+
+    #[test]
+    fn rough_uniformity_for_fixed_marker() {
+        // For a fixed marker, the fraction of q's whose sample value
+        // exceeds the median must be ~1/2.
+        let marker = Digest(0xdead_beef_cafe_f00d);
+        let n = 40_000u64;
+        let mut above = 0u64;
+        for i in 0..n {
+            if sample_fcn(Digest(i.wrapping_mul(0x9e37_79b9_7f4a_7c15)), marker)
+                > u64::MAX / 2
+            {
+                above += 1;
+            }
+        }
+        let frac = above as f64 / n as f64;
+        assert!((0.48..0.52).contains(&frac), "frac {frac}");
+    }
+
+    proptest! {
+        #[test]
+        fn deterministic(q in any::<u64>(), m in any::<u64>()) {
+            prop_assert_eq!(sample_fcn(Digest(q), Digest(m)), sample_fcn(Digest(q), Digest(m)));
+        }
+    }
+}

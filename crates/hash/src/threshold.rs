@@ -1,0 +1,169 @@
+//! Threshold arithmetic for marker election (`µ`), delay sampling (`σ`)
+//! and aggregate cutting (`δ`).
+//!
+//! VPM expresses every tunable rate as a threshold over a uniform 64-bit
+//! hash value: an event fires when `value > threshold`. Because "fires
+//! under threshold `t1`" implies "fires under any `t2 ≤ t1`", thresholds
+//! are totally ordered, which yields the two central tunability
+//! properties of the paper:
+//!
+//! * **§5.2** — a HOP with a lower sampling threshold samples a
+//!   *superset* of the packets sampled by a HOP with a higher one;
+//! * **§6.2** — a HOP with a lower partition threshold cuts a stream at
+//!   a *superset* of the cutting points of a HOP with a higher one, so
+//!   partitions from different HOPs always nest.
+
+use serde::{Deserialize, Serialize};
+
+/// A pass threshold over uniform `u64` values: `v` passes iff `v > t`.
+///
+/// `Threshold::from_rate(r)` constructs a threshold whose pass
+/// probability over uniform inputs is `r`.
+///
+/// ```
+/// use vpm_hash::Threshold;
+///
+/// let one_percent = Threshold::from_rate(0.01);
+/// assert!((one_percent.rate() - 0.01).abs() < 1e-9);
+///
+/// // Total order ⇒ superset sampling (paper §5.2): everything that
+/// // passes a rarer threshold passes a more frequent one.
+/// let ten_percent = Threshold::from_rate(0.10);
+/// assert!(ten_percent.is_superset_of(&one_percent));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Threshold(pub u64);
+
+impl Threshold {
+    /// A threshold that nothing passes (rate 0).
+    pub const NEVER: Threshold = Threshold(u64::MAX);
+
+    /// A threshold that everything except `v == 0` passes (rate ≈ 1).
+    pub const ALWAYS: Threshold = Threshold(0);
+
+    /// Build a threshold with pass probability `rate` over uniform
+    /// `u64` inputs. `rate` is clamped into `[0, 1]`.
+    pub fn from_rate(rate: f64) -> Self {
+        let rate = rate.clamp(0.0, 1.0);
+        if rate <= 0.0 {
+            return Self::NEVER;
+        }
+        // P(v > t) = (2^64 - 1 - t) / 2^64  ≈ (2^64 - t) / 2^64
+        // ⇒ t = (1 - rate) · 2^64, computed via u128 to avoid overflow.
+        let t = ((1.0 - rate) * (u64::MAX as f64 + 1.0)) as u128;
+        Threshold(t.min(u64::MAX as u128) as u64)
+    }
+
+    /// The pass probability of this threshold over uniform inputs.
+    pub fn rate(&self) -> f64 {
+        if self.0 == u64::MAX {
+            return 0.0;
+        }
+        (u64::MAX - self.0) as f64 / (u64::MAX as f64 + 1.0)
+    }
+
+    /// Does `value` pass this threshold?
+    #[inline(always)]
+    pub fn passes(&self, value: u64) -> bool {
+        value > self.0
+    }
+
+    /// `true` if every value passing `other` also passes `self`
+    /// (i.e. `self` fires at least as often).
+    pub fn is_superset_of(&self, other: &Threshold) -> bool {
+        self.0 <= other.0
+    }
+}
+
+impl std::fmt::Display for Threshold {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Threshold(rate≈{:.6})", self.rate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rate_roundtrip() {
+        for r in [0.0, 1e-6, 0.001, 0.01, 0.1, 0.5, 0.9, 1.0] {
+            let t = Threshold::from_rate(r);
+            let back = t.rate();
+            assert!(
+                (back - r).abs() < 1e-9 || (r == 1.0 && back > 0.999_999),
+                "rate {r} -> threshold {t:?} -> {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn never_and_always() {
+        assert!(!Threshold::NEVER.passes(u64::MAX));
+        assert!(!Threshold::NEVER.passes(0));
+        assert!(Threshold::ALWAYS.passes(1));
+        assert!(!Threshold::ALWAYS.passes(0));
+    }
+
+    #[test]
+    fn empirical_rate_close_to_requested() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(7);
+        for target in [0.001f64, 0.01, 0.1, 0.5] {
+            let t = Threshold::from_rate(target);
+            let n = 200_000;
+            let mut hits = 0u32;
+            for _ in 0..n {
+                if t.passes(rng.gen::<u64>()) {
+                    hits += 1;
+                }
+            }
+            let got = hits as f64 / n as f64;
+            let tol = (target * 0.25).max(0.0008);
+            assert!(
+                (got - target).abs() < tol,
+                "target {target} got {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn superset_ordering() {
+        let coarse = Threshold::from_rate(0.01);
+        let fine = Threshold::from_rate(0.1);
+        assert!(fine.is_superset_of(&coarse));
+        assert!(!coarse.is_superset_of(&fine));
+        // Everything passing the coarse threshold passes the fine one.
+        for v in [u64::MAX, u64::MAX - 10, coarse.0 + 1] {
+            if coarse.passes(v) {
+                assert!(fine.passes(v));
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn superset_property_holds_pointwise(
+            r1 in 0.0f64..1.0,
+            r2 in 0.0f64..1.0,
+            v in any::<u64>(),
+        ) {
+            let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+            let t_lo = Threshold::from_rate(lo);   // fires less often
+            let t_hi = Threshold::from_rate(hi);   // fires more often
+            prop_assert!(t_hi.is_superset_of(&t_lo));
+            if t_lo.passes(v) {
+                prop_assert!(t_hi.passes(v));
+            }
+        }
+
+        #[test]
+        fn rate_monotone_in_threshold(a in any::<u64>(), b in any::<u64>()) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(Threshold(lo).rate() >= Threshold(hi).rate());
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Channel composition: what one domain does to a packet stream.
+//!
+//! VPM experiments need to transform "the sequence observed at the
+//! ingress HOP" into "the sequence observed at the egress HOP": delay
+//! each packet (constant, jittered, or per-packet from a congestion
+//! simulation), possibly lose it (Gilbert-Elliott or queue drops from
+//! the congestion sim), and possibly reorder near-simultaneous
+//! deliveries. This module composes those pieces into one call.
+
+use crate::congestion::PacketFate;
+use crate::gilbert::GilbertElliott;
+use crate::reorder::ReorderModel;
+use vpm_packet::{SimDuration, SimTime};
+
+/// Per-packet delay model inside a domain.
+#[derive(Debug, Clone)]
+pub enum DelayModel {
+    /// Fixed transit delay.
+    Constant(SimDuration),
+    /// Uniform jitter: `base + U[0, jitter]`.
+    Jitter {
+        /// Minimum transit delay.
+        base: SimDuration,
+        /// Additional uniform jitter bound.
+        jitter: SimDuration,
+    },
+    /// Per-packet fates from a congestion simulation
+    /// ([`crate::congestion::run_bottleneck`]); `Dropped` entries are
+    /// queue drops inside the domain.
+    Series(Vec<PacketFate>),
+}
+
+/// Full channel configuration.
+#[derive(Debug, Clone)]
+pub struct ChannelConfig {
+    /// Delay model.
+    pub delay: DelayModel,
+    /// Optional Gilbert-Elliott loss: `(rate, mean burst)`.
+    pub loss: Option<(f64, f64)>,
+    /// Reordering model.
+    pub reorder: ReorderModel,
+    /// Seed for the channel's randomness.
+    pub seed: u64,
+}
+
+impl ChannelConfig {
+    /// Lossless constant-delay channel (an ideal domain).
+    pub fn ideal(delay: SimDuration) -> Self {
+        ChannelConfig {
+            delay: DelayModel::Constant(delay),
+            loss: None,
+            reorder: ReorderModel::none(),
+            seed: 0,
+        }
+    }
+}
+
+/// One surviving packet at the channel output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// Index into the channel's input sequence.
+    pub idx: usize,
+    /// Exit (observation) time at the far end.
+    pub ts_out: SimTime,
+}
+
+/// Apply the channel to input observation times. Returns one entry per
+/// input packet: the exit time, or `None` if the packet was lost inside
+/// the domain.
+pub fn apply(ts_in: &[SimTime], cfg: &ChannelConfig) -> Vec<Option<SimTime>> {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x9e37_79b9);
+    let mut ge = cfg
+        .loss
+        .map(|(rate, burst)| GilbertElliott::with_target(rate, burst, cfg.seed ^ 0x51ce));
+
+    let mut out: Vec<Option<SimTime>> = Vec::with_capacity(ts_in.len());
+    for (i, &t) in ts_in.iter().enumerate() {
+        // Loss first (a dropped packet never picks up delay).
+        if let Some(ge) = ge.as_mut() {
+            if !ge.survives() {
+                out.push(None);
+                continue;
+            }
+        }
+        let delay = match &cfg.delay {
+            DelayModel::Constant(d) => Some(*d),
+            DelayModel::Jitter { base, jitter } => {
+                let extra = if jitter.as_nanos() == 0 {
+                    0
+                } else {
+                    rng.gen_range(0..=jitter.as_nanos())
+                };
+                Some(*base + SimDuration::from_nanos(extra))
+            }
+            DelayModel::Series(fates) => fates
+                .get(i)
+                .copied()
+                .unwrap_or(PacketFate::Dropped)
+                .delay(),
+        };
+        out.push(delay.map(|d| t + d));
+    }
+
+    // Reordering: perturb exit times of survivors.
+    if cfg.reorder.p_reorder > 0.0 {
+        let survivors: Vec<usize> = (0..out.len()).filter(|&i| out[i].is_some()).collect();
+        let times: Vec<SimTime> = survivors
+            .iter()
+            .map(|&i| out[i].expect("filtered"))
+            .collect();
+        let perturbed = cfg.reorder.perturb(&times, cfg.seed ^ 0x0e0e);
+        for (k, &i) in survivors.iter().enumerate() {
+            out[i] = Some(perturbed[k]);
+        }
+    }
+    out
+}
+
+/// Sort surviving packets into far-end arrival order.
+pub fn arrivals(out: &[Option<SimTime>]) -> Vec<Delivery> {
+    let mut v: Vec<Delivery> = out
+        .iter()
+        .enumerate()
+        .filter_map(|(idx, t)| t.map(|ts_out| Delivery { idx, ts_out }))
+        .collect();
+    v.sort_by_key(|d| (d.ts_out, d.idx));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn times(n: usize, gap_us: u64) -> Vec<SimTime> {
+        (0..n)
+            .map(|i| SimTime::from_micros(gap_us * i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn ideal_channel_shifts_uniformly() {
+        let ts = times(100, 10);
+        let out = apply(&ts, &ChannelConfig::ideal(SimDuration::from_millis(2)));
+        for (i, o) in out.iter().enumerate() {
+            assert_eq!(o.unwrap(), ts[i] + SimDuration::from_millis(2));
+        }
+        let arr = arrivals(&out);
+        assert_eq!(arr.len(), 100);
+        assert!(arr.windows(2).all(|w| w[0].idx < w[1].idx));
+    }
+
+    #[test]
+    fn loss_drops_packets() {
+        let ts = times(50_000, 10);
+        let cfg = ChannelConfig {
+            delay: DelayModel::Constant(SimDuration::from_millis(1)),
+            loss: Some((0.25, 5.0)),
+            reorder: ReorderModel::none(),
+            seed: 3,
+        };
+        let out = apply(&ts, &cfg);
+        let lost = out.iter().filter(|o| o.is_none()).count();
+        let rate = lost as f64 / ts.len() as f64;
+        assert!((rate - 0.25).abs() < 0.03, "loss rate {rate}");
+    }
+
+    #[test]
+    fn series_model_uses_fates() {
+        let ts = times(3, 100);
+        let cfg = ChannelConfig {
+            delay: DelayModel::Series(vec![
+                PacketFate::Delivered(SimDuration::from_millis(1)),
+                PacketFate::Dropped,
+                PacketFate::Delivered(SimDuration::from_millis(3)),
+            ]),
+            loss: None,
+            reorder: ReorderModel::none(),
+            seed: 0,
+        };
+        let out = apply(&ts, &cfg);
+        assert_eq!(out[0], Some(ts[0] + SimDuration::from_millis(1)));
+        assert_eq!(out[1], None);
+        assert_eq!(out[2], Some(ts[2] + SimDuration::from_millis(3)));
+    }
+
+    #[test]
+    fn series_shorter_than_input_drops_tail() {
+        let ts = times(3, 100);
+        let cfg = ChannelConfig {
+            delay: DelayModel::Series(vec![PacketFate::Delivered(SimDuration::ZERO)]),
+            loss: None,
+            reorder: ReorderModel::none(),
+            seed: 0,
+        };
+        let out = apply(&ts, &cfg);
+        assert!(out[0].is_some());
+        assert!(out[1].is_none() && out[2].is_none());
+    }
+
+    #[test]
+    fn reordering_changes_arrival_order() {
+        let ts = times(20_000, 5);
+        let cfg = ChannelConfig {
+            delay: DelayModel::Constant(SimDuration::from_millis(1)),
+            loss: None,
+            reorder: ReorderModel {
+                p_reorder: 0.1,
+                max_shift: SimDuration::from_micros(300),
+            },
+            seed: 5,
+        };
+        let arr = arrivals(&apply(&ts, &cfg));
+        assert_eq!(arr.len(), ts.len());
+        let out_of_order = arr.windows(2).filter(|w| w[0].idx > w[1].idx).count();
+        assert!(out_of_order > 0, "no reordering happened");
+    }
+
+    #[test]
+    fn jitter_within_bounds() {
+        let ts = times(10_000, 10);
+        let base = SimDuration::from_millis(1);
+        let jitter = SimDuration::from_micros(200);
+        let cfg = ChannelConfig {
+            delay: DelayModel::Jitter { base, jitter },
+            loss: None,
+            reorder: ReorderModel::none(),
+            seed: 7,
+        };
+        let out = apply(&ts, &cfg);
+        for (i, o) in out.iter().enumerate() {
+            let d = o.unwrap().saturating_since(ts[i]);
+            assert!(d >= base && d <= base + jitter, "delay {d}");
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Per-HOP clocks.
+//!
+//! VPM explicitly does *not* require synchronized clocks (paper §4,
+//! "(No) Clock Synchronization") — but a domain's delay estimates are
+//! only as good as its HOPs' mutual synchronization, and two adjacent
+//! HOPs whose skew exceeds the advertised `MaxDiff` will generate
+//! inconsistent receipts. This module models imperfect clocks so those
+//! behaviours can be exercised.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vpm_packet::SimTime;
+
+/// A local clock with fixed offset, linear drift and read jitter.
+#[derive(Debug, Clone)]
+pub struct HopClock {
+    /// Constant offset from true time, nanoseconds (may be negative).
+    pub offset_ns: i64,
+    /// Linear drift in parts per million of elapsed true time.
+    pub drift_ppm: f64,
+    /// Uniform read jitter amplitude (± this many ns).
+    pub jitter_ns: u64,
+    rng: SmallRng,
+}
+
+impl HopClock {
+    /// A perfect clock.
+    pub fn ideal() -> Self {
+        HopClock {
+            offset_ns: 0,
+            drift_ppm: 0.0,
+            jitter_ns: 0,
+            rng: SmallRng::seed_from_u64(0),
+        }
+    }
+
+    /// An NTP-grade clock: offset within ±0.5 ms, drift within ±50 ppm,
+    /// 10 µs read jitter — the "reasonably synchronized, at the
+    /// granularity of a millisecond" regime the paper assumes (§4).
+    pub fn ntp_grade(seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        HopClock {
+            offset_ns: rng.gen_range(-500_000..=500_000),
+            drift_ppm: rng.gen_range(-50.0..=50.0),
+            jitter_ns: 10_000,
+            rng,
+        }
+    }
+
+    /// A badly desynchronized clock (offset up to ± `offset_ms`).
+    pub fn skewed(offset_ms: i64, seed: u64) -> Self {
+        HopClock {
+            offset_ns: offset_ms * 1_000_000,
+            drift_ppm: 0.0,
+            jitter_ns: 10_000,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Read the local clock at true time `t`.
+    pub fn read(&mut self, t: SimTime) -> SimTime {
+        let drift = (t.as_nanos() as f64 * self.drift_ppm * 1e-6) as i64;
+        let jitter = if self.jitter_ns == 0 {
+            0
+        } else {
+            self.rng
+                .gen_range(-(self.jitter_ns as i64)..=(self.jitter_ns as i64))
+        };
+        let local = t.as_nanos() as i64 + self.offset_ns + drift + jitter;
+        SimTime::from_nanos(local.max(0) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpm_packet::SimDuration;
+
+    #[test]
+    fn ideal_clock_is_identity() {
+        let mut c = HopClock::ideal();
+        for ms in [0u64, 1, 100, 10_000] {
+            let t = SimTime::from_millis(ms);
+            assert_eq!(c.read(t), t);
+        }
+    }
+
+    #[test]
+    fn offset_shifts_readings() {
+        let mut c = HopClock::skewed(3, 1);
+        let t = SimTime::from_secs(1);
+        let r = c.read(t);
+        let delta = r.signed_delta(t);
+        assert!((delta - 3_000_000).abs() <= 10_000 + 1, "delta {delta}");
+    }
+
+    #[test]
+    fn drift_grows_with_time() {
+        let mut c = HopClock {
+            offset_ns: 0,
+            drift_ppm: 100.0,
+            jitter_ns: 0,
+            rng: SmallRng::seed_from_u64(0),
+        };
+        let early = c.read(SimTime::from_secs(1)).signed_delta(SimTime::from_secs(1));
+        let late = c.read(SimTime::from_secs(100)).signed_delta(SimTime::from_secs(100));
+        assert!(late > early);
+        assert!((late - 10_000_000).abs() < 1000, "100ppm over 100s ≈ 10ms, got {late}");
+    }
+
+    #[test]
+    fn ntp_grade_within_spec() {
+        for seed in 0..20 {
+            let mut c = HopClock::ntp_grade(seed);
+            let t = SimTime::from_secs(10);
+            let delta = c.read(t).signed_delta(t).abs();
+            // offset ≤ 0.5ms + drift ≤ 50ppm·10s = 0.5ms + jitter 10µs
+            assert!(delta <= 1_020_000, "seed {seed}: delta {delta}");
+        }
+    }
+
+    #[test]
+    fn clamps_below_zero() {
+        let mut c = HopClock::skewed(-10, 2);
+        let r = c.read(SimTime::from_millis(1));
+        assert_eq!(r.as_nanos(), 0);
+        let _ = SimDuration::ZERO;
+    }
+}

@@ -1,0 +1,166 @@
+//! Gilbert-Elliott loss model (paper ref \[9\]).
+//!
+//! A two-state Markov chain: in the *good* state packets survive; in
+//! the *bad* state they are dropped (the classic Gilbert special case
+//! `h = 1`). Transition probabilities are derived from the target
+//! stationary loss rate and the desired mean burst length, which is how
+//! the paper parameterizes loss injection ("to introduce loss, we
+//! discard a subset of the packets, chosen using the Gilbert-Elliot
+//! loss model").
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Two-state Markov loss channel.
+///
+/// ```
+/// use vpm_netsim::GilbertElliott;
+///
+/// // 25% loss in bursts of ~5 packets.
+/// let mut ch = GilbertElliott::with_target(0.25, 5.0, 42);
+/// let survivors = ch.mask(100_000).iter().filter(|&&s| s).count();
+/// let loss = 1.0 - survivors as f64 / 100_000.0;
+/// assert!((loss - 0.25).abs() < 0.03);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GilbertElliott {
+    /// P(good → bad) per packet.
+    p_gb: f64,
+    /// P(bad → good) per packet.
+    p_bg: f64,
+    /// Current state; `true` = bad (dropping).
+    in_bad: bool,
+    #[serde(skip, default = "default_rng")]
+    rng: SmallRng,
+}
+
+fn default_rng() -> SmallRng {
+    SmallRng::seed_from_u64(0)
+}
+
+impl GilbertElliott {
+    /// Build a channel with explicit transition probabilities.
+    pub fn from_transitions(p_gb: f64, p_bg: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p_gb) && (0.0..=1.0).contains(&p_bg));
+        GilbertElliott {
+            p_gb,
+            p_bg,
+            in_bad: false,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Build a channel with a target stationary `loss_rate` and a mean
+    /// loss-burst length of `mean_burst` packets.
+    ///
+    /// With `h = 1`, the stationary probability of the bad state equals
+    /// the loss rate: `π_b = p_gb / (p_gb + p_bg)`, and the mean bad
+    /// sojourn is `1 / p_bg`.
+    pub fn with_target(loss_rate: f64, mean_burst: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&loss_rate),
+            "loss rate must be in [0,1), got {loss_rate}"
+        );
+        assert!(mean_burst >= 1.0, "mean burst must be ≥ 1 packet");
+        if loss_rate == 0.0 {
+            return Self::from_transitions(0.0, 1.0, seed);
+        }
+        let p_bg = 1.0 / mean_burst;
+        let p_gb = loss_rate * p_bg / (1.0 - loss_rate);
+        Self::from_transitions(p_gb.min(1.0), p_bg, seed)
+    }
+
+    /// A channel that never drops.
+    pub fn lossless(seed: u64) -> Self {
+        Self::with_target(0.0, 1.0, seed)
+    }
+
+    /// Advance one packet; returns `true` if the packet survives.
+    pub fn survives(&mut self) -> bool {
+        // Transition first, then the (new) state decides the fate —
+        // standard per-packet Gilbert stepping.
+        if self.in_bad {
+            if self.rng.gen::<f64>() < self.p_bg {
+                self.in_bad = false;
+            }
+        } else if self.rng.gen::<f64>() < self.p_gb {
+            self.in_bad = true;
+        }
+        !self.in_bad
+    }
+
+    /// The stationary loss rate implied by the transitions.
+    pub fn stationary_loss(&self) -> f64 {
+        if self.p_gb + self.p_bg == 0.0 {
+            0.0
+        } else {
+            self.p_gb / (self.p_gb + self.p_bg)
+        }
+    }
+
+    /// Apply the channel to `n` packets, returning a survival mask.
+    pub fn mask(&mut self, n: usize) -> Vec<bool> {
+        (0..n).map(|_| self.survives()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_never_drops() {
+        let mut ch = GilbertElliott::lossless(1);
+        assert!(ch.mask(10_000).iter().all(|&s| s));
+        assert_eq!(ch.stationary_loss(), 0.0);
+    }
+
+    #[test]
+    fn hits_target_rate() {
+        for target in [0.10, 0.25, 0.50] {
+            let mut ch = GilbertElliott::with_target(target, 5.0, 42);
+            let n = 400_000;
+            let lost = ch.mask(n).iter().filter(|&&s| !s).count();
+            let got = lost as f64 / n as f64;
+            assert!(
+                (got - target).abs() < 0.02,
+                "target {target} got {got}"
+            );
+            assert!((ch.stationary_loss() - target).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn losses_are_bursty() {
+        // With mean_burst 10, consecutive-loss runs should average well
+        // above 1 (i.i.d. loss at the same rate would give ~1.3).
+        let mut ch = GilbertElliott::with_target(0.2, 10.0, 7);
+        let mask = ch.mask(300_000);
+        let mut bursts = Vec::new();
+        let mut run = 0u32;
+        for s in mask {
+            if !s {
+                run += 1;
+            } else if run > 0 {
+                bursts.push(run);
+                run = 0;
+            }
+        }
+        let mean = bursts.iter().copied().sum::<u32>() as f64 / bursts.len() as f64;
+        assert!(mean > 5.0, "mean burst {mean}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = GilbertElliott::with_target(0.3, 4.0, 9).mask(1000);
+        let b = GilbertElliott::with_target(0.3, 4.0, 9).mask(1000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss rate")]
+    fn rejects_rate_one() {
+        GilbertElliott::with_target(1.0, 5.0, 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Analytic drop-tail FIFO bottleneck.
+//!
+//! A FIFO served at a fixed rate admits an exact analytic treatment:
+//! the backlog at any instant is `(busy_until - now)`, expressed in
+//! time. Bounding the queue by *maximum queueing delay* is equivalent
+//! to bounding it in bytes at a fixed service rate, and makes the
+//! drop condition exact without tracking individual buffer slots.
+
+use serde::{Deserialize, Serialize};
+use vpm_packet::{SimDuration, SimTime};
+
+/// A drop-tail FIFO with fixed service rate and bounded queueing delay.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DropTail {
+    /// Service rate in bits per second.
+    rate_bps: f64,
+    /// Maximum queueing delay before tail drop.
+    limit: SimDuration,
+    /// Virtual time until which the server is busy.
+    busy_until: SimTime,
+    /// Counters.
+    admitted: u64,
+    dropped: u64,
+}
+
+/// Outcome of offering a packet to the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueOutcome {
+    /// Admitted; will finish transmission at the given time.
+    Departs(SimTime),
+    /// Tail-dropped: admitting it would exceed the delay bound.
+    Dropped,
+}
+
+impl DropTail {
+    /// Create a queue. `rate_bps` must be positive.
+    pub fn new(rate_bps: f64, limit: SimDuration) -> Self {
+        assert!(rate_bps > 0.0, "queue rate must be positive");
+        DropTail {
+            rate_bps,
+            limit,
+            busy_until: SimTime::ZERO,
+            admitted: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Transmission time of `bytes` at the service rate.
+    pub fn service_time(&self, bytes: usize) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 * 8.0 / self.rate_bps)
+    }
+
+    /// Current backlog (as waiting time) seen by a packet arriving now.
+    pub fn backlog(&self, now: SimTime) -> SimDuration {
+        self.busy_until.saturating_since(now)
+    }
+
+    /// Offer a packet of `bytes` arriving at `now` (arrivals must be
+    /// fed in non-decreasing time order).
+    pub fn offer(&mut self, now: SimTime, bytes: usize) -> QueueOutcome {
+        let wait = self.backlog(now);
+        if wait > self.limit {
+            self.dropped += 1;
+            return QueueOutcome::Dropped;
+        }
+        let start = if self.busy_until > now {
+            self.busy_until
+        } else {
+            now
+        };
+        let depart = start + self.service_time(bytes);
+        self.busy_until = depart;
+        self.admitted += 1;
+        QueueOutcome::Departs(depart)
+    }
+
+    /// Packets admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Packets dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Service rate in bits per second.
+    pub fn rate_bps(&self) -> f64 {
+        self.rate_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(mbps: f64, limit_ms: u64) -> DropTail {
+        DropTail::new(mbps * 1e6, SimDuration::from_millis(limit_ms))
+    }
+
+    #[test]
+    fn idle_queue_serves_immediately() {
+        let mut dt = q(8.0, 10); // 8 Mbps → 1 byte per µs
+        match dt.offer(SimTime::from_millis(1), 1000) {
+            QueueOutcome::Departs(t) => {
+                assert_eq!(t, SimTime::from_millis(1) + SimDuration::from_micros(1000));
+            }
+            QueueOutcome::Dropped => panic!("dropped on idle queue"),
+        }
+    }
+
+    #[test]
+    fn backlog_accumulates_and_drains() {
+        let mut dt = q(8.0, 100);
+        let t0 = SimTime::ZERO;
+        // Two back-to-back 1000 B packets: second waits for the first.
+        let d1 = match dt.offer(t0, 1000) {
+            QueueOutcome::Departs(t) => t,
+            _ => panic!(),
+        };
+        let d2 = match dt.offer(t0, 1000) {
+            QueueOutcome::Departs(t) => t,
+            _ => panic!(),
+        };
+        assert_eq!(d2, d1 + SimDuration::from_micros(1000));
+        // After the queue drains, service is immediate again.
+        let later = d2 + SimDuration::from_millis(5);
+        assert_eq!(dt.backlog(later), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn tail_drop_beyond_limit() {
+        let mut dt = q(8.0, 1); // limit: 1 ms of backlog
+        let t0 = SimTime::ZERO;
+        let mut dropped = 0;
+        // 1000 B @ 8 Mbps = 1 ms each: the 3rd packet sees 2 ms backlog.
+        for _ in 0..5 {
+            if let QueueOutcome::Dropped = dt.offer(t0, 1000) {
+                dropped += 1;
+            }
+        }
+        assert!(dropped >= 2, "dropped {dropped}");
+        assert_eq!(dt.admitted() + dt.dropped(), 5);
+    }
+
+    #[test]
+    fn utilization_bounded_by_rate() {
+        // Saturate a 10 Mbps queue for a simulated second; the sum of
+        // serviced bytes must not exceed capacity.
+        let mut dt = q(10.0, 50);
+        let mut t = SimTime::ZERO;
+        let mut sent_bytes = 0u64;
+        let mut last_depart = SimTime::ZERO;
+        while t < SimTime::from_secs(1) {
+            if let QueueOutcome::Departs(d) = dt.offer(t, 1250) {
+                sent_bytes += 1250;
+                last_depart = last_depart.max(d);
+            }
+            t += SimDuration::from_micros(100); // 100 Mbps offered
+        }
+        let capacity = 10e6 * last_depart.as_secs_f64() / 8.0;
+        assert!(
+            (sent_bytes as f64) <= capacity * 1.01,
+            "{sent_bytes} B > {capacity} B"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_rate() {
+        DropTail::new(0.0, SimDuration::from_millis(1));
+    }
+}

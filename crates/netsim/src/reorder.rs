@@ -1,0 +1,127 @@
+//! Bounded packet reordering.
+//!
+//! The paper's reordering assumption (§6.3, backed by ref \[10\]) is
+//! that two packets can swap only if they were observed less than a
+//! safety threshold `J` apart. We model that directly: each packet may,
+//! with some probability, be held back by an extra delay strictly less
+//! than `J`; re-sorting by the perturbed timestamps yields an arrival
+//! order in which only near-simultaneous packets ever swap.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use vpm_packet::{SimDuration, SimTime};
+
+/// Reordering model: holds packets back by `< max_shift` with
+/// probability `p_reorder`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ReorderModel {
+    /// Probability that a packet is held back.
+    pub p_reorder: f64,
+    /// Strict upper bound on the hold-back (must be < the path's `J`).
+    pub max_shift: SimDuration,
+}
+
+impl ReorderModel {
+    /// A model that never reorders.
+    pub fn none() -> Self {
+        ReorderModel {
+            p_reorder: 0.0,
+            max_shift: SimDuration::ZERO,
+        }
+    }
+
+    /// Perturb a non-decreasing timestamp sequence. Returns the new
+    /// timestamps (same indexing as the input); sorting indices by the
+    /// returned times (stably) gives the reordered arrival order.
+    pub fn perturb(&self, times: &[SimTime], seed: u64) -> Vec<SimTime> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        times
+            .iter()
+            .map(|&t| {
+                if self.p_reorder > 0.0 && rng.gen::<f64>() < self.p_reorder {
+                    let shift = rng.gen_range(0..self.max_shift.as_nanos().max(1));
+                    t + SimDuration::from_nanos(shift)
+                } else {
+                    t
+                }
+            })
+            .collect()
+    }
+
+    /// Convenience: produce the arrival *order* (permutation of input
+    /// indices) after perturbation.
+    pub fn arrival_order(&self, times: &[SimTime], seed: u64) -> Vec<usize> {
+        let perturbed = self.perturb(times, seed);
+        let mut idx: Vec<usize> = (0..times.len()).collect();
+        idx.sort_by_key(|&i| (perturbed[i], i));
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn evenly_spaced(n: usize, gap: SimDuration) -> Vec<SimTime> {
+        (0..n)
+            .map(|i| SimTime::ZERO + SimDuration::from_nanos(gap.as_nanos() * i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let times = evenly_spaced(100, SimDuration::from_micros(10));
+        let order = ReorderModel::none().arrival_order(&times, 1);
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reorders_close_packets() {
+        let times = evenly_spaced(10_000, SimDuration::from_micros(10));
+        let model = ReorderModel {
+            p_reorder: 0.05,
+            max_shift: SimDuration::from_micros(500),
+        };
+        let order = model.arrival_order(&times, 2);
+        let displaced = order
+            .iter()
+            .enumerate()
+            .filter(|&(pos, &i)| pos != i)
+            .count();
+        assert!(displaced > 0, "no packets displaced");
+    }
+
+    #[test]
+    fn never_reorders_beyond_bound() {
+        // Packets more than max_shift apart must keep their order.
+        let gap = SimDuration::from_micros(10);
+        let times = evenly_spaced(5_000, gap);
+        let model = ReorderModel {
+            p_reorder: 0.3,
+            max_shift: SimDuration::from_micros(200),
+        };
+        let order = model.arrival_order(&times, 3);
+        let bound = (model.max_shift.as_nanos() / gap.as_nanos()) as i64 + 1;
+        for (pos, &i) in order.iter().enumerate() {
+            let displacement = (pos as i64 - i as i64).abs();
+            assert!(
+                displacement <= bound,
+                "packet {i} displaced by {displacement} positions (> {bound})"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let times = evenly_spaced(1000, SimDuration::from_micros(5));
+        let model = ReorderModel {
+            p_reorder: 0.2,
+            max_shift: SimDuration::from_micros(100),
+        };
+        assert_eq!(
+            model.arrival_order(&times, 7),
+            model.arrival_order(&times, 7)
+        );
+    }
+}

@@ -1,0 +1,253 @@
+//! Window-based TCP Reno flow model.
+//!
+//! Implements the sender and receiver state machines needed for
+//! realistic congestion dynamics: slow start, congestion avoidance,
+//! duplicate-ACK fast retransmit with window halving, and RTO fallback
+//! to a window of one. The model is packet-granular (sequence numbers
+//! count segments, not bytes) — the standard formulation for
+//! discrete-event congestion studies, and the role NS plays in the
+//! paper's evaluation.
+
+use std::collections::BTreeSet;
+use vpm_packet::SimDuration;
+
+/// Sender reaction to an incoming cumulative ACK.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckReaction {
+    /// The ACK advanced the window; sender may transmit more.
+    NewData,
+    /// A duplicate ACK below the fast-retransmit threshold.
+    DupAck,
+    /// Third duplicate ACK: retransmit this sequence number now.
+    FastRetransmit(u64),
+}
+
+/// TCP Reno sender state.
+#[derive(Debug, Clone)]
+pub struct RenoSender {
+    /// Congestion window in segments (fractional during CA growth).
+    pub cwnd: f64,
+    /// Slow-start threshold in segments.
+    pub ssthresh: f64,
+    /// Next new sequence number to transmit.
+    pub next_seq: u64,
+    /// Highest cumulative ACK received (next expected by receiver).
+    pub cum_acked: u64,
+    /// Duplicate-ACK counter.
+    dup_acks: u32,
+    /// In fast recovery until `recovery_point` is acked.
+    in_recovery: bool,
+    recovery_point: u64,
+    /// Fixed retransmission timeout.
+    pub rto: SimDuration,
+    /// Segment size in bytes.
+    pub seg_bytes: usize,
+}
+
+impl RenoSender {
+    /// Fresh sender with initial window 2 and a fixed RTO.
+    pub fn new(seg_bytes: usize, rto: SimDuration) -> Self {
+        RenoSender {
+            cwnd: 2.0,
+            ssthresh: 64.0,
+            next_seq: 0,
+            cum_acked: 0,
+            dup_acks: 0,
+            in_recovery: false,
+            recovery_point: 0,
+            rto,
+            seg_bytes,
+        }
+    }
+
+    /// Segments in flight (new data only).
+    pub fn inflight(&self) -> u64 {
+        self.next_seq - self.cum_acked
+    }
+
+    /// May the sender transmit a new segment?
+    pub fn can_send(&self) -> bool {
+        self.inflight() < self.cwnd.floor().max(1.0) as u64
+    }
+
+    /// Take the next new sequence number.
+    pub fn take_next(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    /// Process a cumulative ACK.
+    pub fn on_ack(&mut self, cum: u64) -> AckReaction {
+        if cum > self.cum_acked {
+            let newly = cum - self.cum_acked;
+            self.cum_acked = cum;
+            self.dup_acks = 0;
+            if self.in_recovery && cum >= self.recovery_point {
+                self.in_recovery = false;
+            }
+            if !self.in_recovery {
+                if self.cwnd < self.ssthresh {
+                    self.cwnd += newly as f64; // slow start
+                } else {
+                    self.cwnd += newly as f64 / self.cwnd; // congestion avoidance
+                }
+            }
+            AckReaction::NewData
+        } else {
+            self.dup_acks += 1;
+            if self.dup_acks == 3 && !self.in_recovery {
+                self.ssthresh = (self.cwnd / 2.0).max(2.0);
+                self.cwnd = self.ssthresh;
+                self.in_recovery = true;
+                self.recovery_point = self.next_seq;
+                AckReaction::FastRetransmit(self.cum_acked)
+            } else {
+                AckReaction::DupAck
+            }
+        }
+    }
+
+    /// Retransmission timeout fired: collapse to slow start and return
+    /// the sequence number to retransmit.
+    pub fn on_timeout(&mut self) -> u64 {
+        self.ssthresh = (self.cwnd / 2.0).max(2.0);
+        self.cwnd = 1.0;
+        self.dup_acks = 0;
+        self.in_recovery = false;
+        self.cum_acked // first unacked segment
+    }
+}
+
+/// TCP receiver producing cumulative ACKs from possibly out-of-order
+/// data.
+#[derive(Debug, Clone, Default)]
+pub struct RenoReceiver {
+    expected: u64,
+    out_of_order: BTreeSet<u64>,
+}
+
+impl RenoReceiver {
+    /// Fresh receiver expecting sequence 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register arrival of `seq`; returns the cumulative ACK to send
+    /// (the next expected sequence number).
+    pub fn on_data(&mut self, seq: u64) -> u64 {
+        if seq == self.expected {
+            self.expected += 1;
+            while self.out_of_order.remove(&self.expected) {
+                self.expected += 1;
+            }
+        } else if seq > self.expected {
+            self.out_of_order.insert(seq);
+        }
+        // seq < expected: stale duplicate, re-ACK current edge.
+        self.expected
+    }
+
+    /// Next expected sequence number.
+    pub fn expected(&self) -> u64 {
+        self.expected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sender() -> RenoSender {
+        RenoSender::new(1500, SimDuration::from_millis(200))
+    }
+
+    #[test]
+    fn slow_start_doubles_per_window() {
+        let mut s = sender();
+        assert_eq!(s.cwnd, 2.0);
+        // ACK two segments: cwnd 2 → 4 (slow start adds 1 per segment).
+        s.take_next();
+        s.take_next();
+        s.on_ack(1);
+        s.on_ack(2);
+        assert_eq!(s.cwnd, 4.0);
+    }
+
+    #[test]
+    fn congestion_avoidance_linear() {
+        let mut s = sender();
+        s.ssthresh = 2.0; // force CA immediately
+        s.take_next();
+        s.take_next();
+        s.on_ack(1);
+        s.on_ack(2);
+        // Each ACK adds 1/cwnd: strictly less than slow-start growth.
+        assert!(s.cwnd > 2.0 && s.cwnd < 3.1, "cwnd {}", s.cwnd);
+    }
+
+    #[test]
+    fn triple_dup_ack_halves_window() {
+        let mut s = sender();
+        s.cwnd = 16.0;
+        s.ssthresh = 8.0;
+        for _ in 0..20 {
+            s.take_next();
+        }
+        s.on_ack(5); // advance
+        assert_eq!(s.on_ack(5), AckReaction::DupAck);
+        assert_eq!(s.on_ack(5), AckReaction::DupAck);
+        match s.on_ack(5) {
+            AckReaction::FastRetransmit(seq) => assert_eq!(seq, 5),
+            other => panic!("expected fast retransmit, got {other:?}"),
+        }
+        assert!((s.cwnd - 8.0).abs() < 1.0, "cwnd {}", s.cwnd);
+        // Further dup ACKs do not retrigger.
+        assert_eq!(s.on_ack(5), AckReaction::DupAck);
+    }
+
+    #[test]
+    fn timeout_collapses_to_one() {
+        let mut s = sender();
+        s.cwnd = 20.0;
+        for _ in 0..10 {
+            s.take_next();
+        }
+        let rexmit = s.on_timeout();
+        assert_eq!(rexmit, 0);
+        assert_eq!(s.cwnd, 1.0);
+        assert_eq!(s.ssthresh, 10.0);
+    }
+
+    #[test]
+    fn receiver_cumulative_ack() {
+        let mut r = RenoReceiver::new();
+        assert_eq!(r.on_data(0), 1);
+        assert_eq!(r.on_data(2), 1); // gap at 1
+        assert_eq!(r.on_data(3), 1);
+        assert_eq!(r.on_data(1), 4); // hole filled, jumps past buffered
+        assert_eq!(r.on_data(1), 4); // stale duplicate re-ACKs
+        assert_eq!(r.expected(), 4);
+    }
+
+    #[test]
+    fn recovery_exit_on_full_ack() {
+        let mut s = sender();
+        s.cwnd = 8.0;
+        s.ssthresh = 4.0;
+        for _ in 0..8 {
+            s.take_next();
+        }
+        s.on_ack(2);
+        s.on_ack(2);
+        s.on_ack(2);
+        assert!(matches!(s.on_ack(2), AckReaction::DupAck | AckReaction::FastRetransmit(_)));
+        // Cumulative ACK covering the recovery point exits recovery and
+        // resumes window growth.
+        s.on_ack(8);
+        let before = s.cwnd;
+        s.take_next();
+        s.on_ack(9);
+        assert!(s.cwnd > before);
+    }
+}

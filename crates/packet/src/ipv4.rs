@@ -1,0 +1,93 @@
+//! IPv4 header model (without options).
+
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// IP protocol number for TCP.
+pub const PROTO_TCP: u8 = 6;
+/// IP protocol number for UDP.
+pub const PROTO_UDP: u8 = 17;
+
+/// An IPv4 header without options (IHL = 5).
+///
+/// `total_len` covers the IP header, the transport header and the
+/// payload, exactly as on the wire. The checksum is not stored; it is
+/// computed on serialization and validated on parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Ipv4Header {
+    /// Differentiated services code point (6 bits used).
+    pub dscp: u8,
+    /// Explicit congestion notification (2 bits used).
+    pub ecn: u8,
+    /// Total datagram length in bytes (header + transport + payload).
+    pub total_len: u16,
+    /// Identification field; our generators increment it per flow, which
+    /// also keeps packet digests distinct within a flow.
+    pub id: u16,
+    /// Don't-fragment flag.
+    pub dont_frag: bool,
+    /// More-fragments flag.
+    pub more_frags: bool,
+    /// Fragment offset in 8-byte units (13 bits used).
+    pub frag_offset: u16,
+    /// Time to live. Mutable in flight — excluded from packet digests.
+    pub ttl: u8,
+    /// Transport protocol number ([`PROTO_TCP`] or [`PROTO_UDP`] here).
+    pub protocol: u8,
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+}
+
+impl Ipv4Header {
+    /// Byte length of this header on the wire (no options ⇒ 20).
+    pub const WIRE_LEN: usize = 20;
+
+    /// A plain unicast header with common defaults.
+    pub fn simple(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, total_len: u16) -> Self {
+        Ipv4Header {
+            dscp: 0,
+            ecn: 0,
+            total_len,
+            id: 0,
+            dont_frag: true,
+            more_frags: false,
+            frag_offset: 0,
+            ttl: 64,
+            protocol,
+            src,
+            dst,
+        }
+    }
+}
+
+impl Default for Ipv4Header {
+    fn default() -> Self {
+        Ipv4Header::simple(
+            Ipv4Addr::UNSPECIFIED,
+            Ipv4Addr::UNSPECIFIED,
+            PROTO_UDP,
+            Ipv4Header::WIRE_LEN as u16 + 8,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_defaults() {
+        let h = Ipv4Header::simple(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            PROTO_TCP,
+            40,
+        );
+        assert_eq!(h.ttl, 64);
+        assert!(h.dont_frag);
+        assert_eq!(h.protocol, PROTO_TCP);
+        assert_eq!(h.total_len, 40);
+    }
+}

@@ -1,0 +1,157 @@
+//! The packet model and the canonical digest input.
+
+use crate::ipv4::Ipv4Header;
+use crate::transport::Transport;
+use serde::{Deserialize, Serialize};
+use vpm_hash::{digest_bytes, Digest, DigestSeed, DEFAULT_DIGEST_SEED};
+
+/// A simulated packet: IPv4 + transport headers plus payload length.
+///
+/// Payload *content* is not modeled (VPM only hashes headers; paper §7
+/// hashes "each packet's IP and transport headers"), so the payload is
+/// all-zero when serialized to the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Packet {
+    /// Trace sequence number assigned by the generator. Not on the wire
+    /// and never used by HOPs — exists so experiments can compute ground
+    /// truth (e.g. true delay of every packet).
+    pub seq: u64,
+    /// Network header.
+    pub ipv4: Ipv4Header,
+    /// Transport header.
+    pub transport: Transport,
+    /// Payload length in bytes.
+    pub payload_len: u16,
+}
+
+/// Length of the canonical digest input in bytes.
+pub const DIGEST_INPUT_LEN: usize = 24;
+
+impl Packet {
+    /// Total on-the-wire length of the packet in bytes.
+    pub fn wire_len(&self) -> usize {
+        Ipv4Header::WIRE_LEN + self.transport.header_len() + self.payload_len as usize
+    }
+
+    /// Canonical invariant header bytes used as digest input.
+    ///
+    /// Includes: src/dst addresses, protocol, IP id, total length,
+    /// ports, and the TCP sequence number (or UDP length). Excludes
+    /// mutable-in-flight fields (TTL, checksums, ECN bits that AQM may
+    /// rewrite) so that every HOP on the path computes the same digest.
+    pub fn digest_input(&self) -> [u8; DIGEST_INPUT_LEN] {
+        let mut buf = [0u8; DIGEST_INPUT_LEN];
+        buf[0..4].copy_from_slice(&self.ipv4.src.octets());
+        buf[4..8].copy_from_slice(&self.ipv4.dst.octets());
+        buf[8] = self.ipv4.protocol;
+        buf[9..11].copy_from_slice(&self.ipv4.id.to_be_bytes());
+        buf[11..13].copy_from_slice(&self.ipv4.total_len.to_be_bytes());
+        buf[13..15].copy_from_slice(&self.transport.sport().to_be_bytes());
+        buf[15..17].copy_from_slice(&self.transport.dport().to_be_bytes());
+        match &self.transport {
+            Transport::Tcp(t) => {
+                buf[17..21].copy_from_slice(&t.seq.to_be_bytes());
+                buf[21..25.min(DIGEST_INPUT_LEN)]
+                    .copy_from_slice(&t.ack.to_be_bytes()[..3]);
+            }
+            Transport::Udp(u) => {
+                buf[17..19].copy_from_slice(&u.length.to_be_bytes());
+                // bytes 19..24 stay zero
+            }
+        }
+        buf
+    }
+
+    /// The packet's `PktID` digest with an explicit seed.
+    pub fn digest_with(&self, seed: DigestSeed) -> Digest {
+        digest_bytes(&self.digest_input(), seed)
+    }
+
+    /// The packet's `PktID` digest with the system-wide default seed.
+    pub fn digest(&self) -> Digest {
+        self.digest_with(DEFAULT_DIGEST_SEED)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipv4::PROTO_TCP;
+    use crate::transport::{TcpFlags, TcpHeader, UdpHeader};
+    use std::net::Ipv4Addr;
+
+    fn tcp_packet(id: u16, seq: u32) -> Packet {
+        Packet {
+            seq: 0,
+            ipv4: {
+                let mut h = Ipv4Header::simple(
+                    Ipv4Addr::new(10, 0, 0, 1),
+                    Ipv4Addr::new(192, 168, 1, 1),
+                    PROTO_TCP,
+                    40,
+                );
+                h.id = id;
+                h
+            },
+            transport: Transport::Tcp(TcpHeader {
+                sport: 33000,
+                dport: 443,
+                seq,
+                ack: 0,
+                flags: TcpFlags::ACK,
+                window: 65535,
+            }),
+            payload_len: 0,
+        }
+    }
+
+    #[test]
+    fn wire_len_adds_up() {
+        let mut p = tcp_packet(1, 2);
+        p.payload_len = 100;
+        assert_eq!(p.wire_len(), 20 + 20 + 100);
+    }
+
+    #[test]
+    fn digest_invariant_under_ttl_change() {
+        let p = tcp_packet(5, 77);
+        let mut q = p;
+        q.ipv4.ttl = 3; // router decremented TTL
+        assert_eq!(p.digest(), q.digest());
+    }
+
+    #[test]
+    fn digest_sensitive_to_ip_id_and_seq() {
+        let p = tcp_packet(5, 77);
+        assert_ne!(p.digest(), tcp_packet(6, 77).digest());
+        assert_ne!(p.digest(), tcp_packet(5, 78).digest());
+    }
+
+    #[test]
+    fn digest_distinguishes_udp_and_tcp() {
+        let tcp = tcp_packet(1, 1);
+        let udp = Packet {
+            seq: 0,
+            ipv4: {
+                let mut h = tcp.ipv4;
+                h.protocol = crate::ipv4::PROTO_UDP;
+                h
+            },
+            transport: Transport::Udp(UdpHeader {
+                sport: 33000,
+                dport: 443,
+                length: 8,
+            }),
+            payload_len: 0,
+        };
+        assert_ne!(tcp.digest(), udp.digest());
+    }
+
+    #[test]
+    fn trace_seq_not_in_digest() {
+        let p = tcp_packet(9, 9);
+        let mut q = p;
+        q.seq = 123456;
+        assert_eq!(p.digest(), q.digest());
+    }
+}

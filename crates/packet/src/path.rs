@@ -1,0 +1,122 @@
+//! Identifiers for domains, HOPs and HOP paths.
+//!
+//! A *domain* is an administrative entity (AS or edge network); a *HOP*
+//! is a hand-off point on a domain's perimeter (paper §2). Traffic is
+//! classified per *HOP path*, named by its source and destination
+//! origin prefixes ([`HeaderSpec`]).
+
+use crate::packet::Packet;
+use crate::prefix::Ipv4Prefix;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier for an administrative domain.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct DomainId(pub u16);
+
+impl fmt::Display for DomainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dom{}", self.0)
+    }
+}
+
+/// Identifier for a hand-off point (HOP).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct HopId(pub u16);
+
+impl fmt::Display for HopId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "hop{}", self.0)
+    }
+}
+
+/// `HeaderSpec`: which part of the headers identifies a packet's path.
+///
+/// Per the paper (§4) it "includes at least a source and destination
+/// origin-prefix pair"; that pair is exactly what we model.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct HeaderSpec {
+    /// Origin prefix of the traffic source.
+    pub src_prefix: Ipv4Prefix,
+    /// Origin prefix of the traffic destination.
+    pub dst_prefix: Ipv4Prefix,
+}
+
+impl HeaderSpec {
+    /// Build a spec from two prefixes.
+    pub fn new(src_prefix: Ipv4Prefix, dst_prefix: Ipv4Prefix) -> Self {
+        HeaderSpec {
+            src_prefix,
+            dst_prefix,
+        }
+    }
+
+    /// Does `pkt` belong to the path this spec names?
+    pub fn matches(&self, pkt: &Packet) -> bool {
+        self.src_prefix.contains(pkt.ipv4.src) && self.dst_prefix.contains(pkt.ipv4.dst)
+    }
+}
+
+impl fmt::Display for HeaderSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{}", self.src_prefix, self.dst_prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipv4::{Ipv4Header, PROTO_UDP};
+    use crate::transport::{Transport, UdpHeader};
+    use std::net::Ipv4Addr;
+
+    fn pkt(src: Ipv4Addr, dst: Ipv4Addr) -> Packet {
+        Packet {
+            seq: 0,
+            ipv4: Ipv4Header::simple(src, dst, PROTO_UDP, 28),
+            transport: Transport::Udp(UdpHeader {
+                sport: 1,
+                dport: 2,
+                length: 8,
+            }),
+            payload_len: 0,
+        }
+    }
+
+    #[test]
+    fn spec_matches_prefix_pair() {
+        let spec = HeaderSpec::new(
+            "10.0.0.0/8".parse().unwrap(),
+            "192.168.0.0/16".parse().unwrap(),
+        );
+        assert!(spec.matches(&pkt(
+            Ipv4Addr::new(10, 9, 8, 7),
+            Ipv4Addr::new(192, 168, 3, 4)
+        )));
+        assert!(!spec.matches(&pkt(
+            Ipv4Addr::new(11, 9, 8, 7),
+            Ipv4Addr::new(192, 168, 3, 4)
+        )));
+        assert!(!spec.matches(&pkt(
+            Ipv4Addr::new(10, 9, 8, 7),
+            Ipv4Addr::new(192, 169, 3, 4)
+        )));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(DomainId(3).to_string(), "dom3");
+        assert_eq!(HopId(4).to_string(), "hop4");
+        let spec = HeaderSpec::new(
+            "10.0.0.0/8".parse().unwrap(),
+            "192.168.0.0/16".parse().unwrap(),
+        );
+        assert_eq!(spec.to_string(), "10.0.0.0/8->192.168.0.0/16");
+    }
+}

@@ -1,0 +1,186 @@
+//! IPv4 origin prefixes.
+//!
+//! VPM names HOP paths by their source and destination *origin
+//! prefixes* — the prefixes a BGP speaker would see as the origin of
+//! the traffic (paper §2). A prefix is a network address plus a length.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+/// An IPv4 CIDR prefix, e.g. `10.1.0.0/16`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Ipv4Prefix {
+    /// Network address with host bits zeroed.
+    addr: u32,
+    /// Prefix length in bits, `0..=32`.
+    len: u8,
+}
+
+/// Errors arising when parsing or constructing prefixes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrefixError {
+    /// Prefix length was greater than 32.
+    BadLength(u8),
+    /// The textual form could not be parsed.
+    BadFormat(String),
+}
+
+impl fmt::Display for PrefixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrefixError::BadLength(l) => write!(f, "prefix length {l} > 32"),
+            PrefixError::BadFormat(s) => write!(f, "malformed prefix: {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for PrefixError {}
+
+impl Ipv4Prefix {
+    /// Construct a prefix; host bits of `addr` are masked off.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Result<Self, PrefixError> {
+        if len > 32 {
+            return Err(PrefixError::BadLength(len));
+        }
+        let raw = u32::from(addr);
+        Ok(Ipv4Prefix {
+            addr: raw & Self::mask(len),
+            len,
+        })
+    }
+
+    /// The `/0` prefix matching everything.
+    pub const ANY: Ipv4Prefix = Ipv4Prefix { addr: 0, len: 0 };
+
+    fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len as u32)
+        }
+    }
+
+    /// Network address of the prefix.
+    pub fn network(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.addr)
+    }
+
+    /// Prefix length in bits.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// `true` only for the `/0` prefix (clippy-conventional companion
+    /// to `len`).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of addresses covered by the prefix.
+    pub fn size(&self) -> u64 {
+        1u64 << (32 - self.len as u32)
+    }
+
+    /// Does the prefix contain `ip`?
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        (u32::from(ip) & Self::mask(self.len)) == self.addr
+    }
+
+    /// Is `other` fully contained within `self`?
+    pub fn covers(&self, other: &Ipv4Prefix) -> bool {
+        self.len <= other.len && (other.addr & Self::mask(self.len)) == self.addr
+    }
+
+    /// The `idx`-th host address inside the prefix (wrapping modulo the
+    /// prefix size). Deterministic helper used by the trace generator.
+    pub fn nth_host(&self, idx: u64) -> Ipv4Addr {
+        let off = (idx % self.size()) as u32;
+        Ipv4Addr::from(self.addr | off)
+    }
+}
+
+impl fmt::Display for Ipv4Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network(), self.len)
+    }
+}
+
+impl FromStr for Ipv4Prefix {
+    type Err = PrefixError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (ip, len) = s
+            .split_once('/')
+            .ok_or_else(|| PrefixError::BadFormat(s.to_string()))?;
+        let ip: Ipv4Addr = ip
+            .parse()
+            .map_err(|_| PrefixError::BadFormat(s.to_string()))?;
+        let len: u8 = len
+            .parse()
+            .map_err(|_| PrefixError::BadFormat(s.to_string()))?;
+        Ipv4Prefix::new(ip, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_host_bits() {
+        let p = Ipv4Prefix::new(Ipv4Addr::new(10, 1, 2, 3), 16).unwrap();
+        assert_eq!(p.network(), Ipv4Addr::new(10, 1, 0, 0));
+        assert_eq!(p.to_string(), "10.1.0.0/16");
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let p: Ipv4Prefix = "192.168.4.0/22".parse().unwrap();
+        assert_eq!(p.network(), Ipv4Addr::new(192, 168, 4, 0));
+        assert_eq!(p.len(), 22);
+        assert_eq!(p.to_string().parse::<Ipv4Prefix>().unwrap(), p);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("10.0.0.0".parse::<Ipv4Prefix>().is_err());
+        assert!("10.0.0.0/33".parse::<Ipv4Prefix>().is_err());
+        assert!("hello/8".parse::<Ipv4Prefix>().is_err());
+        assert!(Ipv4Prefix::new(Ipv4Addr::new(1, 2, 3, 4), 40).is_err());
+    }
+
+    #[test]
+    fn contains_and_covers() {
+        let p: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+        let q: Ipv4Prefix = "10.20.0.0/16".parse().unwrap();
+        assert!(p.contains(Ipv4Addr::new(10, 255, 0, 1)));
+        assert!(!p.contains(Ipv4Addr::new(11, 0, 0, 1)));
+        assert!(p.covers(&q));
+        assert!(!q.covers(&p));
+        assert!(Ipv4Prefix::ANY.covers(&p));
+        assert!(Ipv4Prefix::ANY.contains(Ipv4Addr::new(8, 8, 8, 8)));
+    }
+
+    #[test]
+    fn nth_host_wraps_within_prefix() {
+        let p: Ipv4Prefix = "10.1.0.0/24".parse().unwrap();
+        assert_eq!(p.size(), 256);
+        for idx in [0u64, 1, 255, 256, 1000] {
+            assert!(p.contains(p.nth_host(idx)), "idx {idx}");
+        }
+        assert_eq!(p.nth_host(256), p.nth_host(0));
+    }
+
+    #[test]
+    fn slash_zero_and_slash_32() {
+        let all = Ipv4Prefix::ANY;
+        assert!(all.is_empty());
+        assert_eq!(all.size(), 1 << 32);
+        let host: Ipv4Prefix = "1.2.3.4/32".parse().unwrap();
+        assert_eq!(host.size(), 1);
+        assert!(host.contains(Ipv4Addr::new(1, 2, 3, 4)));
+        assert!(!host.contains(Ipv4Addr::new(1, 2, 3, 5)));
+    }
+}

@@ -1,0 +1,171 @@
+//! Transport headers: TCP and UDP.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// TCP flag bits (subset relevant to traffic modeling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct TcpFlags(pub u8);
+
+impl TcpFlags {
+    /// FIN flag.
+    pub const FIN: TcpFlags = TcpFlags(0x01);
+    /// SYN flag.
+    pub const SYN: TcpFlags = TcpFlags(0x02);
+    /// RST flag.
+    pub const RST: TcpFlags = TcpFlags(0x04);
+    /// PSH flag.
+    pub const PSH: TcpFlags = TcpFlags(0x08);
+    /// ACK flag.
+    pub const ACK: TcpFlags = TcpFlags(0x10);
+    /// URG flag.
+    pub const URG: TcpFlags = TcpFlags(0x20);
+
+    /// Union of two flag sets.
+    pub const fn union(self, other: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 | other.0)
+    }
+
+    /// Does this set contain all flags in `other`?
+    pub const fn contains(self, other: TcpFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+}
+
+impl fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names = [
+            (TcpFlags::SYN, "S"),
+            (TcpFlags::ACK, "A"),
+            (TcpFlags::FIN, "F"),
+            (TcpFlags::RST, "R"),
+            (TcpFlags::PSH, "P"),
+            (TcpFlags::URG, "U"),
+        ];
+        for (flag, n) in names {
+            if self.contains(flag) {
+                write!(f, "{n}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A TCP header without options (data offset = 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TcpHeader {
+    /// Source port.
+    pub sport: u16,
+    /// Destination port.
+    pub dport: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgment number.
+    pub ack: u32,
+    /// Flag bits.
+    pub flags: TcpFlags,
+    /// Receive window.
+    pub window: u16,
+}
+
+impl TcpHeader {
+    /// Byte length on the wire without options.
+    pub const WIRE_LEN: usize = 20;
+}
+
+/// A UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct UdpHeader {
+    /// Source port.
+    pub sport: u16,
+    /// Destination port.
+    pub dport: u16,
+    /// UDP length field (header + payload).
+    pub length: u16,
+}
+
+impl UdpHeader {
+    /// Byte length of the UDP header on the wire.
+    pub const WIRE_LEN: usize = 8;
+}
+
+/// The transport header of a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Transport {
+    /// TCP segment header.
+    Tcp(TcpHeader),
+    /// UDP datagram header.
+    Udp(UdpHeader),
+}
+
+impl Transport {
+    /// Source port.
+    pub fn sport(&self) -> u16 {
+        match self {
+            Transport::Tcp(t) => t.sport,
+            Transport::Udp(u) => u.sport,
+        }
+    }
+
+    /// Destination port.
+    pub fn dport(&self) -> u16 {
+        match self {
+            Transport::Tcp(t) => t.dport,
+            Transport::Udp(u) => u.dport,
+        }
+    }
+
+    /// Wire length of the transport header in bytes.
+    pub fn header_len(&self) -> usize {
+        match self {
+            Transport::Tcp(_) => TcpHeader::WIRE_LEN,
+            Transport::Udp(_) => UdpHeader::WIRE_LEN,
+        }
+    }
+
+    /// IP protocol number for this transport.
+    pub fn protocol(&self) -> u8 {
+        match self {
+            Transport::Tcp(_) => crate::ipv4::PROTO_TCP,
+            Transport::Udp(_) => crate::ipv4::PROTO_UDP,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_union_and_contains() {
+        let sa = TcpFlags::SYN.union(TcpFlags::ACK);
+        assert!(sa.contains(TcpFlags::SYN));
+        assert!(sa.contains(TcpFlags::ACK));
+        assert!(!sa.contains(TcpFlags::FIN));
+        assert_eq!(sa.to_string(), "SA");
+    }
+
+    #[test]
+    fn transport_accessors() {
+        let t = Transport::Tcp(TcpHeader {
+            sport: 1000,
+            dport: 80,
+            seq: 7,
+            ack: 9,
+            flags: TcpFlags::ACK,
+            window: 65535,
+        });
+        assert_eq!(t.sport(), 1000);
+        assert_eq!(t.dport(), 80);
+        assert_eq!(t.header_len(), 20);
+        assert_eq!(t.protocol(), crate::ipv4::PROTO_TCP);
+
+        let u = Transport::Udp(UdpHeader {
+            sport: 53,
+            dport: 5353,
+            length: 108,
+        });
+        assert_eq!(u.header_len(), 8);
+        assert_eq!(u.protocol(), crate::ipv4::PROTO_UDP);
+    }
+}

@@ -1,0 +1,540 @@
+//! Wire codec: serialize packets to bytes and parse them back.
+//!
+//! Used for trace export and for validating that the packet model is a
+//! real packet model (checksums included) rather than an opaque struct.
+//! Payload bytes are all-zero on the wire (VPM never inspects payloads;
+//! see `vpm-packet::Packet`).
+
+use crate::ipv4::{Ipv4Header, PROTO_TCP, PROTO_UDP};
+use crate::packet::Packet;
+use crate::transport::{TcpFlags, TcpHeader, Transport, UdpHeader};
+use bytes::{BufMut, BytesMut};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Errors produced when parsing wire bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes than the smallest valid packet.
+    Truncated {
+        /// Bytes required.
+        needed: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// IP version field was not 4.
+    BadVersion(u8),
+    /// IHL field below 5 or options present (unsupported).
+    BadIhl(u8),
+    /// Header checksum mismatch.
+    BadChecksum {
+        /// Checksum found in the header.
+        expected: u16,
+        /// Checksum computed over the header bytes.
+        computed: u16,
+    },
+    /// Transport protocol is neither TCP nor UDP.
+    UnsupportedProtocol(u8),
+    /// `total_len` disagrees with the buffer contents.
+    LengthMismatch {
+        /// Value of the `total_len` field.
+        header: u16,
+        /// Actual available bytes.
+        actual: usize,
+    },
+    /// TCP data offset other than 5 (options are unsupported).
+    BadDataOffset(u8),
+    /// Transport (TCP/UDP) checksum mismatch.
+    BadTransportChecksum {
+        /// Checksum found in the header.
+        expected: u16,
+        /// Checksum computed over header + pseudo-header + zero payload.
+        computed: u16,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, got } => {
+                write!(f, "truncated packet: need {needed} bytes, got {got}")
+            }
+            WireError::BadVersion(v) => write!(f, "bad IP version {v}"),
+            WireError::BadIhl(i) => write!(f, "unsupported IHL {i}"),
+            WireError::BadChecksum { expected, computed } => {
+                write!(f, "checksum mismatch: header {expected:#06x}, computed {computed:#06x}")
+            }
+            WireError::UnsupportedProtocol(p) => write!(f, "unsupported protocol {p}"),
+            WireError::LengthMismatch { header, actual } => {
+                write!(f, "total_len {header} but buffer holds {actual}")
+            }
+            WireError::BadDataOffset(o) => write!(f, "unsupported TCP data offset {o}"),
+            WireError::BadTransportChecksum { expected, computed } => write!(
+                f,
+                "transport checksum mismatch: header {expected:#06x}, computed {computed:#06x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// RFC 1071 internet checksum over `data`.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u16::from_be_bytes([c[0], c[1]]) as u32;
+    }
+    if let [last] = chunks.remainder() {
+        sum += (*last as u32) << 8;
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+fn checksum_with_pseudo_header(
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    protocol: u8,
+    segment: &[u8],
+    zero_payload_len: usize,
+) -> u16 {
+    // Pseudo-header + segment + implicit all-zero payload. Zero bytes
+    // contribute nothing to the sum except via the length field, so we
+    // only need to sum the pseudo-header and the real header bytes —
+    // unless the zero payload has odd length, which it contributes
+    // nothing for either. The length in the pseudo-header must still
+    // count the payload.
+    let seg_len = segment.len() + zero_payload_len;
+    let mut buf = Vec::with_capacity(12 + segment.len() + (seg_len & 1));
+    buf.extend_from_slice(&src.octets());
+    buf.extend_from_slice(&dst.octets());
+    buf.push(0);
+    buf.push(protocol);
+    buf.extend_from_slice(&(seg_len as u16).to_be_bytes());
+    buf.extend_from_slice(segment);
+    internet_checksum(&buf)
+}
+
+/// Serialize `pkt` to wire bytes (headers with valid checksums followed
+/// by an all-zero payload).
+pub fn encode(pkt: &Packet) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(pkt.wire_len());
+    let ip = &pkt.ipv4;
+
+    // --- IPv4 header ---
+    buf.put_u8(0x45); // version 4, IHL 5
+    buf.put_u8((ip.dscp << 2) | (ip.ecn & 0x3));
+    buf.put_u16(ip.total_len);
+    buf.put_u16(ip.id);
+    let mut frag: u16 = ip.frag_offset & 0x1fff;
+    if ip.dont_frag {
+        frag |= 0x4000;
+    }
+    if ip.more_frags {
+        frag |= 0x2000;
+    }
+    buf.put_u16(frag);
+    buf.put_u8(ip.ttl);
+    buf.put_u8(ip.protocol);
+    buf.put_u16(0); // checksum placeholder
+    buf.put_slice(&ip.src.octets());
+    buf.put_slice(&ip.dst.octets());
+    let csum = internet_checksum(&buf[0..20]);
+    buf[10..12].copy_from_slice(&csum.to_be_bytes());
+
+    // --- transport header ---
+    match &pkt.transport {
+        Transport::Tcp(t) => {
+            let start = buf.len();
+            buf.put_u16(t.sport);
+            buf.put_u16(t.dport);
+            buf.put_u32(t.seq);
+            buf.put_u32(t.ack);
+            buf.put_u8(5 << 4); // data offset 5, reserved 0
+            buf.put_u8(t.flags.0);
+            buf.put_u16(t.window);
+            buf.put_u16(0); // checksum placeholder
+            buf.put_u16(0); // urgent pointer
+            let csum = checksum_with_pseudo_header(
+                ip.src,
+                ip.dst,
+                PROTO_TCP,
+                &buf[start..],
+                pkt.payload_len as usize,
+            );
+            let at = start + 16;
+            buf[at..at + 2].copy_from_slice(&csum.to_be_bytes());
+        }
+        Transport::Udp(u) => {
+            let start = buf.len();
+            buf.put_u16(u.sport);
+            buf.put_u16(u.dport);
+            buf.put_u16(u.length);
+            buf.put_u16(0); // checksum placeholder
+            let csum = checksum_with_pseudo_header(
+                ip.src,
+                ip.dst,
+                PROTO_UDP,
+                &buf[start..],
+                pkt.payload_len as usize,
+            );
+            // UDP checksum of 0 means "no checksum"; RFC mandates 0xffff instead.
+            let csum = if csum == 0 { 0xffff } else { csum };
+            let at = start + 6;
+            buf[at..at + 2].copy_from_slice(&csum.to_be_bytes());
+        }
+    }
+
+    buf.resize(pkt.wire_len(), 0); // zero payload
+    buf.to_vec()
+}
+
+/// Parse wire bytes back into a [`Packet`]. Validates version, IHL,
+/// checksums and length consistency. The trace `seq` is set to 0.
+pub fn decode(bytes: &[u8]) -> Result<Packet, WireError> {
+    if bytes.len() < Ipv4Header::WIRE_LEN {
+        return Err(WireError::Truncated {
+            needed: Ipv4Header::WIRE_LEN,
+            got: bytes.len(),
+        });
+    }
+    let version = bytes[0] >> 4;
+    if version != 4 {
+        return Err(WireError::BadVersion(version));
+    }
+    let ihl = bytes[0] & 0x0f;
+    if ihl != 5 {
+        return Err(WireError::BadIhl(ihl));
+    }
+    let expected = u16::from_be_bytes([bytes[10], bytes[11]]);
+    let mut hdr = [0u8; 20];
+    hdr.copy_from_slice(&bytes[..20]);
+    hdr[10] = 0;
+    hdr[11] = 0;
+    let computed = internet_checksum(&hdr);
+    if computed != expected {
+        return Err(WireError::BadChecksum { expected, computed });
+    }
+
+    let total_len = u16::from_be_bytes([bytes[2], bytes[3]]);
+    if total_len as usize > bytes.len() || (total_len as usize) < Ipv4Header::WIRE_LEN {
+        return Err(WireError::LengthMismatch {
+            header: total_len,
+            actual: bytes.len(),
+        });
+    }
+    let frag = u16::from_be_bytes([bytes[6], bytes[7]]);
+    let protocol = bytes[9];
+    let ipv4 = Ipv4Header {
+        dscp: bytes[1] >> 2,
+        ecn: bytes[1] & 0x3,
+        total_len,
+        id: u16::from_be_bytes([bytes[4], bytes[5]]),
+        dont_frag: frag & 0x4000 != 0,
+        more_frags: frag & 0x2000 != 0,
+        frag_offset: frag & 0x1fff,
+        ttl: bytes[8],
+        protocol,
+        src: Ipv4Addr::new(bytes[12], bytes[13], bytes[14], bytes[15]),
+        dst: Ipv4Addr::new(bytes[16], bytes[17], bytes[18], bytes[19]),
+    };
+
+    let rest = &bytes[20..total_len as usize];
+    let (transport, thl) = match protocol {
+        PROTO_TCP => {
+            if rest.len() < TcpHeader::WIRE_LEN {
+                return Err(WireError::Truncated {
+                    needed: 20 + TcpHeader::WIRE_LEN,
+                    got: bytes.len(),
+                });
+            }
+            let data_offset = rest[12] >> 4;
+            if data_offset != 5 {
+                return Err(WireError::BadDataOffset(data_offset));
+            }
+            // Validate the TCP checksum. Payload bytes are all-zero in
+            // this model, so they contribute only via the pseudo-header
+            // length — the same convention `encode` uses.
+            let payload = total_len as usize - 20 - TcpHeader::WIRE_LEN;
+            let stored = u16::from_be_bytes([rest[16], rest[17]]);
+            let mut seg = rest[..TcpHeader::WIRE_LEN].to_vec();
+            seg[16] = 0;
+            seg[17] = 0;
+            let computed =
+                checksum_with_pseudo_header(ipv4.src, ipv4.dst, PROTO_TCP, &seg, payload);
+            if computed != stored {
+                return Err(WireError::BadTransportChecksum {
+                    expected: stored,
+                    computed,
+                });
+            }
+            (
+                Transport::Tcp(TcpHeader {
+                    sport: u16::from_be_bytes([rest[0], rest[1]]),
+                    dport: u16::from_be_bytes([rest[2], rest[3]]),
+                    seq: u32::from_be_bytes([rest[4], rest[5], rest[6], rest[7]]),
+                    ack: u32::from_be_bytes([rest[8], rest[9], rest[10], rest[11]]),
+                    flags: TcpFlags(rest[13]),
+                    window: u16::from_be_bytes([rest[14], rest[15]]),
+                }),
+                TcpHeader::WIRE_LEN,
+            )
+        }
+        PROTO_UDP => {
+            if rest.len() < UdpHeader::WIRE_LEN {
+                return Err(WireError::Truncated {
+                    needed: 20 + UdpHeader::WIRE_LEN,
+                    got: bytes.len(),
+                });
+            }
+            // Validate the UDP checksum. `encode` maps a computed 0 to
+            // 0xffff per RFC 768; this strict decoder never accepts the
+            // "no checksum" sentinel (we never emit it).
+            let payload = total_len as usize - 20 - UdpHeader::WIRE_LEN;
+            let stored = u16::from_be_bytes([rest[6], rest[7]]);
+            let mut seg = rest[..UdpHeader::WIRE_LEN].to_vec();
+            seg[6] = 0;
+            seg[7] = 0;
+            let computed =
+                checksum_with_pseudo_header(ipv4.src, ipv4.dst, PROTO_UDP, &seg, payload);
+            let computed = if computed == 0 { 0xffff } else { computed };
+            if computed != stored {
+                return Err(WireError::BadTransportChecksum {
+                    expected: stored,
+                    computed,
+                });
+            }
+            (
+                Transport::Udp(UdpHeader {
+                    sport: u16::from_be_bytes([rest[0], rest[1]]),
+                    dport: u16::from_be_bytes([rest[2], rest[3]]),
+                    length: u16::from_be_bytes([rest[4], rest[5]]),
+                }),
+                UdpHeader::WIRE_LEN,
+            )
+        }
+        other => return Err(WireError::UnsupportedProtocol(other)),
+    };
+
+    Ok(Packet {
+        seq: 0,
+        ipv4,
+        transport,
+        payload_len: (total_len as usize - 20 - thl) as u16,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_tcp() -> Packet {
+        Packet {
+            seq: 0,
+            ipv4: {
+                let mut h = Ipv4Header::simple(
+                    Ipv4Addr::new(10, 1, 2, 3),
+                    Ipv4Addr::new(172, 16, 0, 9),
+                    PROTO_TCP,
+                    (20 + 20 + 100) as u16,
+                );
+                h.id = 0xbeef;
+                h.ttl = 57;
+                h
+            },
+            transport: Transport::Tcp(TcpHeader {
+                sport: 50000,
+                dport: 443,
+                seq: 0x01020304,
+                ack: 0x0a0b0c0d,
+                flags: TcpFlags::ACK.union(TcpFlags::PSH),
+                window: 4096,
+            }),
+            payload_len: 100,
+        }
+    }
+
+    fn sample_udp() -> Packet {
+        Packet {
+            seq: 0,
+            ipv4: Ipv4Header::simple(
+                Ipv4Addr::new(192, 168, 0, 1),
+                Ipv4Addr::new(8, 8, 8, 8),
+                PROTO_UDP,
+                20 + 8 + 31,
+            ),
+            transport: Transport::Udp(UdpHeader {
+                sport: 5353,
+                dport: 53,
+                length: 8 + 31,
+            }),
+            payload_len: 31,
+        }
+    }
+
+    #[test]
+    fn tcp_roundtrip() {
+        let p = sample_tcp();
+        let bytes = encode(&p);
+        assert_eq!(bytes.len(), p.wire_len());
+        let q = decode(&bytes).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn udp_roundtrip() {
+        let p = sample_udp();
+        let q = decode(&encode(&p)).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let mut bytes = encode(&sample_tcp());
+        bytes[15] ^= 0xff; // flip a source-address byte
+        match decode(&bytes) {
+            Err(WireError::BadChecksum { .. }) => {}
+            other => panic!("expected checksum error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transport_checksum_detects_corruption() {
+        // Flip a TCP sequence-number byte: IP checksum still valid, TCP
+        // checksum must catch it.
+        let mut bytes = encode(&sample_tcp());
+        bytes[24] ^= 0x01;
+        assert!(matches!(
+            decode(&bytes),
+            Err(WireError::BadTransportChecksum { .. })
+        ));
+        // Same for a UDP port byte.
+        let mut bytes = encode(&sample_udp());
+        bytes[21] ^= 0x80;
+        assert!(matches!(
+            decode(&bytes),
+            Err(WireError::BadTransportChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_tcp_options() {
+        let mut bytes = encode(&sample_tcp());
+        bytes[32] = 6 << 4; // data offset 6 ⇒ options present
+        assert!(matches!(decode(&bytes), Err(WireError::BadDataOffset(6))));
+    }
+
+    #[test]
+    fn tiny_total_len_is_rejected_not_a_panic() {
+        let mut bytes = encode(&sample_udp());
+        bytes[2] = 0;
+        bytes[3] = 8; // total_len = 8 < IP header
+        // Fix up the IP checksum so the length check is what fires.
+        bytes[10] = 0;
+        bytes[11] = 0;
+        let csum = internet_checksum(&bytes[0..20]);
+        bytes[10..12].copy_from_slice(&csum.to_be_bytes());
+        assert!(matches!(
+            decode(&bytes),
+            Err(WireError::LengthMismatch { header: 8, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_version_and_ihl() {
+        let mut bytes = encode(&sample_udp());
+        bytes[0] = 0x65; // version 6
+        assert!(matches!(decode(&bytes), Err(WireError::BadVersion(6))));
+        let mut bytes = encode(&sample_udp());
+        bytes[0] = 0x46; // IHL 6 (options)
+        assert!(matches!(decode(&bytes), Err(WireError::BadIhl(6))));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let bytes = encode(&sample_tcp());
+        assert!(matches!(
+            decode(&bytes[..10]),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn rfc1071_vector() {
+        // Classic example from RFC 1071 §3.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(internet_checksum(&data), !0xddf2u16);
+    }
+
+    #[test]
+    fn digest_survives_wire_roundtrip() {
+        for p in [sample_tcp(), sample_udp()] {
+            let q = decode(&encode(&p)).unwrap();
+            assert_eq!(p.digest(), q.digest());
+        }
+    }
+
+    proptest! {
+        /// The decoder must never panic, whatever bytes arrive.
+        #[test]
+        fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+            let _ = decode(&bytes);
+        }
+
+        /// Flipping any single *header* byte of a valid packet either
+        /// fails cleanly or produces a different packet — never panics,
+        /// never silently yields the original. (Payload bytes are
+        /// exempt: payload content is unmodeled and all-zero.)
+        #[test]
+        fn single_byte_corruption_detected_or_differs(
+            idx in 0usize..40, // 20 B IPv4 + 20 B TCP headers
+            flip in 1u8..=255,
+        ) {
+            let p = sample_tcp();
+            let mut bytes = encode(&p);
+            bytes[idx] ^= flip;
+            match decode(&bytes) {
+                Ok(q) => prop_assert_ne!(p, q),
+                Err(_) => {} // rejected, fine
+            }
+        }
+
+        #[test]
+        fn roundtrip_arbitrary_headers(
+            src in any::<u32>(),
+            dst in any::<u32>(),
+            id in any::<u16>(),
+            sport in any::<u16>(),
+            dport in any::<u16>(),
+            seqn in any::<u32>(),
+            payload in 0u16..1400,
+            is_tcp in any::<bool>(),
+        ) {
+            let (transport, thl) = if is_tcp {
+                (Transport::Tcp(TcpHeader {
+                    sport, dport, seq: seqn, ack: 0,
+                    flags: TcpFlags::ACK, window: 1024,
+                }), 20u16)
+            } else {
+                (Transport::Udp(UdpHeader {
+                    sport, dport, length: 8 + payload,
+                }), 8u16)
+            };
+            let mut ip = Ipv4Header::simple(
+                Ipv4Addr::from(src),
+                Ipv4Addr::from(dst),
+                transport.protocol(),
+                20 + thl + payload,
+            );
+            ip.id = id;
+            let p = Packet { seq: 0, ipv4: ip, transport, payload_len: payload };
+            let q = decode(&encode(&p)).unwrap();
+            prop_assert_eq!(p, q);
+        }
+    }
+}

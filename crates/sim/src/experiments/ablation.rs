@@ -1,0 +1,273 @@
+//! Design-choice ablations.
+//!
+//! Two of VPM's mechanisms exist to defeat specific failure modes; the
+//! ablations demonstrate that removing the mechanism re-opens the hole:
+//!
+//! 1. **Future-marker keying** (§5.1). If sampling were keyed on the
+//!    packet's own digest (Trajectory-Sampling style), a domain could
+//!    compute at forwarding time which packets will be sampled and give
+//!    them priority treatment — making its estimated delay far better
+//!    than what ordinary traffic experiences. With the future-marker
+//!    scheme, the sampled set is unknowable at forwarding time, so the
+//!    same adversary gains ~nothing.
+//!
+//! 2. **AggTrans re-alignment** (§6.3). Without the patch-up windows,
+//!    reordering near cutting points makes honest HOPs' counts
+//!    disagree, producing phantom loss (or negative loss) on a
+//!    perfectly lossless domain.
+
+use serde::{Deserialize, Serialize};
+use vpm_core::aggregation::{Aggregator, FinishedAggregate};
+use vpm_core::receipt::{AggReceipt, PathId};
+use vpm_core::sampling::DelaySampler;
+use vpm_core::verify::{join_aggregates, match_samples};
+use vpm_hash::{Digest, Threshold};
+use vpm_netsim::reorder::ReorderModel;
+use vpm_packet::{HeaderSpec, SimDuration, SimTime};
+use vpm_stats::quantile::{empirical_quantile, sort_samples};
+use vpm_trace::{TraceConfig, TraceGenerator};
+
+/// Result of the sampling-bias ablation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BiasAblation {
+    /// True 90th-percentile delay of all traffic under the adversary's
+    /// policy, ms.
+    pub true_p90_ms: f64,
+    /// P90 estimated from VPM (future-marker) samples, ms.
+    pub vpm_est_p90_ms: f64,
+    /// P90 estimated from naive (self-keyed) samples after the
+    /// adversary prioritizes the predictable sample set, ms.
+    pub naive_est_p90_ms: f64,
+    /// How much delay the adversary hides under each scheme, ms.
+    pub vpm_bias_ms: f64,
+    /// Bias under the naive scheme (large = attack works).
+    pub naive_bias_ms: f64,
+}
+
+/// Configuration shared by the ablations.
+#[derive(Debug, Clone)]
+pub struct AblationConfig {
+    /// Packets in the sequence.
+    pub pps: f64,
+    /// Duration.
+    pub duration: SimDuration,
+    /// Sampling rate under test.
+    pub sampling_rate: f64,
+    /// Marker rate.
+    pub marker_rate: f64,
+    /// Congested-path delay for ordinary packets, ms.
+    pub congested_delay_ms: f64,
+    /// Fast-path delay the adversary grants predicted samples, ms.
+    pub fast_delay_ms: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl AblationConfig {
+    /// Default scenario: 10 ms congested delay vs 0.1 ms fast path.
+    pub fn default_scenario(seed: u64) -> Self {
+        AblationConfig {
+            pps: 50_000.0,
+            duration: SimDuration::from_millis(600),
+            sampling_rate: 0.01,
+            marker_rate: 5e-3,
+            congested_delay_ms: 10.0,
+            fast_delay_ms: 0.1,
+            seed,
+        }
+    }
+}
+
+/// Run the sampling-bias ablation.
+pub fn sampling_bias(cfg: &AblationConfig) -> BiasAblation {
+    let trace = TraceGenerator::new(TraceConfig {
+        target_pps: cfg.pps,
+        duration: cfg.duration,
+        ..TraceConfig::paper_default(1, cfg.seed)
+    })
+    .generate();
+    let digests: Vec<Digest> = trace.iter().map(|tp| tp.packet.digest()).collect();
+    let t_in: Vec<SimTime> = trace.iter().map(|tp| tp.ts).collect();
+    let n = trace.len();
+
+    let sigma = Threshold::from_rate(cfg.sampling_rate);
+    let marker = Threshold::from_rate(cfg.marker_rate);
+
+    // --- Naive scheme: sampled iff digest > σ, knowable in advance. ---
+    // The adversary fast-paths exactly that set.
+    let naive_sampled: Vec<bool> = digests.iter().map(|d| sigma.passes(d.0)).collect();
+    let naive_delays: Vec<f64> = (0..n)
+        .map(|i| {
+            if naive_sampled[i] {
+                cfg.fast_delay_ms
+            } else {
+                cfg.congested_delay_ms
+            }
+        })
+        .collect();
+    let naive_true_p90 = empirical_quantile(&sort_samples(naive_delays.clone()), 0.9);
+    let naive_est: Vec<f64> = (0..n)
+        .filter(|&i| naive_sampled[i])
+        .map(|i| naive_delays[i])
+        .collect();
+    let naive_est_p90 = empirical_quantile(&sort_samples(naive_est), 0.9);
+
+    // --- VPM scheme: the adversary cannot identify the sample set at
+    // forwarding time, so the best it can do is treat everyone alike
+    // (fast-pathing everything would mean not being congested at all).
+    let vpm_delays: Vec<f64> = vec![cfg.congested_delay_ms; n];
+    let true_p90 = empirical_quantile(&sort_samples(vpm_delays.clone()), 0.9);
+    let mut hop_in = DelaySampler::new(marker, sigma);
+    let mut hop_out = DelaySampler::new(marker, sigma);
+    for i in 0..n {
+        hop_in.observe(digests[i], t_in[i]);
+        let t_out = t_in[i] + SimDuration::from_secs_f64(vpm_delays[i] / 1e3);
+        hop_out.observe(digests[i], t_out);
+    }
+    let matched = match_samples(&hop_in.drain(), &hop_out.drain());
+    let vpm_est: Vec<f64> = matched.iter().map(|m| m.delay_ms()).collect();
+    let vpm_est_p90 = if vpm_est.is_empty() {
+        f64::NAN
+    } else {
+        empirical_quantile(&sort_samples(vpm_est), 0.9)
+    };
+
+    BiasAblation {
+        true_p90_ms: true_p90,
+        vpm_est_p90_ms: vpm_est_p90,
+        naive_est_p90_ms: naive_est_p90,
+        vpm_bias_ms: (true_p90 - vpm_est_p90).abs(),
+        naive_bias_ms: (naive_true_p90 - naive_est_p90).abs(),
+    }
+}
+
+/// Result of the AggTrans-alignment ablation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AggTransAblation {
+    /// Total |loss error| (packets) with alignment, on a lossless
+    /// reordered stream.
+    pub aligned_abs_error: u64,
+    /// Total |loss error| without the patch-up windows.
+    pub stripped_abs_error: u64,
+    /// Boundaries where alignment changed a count.
+    pub alignments_applied: u64,
+    /// Joined aggregates compared.
+    pub joined: usize,
+}
+
+/// Run the AggTrans ablation: a lossless domain that reorders packets
+/// near boundaries. Honest counts disagree unless windows re-align
+/// them.
+pub fn aggtrans_alignment(seed: u64) -> AggTransAblation {
+    let trace = TraceGenerator::new(TraceConfig {
+        target_pps: 50_000.0,
+        duration: SimDuration::from_millis(800),
+        ..TraceConfig::paper_default(1, seed)
+    })
+    .generate();
+    let digests: Vec<Digest> = trace.iter().map(|tp| tp.packet.digest()).collect();
+    let times: Vec<SimTime> = trace.iter().map(|tp| tp.ts).collect();
+
+    let j = SimDuration::from_millis(1);
+    let delta = Aggregator::delta_for_aggregate_size(500);
+    let path = PathId {
+        spec: HeaderSpec::new(
+            "10.0.0.0/12".parse().expect("static"),
+            "172.16.0.0/14".parse().expect("static"),
+        ),
+        prev_hop: None,
+        next_hop: None,
+        max_diff: SimDuration::from_millis(2),
+    };
+    let to_receipts = |fins: &[FinishedAggregate]| -> Vec<AggReceipt> {
+        fins.iter()
+            .map(|f| AggReceipt {
+                path,
+                agg: f.agg,
+                pkt_cnt: f.pkt_cnt,
+                agg_trans: f.agg_trans.clone(),
+            })
+            .collect()
+    };
+
+    // Upstream HOP: pristine order.
+    let mut up = Aggregator::new(delta, j);
+    for (i, &t) in times.iter().enumerate() {
+        up.observe(digests[i], t);
+    }
+    up.flush();
+    let up_receipts = to_receipts(&up.drain());
+
+    // Downstream HOP: same packets, reordered within a bounded window
+    // (strictly less than J), constant transit delay, zero loss.
+    let transit = SimDuration::from_micros(300);
+    let shifted: Vec<SimTime> = times.iter().map(|&t| t + transit).collect();
+    let model = ReorderModel {
+        p_reorder: 0.3,
+        max_shift: SimDuration::from_micros(800),
+    };
+    let order = model.arrival_order(&shifted, seed ^ 0x0f);
+    let mut down = Aggregator::new(delta, j);
+    let perturbed = model.perturb(&shifted, seed ^ 0x0f);
+    for &i in &order {
+        down.observe(digests[i], perturbed[i]);
+    }
+    down.flush();
+    let down_receipts = to_receipts(&down.drain());
+
+    // With alignment.
+    let aligned = join_aggregates(&up_receipts, &down_receipts);
+    let aligned_err: u64 = aligned.joined.iter().map(|j| j.lost.unsigned_abs()).sum();
+
+    // Without: strip the windows and re-join.
+    let strip = |rs: &[AggReceipt]| -> Vec<AggReceipt> {
+        rs.iter()
+            .map(|r| AggReceipt {
+                agg_trans: vec![],
+                ..r.clone()
+            })
+            .collect()
+    };
+    let stripped = join_aggregates(&strip(&up_receipts), &strip(&down_receipts));
+    let stripped_err: u64 = stripped.joined.iter().map(|j| j.lost.unsigned_abs()).sum();
+
+    AggTransAblation {
+        aligned_abs_error: aligned_err,
+        stripped_abs_error: stripped_err,
+        alignments_applied: aligned.alignments_applied,
+        joined: aligned.joined.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_sampling_is_exploitable_vpm_is_not() {
+        let r = sampling_bias(&AblationConfig::default_scenario(3));
+        // Under the naive scheme the adversary hides ~all congestion
+        // delay from the estimate.
+        assert!(
+            r.naive_bias_ms > 5.0,
+            "naive scheme should be badly biased: {r:?}"
+        );
+        // Under VPM the estimate matches the truth.
+        assert!(r.vpm_bias_ms < 0.5, "VPM must stay unbiased: {r:?}");
+    }
+
+    #[test]
+    fn aggtrans_fixes_reordering_miscounts() {
+        let r = aggtrans_alignment(5);
+        assert!(r.joined > 10, "need enough aggregates: {r:?}");
+        assert!(
+            r.aligned_abs_error < r.stripped_abs_error,
+            "alignment must strictly reduce count error: {r:?}"
+        );
+        assert_eq!(
+            r.aligned_abs_error, 0,
+            "bounded reordering with windows must align perfectly: {r:?}"
+        );
+        assert!(r.alignments_applied > 0, "no boundary needed fixing?");
+    }
+}

@@ -1,0 +1,240 @@
+//! §7.2 "Verifiability" — how well can *neighbors* verify a domain's
+//! claims?
+//!
+//! The paper's concrete numbers: if X samples at 1% and loses 25% of
+//! its traffic, a collector can estimate X's delay to ~2 ms from X's
+//! own receipts; if neighbor N samples at the same rate the collector
+//! can *verify* the estimate at the same accuracy from N's (and L's)
+//! receipts — but if N samples at only 0.1%, verification accuracy
+//! degrades to ~5 ms. A domain's tunability choice therefore bounds
+//! both how well it is measured and how well it can police others.
+//!
+//! We reproduce this by estimating X's delay twice: once from X's own
+//! HOPs (4, 5) and once from the surrounding honest HOPs (3 at L's
+//! egress, 6 at N's ingress), sweeping the neighbor sampling rate.
+
+use serde::{Deserialize, Serialize};
+use vpm_core::sampling::DelaySampler;
+use vpm_core::verify::match_samples;
+use vpm_hash::{Digest, Threshold};
+use vpm_netsim::channel::{apply, arrivals, ChannelConfig, DelayModel};
+use vpm_netsim::congestion::{foreground_delays, BottleneckConfig, CrossTraffic};
+use vpm_netsim::reorder::ReorderModel;
+use vpm_packet::{SimDuration, SimTime};
+use vpm_stats::accuracy::{quantile_error, DEFAULT_QUANTILES};
+use vpm_trace::{TraceConfig, TraceGenerator};
+
+/// Configuration of the verifiability sweep.
+#[derive(Debug, Clone)]
+pub struct VerifiabilityConfig {
+    /// Path rate.
+    pub pps: f64,
+    /// Sequence duration.
+    pub duration: SimDuration,
+    /// X's own sampling rate (paper: 1%).
+    pub x_rate: f64,
+    /// Neighbor sampling rates to sweep (paper compares 1% and 0.1%).
+    pub neighbor_rates: Vec<f64>,
+    /// Loss inside X (paper: 25%).
+    pub loss: f64,
+    /// Gilbert-Elliott burst length.
+    pub loss_burst: f64,
+    /// Marker rate.
+    pub marker_rate: f64,
+    /// Inter-domain link delay on each side of X.
+    pub link_delay: SimDuration,
+    /// Bottleneck and cross traffic congesting X.
+    pub bottleneck: BottleneckConfig,
+    /// Cross traffic model.
+    pub cross: CrossTraffic,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl VerifiabilityConfig {
+    /// The paper's scenario.
+    pub fn paper(duration: SimDuration, seed: u64) -> Self {
+        VerifiabilityConfig {
+            pps: 100_000.0,
+            duration,
+            x_rate: 0.01,
+            neighbor_rates: vec![0.01, 0.001],
+            loss: 0.25,
+            loss_burst: 5.0,
+            marker_rate: 1e-3,
+            link_delay: SimDuration::from_micros(50),
+            bottleneck: BottleneckConfig::paper_default(),
+            cross: CrossTraffic::paper_bursty_udp(),
+            seed,
+        }
+    }
+
+    /// Scaled-down version for tests.
+    pub fn quick(seed: u64) -> Self {
+        let mut c = Self::paper(SimDuration::from_millis(500), seed);
+        c.pps = 50_000.0;
+        c.marker_rate = 5e-3;
+        c.neighbor_rates = vec![0.05, 0.005];
+        c.x_rate = 0.05;
+        c
+    }
+}
+
+/// One sweep point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VerifiabilityPoint {
+    /// Neighbor sampling rate.
+    pub neighbor_rate: f64,
+    /// Accuracy of X's *self-reported* estimate (HOPs 4→5), ms.
+    pub self_accuracy_ms: f64,
+    /// Accuracy of the *verification* estimate (HOPs 3→6), ms.
+    pub verify_accuracy_ms: f64,
+    /// Matched samples backing each estimate.
+    pub matched_self: usize,
+    /// Matched samples backing verification.
+    pub matched_verify: usize,
+}
+
+/// Run the sweep.
+pub fn run(cfg: &VerifiabilityConfig) -> Vec<VerifiabilityPoint> {
+    let trace = TraceGenerator::new(TraceConfig {
+        target_pps: cfg.pps,
+        duration: cfg.duration,
+        ..TraceConfig::paper_default(1, cfg.seed)
+    })
+    .generate();
+    let digests: Vec<Digest> = trace.iter().map(|tp| tp.packet.digest()).collect();
+    // HOP 3 (L's egress) sees the stream link_delay before HOP 4.
+    let t4: Vec<SimTime> = trace.iter().map(|tp| tp.ts).collect();
+    let t3: Vec<SimTime> = t4.iter().map(|&t| t - cfg.link_delay).collect();
+
+    // X's transit: congestion + loss between HOPs 4 and 5.
+    let fates = foreground_delays(&trace, &cfg.bottleneck, &cfg.cross, cfg.seed ^ 0xa1);
+    let channel = ChannelConfig {
+        delay: DelayModel::Series(fates),
+        loss: (cfg.loss > 0.0).then_some((cfg.loss, cfg.loss_burst)),
+        reorder: ReorderModel::none(),
+        seed: cfg.seed ^ 0xb2,
+    };
+    let out5 = apply(&t4, &channel);
+    let deliveries = arrivals(&out5); // observation order at HOP 5
+
+    // Ground truth for the verification segment (HOP 3 → HOP 6): delay
+    // through X plus both links.
+    let truth_3_to_6: Vec<f64> = deliveries
+        .iter()
+        .map(|d| {
+            (d.ts_out + cfg.link_delay).signed_delta(t3[d.idx]) as f64 / 1e6
+        })
+        .collect();
+    // Ground truth for X's own segment (HOP 4 → HOP 5).
+    let truth_4_to_5: Vec<f64> = deliveries
+        .iter()
+        .map(|d| d.ts_out.signed_delta(t4[d.idx]) as f64 / 1e6)
+        .collect();
+
+    let marker = Threshold::from_rate(cfg.marker_rate);
+    let sample_stream = |rate: f64, idx_times: &[(usize, SimTime)]| -> Vec<vpm_core::receipt::SampleRecord> {
+        let mut s = DelaySampler::new(marker, Threshold::from_rate(rate));
+        for &(i, t) in idx_times {
+            s.observe(digests[i], t);
+        }
+        s.drain()
+    };
+
+    let all4: Vec<(usize, SimTime)> = t4.iter().copied().enumerate().collect();
+    let all3: Vec<(usize, SimTime)> = t3.iter().copied().enumerate().collect();
+    let at5: Vec<(usize, SimTime)> = deliveries.iter().map(|d| (d.idx, d.ts_out)).collect();
+    let at6: Vec<(usize, SimTime)> = deliveries
+        .iter()
+        .map(|d| (d.idx, d.ts_out + cfg.link_delay))
+        .collect();
+
+    // X's self-report at its own rate — computed once.
+    let s4 = sample_stream(cfg.x_rate, &all4);
+    let s5 = sample_stream(cfg.x_rate, &at5);
+    let matched_self = match_samples(&s4, &s5);
+    let est_self: Vec<f64> = matched_self.iter().map(|m| m.delay_ms()).collect();
+    let self_acc = quantile_error(&truth_4_to_5, &est_self, &DEFAULT_QUANTILES)
+        .map(|r| r.max_error)
+        .unwrap_or(f64::INFINITY);
+
+    let mut points = Vec::new();
+    for &n_rate in &cfg.neighbor_rates {
+        let s3 = sample_stream(n_rate, &all3);
+        let s6 = sample_stream(n_rate, &at6);
+        let matched_verify = match_samples(&s3, &s6);
+        let est_verify: Vec<f64> = matched_verify.iter().map(|m| m.delay_ms()).collect();
+        let verify_acc = quantile_error(&truth_3_to_6, &est_verify, &DEFAULT_QUANTILES)
+            .map(|r| r.max_error)
+            .unwrap_or(f64::INFINITY);
+        points.push(VerifiabilityPoint {
+            neighbor_rate: n_rate,
+            self_accuracy_ms: self_acc,
+            verify_accuracy_ms: verify_acc,
+            matched_self: matched_self.len(),
+            matched_verify: matched_verify.len(),
+        });
+    }
+    points
+}
+
+/// Render as a text table.
+pub fn render_table(points: &[VerifiabilityPoint]) -> String {
+    let mut s = String::from(
+        "Verifiability (§7.2): X at fixed rate, neighbors swept\n  nbr-rate%   self-acc[ms]   verify-acc[ms]   matched(self/verify)\n",
+    );
+    for p in points {
+        s.push_str(&format!(
+            "{:>10.2} {:>14.3} {:>16.3}   {}/{}\n",
+            p.neighbor_rate * 100.0,
+            p.self_accuracy_ms,
+            p.verify_accuracy_ms,
+            p.matched_self,
+            p.matched_verify,
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_neighbor_rate_worsens_verification() {
+        let cfg = VerifiabilityConfig::quick(3);
+        let points = run(&cfg);
+        assert_eq!(points.len(), 2);
+        let hi = &points[0]; // 5%
+        let lo = &points[1]; // 0.5%
+        assert!(hi.matched_verify > lo.matched_verify);
+        assert!(
+            lo.verify_accuracy_ms >= hi.verify_accuracy_ms * 0.8,
+            "verification should not improve with fewer samples: {} vs {}",
+            lo.verify_accuracy_ms,
+            hi.verify_accuracy_ms
+        );
+    }
+
+    #[test]
+    fn matched_neighbor_rate_verifies_at_self_accuracy() {
+        let cfg = VerifiabilityConfig::quick(5);
+        let points = run(&cfg);
+        // Neighbor at X's own rate: verification accuracy within ~3× of
+        // self accuracy (same information content, different segment).
+        let p = &points[0];
+        assert!(
+            p.verify_accuracy_ms <= p.self_accuracy_ms * 3.0 + 0.5,
+            "verify {} vs self {}",
+            p.verify_accuracy_ms,
+            p.self_accuracy_ms
+        );
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = render_table(&run(&VerifiabilityConfig::quick(7)));
+        assert!(t.contains("Verifiability"));
+    }
+}

@@ -1,0 +1,39 @@
+//! VPM scenario orchestration.
+//!
+//! This crate assembles the substrates into the paper's world: multi-
+//! domain topologies (Figure 1), end-to-end path runs that push a
+//! trace through domains and feed every HOP's pipeline, a receipt
+//! dissemination bus with the paper's visibility rule, adversarial
+//! receipt policies (the threat model of §2.1), path-level verdicts
+//! (who is exposed when someone lies), and the drivers that regenerate
+//! every experiment of §7.
+//!
+//! * [`topology`] — domains, HOPs, inter-domain links; the canonical
+//!   Figure 1 topology `S–L–X–N–D`.
+//! * [`run`] — the path runner: trace in at HOP 1, receipts out of all
+//!   HOPs, ground truth retained for evaluation.
+//! * [`bus`] — receipt dissemination ("each receipt is made available
+//!   only to the domains that observed the corresponding traffic").
+//! * [`adversary`] — lying-domain strategies: blame shifting, delay
+//!   sugarcoating, marker dropping, collusive cover-up, and the
+//!   sample-bias attempt VPM is designed to defeat.
+//! * [`verdict`] — the receipt collector's path analysis: per-domain
+//!   estimates, per-link consistency, liar exposure.
+//! * [`experiments`] — Figure 2, Figure 3, the §7.2 verifiability
+//!   sweep and the design-choice ablations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod baselines;
+pub mod bus;
+pub mod experiments;
+pub mod partial;
+pub mod run;
+pub mod topology;
+pub mod verdict;
+
+pub use run::{PathRun, RunConfig};
+pub use topology::{DomainRole, Figure1, LinkSpec, Topology};
+pub use verdict::{analyze_path, PathAnalysis};

@@ -1,0 +1,432 @@
+//! The end-to-end path runner.
+//!
+//! Pushes a trace along a [`Topology`]: every HOP observes the stream
+//! through its (possibly imperfect) clock and feeds its VPM pipeline;
+//! every transit domain and inter-domain link transforms the stream
+//! (delay / loss / reordering) on the way. The runner retains ground
+//! truth (true per-domain delays and losses) so experiments can score
+//! the receipt-derived estimates against reality.
+
+use std::collections::HashMap;
+use vpm_core::processor::ReceiptBatch;
+use vpm_core::receipt::{AggReceipt, PathId, SampleRecord};
+use vpm_core::{HopConfig, HopPipeline};
+use vpm_hash::{Digest, Threshold};
+use vpm_netsim::channel::{apply, arrivals, ChannelConfig};
+use vpm_netsim::clock::HopClock;
+use vpm_packet::{DomainId, HopId, SimDuration, SimTime};
+use vpm_trace::TracePacket;
+
+use crate::topology::{DomainRole, Topology};
+
+/// Clock quality at the HOPs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockMode {
+    /// Perfect clocks (intra-domain sync is a domain's own interest).
+    Ideal,
+    /// NTP-grade clocks (±0.5 ms offset, drift, read jitter).
+    NtpGrade,
+}
+
+/// Per-HOP tuning overrides.
+#[derive(Debug, Clone, Copy)]
+pub struct HopTuning {
+    /// Delay-sampling rate `σ`-rate.
+    pub sampling_rate: f64,
+    /// Expected aggregate size in packets (sets `δ`).
+    pub aggregate_size: u64,
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Default sampling rate for HOPs without overrides.
+    pub sampling_rate: f64,
+    /// Default aggregate size for HOPs without overrides.
+    pub aggregate_size: u64,
+    /// System-wide marker rate `µ`.
+    pub marker_rate: f64,
+    /// Safety threshold `J`.
+    pub j_window: SimDuration,
+    /// Clock quality.
+    pub clocks: ClockMode,
+    /// Per-HOP overrides.
+    pub overrides: HashMap<HopId, HopTuning>,
+    /// If set, this transit domain drops every marker packet it carries
+    /// (the §5.3 attack).
+    pub marker_dropper: Option<DomainId>,
+    /// Seed for clock randomness.
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            sampling_rate: 0.01,
+            aggregate_size: 1000,
+            marker_rate: vpm_core::DEFAULT_MARKER_RATE,
+            j_window: SimDuration::from_millis(10),
+            clocks: ClockMode::Ideal,
+            overrides: HashMap::new(),
+            marker_dropper: None,
+            seed: 0,
+        }
+    }
+}
+
+/// Everything one HOP produced during a run.
+#[derive(Debug, Clone)]
+pub struct HopOutput {
+    /// The HOP.
+    pub hop: HopId,
+    /// Its domain.
+    pub domain: DomainId,
+    /// The `PathID` its receipts carry.
+    pub path: PathId,
+    /// The signed receipt batch.
+    pub batch: ReceiptBatch,
+    /// Flattened sample records (observation order).
+    pub samples: Vec<SampleRecord>,
+    /// Aggregate receipts (stream order).
+    pub aggregates: Vec<AggReceipt>,
+    /// Packets this HOP observed.
+    pub observed: usize,
+    /// The HOP's signing key.
+    pub key: u64,
+}
+
+/// Ground truth for one transit domain.
+#[derive(Debug, Clone)]
+pub struct DomainTruth {
+    /// The domain.
+    pub domain: DomainId,
+    /// Name for reporting.
+    pub name: String,
+    /// Packets entering the domain.
+    pub sent: u64,
+    /// Packets leaving the domain.
+    pub delivered: u64,
+    /// True per-packet transit delays (ms) of delivered packets.
+    pub delays_ms: Vec<f64>,
+}
+
+/// The result of a path run.
+#[derive(Debug, Clone)]
+pub struct PathRun {
+    /// Per-HOP outputs, in path order.
+    pub hops: Vec<HopOutput>,
+    /// Ground truth per transit domain, in path order.
+    pub truths: Vec<DomainTruth>,
+    /// Packets injected at the path head.
+    pub trace_len: usize,
+}
+
+impl PathRun {
+    /// Output of a HOP.
+    pub fn hop(&self, hop: HopId) -> Option<&HopOutput> {
+        self.hops.iter().find(|h| h.hop == hop)
+    }
+
+    /// Mutable output of a HOP (adversaries doctor receipts here).
+    pub fn hop_mut(&mut self, hop: HopId) -> Option<&mut HopOutput> {
+        self.hops.iter_mut().find(|h| h.hop == hop)
+    }
+
+    /// Ground truth of a transit domain by name.
+    pub fn truth(&self, name: &str) -> Option<&DomainTruth> {
+        self.truths.iter().find(|t| t.name == name)
+    }
+}
+
+/// Live packet stream: `(trace index, current time)` in observation
+/// order.
+type Stream = Vec<(usize, SimTime)>;
+
+fn transform(stream: &Stream, channel: &ChannelConfig) -> (Stream, Vec<f64>) {
+    let times: Vec<SimTime> = stream.iter().map(|&(_, t)| t).collect();
+    let out = apply(&times, channel);
+    let deliveries = arrivals(&out);
+    let mut delays = Vec::with_capacity(deliveries.len());
+    for d in &deliveries {
+        delays.push(
+            d.ts_out.signed_delta(times[d.idx]) as f64 / 1e6,
+        );
+    }
+    let next: Stream = deliveries
+        .iter()
+        .map(|d| (stream[d.idx].0, d.ts_out))
+        .collect();
+    (next, delays)
+}
+
+fn drop_markers(stream: &Stream, digests: &[Digest], marker: Threshold) -> Stream {
+    stream
+        .iter()
+        .filter(|&&(idx, _)| !marker.passes(digests[idx].0))
+        .copied()
+        .collect()
+}
+
+/// Run a trace through a topology.
+pub fn run_path(trace: &[TracePacket], topology: &Topology, cfg: &RunConfig) -> PathRun {
+    let digests: Vec<Digest> = trace.iter().map(|tp| tp.packet.digest()).collect();
+    let marker = Threshold::from_rate(cfg.marker_rate);
+
+    // Build pipelines and clocks.
+    let hop_order = topology.hops();
+    let mut pipelines: HashMap<HopId, (HopPipeline, HopClock, PathId)> = HashMap::new();
+    for (pos, &hop) in hop_order.iter().enumerate() {
+        let dom = topology.domain_of(hop).expect("hop has a domain");
+        let tuning = cfg.overrides.get(&hop).copied().unwrap_or(HopTuning {
+            sampling_rate: cfg.sampling_rate,
+            aggregate_size: cfg.aggregate_size,
+        });
+        let max_diff = topology
+            .link_max_diff(hop)
+            .unwrap_or(SimDuration::from_millis(2));
+        let hop_cfg = HopConfig::new(hop, dom.id)
+            .with_sampling_rate(tuning.sampling_rate)
+            .with_aggregate_size(tuning.aggregate_size)
+            .with_marker_rate(cfg.marker_rate)
+            .with_j_window(cfg.j_window)
+            .with_max_diff(max_diff);
+        let path = PathId {
+            spec: topology.spec,
+            prev_hop: (pos > 0).then(|| hop_order[pos - 1]),
+            next_hop: hop_order.get(pos + 1).copied(),
+            max_diff,
+        };
+        let mut pipe = HopPipeline::new(hop_cfg);
+        pipe.register_path(path);
+        let clock = match cfg.clocks {
+            ClockMode::Ideal => HopClock::ideal(),
+            ClockMode::NtpGrade => HopClock::ntp_grade(cfg.seed ^ (hop.0 as u64) << 8),
+        };
+        pipelines.insert(hop, (pipe, clock, path));
+    }
+
+    let observe = |pipelines: &mut HashMap<HopId, (HopPipeline, HopClock, PathId)>,
+                       hop: HopId,
+                       stream: &Stream| {
+        let (pipe, clock, _) = pipelines.get_mut(&hop).expect("registered hop");
+        for &(idx, t) in stream {
+            let local = clock.read(t);
+            pipe.collector.observe_digest(0, digests[idx], local);
+        }
+    };
+
+    // Walk the path.
+    let mut stream: Stream = trace
+        .iter()
+        .enumerate()
+        .map(|(i, tp)| (i, tp.ts))
+        .collect();
+    let mut truths = Vec::new();
+    let mut observed_count: HashMap<HopId, usize> = HashMap::new();
+
+    for (d_idx, dom) in topology.domains.iter().enumerate() {
+        if let Some(ingress) = dom.ingress {
+            observed_count.insert(ingress, stream.len());
+            observe(&mut pipelines, ingress, &stream);
+        }
+        if dom.role == DomainRole::Transit {
+            let sent = stream.len() as u64;
+            let (mut next, delays) = transform(&stream, &dom.transit);
+            if cfg.marker_dropper == Some(dom.id) {
+                next = drop_markers(&next, &digests, marker);
+            }
+            truths.push(DomainTruth {
+                domain: dom.id,
+                name: dom.name.clone(),
+                sent,
+                delivered: next.len() as u64,
+                delays_ms: if cfg.marker_dropper == Some(dom.id) {
+                    Vec::new() // delays no longer aligned after marker drop
+                } else {
+                    delays
+                },
+            });
+            stream = next;
+        }
+        if let Some(egress) = dom.egress {
+            observed_count.insert(egress, stream.len());
+            observe(&mut pipelines, egress, &stream);
+        }
+        // Inter-domain link to the next domain.
+        if d_idx < topology.links.len() {
+            let (next, _) = transform(&stream, &topology.links[d_idx].channel);
+            stream = next;
+        }
+    }
+
+    // Final reports.
+    let mut hops = Vec::new();
+    for &hop in &hop_order {
+        let (mut pipe, _, path) = pipelines.remove(&hop).expect("still present");
+        let dom = topology.domain_of(hop).expect("hop has a domain").id;
+        let key = pipe.processor.key();
+        let batch = pipe.final_report();
+        let samples: Vec<SampleRecord> = batch
+            .samples
+            .iter()
+            .flat_map(|r| r.samples.iter().copied())
+            .collect();
+        let aggregates = batch.aggregates.clone();
+        hops.push(HopOutput {
+            hop,
+            domain: dom,
+            path,
+            batch,
+            samples,
+            aggregates,
+            observed: observed_count.get(&hop).copied().unwrap_or(0),
+            key,
+        });
+    }
+
+    PathRun {
+        hops,
+        truths,
+        trace_len: trace.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Figure1;
+    use vpm_netsim::channel::DelayModel;
+    use vpm_netsim::reorder::ReorderModel;
+    use vpm_trace::{TraceConfig, TraceGenerator};
+
+    fn trace(n_ms: u64, seed: u64) -> Vec<TracePacket> {
+        let cfg = TraceConfig {
+            target_pps: 50_000.0,
+            duration: SimDuration::from_millis(n_ms),
+            ..TraceConfig::paper_default(1, seed)
+        };
+        TraceGenerator::new(cfg).generate()
+    }
+
+    fn quick_cfg() -> RunConfig {
+        RunConfig {
+            sampling_rate: 0.05,
+            aggregate_size: 500,
+            marker_rate: 0.01,
+            j_window: SimDuration::from_millis(2),
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn ideal_run_all_hops_see_everything() {
+        let t = trace(200, 1);
+        let run = run_path(&t, &Figure1::ideal().build(), &quick_cfg());
+        assert_eq!(run.hops.len(), 8);
+        for h in &run.hops {
+            assert_eq!(h.observed, t.len(), "{} observed", h.hop);
+            assert!(!h.samples.is_empty());
+            assert!(!h.aggregates.is_empty());
+            assert!(h.batch.verify_tag(h.key));
+        }
+        for truth in &run.truths {
+            assert_eq!(truth.sent, truth.delivered, "{}", truth.name);
+        }
+    }
+
+    #[test]
+    fn lossy_domain_shrinks_stream() {
+        let t = trace(200, 2);
+        let mut fig = Figure1::ideal();
+        fig.x_transit = ChannelConfig {
+            delay: DelayModel::Constant(SimDuration::from_millis(1)),
+            loss: Some((0.2, 5.0)),
+            reorder: ReorderModel::none(),
+            seed: 7,
+        };
+        let run = run_path(&t, &fig.build(), &quick_cfg());
+        let x = run.truth("X").unwrap();
+        let loss = 1.0 - x.delivered as f64 / x.sent as f64;
+        assert!((loss - 0.2).abs() < 0.05, "loss {loss}");
+        // Downstream HOPs observe fewer packets.
+        assert!(run.hop(HopId(5)).unwrap().observed < run.hop(HopId(4)).unwrap().observed);
+        assert_eq!(
+            run.hop(HopId(5)).unwrap().observed,
+            run.hop(HopId(8)).unwrap().observed
+        );
+    }
+
+    #[test]
+    fn estimates_recover_truth_on_ideal_path() {
+        let t = trace(300, 3);
+        let run = run_path(&t, &Figure1::ideal().build(), &quick_cfg());
+        let v = vpm_core::verify::Verifier::default();
+        let h4 = run.hop(HopId(4)).unwrap();
+        let h5 = run.hop(HopId(5)).unwrap();
+        let est = v.estimate_domain(&h4.samples, &h4.aggregates, &h5.samples, &h5.aggregates);
+        assert_eq!(est.loss.rate().unwrap_or(1.0), 0.0, "no loss in X");
+        let delay = est.delay.expect("matched samples exist");
+        for q in &delay.quantiles {
+            assert!((q.value - 0.1).abs() < 0.01, "transit 100µs, got {q:?}");
+        }
+    }
+
+    #[test]
+    fn marker_dropper_desyncs_sampling() {
+        let t = trace(200, 4);
+        let topo = Figure1::ideal().build();
+        let clean = run_path(&t, &topo, &quick_cfg());
+        let mut cfg = quick_cfg();
+        cfg.marker_dropper = Some(topo.domain_by_name("X").unwrap().id);
+        let attacked = run_path(&t, &topo, &cfg);
+        // Downstream of X (HOP 6), the sample yield matched against HOP 4
+        // collapses compared to the clean run.
+        let matched = |run: &PathRun| {
+            vpm_core::verify::match_samples(
+                &run.hop(HopId(4)).unwrap().samples,
+                &run.hop(HopId(6)).unwrap().samples,
+            )
+            .len()
+        };
+        let m_clean = matched(&clean);
+        let m_attacked = matched(&attacked);
+        assert!(
+            (m_attacked as f64) < 0.7 * m_clean as f64,
+            "clean {m_clean} vs attacked {m_attacked}"
+        );
+        // But markers are *expected* receipts: HOP 4 sampled markers that
+        // HOP 6 never reports — standing evidence against X (§5.3).
+        let h4 = &attacked.hop(HopId(4)).unwrap().samples;
+        let h6_ids: std::collections::HashSet<_> = attacked
+            .hop(HopId(6))
+            .unwrap()
+            .samples
+            .iter()
+            .map(|r| r.pkt_id)
+            .collect();
+        let marker = Threshold::from_rate(0.01);
+        let vanished_markers = h4
+            .iter()
+            .filter(|r| marker.passes(r.pkt_id.0) && !h6_ids.contains(&r.pkt_id))
+            .count();
+        assert!(vanished_markers > 0);
+    }
+
+    #[test]
+    fn ntp_clocks_still_yield_usable_delays() {
+        let t = trace(200, 5);
+        let mut cfg = quick_cfg();
+        cfg.clocks = ClockMode::NtpGrade;
+        let run = run_path(&t, &Figure1::ideal().build(), &cfg);
+        let v = vpm_core::verify::Verifier::default();
+        let h4 = run.hop(HopId(4)).unwrap();
+        let h5 = run.hop(HopId(5)).unwrap();
+        let matched = vpm_core::verify::match_samples(&h4.samples, &h5.samples);
+        let est = v.estimate_delay(&matched).unwrap();
+        // Transit is 100µs; NTP-grade offsets can push readings around by
+        // ~±1 ms but not more.
+        for q in &est.quantiles {
+            assert!(q.value.abs() < 1.5, "{q:?}");
+        }
+    }
+}

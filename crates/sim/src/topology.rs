@@ -1,0 +1,221 @@
+//! Domain-level topologies.
+//!
+//! A topology is an ordered chain of domains along one HOP path, each
+//! contributing up to two HOPs (ingress and egress), connected by
+//! inter-domain links. The canonical instance is the paper's Figure 1:
+//! source domain `S` (HOP 1), transit domains `L` (HOPs 2,3), `X`
+//! (HOPs 4,5), `N` (HOPs 6,7) and destination `D` (HOP 8).
+
+use serde::{Deserialize, Serialize};
+use vpm_netsim::channel::ChannelConfig;
+use vpm_packet::{DomainId, HeaderSpec, HopId, SimDuration};
+
+/// What part a domain plays on the path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DomainRole {
+    /// Originates the traffic; has only an egress HOP.
+    Source,
+    /// Forwards the traffic; has ingress and egress HOPs.
+    Transit,
+    /// Terminates the traffic; has only an ingress HOP.
+    Destination,
+}
+
+/// One domain on the path.
+#[derive(Debug, Clone)]
+pub struct DomainSpec {
+    /// Identifier.
+    pub id: DomainId,
+    /// Human-readable name ("S", "L", "X", …).
+    pub name: String,
+    /// Role on this path.
+    pub role: DomainRole,
+    /// Ingress HOP (absent for the source).
+    pub ingress: Option<HopId>,
+    /// Egress HOP (absent for the destination).
+    pub egress: Option<HopId>,
+    /// What the domain does to transit traffic between its HOPs.
+    /// Ignored for source/destination domains.
+    pub transit: ChannelConfig,
+}
+
+/// An inter-domain link between the egress HOP of one domain and the
+/// ingress HOP of the next.
+#[derive(Debug, Clone)]
+pub struct LinkSpec {
+    /// Delivering HOP.
+    pub up: HopId,
+    /// Receiving HOP.
+    pub down: HopId,
+    /// Link behaviour (normally near-ideal).
+    pub channel: ChannelConfig,
+    /// The `MaxDiff` both ends advertise for this link.
+    pub max_diff: SimDuration,
+}
+
+/// An ordered chain of domains and the links between them.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// Domains in path order.
+    pub domains: Vec<DomainSpec>,
+    /// Links in path order (`domains.len() - 1` of them).
+    pub links: Vec<LinkSpec>,
+    /// The prefix pair naming this HOP path.
+    pub spec: HeaderSpec,
+}
+
+impl Topology {
+    /// All HOPs in path order.
+    pub fn hops(&self) -> Vec<HopId> {
+        let mut v = Vec::new();
+        for d in &self.domains {
+            if let Some(h) = d.ingress {
+                v.push(h);
+            }
+            if let Some(h) = d.egress {
+                v.push(h);
+            }
+        }
+        v
+    }
+
+    /// The domain owning a HOP.
+    pub fn domain_of(&self, hop: HopId) -> Option<&DomainSpec> {
+        self.domains
+            .iter()
+            .find(|d| d.ingress == Some(hop) || d.egress == Some(hop))
+    }
+
+    /// The `MaxDiff` of the link a HOP sits on (every HOP is on exactly
+    /// one inter-domain link).
+    pub fn link_max_diff(&self, hop: HopId) -> Option<SimDuration> {
+        self.links
+            .iter()
+            .find(|l| l.up == hop || l.down == hop)
+            .map(|l| l.max_diff)
+    }
+
+    /// Domain ids in path order.
+    pub fn domain_ids(&self) -> Vec<DomainId> {
+        self.domains.iter().map(|d| d.id).collect()
+    }
+
+    /// Index of a domain by name.
+    pub fn domain_by_name(&self, name: &str) -> Option<&DomainSpec> {
+        self.domains.iter().find(|d| d.name == name)
+    }
+}
+
+/// Builder for the paper's Figure 1 topology.
+#[derive(Debug, Clone)]
+pub struct Figure1 {
+    /// What domain `X` does to transit traffic (the domain under
+    /// evaluation; Figure 2 congests it).
+    pub x_transit: ChannelConfig,
+    /// What domain `L` does (near-ideal by default).
+    pub l_transit: ChannelConfig,
+    /// What domain `N` does (near-ideal by default).
+    pub n_transit: ChannelConfig,
+    /// Inter-domain link delay.
+    pub link_delay: SimDuration,
+    /// Advertised `MaxDiff` on every link.
+    pub max_diff: SimDuration,
+    /// The path's prefix pair.
+    pub spec: HeaderSpec,
+}
+
+impl Figure1 {
+    /// Defaults: ideal 100 µs transits everywhere, 50 µs links,
+    /// `MaxDiff` = 2 ms, the trace generator's default prefix pair.
+    pub fn ideal() -> Self {
+        Figure1 {
+            x_transit: ChannelConfig::ideal(SimDuration::from_micros(100)),
+            l_transit: ChannelConfig::ideal(SimDuration::from_micros(100)),
+            n_transit: ChannelConfig::ideal(SimDuration::from_micros(100)),
+            link_delay: SimDuration::from_micros(50),
+            max_diff: SimDuration::from_millis(2),
+            spec: vpm_trace::TraceConfig::paper_default(1, 0).spec,
+        }
+    }
+
+    /// Materialize the topology: S(1) – L(2,3) – X(4,5) – N(6,7) – D(8).
+    pub fn build(self) -> Topology {
+        let d = |i: u16, name: &str, role, ing: Option<u16>, eg: Option<u16>, ch: ChannelConfig| {
+            DomainSpec {
+                id: DomainId(i),
+                name: name.to_string(),
+                role,
+                ingress: ing.map(HopId),
+                egress: eg.map(HopId),
+                transit: ch,
+            }
+        };
+        let ideal_transit = ChannelConfig::ideal(SimDuration::from_micros(10));
+        let domains = vec![
+            d(0, "S", DomainRole::Source, None, Some(1), ideal_transit.clone()),
+            d(1, "L", DomainRole::Transit, Some(2), Some(3), self.l_transit),
+            d(2, "X", DomainRole::Transit, Some(4), Some(5), self.x_transit),
+            d(3, "N", DomainRole::Transit, Some(6), Some(7), self.n_transit),
+            d(4, "D", DomainRole::Destination, Some(8), None, ideal_transit),
+        ];
+        let link = |up: u16, down: u16| LinkSpec {
+            up: HopId(up),
+            down: HopId(down),
+            channel: ChannelConfig::ideal(self.link_delay),
+            max_diff: self.max_diff,
+        };
+        Topology {
+            domains,
+            links: vec![link(1, 2), link(3, 4), link(5, 6), link(7, 8)],
+            spec: self.spec,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_shape() {
+        let t = Figure1::ideal().build();
+        assert_eq!(t.domains.len(), 5);
+        assert_eq!(t.links.len(), 4);
+        assert_eq!(
+            t.hops(),
+            (1..=8).map(HopId).collect::<Vec<_>>(),
+            "HOPs 1..8 in path order"
+        );
+    }
+
+    #[test]
+    fn hop_ownership() {
+        let t = Figure1::ideal().build();
+        assert_eq!(t.domain_of(HopId(4)).unwrap().name, "X");
+        assert_eq!(t.domain_of(HopId(5)).unwrap().name, "X");
+        assert_eq!(t.domain_of(HopId(1)).unwrap().name, "S");
+        assert!(t.domain_of(HopId(9)).is_none());
+    }
+
+    #[test]
+    fn every_hop_on_exactly_one_link() {
+        let t = Figure1::ideal().build();
+        for h in t.hops() {
+            let n = t
+                .links
+                .iter()
+                .filter(|l| l.up == h || l.down == h)
+                .count();
+            assert_eq!(n, 1, "{h} on {n} links");
+        }
+        assert_eq!(t.link_max_diff(HopId(5)), Some(SimDuration::from_millis(2)));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let t = Figure1::ideal().build();
+        assert_eq!(t.domain_by_name("X").unwrap().id, DomainId(2));
+        assert!(t.domain_by_name("Z").is_none());
+        assert_eq!(t.domain_ids().len(), 5);
+    }
+}

@@ -1,0 +1,298 @@
+//! Path-level analysis: the receipt collector's view.
+//!
+//! A collector gathers receipts from *all* HOPs on a path (§3.1 shows
+//! why anything less destroys the honesty incentives), computes every
+//! domain's loss/delay estimate, checks every inter-domain link's
+//! consistency, and reports which links carry inconsistent claims —
+//! each such link implicates its two adjacent domains, and the
+//! implicated honest domain knows exactly who lied.
+
+use serde::{Deserialize, Serialize};
+use vpm_core::verify::{DomainEstimate, LinkReport, Verifier};
+use vpm_packet::{DomainId, HopId};
+
+use crate::run::PathRun;
+use crate::topology::{DomainRole, Topology};
+
+/// One transit domain's receipt-derived estimate.
+#[derive(Debug, Clone)]
+pub struct DomainReport {
+    /// The domain.
+    pub domain: DomainId,
+    /// Its name.
+    pub name: String,
+    /// Ingress/egress HOPs used.
+    pub hops: (HopId, HopId),
+    /// The estimate.
+    pub estimate: DomainEstimate,
+}
+
+/// One inter-domain link's consistency verdict.
+#[derive(Debug, Clone)]
+pub struct LinkVerdict {
+    /// Delivering HOP.
+    pub up: HopId,
+    /// Receiving HOP.
+    pub down: HopId,
+    /// The two domains the link implicates when inconsistent.
+    pub implicates: (DomainId, DomainId),
+    /// The consistency report.
+    pub report: LinkReport,
+}
+
+/// The collector's full path analysis.
+#[derive(Debug, Clone)]
+pub struct PathAnalysis {
+    /// Per-transit-domain estimates.
+    pub domains: Vec<DomainReport>,
+    /// Per-link verdicts.
+    pub links: Vec<LinkVerdict>,
+}
+
+impl PathAnalysis {
+    /// Links whose receipts are inconsistent, with the implicated
+    /// domain pairs — "the liar is exposed to the neighbor it
+    /// implicated" (§3.1).
+    pub fn flagged_links(&self) -> Vec<&LinkVerdict> {
+        self.links
+            .iter()
+            .filter(|l| !l.report.is_consistent())
+            .collect()
+    }
+
+    /// The estimate for a domain by name.
+    pub fn domain(&self, name: &str) -> Option<&DomainReport> {
+        self.domains.iter().find(|d| d.name == name)
+    }
+
+    /// Are all links consistent?
+    pub fn all_consistent(&self) -> bool {
+        self.links.iter().all(|l| l.report.is_consistent())
+    }
+}
+
+/// Summary suitable for printing (used by examples).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DomainSummary {
+    /// Domain name.
+    pub name: String,
+    /// Estimated loss rate, if computable.
+    pub loss_rate: Option<f64>,
+    /// Estimated median delay (ms), if computable.
+    pub median_delay_ms: Option<f64>,
+    /// Estimated 90th-percentile delay (ms), if computable.
+    pub p90_delay_ms: Option<f64>,
+    /// Matched samples backing the delay estimate.
+    pub matched_samples: usize,
+}
+
+impl DomainReport {
+    /// Condense for display.
+    pub fn summary(&self) -> DomainSummary {
+        let q = |target: f64| {
+            self.estimate.delay.as_ref().and_then(|d| {
+                d.quantiles
+                    .iter()
+                    .find(|e| (e.q - target).abs() < 1e-9)
+                    .map(|e| e.value)
+            })
+        };
+        DomainSummary {
+            name: self.name.clone(),
+            loss_rate: self.estimate.loss.rate(),
+            median_delay_ms: q(0.5),
+            p90_delay_ms: q(0.9),
+            matched_samples: self.estimate.matched_samples,
+        }
+    }
+}
+
+/// Analyze a completed path run (possibly doctored by adversaries).
+pub fn analyze_path(topology: &Topology, run: &PathRun) -> PathAnalysis {
+    let verifier = Verifier::default();
+
+    let mut domains = Vec::new();
+    for dom in &topology.domains {
+        if dom.role != DomainRole::Transit {
+            continue;
+        }
+        let (ing, eg) = (
+            dom.ingress.expect("transit has ingress"),
+            dom.egress.expect("transit has egress"),
+        );
+        let (Some(hi), Some(he)) = (run.hop(ing), run.hop(eg)) else {
+            continue;
+        };
+        let estimate = verifier.estimate_domain(
+            &hi.samples,
+            &hi.aggregates,
+            &he.samples,
+            &he.aggregates,
+        );
+        domains.push(DomainReport {
+            domain: dom.id,
+            name: dom.name.clone(),
+            hops: (ing, eg),
+            estimate,
+        });
+    }
+
+    let mut links = Vec::new();
+    for link in &topology.links {
+        let (Some(up), Some(down)) = (run.hop(link.up), run.hop(link.down)) else {
+            continue;
+        };
+        let report = verifier.check_link(
+            &up.path,
+            &up.samples,
+            &up.aggregates,
+            &down.path,
+            &down.samples,
+            &down.aggregates,
+        );
+        links.push(LinkVerdict {
+            up: link.up,
+            down: link.down,
+            implicates: (up.domain, down.domain),
+            report,
+        });
+    }
+
+    PathAnalysis { domains, links }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{apply_lie, cover_up, LieStrategy};
+    use crate::run::{run_path, RunConfig};
+    use crate::topology::Figure1;
+    use vpm_netsim::channel::{ChannelConfig, DelayModel};
+    use vpm_netsim::reorder::ReorderModel;
+    use vpm_packet::SimDuration;
+    use vpm_trace::{TraceConfig, TraceGenerator};
+
+    fn scenario(loss_in_x: f64) -> (Topology, PathRun) {
+        let t = TraceGenerator::new(TraceConfig {
+            target_pps: 50_000.0,
+            duration: SimDuration::from_millis(200),
+            ..TraceConfig::paper_default(1, 17)
+        })
+        .generate();
+        let mut fig = Figure1::ideal();
+        if loss_in_x > 0.0 {
+            fig.x_transit = ChannelConfig {
+                delay: DelayModel::Constant(SimDuration::from_micros(200)),
+                loss: Some((loss_in_x, 4.0)),
+                reorder: ReorderModel::none(),
+                seed: 5,
+            };
+        }
+        let topo = fig.build();
+        let cfg = RunConfig {
+            sampling_rate: 0.05,
+            aggregate_size: 500,
+            marker_rate: 0.01,
+            j_window: SimDuration::from_millis(2),
+            ..RunConfig::default()
+        };
+        let run = run_path(&t, &topo, &cfg);
+        (topo, run)
+    }
+
+    #[test]
+    fn honest_lossy_domain_is_consistent_and_measured() {
+        let (topo, run) = scenario(0.2);
+        let analysis = analyze_path(&topo, &run);
+        assert!(analysis.all_consistent(), "honest receipts must check out");
+        let x = analysis.domain("X").unwrap();
+        let loss = x.estimate.loss.rate().unwrap();
+        assert!((loss - 0.2).abs() < 0.05, "estimated X loss {loss}");
+        // The innocent neighbors show ~no loss.
+        for name in ["L", "N"] {
+            let d = analysis.domain(name).unwrap();
+            assert!(d.estimate.loss.rate().unwrap_or(0.0) < 0.01, "{name}");
+        }
+    }
+
+    #[test]
+    fn blame_shift_liar_exposed_on_its_link() {
+        let (topo, mut run) = scenario(0.2);
+        let ingress = run.hop(vpm_packet::HopId(4)).unwrap().clone();
+        apply_lie(
+            &ingress,
+            run.hop_mut(vpm_packet::HopId(5)).unwrap(),
+            LieStrategy::BlameShiftLoss {
+                claimed_delay: SimDuration::from_micros(200),
+            },
+        );
+        let analysis = analyze_path(&topo, &run);
+        // X now *looks* lossless from its own receipts…
+        let x_loss = analysis.domain("X").unwrap().estimate.loss.rate().unwrap();
+        assert!(x_loss < 0.01, "liar hides its loss: {x_loss}");
+        // …but the X→N link is inconsistent, implicating X to N.
+        let flagged = analysis.flagged_links();
+        assert!(!flagged.is_empty(), "the lie must surface somewhere");
+        assert!(flagged.iter().any(|l| {
+            l.up == vpm_packet::HopId(5)
+                && l.implicates
+                    == (
+                        topo.domain_by_name("X").unwrap().id,
+                        topo.domain_by_name("N").unwrap().id,
+                    )
+        }));
+        // No *other* link is flagged: the evidence localizes the lie.
+        for l in &flagged {
+            assert_eq!(l.up, vpm_packet::HopId(5), "only the X→N link: {:?}", l.up);
+        }
+    }
+
+    #[test]
+    fn colluding_cover_up_moves_blame_into_accomplice() {
+        let (topo, mut run) = scenario(0.2);
+        let ingress4 = run.hop(vpm_packet::HopId(4)).unwrap().clone();
+        apply_lie(
+            &ingress4,
+            run.hop_mut(vpm_packet::HopId(5)).unwrap(),
+            LieStrategy::BlameShiftLoss {
+                claimed_delay: SimDuration::from_micros(200),
+            },
+        );
+        let liar_egress = run.hop(vpm_packet::HopId(5)).unwrap().clone();
+        cover_up(&liar_egress, run.hop_mut(vpm_packet::HopId(6)).unwrap());
+        let analysis = analyze_path(&topo, &run);
+        // The X→N link now *looks* consistent…
+        let xn = analysis
+            .links
+            .iter()
+            .find(|l| l.up == vpm_packet::HopId(5))
+            .unwrap();
+        assert!(xn.report.is_consistent(), "cover-up hides the X→N mismatch");
+        // …but N is left holding X's loss: either N's own estimate shows
+        // the loss (it reported its egress honestly) or the N→D link is
+        // inconsistent. Here N's egress is honest, so the loss lands on N.
+        let n_loss = analysis.domain("N").unwrap().estimate.loss.rate().unwrap();
+        assert!(
+            n_loss > 0.15,
+            "the accomplice inherits the blame: N loss {n_loss}"
+        );
+    }
+
+    #[test]
+    fn sugarcoat_delay_breaks_link_rule() {
+        let (topo, mut run) = scenario(0.0);
+        let ingress = run.hop(vpm_packet::HopId(4)).unwrap().clone();
+        apply_lie(
+            &ingress,
+            run.hop_mut(vpm_packet::HopId(5)).unwrap(),
+            LieStrategy::SugarcoatDelay {
+                shave: SimDuration::from_millis(5), // hide 5 ms of delay
+            },
+        );
+        let analysis = analyze_path(&topo, &run);
+        // Claiming earlier egress times makes the X→N link transit look
+        // LONGER than MaxDiff: rule 2 fires.
+        let flagged = analysis.flagged_links();
+        assert!(flagged.iter().any(|l| l.up == vpm_packet::HopId(5)));
+    }
+}

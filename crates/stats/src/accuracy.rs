@@ -1,0 +1,110 @@
+//! The "delay accuracy" metric of the paper's Figure 2.
+//!
+//! Figure 2 reports "the accuracy with which domain X's delay
+//! performance is estimated" in milliseconds, as a function of sampling
+//! rate and loss. We operationalize accuracy the way the underlying
+//! \[20\] technique does: compare the quantile function estimated from
+//! the matched samples against the ground-truth quantile function of
+//! *all* packets, and report the worst error over a set of quantiles of
+//! interest (by default the deciles plus the 95th and 99th percentiles
+//! — SLAs are stated over such upper quantiles).
+
+use crate::quantile::empirical_quantile;
+use serde::{Deserialize, Serialize};
+
+/// Default quantile set over which accuracy is evaluated.
+pub const DEFAULT_QUANTILES: [f64; 11] = [
+    0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99,
+];
+
+/// Per-quantile and worst-case estimation error.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantileErrorReport {
+    /// `(q, true value, estimated value)` triples.
+    pub per_quantile: Vec<(f64, f64, f64)>,
+    /// Worst absolute error across the quantile set.
+    pub max_error: f64,
+    /// Mean absolute error across the quantile set.
+    pub mean_error: f64,
+    /// Number of samples the estimate used.
+    pub n_samples: usize,
+}
+
+/// Compare estimated quantiles (from `samples`) against ground truth
+/// (from `truth`) over `quantiles`. Inputs need not be sorted.
+///
+/// Returns `None` when either input is empty (no estimate possible).
+pub fn quantile_error(
+    truth: &[f64],
+    samples: &[f64],
+    quantiles: &[f64],
+) -> Option<QuantileErrorReport> {
+    if truth.is_empty() || samples.is_empty() || quantiles.is_empty() {
+        return None;
+    }
+    let mut t: Vec<f64> = truth.to_vec();
+    let mut s: Vec<f64> = samples.to_vec();
+    t.sort_by(|a, b| a.partial_cmp(b).expect("NaN in truth"));
+    s.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+
+    let mut per_quantile = Vec::with_capacity(quantiles.len());
+    let mut max_error: f64 = 0.0;
+    let mut sum = 0.0;
+    for &q in quantiles {
+        let tv = empirical_quantile(&t, q);
+        let sv = empirical_quantile(&s, q);
+        let err = (tv - sv).abs();
+        max_error = max_error.max(err);
+        sum += err;
+        per_quantile.push((q, tv, sv));
+    }
+    Some(QuantileErrorReport {
+        per_quantile,
+        max_error,
+        mean_error: sum / quantiles.len() as f64,
+        n_samples: samples.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_sample_zero_error() {
+        let truth: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let r = quantile_error(&truth, &truth, &DEFAULT_QUANTILES).unwrap();
+        assert!(r.max_error < 1e-9);
+        assert!(r.mean_error < 1e-9);
+    }
+
+    #[test]
+    fn biased_sample_large_error() {
+        // Sample only the fastest half — classic "sugarcoating".
+        let truth: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let biased: Vec<f64> = (0..500).map(|i| i as f64).collect();
+        let r = quantile_error(&truth, &biased, &DEFAULT_QUANTILES).unwrap();
+        assert!(r.max_error > 400.0, "max_error {}", r.max_error);
+    }
+
+    #[test]
+    fn random_thinning_small_error() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(3);
+        let truth: Vec<f64> = (0..100_000).map(|_| rng.gen::<f64>() * 10.0).collect();
+        let sample: Vec<f64> = truth
+            .iter()
+            .copied()
+            .filter(|_| rng.gen::<f64>() < 0.01)
+            .collect();
+        let r = quantile_error(&truth, &sample, &DEFAULT_QUANTILES).unwrap();
+        assert!(r.max_error < 0.5, "max_error {}", r.max_error);
+    }
+
+    #[test]
+    fn empty_inputs_yield_none() {
+        assert!(quantile_error(&[], &[1.0], &DEFAULT_QUANTILES).is_none());
+        assert!(quantile_error(&[1.0], &[], &DEFAULT_QUANTILES).is_none());
+        assert!(quantile_error(&[1.0], &[1.0], &[]).is_none());
+    }
+}

@@ -1,0 +1,117 @@
+//! Loss-rate statistics.
+//!
+//! VPM computes *exact* loss from aggregate packet counts (paper §4)
+//! and can additionally *estimate* loss from the sampled subset (as in
+//! Trajectory Sampling ++, §3.2). The estimators here serve both: exact
+//! ratios for aggregates, Wilson score intervals for sampled loss.
+
+use crate::normal::phi_inv;
+use serde::{Deserialize, Serialize};
+
+/// Sent/delivered counters with exact rate computation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LossStats {
+    /// Packets observed entering (e.g. at the ingress HOP).
+    pub sent: u64,
+    /// Packets observed leaving (e.g. at the egress HOP).
+    pub delivered: u64,
+}
+
+impl LossStats {
+    /// New counter pair.
+    pub fn new(sent: u64, delivered: u64) -> Self {
+        LossStats { sent, delivered }
+    }
+
+    /// Packets lost (saturating — a lying reporter can claim more
+    /// delivered than sent; the verifier handles that separately).
+    pub fn lost(&self) -> u64 {
+        self.sent.saturating_sub(self.delivered)
+    }
+
+    /// Exact loss rate in `[0, 1]`; `None` when nothing was sent.
+    pub fn rate(&self) -> Option<f64> {
+        if self.sent == 0 {
+            None
+        } else {
+            Some(self.lost() as f64 / self.sent as f64)
+        }
+    }
+
+    /// Accumulate another counter pair.
+    pub fn merge(&mut self, other: LossStats) {
+        self.sent += other.sent;
+        self.delivered += other.delivered;
+    }
+}
+
+/// Wilson score interval for a binomial proportion: `k` successes out
+/// of `n` trials at the given confidence level. Returns `(lo, hi)`.
+///
+/// # Panics
+/// Panics if `n == 0`, `k > n`, or confidence outside `(0, 1)`.
+pub fn wilson_interval(k: u64, n: u64, confidence: f64) -> (f64, f64) {
+    assert!(n > 0, "wilson_interval needs n > 0");
+    assert!(k <= n, "k={k} > n={n}");
+    assert!(confidence > 0.0 && confidence < 1.0);
+    let z = phi_inv(0.5 + confidence / 2.0);
+    let n_f = n as f64;
+    let p = k as f64 / n_f;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n_f;
+    let center = (p + z2 / (2.0 * n_f)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n_f + z2 / (4.0 * n_f * n_f)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_rate() {
+        let l = LossStats::new(1000, 750);
+        assert_eq!(l.lost(), 250);
+        assert!((l.rate().unwrap() - 0.25).abs() < 1e-12);
+        assert_eq!(LossStats::default().rate(), None);
+    }
+
+    #[test]
+    fn lying_reporter_saturates() {
+        let l = LossStats::new(10, 15); // claims delivering more than sent
+        assert_eq!(l.lost(), 0);
+        assert_eq!(l.rate().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = LossStats::new(100, 90);
+        a.merge(LossStats::new(50, 40));
+        assert_eq!(a, LossStats::new(150, 130));
+    }
+
+    #[test]
+    fn wilson_basic_properties() {
+        let (lo, hi) = wilson_interval(5, 100, 0.95);
+        assert!(lo < 0.05 && 0.05 < hi, "({lo}, {hi})");
+        assert!(lo >= 0.0 && hi <= 1.0);
+        // Extremes stay in range.
+        let (lo0, _) = wilson_interval(0, 100, 0.95);
+        assert_eq!(lo0, 0.0);
+        let (_, hi1) = wilson_interval(100, 100, 0.95);
+        assert_eq!(hi1, 1.0);
+    }
+
+    #[test]
+    fn wilson_narrows_with_n() {
+        let (lo1, hi1) = wilson_interval(10, 100, 0.95);
+        let (lo2, hi2) = wilson_interval(1000, 10_000, 0.95);
+        assert!(hi2 - lo2 < hi1 - lo1);
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 0")]
+    fn wilson_rejects_empty() {
+        wilson_interval(0, 0, 0.95);
+    }
+}

@@ -1,0 +1,208 @@
+//! Quantile estimation from samples with order-statistic confidence
+//! intervals — the \[20\] (Sommers et al.) estimator VPM relies on.
+//!
+//! Given `n` i.i.d.-ish sampled delays, the rank of the true `q`-th
+//! quantile among them is Binomial(n, q); a normal approximation to
+//! that binomial yields ranks `(lo, hi)` such that the order statistics
+//! at those ranks bound the true quantile at the requested confidence.
+//! This is how a receipt collector turns a 0.1–5% packet sample into a
+//! statement like "90% of packets crossed X in under 5 ms, with
+//! probability ≥ 0.95" (paper §2.2 condition 1).
+
+use crate::normal::phi_inv;
+use serde::{Deserialize, Serialize};
+
+/// A quantile estimate with its confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantileEstimate {
+    /// The quantile being estimated, in `(0, 1)`.
+    pub q: f64,
+    /// Point estimate (interpolated empirical quantile).
+    pub value: f64,
+    /// Lower confidence bound (an order statistic of the sample).
+    pub lo: f64,
+    /// Upper confidence bound (an order statistic of the sample).
+    pub hi: f64,
+    /// Confidence level of `[lo, hi]`.
+    pub confidence: f64,
+    /// Number of samples the estimate is based on.
+    pub n: usize,
+}
+
+impl QuantileEstimate {
+    /// Half-width of the confidence interval — the "accuracy" of this
+    /// single quantile estimate.
+    pub fn half_width(&self) -> f64 {
+        (self.hi - self.lo) / 2.0
+    }
+}
+
+/// Interpolated empirical quantile (Hyndman-Fan type 7, the common
+/// default) of an **ascending-sorted** slice.
+///
+/// # Panics
+/// Panics if `sorted` is empty or `q` outside `[0, 1]`.
+pub fn empirical_quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile order {q} outside [0,1]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let h = (sorted.len() - 1) as f64 * q;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = h - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Estimate the `q`-th quantile from an **ascending-sorted** sample,
+/// with an order-statistic confidence interval at level `confidence`.
+///
+/// Returns `None` when the sample is empty. With very small samples the
+/// interval degrades to the sample range, which is the honest answer.
+///
+/// ```
+/// use vpm_stats::quantile::{estimate_quantile, sort_samples};
+///
+/// let delays_ms = sort_samples((0..1000).map(|i| i as f64 / 100.0).collect());
+/// let p90 = estimate_quantile(&delays_ms, 0.9, 0.95).unwrap();
+/// assert!((p90.value - 9.0).abs() < 0.1);
+/// assert!(p90.lo <= p90.value && p90.value <= p90.hi);
+/// ```
+pub fn estimate_quantile(sorted: &[f64], q: f64, confidence: f64) -> Option<QuantileEstimate> {
+    if sorted.is_empty() {
+        return None;
+    }
+    assert!((0.0..=1.0).contains(&q), "quantile order {q} outside [0,1]");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence {confidence} outside (0,1)"
+    );
+    let n = sorted.len();
+    let value = empirical_quantile(sorted, q);
+
+    let z = phi_inv(0.5 + confidence / 2.0);
+    let nq = n as f64 * q;
+    let sd = (n as f64 * q * (1.0 - q)).sqrt();
+    let lo_rank = (nq - z * sd).floor();
+    let hi_rank = (nq + z * sd).ceil();
+    let lo_idx = lo_rank.max(0.0) as usize;
+    let hi_idx = (hi_rank.max(0.0) as usize).min(n - 1);
+    let lo_idx = lo_idx.min(n - 1);
+
+    Some(QuantileEstimate {
+        q,
+        value,
+        lo: sorted[lo_idx],
+        hi: sorted[hi_idx],
+        confidence,
+        n,
+    })
+}
+
+/// Sort a sample in place and return it — convenience for callers that
+/// own their vector.
+pub fn sort_samples(mut samples: Vec<f64>) -> Vec<f64> {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn quantile_of_singleton() {
+        assert_eq!(empirical_quantile(&[3.5], 0.9), 3.5);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let s = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(empirical_quantile(&s, 0.0), 1.0);
+        assert_eq!(empirical_quantile(&s, 1.0), 5.0);
+        assert_eq!(empirical_quantile(&s, 0.5), 3.0);
+        assert!((empirical_quantile(&s, 0.25) - 2.0).abs() < 1e-12);
+        assert!((empirical_quantile(&s, 0.1) - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn quantile_rejects_empty() {
+        empirical_quantile(&[], 0.5);
+    }
+
+    #[test]
+    fn estimate_includes_value_in_interval() {
+        let sorted: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            let e = estimate_quantile(&sorted, q, 0.95).unwrap();
+            assert!(e.lo <= e.value && e.value <= e.hi, "q={q}: {e:?}");
+        }
+    }
+
+    #[test]
+    fn interval_narrows_with_sample_size() {
+        let small: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let large: Vec<f64> = (0..10_000).map(|i| i as f64 / 10_000.0).collect();
+        let es = estimate_quantile(&small, 0.9, 0.95).unwrap();
+        let el = estimate_quantile(&large, 0.9, 0.95).unwrap();
+        assert!(
+            el.half_width() < es.half_width(),
+            "large {el:?} not tighter than small {es:?}"
+        );
+    }
+
+    #[test]
+    fn coverage_on_uniform_samples() {
+        // The 95% interval should contain the true quantile in roughly
+        // 95% of repetitions; check it's at least 85% over 200 trials.
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(42);
+        let q = 0.9;
+        let mut covered = 0;
+        let trials = 200;
+        for _ in 0..trials {
+            let sorted = sort_samples((0..500).map(|_| rng.gen::<f64>()).collect());
+            let e = estimate_quantile(&sorted, q, 0.95).unwrap();
+            if e.lo <= q && q <= e.hi {
+                covered += 1;
+            }
+        }
+        assert!(covered >= 170, "covered only {covered}/{trials}");
+    }
+
+    #[test]
+    fn none_on_empty() {
+        assert!(estimate_quantile(&[], 0.5, 0.95).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn quantile_monotone_in_q(
+            mut values in proptest::collection::vec(0.0f64..1e6, 2..200),
+            q1 in 0.0f64..1.0,
+            q2 in 0.0f64..1.0,
+        ) {
+            values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            prop_assert!(empirical_quantile(&values, lo) <= empirical_quantile(&values, hi) + 1e-9);
+        }
+
+        #[test]
+        fn quantile_within_range(
+            mut values in proptest::collection::vec(-1e6f64..1e6, 1..200),
+            q in 0.0f64..1.0,
+        ) {
+            values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let v = empirical_quantile(&values, q);
+            prop_assert!(v >= values[0] - 1e-9);
+            prop_assert!(v <= values[values.len() - 1] + 1e-9);
+        }
+    }
+}

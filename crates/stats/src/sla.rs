@@ -1,0 +1,171 @@
+//! SLA compliance verdicts from quantile estimates.
+//!
+//! The point of \[20\]-style quantile estimation — and of VPM itself —
+//! is answering questions like "did this domain keep 95% of packets
+//! under 30 ms this month?" *with statistical backing*. This module
+//! turns a [`QuantileEstimate`] (point estimate + confidence interval)
+//! plus a loss bound into a three-valued verdict:
+//!
+//! * **Violated** — the entire confidence interval sits beyond the
+//!   bound: provable from the receipts at the stated confidence;
+//! * **Compliant** — the entire interval sits within the bound;
+//! * **Inconclusive** — the interval straddles the bound; more samples
+//!   (a higher sampling rate, §5.2) would shrink it.
+
+use crate::loss::LossStats;
+use crate::quantile::QuantileEstimate;
+use serde::{Deserialize, Serialize};
+
+/// An SLA clause over a delay quantile and a loss rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlaSpec {
+    /// The delay quantile the SLA constrains (e.g. 0.95).
+    pub quantile: f64,
+    /// The delay bound for that quantile, in the same unit as the
+    /// estimates (milliseconds throughout this workspace).
+    pub delay_bound: f64,
+    /// Maximum allowed loss rate in `[0, 1]`.
+    pub loss_bound: f64,
+}
+
+/// A three-valued compliance verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The receipts prove compliance at the interval's confidence.
+    Compliant,
+    /// The receipts prove a violation at the interval's confidence.
+    Violated,
+    /// The interval straddles the bound — collect more samples.
+    Inconclusive,
+}
+
+/// Verdict on the delay clause alone.
+pub fn delay_verdict(spec: &SlaSpec, est: &QuantileEstimate) -> Verdict {
+    debug_assert!(
+        (est.q - spec.quantile).abs() < 1e-9,
+        "estimate is for q={}, SLA is about q={}",
+        est.q,
+        spec.quantile
+    );
+    if est.lo > spec.delay_bound {
+        Verdict::Violated
+    } else if est.hi <= spec.delay_bound {
+        Verdict::Compliant
+    } else {
+        Verdict::Inconclusive
+    }
+}
+
+/// Verdict on the loss clause alone (exact counts ⇒ two-valued, but we
+/// keep the same type; exact zero-traffic is inconclusive).
+pub fn loss_verdict(spec: &SlaSpec, loss: &LossStats) -> Verdict {
+    match loss.rate() {
+        None => Verdict::Inconclusive,
+        Some(r) if r > spec.loss_bound => Verdict::Violated,
+        Some(_) => Verdict::Compliant,
+    }
+}
+
+/// Combined verdict: violated if either clause is provably violated;
+/// compliant only if both are provably compliant.
+pub fn combined_verdict(
+    spec: &SlaSpec,
+    delay: Option<&QuantileEstimate>,
+    loss: &LossStats,
+) -> Verdict {
+    let d = delay
+        .map(|e| delay_verdict(spec, e))
+        .unwrap_or(Verdict::Inconclusive);
+    let l = loss_verdict(spec, loss);
+    match (d, l) {
+        (Verdict::Violated, _) | (_, Verdict::Violated) => Verdict::Violated,
+        (Verdict::Compliant, Verdict::Compliant) => Verdict::Compliant,
+        _ => Verdict::Inconclusive,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est(lo: f64, value: f64, hi: f64) -> QuantileEstimate {
+        QuantileEstimate {
+            q: 0.95,
+            value,
+            lo,
+            hi,
+            confidence: 0.95,
+            n: 1000,
+        }
+    }
+
+    fn spec() -> SlaSpec {
+        SlaSpec {
+            quantile: 0.95,
+            delay_bound: 30.0,
+            loss_bound: 0.01,
+        }
+    }
+
+    #[test]
+    fn delay_clause_three_values() {
+        assert_eq!(delay_verdict(&spec(), &est(31.0, 35.0, 40.0)), Verdict::Violated);
+        assert_eq!(delay_verdict(&spec(), &est(10.0, 15.0, 20.0)), Verdict::Compliant);
+        assert_eq!(
+            delay_verdict(&spec(), &est(25.0, 29.0, 33.0)),
+            Verdict::Inconclusive
+        );
+        // Boundary: hi exactly at the bound is compliant (≤).
+        assert_eq!(delay_verdict(&spec(), &est(20.0, 25.0, 30.0)), Verdict::Compliant);
+    }
+
+    #[test]
+    fn loss_clause() {
+        assert_eq!(
+            loss_verdict(&spec(), &LossStats::new(1000, 995)),
+            Verdict::Compliant
+        );
+        assert_eq!(
+            loss_verdict(&spec(), &LossStats::new(1000, 900)),
+            Verdict::Violated
+        );
+        assert_eq!(
+            loss_verdict(&spec(), &LossStats::default()),
+            Verdict::Inconclusive
+        );
+    }
+
+    #[test]
+    fn combined_logic() {
+        let s = spec();
+        let good_delay = est(10.0, 15.0, 20.0);
+        let bad_delay = est(31.0, 35.0, 40.0);
+        let fuzzy_delay = est(25.0, 29.0, 33.0);
+        let good_loss = LossStats::new(1000, 999);
+        let bad_loss = LossStats::new(1000, 500);
+
+        assert_eq!(
+            combined_verdict(&s, Some(&good_delay), &good_loss),
+            Verdict::Compliant
+        );
+        assert_eq!(
+            combined_verdict(&s, Some(&good_delay), &bad_loss),
+            Verdict::Violated
+        );
+        assert_eq!(
+            combined_verdict(&s, Some(&bad_delay), &good_loss),
+            Verdict::Violated
+        );
+        assert_eq!(
+            combined_verdict(&s, Some(&fuzzy_delay), &good_loss),
+            Verdict::Inconclusive
+        );
+        // No delay estimate at all: cannot prove compliance.
+        assert_eq!(
+            combined_verdict(&s, None, &good_loss),
+            Verdict::Inconclusive
+        );
+        // …but loss violations are provable regardless.
+        assert_eq!(combined_verdict(&s, None, &bad_loss), Verdict::Violated);
+    }
+}

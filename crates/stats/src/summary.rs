@@ -1,0 +1,147 @@
+//! Streaming summaries (Welford's online mean/variance).
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming count/mean/variance/min/max of an f64 sequence.
+///
+/// Uses Welford's algorithm, numerically stable for long streams.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Summary {
+    /// Empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Summary of a slice.
+    pub fn of(values: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &v in values {
+            s.push(v);
+        }
+        s
+    }
+
+    /// Add an observation.
+    pub fn push(&mut self, v: f64) {
+        self.count += 1;
+        let delta = v - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (v - self.mean);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Population variance; `None` if empty.
+    pub fn variance(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.m2 / self.count as f64)
+    }
+
+    /// Population standard deviation; `None` if empty.
+    pub fn stddev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Minimum; `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum; `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merge another summary into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_summary() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.min(), None);
+    }
+
+    #[test]
+    fn known_values() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean().unwrap() - 5.0).abs() < 1e-12);
+        assert!((s.stddev().unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min().unwrap(), 2.0);
+        assert_eq!(s.max().unwrap(), 9.0);
+    }
+
+    proptest! {
+        #[test]
+        fn merge_equals_concat(
+            a in proptest::collection::vec(-1e3f64..1e3, 0..100),
+            b in proptest::collection::vec(-1e3f64..1e3, 0..100),
+        ) {
+            let mut merged = Summary::of(&a);
+            merged.merge(&Summary::of(&b));
+            let concat: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+            let direct = Summary::of(&concat);
+            prop_assert_eq!(merged.count(), direct.count());
+            if direct.count() > 0 {
+                prop_assert!((merged.mean().unwrap() - direct.mean().unwrap()).abs() < 1e-9);
+                prop_assert!((merged.variance().unwrap() - direct.variance().unwrap()).abs() < 1e-6);
+                prop_assert_eq!(merged.min(), direct.min());
+                prop_assert_eq!(merged.max(), direct.max());
+            }
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Random distributions used by the trace generator.
+//!
+//! Implemented from first principles on top of `rand` (the offline
+//! crate set has no `rand_distr`): exponential and bounded-Pareto via
+//! inverse transform, and the tri-modal Internet packet-size mixture.
+
+use rand::Rng;
+
+/// Exponential distribution with the given rate (events per unit).
+#[derive(Debug, Clone, Copy)]
+pub struct Exp {
+    rate: f64,
+}
+
+impl Exp {
+    /// Create an exponential distribution; `rate` must be positive.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0, "exponential rate must be positive, got {rate}");
+        Exp { rate }
+    }
+
+    /// Draw a sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse transform; 1-U avoids ln(0).
+        -(1.0 - rng.gen::<f64>()).ln() / self.rate
+    }
+}
+
+/// Bounded Pareto distribution on `[xm, cap]` with shape `alpha`.
+///
+/// Used for flow sizes in packets — heavy-tailed with a finite cap, the
+/// standard model for Internet flow-size distributions.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundedPareto {
+    alpha: f64,
+    xm: f64,
+    cap: f64,
+}
+
+impl BoundedPareto {
+    /// Create a bounded Pareto; requires `0 < xm < cap` and `alpha > 0`.
+    pub fn new(alpha: f64, xm: f64, cap: f64) -> Self {
+        assert!(alpha > 0.0 && xm > 0.0 && cap > xm, "bad Pareto params");
+        BoundedPareto { alpha, xm, cap }
+    }
+
+    /// Draw a sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen();
+        let ratio = (self.xm / self.cap).powf(self.alpha);
+        // Inverse CDF of the truncated Pareto.
+        self.xm / (1.0 - u * (1.0 - ratio)).powf(1.0 / self.alpha)
+    }
+
+    /// Analytic mean of the bounded Pareto (used to size the flow
+    /// arrival rate so realized pps hits the target).
+    pub fn mean(&self) -> f64 {
+        let a = self.alpha;
+        let l = self.xm;
+        let h = self.cap;
+        if (a - 1.0).abs() < 1e-9 {
+            // α = 1 special case.
+            let c = 1.0 / (1.0 / l - 1.0 / h);
+            return c * (h / l).ln() / l.max(1e-12);
+        }
+        let num = l.powf(a) / (1.0 - (l / h).powf(a));
+        num * (a / (a - 1.0)) * (1.0 / l.powf(a - 1.0) - 1.0 / h.powf(a - 1.0))
+    }
+}
+
+/// The classic tri-modal Internet packet-size mixture plus a small
+/// uniform component. Sizes are total wire lengths in bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct PacketSizeMix {
+    /// Probability of a 40-byte (ACK-sized) packet.
+    pub p_small: f64,
+    /// Probability of a 576-byte packet.
+    pub p_medium: f64,
+    /// Probability of a 1500-byte (MTU) packet.
+    pub p_large: f64,
+    // remainder: uniform in [64, 1400]
+}
+
+impl Default for PacketSizeMix {
+    fn default() -> Self {
+        // Tuned so the mean lands near 400 B — the figure the paper's
+        // overhead arithmetic uses (§7.1).
+        PacketSizeMix {
+            p_small: 0.58,
+            p_medium: 0.16,
+            p_large: 0.13,
+        }
+    }
+}
+
+impl PacketSizeMix {
+    /// Draw a total packet length in bytes.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u16 {
+        let u: f64 = rng.gen();
+        if u < self.p_small {
+            40
+        } else if u < self.p_small + self.p_medium {
+            576
+        } else if u < self.p_small + self.p_medium + self.p_large {
+            1500
+        } else {
+            rng.gen_range(64..=1400)
+        }
+    }
+
+    /// Approximate mean of the mixture in bytes.
+    pub fn approx_mean(&self) -> f64 {
+        let p_rest = 1.0 - self.p_small - self.p_medium - self.p_large;
+        self.p_small * 40.0 + self.p_medium * 576.0 + self.p_large * 1500.0 + p_rest * 732.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let d = Exp::new(4.0);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exponential_rejects_zero_rate() {
+        Exp::new(0.0);
+    }
+
+    #[test]
+    fn pareto_bounds_and_mean() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let d = BoundedPareto::new(1.2, 2.0, 10_000.0);
+        let n = 200_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = d.sample(&mut rng);
+            assert!((2.0..=10_000.0).contains(&x), "out of bounds: {x}");
+            sum += x;
+        }
+        let emp = sum / n as f64;
+        let ana = d.mean();
+        assert!(
+            (emp - ana).abs() / ana < 0.15,
+            "empirical {emp} vs analytic {ana}"
+        );
+    }
+
+    #[test]
+    fn pareto_alpha_one() {
+        let d = BoundedPareto::new(1.0, 1.0, 100.0);
+        // mean of bounded Pareto with α=1 on [1,100]: ln(100)/(1-1/100)
+        let expect = (100.0f64).ln() / (1.0 - 0.01);
+        assert!((d.mean() - expect).abs() / expect < 0.05, "{}", d.mean());
+    }
+
+    #[test]
+    fn size_mix_mean_near_400() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mix = PacketSizeMix::default();
+        let n = 100_000;
+        let mean: f64 =
+            (0..n).map(|_| mix.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        assert!(
+            (350.0..470.0).contains(&mean),
+            "size mix mean {mean} strays from ~400B"
+        );
+        assert!((mix.approx_mean() - mean).abs() < 40.0);
+    }
+
+    #[test]
+    fn size_mix_emits_all_modes() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mix = PacketSizeMix::default();
+        let mut saw = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            saw.insert(mix.sample(&mut rng));
+        }
+        assert!(saw.contains(&40));
+        assert!(saw.contains(&576));
+        assert!(saw.contains(&1500));
+        assert!(saw.len() > 10, "uniform component missing");
+    }
+}

@@ -1,0 +1,141 @@
+//! Trace serialization: JSON-lines export/import.
+//!
+//! One JSON object per line keeps traces streamable and diffable; the
+//! format is versioned via a header line so future layouts can evolve.
+
+use crate::gen::TracePacket;
+use std::io::{self, BufRead, Write};
+
+/// Magic header line identifying the format.
+pub const HEADER: &str = "#vpm-trace-v1";
+
+/// Errors from trace I/O.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Missing or wrong header line.
+    BadHeader(String),
+    /// A line failed to parse.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// Parser message.
+        msg: String,
+    },
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "I/O error: {e}"),
+            TraceIoError::BadHeader(h) => write!(f, "bad trace header {h:?}"),
+            TraceIoError::BadLine { line, msg } => write!(f, "line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Write a trace to `w` in JSON-lines format.
+pub fn write_trace<W: Write>(mut w: W, trace: &[TracePacket]) -> Result<(), TraceIoError> {
+    writeln!(w, "{HEADER}")?;
+    for tp in trace {
+        let line = serde_json::to_string(tp).map_err(|e| TraceIoError::BadLine {
+            line: 0,
+            msg: e.to_string(),
+        })?;
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Read a trace from `r`.
+pub fn read_trace<R: BufRead>(r: R) -> Result<Vec<TracePacket>, TraceIoError> {
+    let mut lines = r.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| TraceIoError::BadHeader("<empty>".into()))??;
+    if header.trim() != HEADER {
+        return Err(TraceIoError::BadHeader(header));
+    }
+    let mut out = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let tp = serde_json::from_str(&line).map_err(|e| TraceIoError::BadLine {
+            line: i + 2,
+            msg: e.to_string(),
+        })?;
+        out.push(tp);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{TraceConfig, TraceGenerator};
+    use vpm_packet::SimDuration;
+
+    fn tiny_trace() -> Vec<TracePacket> {
+        let cfg = TraceConfig {
+            target_pps: 5_000.0,
+            duration: SimDuration::from_millis(50),
+            ..TraceConfig::paper_default(1, 99)
+        };
+        TraceGenerator::new(cfg).generate()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let trace = tiny_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = read_trace(&b"not a header\n"[..]).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadHeader(_)));
+    }
+
+    #[test]
+    fn rejects_garbage_line() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &tiny_trace()[..1]).unwrap();
+        buf.extend_from_slice(b"{broken json\n");
+        let err = read_trace(&buf[..]).unwrap_err();
+        match err {
+            TraceIoError::BadLine { line, .. } => assert_eq!(line, 3),
+            other => panic!("expected BadLine, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tolerates_blank_lines() {
+        let trace = tiny_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace[..2]).unwrap();
+        buf.extend_from_slice(b"\n\n");
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &[]).unwrap();
+        assert_eq!(read_trace(&buf[..]).unwrap(), vec![]);
+    }
+}

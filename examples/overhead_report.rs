@@ -1,0 +1,119 @@
+//! Regenerate every §7.1 overhead number — memory, processing and
+//! bandwidth — from this implementation's real data structures, and
+//! validate the processing model against live counters.
+//!
+//! Run: `cargo run --release --example overhead_report`
+
+use vpm::core::overhead::{self, BandwidthSpec, TempBufferSpec, PAPER_PROCESSING};
+use vpm::core::receipt::PathId;
+use vpm::core::{Collector, HopConfig};
+use vpm::packet::{DomainId, HopId, SimDuration};
+use vpm::trace::{TraceConfig, TraceGenerator};
+
+fn main() {
+    println!("=== §7.1 overhead model: paper vs this implementation ===\n");
+    let report = overhead::section_7_1_report();
+    println!("{:<48} {:>10} {:>10}", "quantity", "paper", "ours");
+    for (label, paper, ours) in &report.rows {
+        let p = if paper.is_nan() {
+            "—".to_string()
+        } else {
+            format!("{paper:.3}")
+        };
+        println!("{label:<48} {p:>10} {ours:>10.3}");
+    }
+
+    println!("\n=== temp buffer sizing across interface speeds ===");
+    println!(
+        "{:>10} {:>12} {:>14} {:>14}",
+        "link", "pkt size", "records/J", "buffer"
+    );
+    for (bps, label) in [(1e9, "1G"), (10e9, "10G"), (40e9, "40G"), (100e9, "100G")] {
+        for pkt in [64.0, 400.0, 1500.0] {
+            let spec = TempBufferSpec {
+                link_bps: bps,
+                avg_pkt_bytes: pkt,
+                j: SimDuration::from_millis(10),
+                duplex: true,
+            };
+            println!(
+                "{:>10} {:>10}B {:>14.0} {:>13.1}KB",
+                label,
+                pkt,
+                spec.pps() * 0.01,
+                spec.buffer_bytes() as f64 / 1e3
+            );
+        }
+    }
+
+    println!("\n=== bandwidth overhead sensitivity ===");
+    println!(
+        "{:>12} {:>12} {:>16} {:>16}",
+        "pkts/agg", "sampling", "B/pkt (path)", "overhead %"
+    );
+    for pkts in [1_000u64, 10_000, 100_000] {
+        for rate in [0.001, 0.01, 0.05] {
+            let bw = BandwidthSpec {
+                pkts_per_aggregate: pkts,
+                sampling_rate: rate,
+                ..BandwidthSpec::paper_scenario()
+            };
+            println!(
+                "{:>12} {:>11.1}% {:>16.4} {:>15.4}%",
+                pkts,
+                rate * 100.0,
+                bw.total_bytes_per_pkt_path(),
+                bw.total_overhead_fraction() * 100.0
+            );
+        }
+    }
+
+    // Validate the processing model against a live collector.
+    println!("\n=== processing model validation (live counters) ===");
+    let trace_cfg = TraceConfig {
+        duration: SimDuration::from_millis(500),
+        ..TraceConfig::paper_default(1, 77)
+    };
+    let trace = TraceGenerator::new(trace_cfg).generate();
+    let mut collector = Collector::new(
+        HopConfig::new(HopId(4), DomainId(2))
+            .with_sampling_rate(0.01)
+            .with_aggregate_size(10_000),
+    );
+    collector.register_path(PathId {
+        spec: trace_cfg.spec,
+        prev_hop: Some(HopId(3)),
+        next_hop: Some(HopId(5)),
+        max_diff: SimDuration::from_millis(2),
+    });
+    for tp in &trace {
+        collector.observe(&tp.packet, tp.ts);
+    }
+    let c = collector.counters();
+    println!("packets processed:        {}", c.packets);
+    println!(
+        "memory accesses / packet: {:.3} (paper model: {})",
+        c.memory_accesses as f64 / c.packets as f64,
+        PAPER_PROCESSING.memory_accesses_per_pkt
+    );
+    println!(
+        "hashes / packet:          {:.3} (paper model: {})",
+        c.hash_ops as f64 / c.packets as f64,
+        PAPER_PROCESSING.hashes_per_pkt
+    );
+    println!(
+        "timestamps / packet:      {:.3} (paper model: {})",
+        c.timestamp_ops as f64 / c.packets as f64,
+        PAPER_PROCESSING.timestamps_per_pkt
+    );
+    println!(
+        "sweep accesses / packet:  {:.3} (amortized; ≤ {} per buffered pkt)",
+        c.marker_sweep_accesses as f64 / c.packets as f64,
+        PAPER_PROCESSING.sweep_access_per_buffered
+    );
+    println!(
+        "monitoring cache:         {} B for {} path(s)",
+        collector.monitoring_cache_bytes(),
+        collector.path_count()
+    );
+}

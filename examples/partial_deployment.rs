@@ -1,0 +1,121 @@
+//! Partial deployment (§8): what changes when a domain stays out of
+//! VPM — and why that is exactly the pressure to join.
+//!
+//! Three scenarios on the Figure 1 path, with X congenitally lossy:
+//!   1. everyone deploys — X's loss is measured and attributed to X;
+//!   2. X does not deploy — the same loss is measured over the L→N
+//!      segment and lands on X anyway, except now X cannot prove which
+//!      part was really its fault;
+//!   3. X does not deploy and L *lies* about its own loss — the blame
+//!      for L's loss also lands on X, who has no receipts to refute it.
+//!
+//! Run: `cargo run --release --example partial_deployment`
+
+use std::collections::HashSet;
+use vpm::netsim::channel::{ChannelConfig, DelayModel};
+use vpm::netsim::reorder::ReorderModel;
+use vpm::packet::{DomainId, HopId, SimDuration};
+use vpm::sim::adversary::{apply_lie, LieStrategy};
+use vpm::sim::partial::analyze_partial;
+use vpm::sim::run::{run_path, RunConfig};
+use vpm::sim::topology::Figure1;
+use vpm::sim::verdict::analyze_path;
+use vpm::trace::{TraceConfig, TraceGenerator};
+
+fn main() {
+    let trace = TraceGenerator::new(TraceConfig {
+        target_pps: 100_000.0,
+        duration: SimDuration::from_millis(400),
+        ..TraceConfig::paper_default(1, 71)
+    })
+    .generate();
+
+    let ch = |loss: f64, seed: u64| ChannelConfig {
+        delay: DelayModel::Constant(SimDuration::from_micros(300)),
+        loss: (loss > 0.0).then_some((loss, 4.0)),
+        reorder: ReorderModel::none(),
+        seed,
+    };
+    let cfg = RunConfig {
+        sampling_rate: 0.02,
+        aggregate_size: 2_000,
+        ..RunConfig::default()
+    };
+
+    // --- Scenario 1: full deployment. ---
+    let mut fig = Figure1::ideal();
+    fig.x_transit = ch(0.12, 3);
+    let topo = fig.build();
+    let run = run_path(&trace, &topo, &cfg);
+    let full = analyze_path(&topo, &run);
+    println!("=== 1. full deployment, X loses 12% ===");
+    for d in &full.domains {
+        println!(
+            "  {:>2}: loss {:>6.2}%",
+            d.name,
+            d.estimate.loss.rate().unwrap_or(f64::NAN) * 100.0
+        );
+    }
+    println!("  → the loss is X's, provably.\n");
+
+    // --- Scenario 2: X stays out. ---
+    let deployed: HashSet<DomainId> = topo
+        .domains
+        .iter()
+        .filter(|d| d.name != "X")
+        .map(|d| d.id)
+        .collect();
+    let partial = analyze_partial(&topo, &run, &deployed);
+    println!("=== 2. X does not deploy ===");
+    for d in &partial.domains {
+        println!(
+            "  {:>2}: loss {:>6.2}%",
+            d.name,
+            d.estimate.loss.rate().unwrap_or(f64::NAN) * 100.0
+        );
+    }
+    for s in &partial.segments {
+        println!(
+            "  segment {}→{} (spans non-deployers): loss {:>6.2}%",
+            s.up_hop,
+            s.down_hop,
+            s.estimate.loss.rate().unwrap_or(f64::NAN) * 100.0
+        );
+    }
+    println!("  → the segment spanning X carries the loss; X cannot scope it.\n");
+
+    // --- Scenario 3: X out, L lossy AND lying. ---
+    let mut fig3 = Figure1::ideal();
+    fig3.x_transit = ch(0.0, 3);
+    fig3.l_transit = ch(0.12, 5);
+    let topo3 = fig3.build();
+    let mut run3 = run_path(&trace, &topo3, &cfg);
+    let ingress2 = run3.hop(HopId(2)).expect("hop 2").clone();
+    apply_lie(
+        &ingress2,
+        run3.hop_mut(HopId(3)).expect("hop 3"),
+        LieStrategy::BlameShiftLoss {
+            claimed_delay: SimDuration::from_micros(300),
+        },
+    );
+    let partial3 = analyze_partial(&topo3, &run3, &deployed);
+    println!("=== 3. X out; L loses 12% and fabricates delivery receipts ===");
+    for d in &partial3.domains {
+        println!(
+            "  {:>2}: loss {:>6.2}%",
+            d.name,
+            d.estimate.loss.rate().unwrap_or(f64::NAN) * 100.0
+        );
+    }
+    for s in &partial3.segments {
+        println!(
+            "  segment {}→{}: loss {:>6.2}%",
+            s.up_hop,
+            s.down_hop,
+            s.estimate.loss.rate().unwrap_or(f64::NAN) * 100.0
+        );
+    }
+    println!("  → L's books are clean and L's loss landed on the X segment.");
+    println!("    A deployed X would have refuted this with its own receipts —");
+    println!("    the paper's deployment incentive (§8), demonstrated.");
+}

@@ -1,0 +1,110 @@
+//! `vpm` — unified command-line entry point for the reproduction.
+//!
+//! ```text
+//! vpm fig2 [secs] [seed] [n_seeds]   regenerate Figure 2
+//! vpm fig3 [secs] [seed]             regenerate Figure 3
+//! vpm verifiability [secs] [seed]    regenerate the §7.2 sweep
+//! vpm overhead                       regenerate the §7.1 numbers
+//! vpm baselines [seed]               run the §3 comparison
+//! vpm pcap <out.pcap> [ms] [seed]    export a synthetic trace as pcap
+//! ```
+
+use std::process::ExitCode;
+use vpm::packet::SimDuration;
+use vpm::sim::{baselines, experiments};
+use vpm::trace::{TraceConfig, TraceGenerator};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: vpm <command> [args]\n\
+         commands:\n\
+           fig2 [secs=2] [seed=1] [n_seeds=3]   Figure 2 (delay accuracy)\n\
+           fig3 [secs=20] [seed=1]              Figure 3 (loss granularity)\n\
+           verifiability [secs=2] [seed=1]      §7.2 verification sweep\n\
+           overhead                             §7.1 memory/bandwidth model\n\
+           baselines [seed=1]                   §3 strawman comparison\n\
+           pcap <out.pcap> [ms=100] [seed=1]    export a synthetic trace"
+    );
+    ExitCode::from(2)
+}
+
+fn arg<T: std::str::FromStr>(args: &[String], i: usize, default: T) -> T {
+    args.get(i).and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "fig2" => {
+            let cfg = experiments::fig2::Fig2Config::paper(
+                SimDuration::from_secs(arg(&args, 1, 2u64)),
+                arg(&args, 2, 1u64),
+            );
+            let points = experiments::fig2::run_averaged(&cfg, arg(&args, 3, 3u64));
+            println!("{}", experiments::fig2::render_table(&points));
+        }
+        "fig3" => {
+            let cfg = experiments::fig3::Fig3Config::paper(
+                SimDuration::from_secs(arg(&args, 1, 20u64)),
+                arg(&args, 2, 1u64),
+            );
+            println!(
+                "{}",
+                experiments::fig3::render_table(&experiments::fig3::run(&cfg))
+            );
+        }
+        "verifiability" => {
+            let cfg = experiments::verifiability::VerifiabilityConfig::paper(
+                SimDuration::from_secs(arg(&args, 1, 2u64)),
+                arg(&args, 2, 1u64),
+            );
+            println!(
+                "{}",
+                experiments::verifiability::render_table(&experiments::verifiability::run(&cfg))
+            );
+        }
+        "overhead" => {
+            let report = vpm::core::overhead::section_7_1_report();
+            println!("{:<48} {:>10} {:>10}", "quantity", "paper", "ours");
+            for (label, paper, ours) in &report.rows {
+                let p = if paper.is_nan() {
+                    "—".to_string()
+                } else {
+                    format!("{paper:.3}")
+                };
+                println!("{label:<48} {p:>10} {ours:>10.3}");
+            }
+        }
+        "baselines" => {
+            let reports = baselines::compare(arg(&args, 1, 1u64));
+            println!("{}", baselines::render_table(&reports));
+        }
+        "pcap" => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            let trace = TraceGenerator::new(TraceConfig {
+                duration: SimDuration::from_millis(arg(&args, 2, 100u64)),
+                ..TraceConfig::paper_default(1, arg(&args, 3, 1u64))
+            })
+            .generate();
+            let file = match std::fs::File::create(path) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("cannot create {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = vpm::trace::pcap::write_pcap(std::io::BufWriter::new(file), &trace) {
+                eprintln!("pcap write failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {} packets to {path}", trace.len());
+        }
+        _ => return usage(),
+    }
+    ExitCode::SUCCESS
+}

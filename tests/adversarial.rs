@@ -1,0 +1,261 @@
+//! Threat-model integration tests (paper §2.1, §3.1, §5.1, §5.3):
+//! every lying strategy the paper discusses, exercised through the
+//! public API, with the exposure the paper promises.
+
+use vpm::netsim::channel::{ChannelConfig, DelayModel};
+use vpm::netsim::reorder::ReorderModel;
+use vpm::packet::{HopId, SimDuration};
+use vpm::sim::adversary::{apply_lie, cover_up, LieStrategy};
+use vpm::sim::experiments::ablation::{sampling_bias, AblationConfig};
+use vpm::sim::run::{run_path, PathRun, RunConfig};
+use vpm::sim::topology::{Figure1, Topology};
+use vpm::sim::verdict::analyze_path;
+use vpm::trace::{TraceConfig, TraceGenerator};
+
+fn lossy_scenario(seed: u64) -> (Topology, PathRun) {
+    let t = TraceGenerator::new(TraceConfig {
+        target_pps: 50_000.0,
+        duration: SimDuration::from_millis(250),
+        ..TraceConfig::paper_default(1, seed)
+    })
+    .generate();
+    let mut fig = Figure1::ideal();
+    fig.x_transit = ChannelConfig {
+        delay: DelayModel::Constant(SimDuration::from_micros(300)),
+        loss: Some((0.25, 5.0)),
+        reorder: ReorderModel::none(),
+        seed,
+    };
+    let topo = fig.build();
+    let cfg = RunConfig {
+        sampling_rate: 0.05,
+        aggregate_size: 500,
+        marker_rate: 0.01,
+        j_window: SimDuration::from_millis(2),
+        ..RunConfig::default()
+    };
+    let run = run_path(&t, &topo, &cfg);
+    (topo, run)
+}
+
+#[test]
+fn lie_hides_loss_from_own_books_but_not_from_the_link() {
+    let (topo, mut run) = lossy_scenario(31);
+    let true_loss = {
+        let x = run.truth("X").unwrap();
+        1.0 - x.delivered as f64 / x.sent as f64
+    };
+    assert!(true_loss > 0.2);
+
+    let ingress = run.hop(HopId(4)).unwrap().clone();
+    apply_lie(
+        &ingress,
+        run.hop_mut(HopId(5)).unwrap(),
+        LieStrategy::BlameShiftLoss {
+            claimed_delay: SimDuration::from_micros(300),
+        },
+    );
+    let analysis = analyze_path(&topo, &run);
+
+    // Books look clean; the link does not.
+    assert!(analysis.domain("X").unwrap().estimate.loss.rate().unwrap() < 0.01);
+    let flagged = analysis.flagged_links();
+    assert_eq!(flagged.len(), 1);
+    assert_eq!(flagged[0].up, HopId(5));
+    // The inconsistency includes count mismatches whose magnitude
+    // reflects the hidden loss.
+    let mismatch_total: u64 = flagged[0]
+        .report
+        .inconsistencies
+        .iter()
+        .filter_map(|i| match i {
+            vpm::core::consistency::LinkInconsistency::CountMismatch {
+                up_cnt,
+                down_cnt,
+                ..
+            } => Some(up_cnt.saturating_sub(*down_cnt)),
+            _ => None,
+        })
+        .sum();
+    let x_truth = run.truth("X").unwrap();
+    let hidden = x_truth.sent - x_truth.delivered;
+    assert!(
+        mismatch_total as f64 > 0.8 * hidden as f64,
+        "mismatches {mismatch_total} vs hidden {hidden}"
+    );
+}
+
+#[test]
+fn full_collusion_chain_pushes_blame_to_the_last_liar() {
+    // X lies; N covers at ingress but must then either absorb the loss
+    // or lie again at egress. Here N lies again (egress fabricated from
+    // its ingress claims) — and the N→D link exposes it to D.
+    let (topo, mut run) = lossy_scenario(37);
+    let ingress4 = run.hop(HopId(4)).unwrap().clone();
+    apply_lie(
+        &ingress4,
+        run.hop_mut(HopId(5)).unwrap(),
+        LieStrategy::BlameShiftLoss {
+            claimed_delay: SimDuration::from_micros(300),
+        },
+    );
+    let egress5 = run.hop(HopId(5)).unwrap().clone();
+    cover_up(&egress5, run.hop_mut(HopId(6)).unwrap());
+    let ingress6 = run.hop(HopId(6)).unwrap().clone();
+    apply_lie(
+        &ingress6,
+        run.hop_mut(HopId(7)).unwrap(),
+        LieStrategy::BlameShiftLoss {
+            claimed_delay: SimDuration::from_micros(300),
+        },
+    );
+    let analysis = analyze_path(&topo, &run);
+    // X→N and N internal books are clean...
+    assert!(analysis
+        .links
+        .iter()
+        .find(|l| l.up == HopId(5))
+        .unwrap()
+        .report
+        .is_consistent());
+    assert!(analysis.domain("N").unwrap().estimate.loss.rate().unwrap() < 0.01);
+    // ...but D never received the packets: the N→D link is flagged and
+    // N is implicated to D (§3.1: "in which case N is exposed to D as a
+    // liar").
+    let nd = analysis.links.iter().find(|l| l.up == HopId(7)).unwrap();
+    assert!(!nd.report.is_consistent());
+    assert_eq!(
+        nd.implicates.1,
+        topo.domain_by_name("D").unwrap().id
+    );
+}
+
+#[test]
+fn sugarcoating_delay_cannot_beat_max_diff() {
+    // X is slow (8 ms transit) and shaves 6 ms off its egress
+    // timestamps to look fast. Its own estimate improves — but the
+    // X→N link now shows >MaxDiff transit and X is exposed.
+    let t = TraceGenerator::new(TraceConfig {
+        target_pps: 50_000.0,
+        duration: SimDuration::from_millis(250),
+        ..TraceConfig::paper_default(1, 41)
+    })
+    .generate();
+    let mut fig = Figure1::ideal();
+    fig.x_transit = ChannelConfig {
+        delay: DelayModel::Constant(SimDuration::from_millis(8)),
+        loss: None,
+        reorder: ReorderModel::none(),
+        seed: 41,
+    };
+    let topo = fig.build();
+    let cfg = RunConfig {
+        sampling_rate: 0.05,
+        aggregate_size: 500,
+        marker_rate: 0.01,
+        j_window: SimDuration::from_millis(2),
+        ..RunConfig::default()
+    };
+    let mut run = run_path(&t, &topo, &cfg);
+    let ingress = run.hop(HopId(4)).unwrap().clone();
+    apply_lie(
+        &ingress,
+        run.hop_mut(HopId(5)).unwrap(),
+        LieStrategy::SugarcoatDelay {
+            shave: SimDuration::from_millis(6),
+        },
+    );
+    let analysis = analyze_path(&topo, &run);
+    // The lie works on X's own numbers…
+    let p50 = analysis
+        .domain("X")
+        .unwrap()
+        .estimate
+        .delay
+        .as_ref()
+        .unwrap()
+        .quantiles
+        .iter()
+        .find(|q| q.q == 0.5)
+        .unwrap()
+        .value;
+    assert!(p50 < 3.0, "sugarcoated p50 {p50}");
+    // …and blows up on the link.
+    let xn = analysis.links.iter().find(|l| l.up == HopId(5)).unwrap();
+    let delay_violations = xn
+        .report
+        .inconsistencies
+        .iter()
+        .filter(|i| {
+            matches!(
+                i,
+                vpm::core::consistency::LinkInconsistency::ExcessLinkDelay { .. }
+            )
+        })
+        .count();
+    assert!(delay_violations > 0);
+}
+
+#[test]
+fn sample_bias_attack_fails_against_vpm() {
+    // The §5.1 design goal, quantified: an adversary that wants to
+    // fast-path will-be-sampled packets gains nothing under VPM.
+    let r = sampling_bias(&AblationConfig::default_scenario(43));
+    assert!(r.vpm_bias_ms < 0.5, "{r:?}");
+    assert!(r.naive_bias_ms > 5.0, "{r:?}");
+}
+
+#[test]
+fn marker_dropping_is_self_defeating() {
+    // §5.3: a domain dropping markers desyncs verification — and since
+    // cutting points are threshold events on the same digest, every
+    // cutting point *is* a marker, so the attack also destroys the
+    // aggregate boundaries X's own loss accounting needs. Meanwhile
+    // markers "are expected to be always sampled and reported on":
+    // HOP 4's receipts contain every marker, HOP 5's contain none of
+    // the dropped ones — standing evidence against X.
+    let t = TraceGenerator::new(TraceConfig {
+        target_pps: 50_000.0,
+        duration: SimDuration::from_millis(250),
+        ..TraceConfig::paper_default(1, 47)
+    })
+    .generate();
+    let topo = Figure1::ideal().build();
+    let mut cfg = RunConfig {
+        sampling_rate: 0.05,
+        aggregate_size: 500,
+        marker_rate: 0.01,
+        j_window: SimDuration::from_millis(2),
+        ..RunConfig::default()
+    };
+    cfg.marker_dropper = Some(topo.domain_by_name("X").unwrap().id);
+    let run = run_path(&t, &topo, &cfg);
+    let analysis = analyze_path(&topo, &run);
+
+    // 1. X's loss performance becomes incomputable (join collapses):
+    //    self-defeating for a domain that wanted to look good.
+    let x = analysis.domain("X").unwrap();
+    assert!(
+        x.estimate.loss.sent == 0 || x.estimate.join.joined.len() <= 1,
+        "boundary destruction must collapse the join: {:?}",
+        x.estimate.join.joined.len()
+    );
+    // 2. Matched delay samples collapse too.
+    let h4 = run.hop(HopId(4)).unwrap();
+    let h5 = run.hop(HopId(5)).unwrap();
+    let matched = vpm::core::verify::match_samples(&h4.samples, &h5.samples).len();
+    assert!(
+        (matched as f64) < 0.2 * h4.samples.len() as f64,
+        "matched {matched} of {}",
+        h4.samples.len()
+    );
+    // 3. Every marker HOP 4 reported is missing downstream — evidence.
+    let marker = vpm::hash::Threshold::from_rate(0.01);
+    let h5_ids: std::collections::HashSet<_> = h5.samples.iter().map(|r| r.pkt_id).collect();
+    let vanished = h4
+        .samples
+        .iter()
+        .filter(|r| marker.passes(r.pkt_id.0) && !h5_ids.contains(&r.pkt_id))
+        .count();
+    assert!(vanished > 50, "only {vanished} markers vanished");
+}

@@ -1,0 +1,230 @@
+//! End-to-end integration: trace → topology run → receipts → bus →
+//! verification, all through the public facade API.
+
+use vpm::core::verify::Verifier;
+use vpm::netsim::channel::{ChannelConfig, DelayModel};
+use vpm::netsim::reorder::ReorderModel;
+use vpm::packet::{DomainId, HopId, SimDuration};
+use vpm::sim::bus::ReceiptBus;
+use vpm::sim::run::{run_path, ClockMode, HopTuning, RunConfig};
+use vpm::sim::topology::Figure1;
+use vpm::sim::verdict::analyze_path;
+use vpm::trace::{TraceConfig, TraceGenerator, TracePacket};
+
+fn trace(ms: u64, seed: u64) -> Vec<TracePacket> {
+    TraceGenerator::new(TraceConfig {
+        target_pps: 50_000.0,
+        duration: SimDuration::from_millis(ms),
+        ..TraceConfig::paper_default(1, seed)
+    })
+    .generate()
+}
+
+fn base_cfg() -> RunConfig {
+    RunConfig {
+        sampling_rate: 0.03,
+        aggregate_size: 1_000,
+        marker_rate: 0.01,
+        j_window: SimDuration::from_millis(2),
+        ..RunConfig::default()
+    }
+}
+
+#[test]
+fn congested_domain_measured_accurately_across_full_path() {
+    let t = trace(300, 1);
+    let mut fig = Figure1::ideal();
+    fig.x_transit = ChannelConfig {
+        delay: DelayModel::Jitter {
+            base: SimDuration::from_millis(2),
+            jitter: SimDuration::from_millis(8),
+        },
+        loss: Some((0.10, 5.0)),
+        reorder: ReorderModel::none(),
+        seed: 9,
+    };
+    let topo = fig.build();
+    let run = run_path(&t, &topo, &base_cfg());
+    let analysis = analyze_path(&topo, &run);
+
+    assert!(analysis.all_consistent());
+
+    // X's loss estimate matches injected loss.
+    let x = analysis.domain("X").unwrap();
+    let loss = x.estimate.loss.rate().unwrap();
+    assert!((loss - 0.10).abs() < 0.03, "loss {loss}");
+
+    // X's delay median ∈ [2, 10] ms; truth check against ground truth.
+    let truth = run.truth("X").unwrap();
+    let mut td = truth.delays_ms.clone();
+    td.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let true_p50 = vpm::stats::empirical_quantile(&td, 0.5);
+    let est = x.estimate.delay.as_ref().unwrap();
+    let p50 = est.quantiles.iter().find(|q| q.q == 0.5).unwrap();
+    assert!(
+        (p50.value - true_p50).abs() < 1.0,
+        "est {} vs truth {true_p50}",
+        p50.value
+    );
+    // The CI brackets the truth.
+    assert!(p50.lo <= true_p50 + 0.5 && true_p50 - 0.5 <= p50.hi);
+
+    // Innocent domains show clean books.
+    for name in ["L", "N"] {
+        let d = analysis.domain(name).unwrap();
+        assert!(d.estimate.loss.rate().unwrap_or(0.0) < 0.02);
+    }
+}
+
+#[test]
+fn receipts_flow_through_the_bus_with_privacy() {
+    let t = trace(100, 2);
+    let topo = Figure1::ideal().build();
+    let run = run_path(&t, &topo, &base_cfg());
+
+    let bus = ReceiptBus::new();
+    let on_path: Vec<DomainId> = topo.domain_ids();
+    for h in &run.hops {
+        bus.register_key(h.hop, h.key);
+        bus.publish(h.domain, h.batch.clone(), on_path.clone())
+            .expect("honest batches publish");
+    }
+    assert_eq!(bus.len(), 8);
+
+    // Any on-path domain can fetch any HOP's receipts.
+    for requester in &on_path {
+        let got = bus.fetch(*requester, HopId(5)).unwrap();
+        assert_eq!(got.len(), 1);
+    }
+    // An off-path domain cannot.
+    assert!(bus.fetch(DomainId(99), HopId(5)).is_err());
+}
+
+#[test]
+fn tampered_receipts_never_enter_circulation() {
+    let t = trace(100, 3);
+    let topo = Figure1::ideal().build();
+    let run = run_path(&t, &topo, &base_cfg());
+    let bus = ReceiptBus::new();
+    let h5 = run.hop(HopId(5)).unwrap();
+    bus.register_key(h5.hop, h5.key);
+    let mut doctored = h5.batch.clone();
+    if let Some(a) = doctored.aggregates.first_mut() {
+        a.pkt_cnt += 100; // a relay inflates a count without re-signing
+    }
+    assert!(bus.publish(h5.domain, doctored, topo.domain_ids()).is_err());
+}
+
+#[test]
+fn per_hop_tuning_controls_receipt_volume() {
+    let t = trace(300, 4);
+    let topo = Figure1::ideal().build();
+    let mut cfg = base_cfg();
+    // HOP 4 samples 10×, HOP 6 stays at base.
+    cfg.overrides.insert(
+        HopId(4),
+        HopTuning {
+            sampling_rate: 0.3,
+            aggregate_size: 200,
+        },
+    );
+    let run = run_path(&t, &topo, &cfg);
+    let h4 = run.hop(HopId(4)).unwrap();
+    let h6 = run.hop(HopId(6)).unwrap();
+    assert!(h4.samples.len() > 5 * h6.samples.len());
+    assert!(h4.aggregates.len() > 3 * h6.aggregates.len());
+    // Superset property across differently-tuned HOPs on the same
+    // stream: every packet HOP 6 sampled, HOP 4 (lower σ) sampled too.
+    let ids4: std::collections::HashSet<_> = h4.samples.iter().map(|r| r.pkt_id).collect();
+    let missing = h6
+        .samples
+        .iter()
+        .filter(|r| !ids4.contains(&r.pkt_id))
+        .count();
+    assert_eq!(missing, 0, "σ-ordering must give nested sample sets");
+}
+
+#[test]
+fn verification_works_under_ntp_grade_clocks() {
+    let t = trace(300, 5);
+    let mut fig = Figure1::ideal();
+    fig.x_transit = ChannelConfig {
+        delay: DelayModel::Constant(SimDuration::from_millis(4)),
+        loss: None,
+        reorder: ReorderModel::none(),
+        seed: 3,
+    };
+    // MaxDiff must absorb clock skew: widen to 5 ms.
+    fig.max_diff = SimDuration::from_millis(5);
+    let topo = fig.build();
+    let mut cfg = base_cfg();
+    cfg.clocks = ClockMode::NtpGrade;
+    cfg.seed = 55;
+    let run = run_path(&t, &topo, &cfg);
+    let analysis = analyze_path(&topo, &run);
+    assert!(
+        analysis.all_consistent(),
+        "NTP-grade skew within MaxDiff must not trigger inconsistencies"
+    );
+    let x = analysis.domain("X").unwrap();
+    let p50 = x
+        .estimate
+        .delay
+        .as_ref()
+        .unwrap()
+        .quantiles
+        .iter()
+        .find(|q| q.q == 0.5)
+        .unwrap()
+        .value;
+    // 4 ms transit ± ~1 ms clock error.
+    assert!((2.5..5.5).contains(&p50), "p50 {p50}");
+}
+
+#[test]
+fn desynchronized_clocks_violate_max_diff_as_the_paper_warns() {
+    // §4: HOPs keeping badly desynchronized clocks "generate
+    // inconsistent receipts (hence appear to have a problematic
+    // inter-domain link or be involved in a lie)".
+    let t = trace(200, 6);
+    let topo = Figure1::ideal().build(); // MaxDiff = 2 ms
+    let cfg = base_cfg();
+    let mut run = run_path(&t, &topo, &cfg);
+    // Simulate HOP 6's clock running 5 ms behind: its reported times
+    // for received packets are 5 ms late.
+    let h6 = run.hop_mut(HopId(6)).unwrap();
+    for r in &mut h6.samples {
+        r.time += SimDuration::from_millis(5);
+    }
+    let analysis = analyze_path(&topo, &run);
+    let xn = analysis
+        .links
+        .iter()
+        .find(|l| l.up == HopId(5))
+        .unwrap();
+    assert!(
+        !xn.report.is_consistent(),
+        "5 ms skew against a 2 ms MaxDiff must flag the link"
+    );
+}
+
+#[test]
+fn domain_estimates_survive_serde_roundtrip() {
+    // Receipts and estimates are wire types; a collector may archive
+    // them as JSON.
+    let t = trace(150, 7);
+    let topo = Figure1::ideal().build();
+    let run = run_path(&t, &topo, &base_cfg());
+    let v = Verifier::default();
+    let h4 = run.hop(HopId(4)).unwrap();
+    let h5 = run.hop(HopId(5)).unwrap();
+    let est = v.estimate_domain(&h4.samples, &h4.aggregates, &h5.samples, &h5.aggregates);
+    let json = serde_json::to_string(&est).unwrap();
+    let back: vpm::core::verify::DomainEstimate = serde_json::from_str(&json).unwrap();
+    assert_eq!(est, back);
+
+    let batch_json = serde_json::to_string(&h4.batch).unwrap();
+    let batch_back: vpm::core::processor::ReceiptBatch =
+        serde_json::from_str(&batch_json).unwrap();
+    assert!(batch_back.verify_tag(h4.key));
+}

@@ -1,0 +1,187 @@
+//! Cross-crate property-based tests: the paper's invariants checked
+//! over randomized inputs through the public API.
+
+use proptest::prelude::*;
+use vpm::core::aggregation::Aggregator;
+use vpm::core::sampling::DelaySampler;
+use vpm::core::verify::{join_aggregates, match_samples};
+use vpm::core::Partition;
+use vpm::hash::{Digest, Threshold};
+use vpm::packet::{SimDuration, SimTime};
+
+fn digest_stream(seed: u64, n: usize) -> Vec<Digest> {
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| Digest(rng.gen())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// §5.2 superset property over arbitrary streams and rates: the
+    /// lower-σ HOP's sample set contains the higher-σ HOP's.
+    #[test]
+    fn sampling_superset_property(
+        seed in any::<u64>(),
+        r1 in 0.001f64..0.3,
+        r2 in 0.001f64..0.3,
+        marker_rate in 0.002f64..0.05,
+    ) {
+        let ds = digest_stream(seed, 20_000);
+        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        let marker = Threshold::from_rate(marker_rate);
+        let run = |rate: f64| -> std::collections::HashSet<Digest> {
+            let mut s = DelaySampler::new(marker, Threshold::from_rate(rate));
+            for (i, &d) in ds.iter().enumerate() {
+                s.observe(d, SimTime::from_micros(i as u64 * 10));
+            }
+            s.drain().into_iter().map(|r| r.pkt_id).collect()
+        };
+        let set_lo = run(lo);
+        let set_hi = run(hi);
+        prop_assert!(set_lo.is_subset(&set_hi),
+            "σ-rate {lo} sampled {} ids not in rate {hi}'s set",
+            set_lo.difference(&set_hi).count());
+    }
+
+    /// §6.2 nesting property: aggregate boundaries at a coarse
+    /// threshold are a subset of boundaries at a fine threshold, so the
+    /// partitions nest (never partially overlap).
+    #[test]
+    fn aggregation_nesting_property(
+        seed in any::<u64>(),
+        size1 in 20u64..2000,
+        size2 in 20u64..2000,
+    ) {
+        let ds = digest_stream(seed, 30_000);
+        let run = |size: u64| {
+            let mut a = Aggregator::new(
+                Aggregator::delta_for_aggregate_size(size),
+                SimDuration::from_millis(1),
+            );
+            for (i, &d) in ds.iter().enumerate() {
+                a.observe(d, SimTime::from_micros(i as u64 * 10));
+            }
+            a.flush();
+            a.drain()
+        };
+        let (coarse_n, fine_n) = if size1 >= size2 { (size1, size2) } else { (size2, size1) };
+        let coarse: std::collections::HashSet<Digest> =
+            run(coarse_n).iter().map(|f| f.agg.first).collect();
+        let fine: std::collections::HashSet<Digest> =
+            run(fine_n).iter().map(|f| f.agg.first).collect();
+        prop_assert!(coarse.is_subset(&fine));
+    }
+
+    /// Loss computed from joined aggregate receipts equals true loss,
+    /// for arbitrary i.i.d. loss patterns (first packet forced through
+    /// so both streams share their opening boundary).
+    #[test]
+    fn join_loss_equals_true_loss(
+        seed in any::<u64>(),
+        loss in 0.0f64..0.6,
+    ) {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let ds = digest_stream(seed, 40_000);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x10);
+        let delta = Aggregator::delta_for_aggregate_size(400);
+        let j = SimDuration::from_millis(1);
+        let mut up = Aggregator::new(delta, j);
+        let mut down = Aggregator::new(delta, j);
+        let mut kept = 0u64;
+        for (i, &d) in ds.iter().enumerate() {
+            let t = SimTime::from_micros(i as u64 * 10);
+            up.observe(d, t);
+            if i == 0 || rng.gen::<f64>() >= loss {
+                down.observe(d, t + SimDuration::from_micros(100));
+                kept += 1;
+            }
+        }
+        up.flush();
+        down.flush();
+        let path = vpm::core::receipt::PathId {
+            spec: vpm::packet::HeaderSpec::new(
+                "10.0.0.0/8".parse().unwrap(),
+                "172.16.0.0/12".parse().unwrap(),
+            ),
+            prev_hop: None,
+            next_hop: None,
+            max_diff: SimDuration::from_millis(2),
+        };
+        let rx = |fins: Vec<vpm::core::aggregation::FinishedAggregate>| {
+            fins.into_iter()
+                .map(|f| vpm::core::receipt::AggReceipt {
+                    path,
+                    agg: f.agg,
+                    pkt_cnt: f.pkt_cnt,
+                    agg_trans: f.agg_trans,
+                })
+                .collect::<Vec<_>>()
+        };
+        let res = join_aggregates(&rx(up.drain()), &rx(down.drain()));
+        // Every joined aggregate's loss is non-negative, and the total
+        // loss rate tracks the injected rate.
+        for jagg in &res.joined {
+            prop_assert!(jagg.lost >= 0, "negative loss {jagg:?}");
+        }
+        if res.loss.sent > 5_000 {
+            let got = res.loss.rate().unwrap();
+            let true_rate = 1.0 - kept as f64 / ds.len() as f64;
+            prop_assert!((got - true_rate).abs() < 0.05,
+                "computed {got} vs true {true_rate}");
+        }
+    }
+
+    /// Matched samples always report the exact per-packet delay when
+    /// the domain applies a constant shift, regardless of rates.
+    #[test]
+    fn matched_delays_exact_under_constant_shift(
+        seed in any::<u64>(),
+        rate in 0.005f64..0.2,
+        shift_us in 100u64..50_000,
+    ) {
+        let ds = digest_stream(seed, 15_000);
+        let marker = Threshold::from_rate(0.01);
+        let sigma = Threshold::from_rate(rate);
+        let mut a = DelaySampler::new(marker, sigma);
+        let mut b = DelaySampler::new(marker, sigma);
+        let shift = SimDuration::from_micros(shift_us);
+        for (i, &d) in ds.iter().enumerate() {
+            let t = SimTime::from_micros(i as u64 * 10);
+            a.observe(d, t);
+            b.observe(d, t + shift);
+        }
+        let matched = match_samples(&a.drain(), &b.drain());
+        prop_assert!(!matched.is_empty());
+        for m in &matched {
+            prop_assert!((m.delay_ms() - shift_us as f64 / 1000.0).abs() < 1e-9);
+        }
+    }
+
+    /// The abstract partition join is associative and commutative on
+    /// common sequences — a verifier can merge receipts from many HOPs
+    /// in any order.
+    #[test]
+    fn partition_join_is_order_insensitive(
+        items in proptest::collection::vec(any::<u16>(), 1..50),
+        c1 in proptest::collection::vec(any::<bool>(), 50),
+        c2 in proptest::collection::vec(any::<bool>(), 50),
+        c3 in proptest::collection::vec(any::<bool>(), 50),
+    ) {
+        let cut = |cuts: &[bool]| {
+            let mut i = 0;
+            let c = cuts.to_vec();
+            Partition::from_cuts(&items, move |_| {
+                let v = c[i];
+                i += 1;
+                v
+            })
+        };
+        let (a, b, c) = (cut(&c1), cut(&c2), cut(&c3));
+        let abc = a.join(&b).unwrap().join(&c).unwrap();
+        let cba = c.join(&b).unwrap().join(&a).unwrap();
+        let acb = a.join(&c).unwrap().join(&b).unwrap();
+        prop_assert_eq!(abc.clone(), cba);
+        prop_assert_eq!(abc, acb);
+    }
+}
