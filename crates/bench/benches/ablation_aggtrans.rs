@@ -11,8 +11,14 @@ fn regenerate() {
     let r = aggtrans_alignment(1);
     eprintln!("joined aggregates           : {}", r.joined);
     eprintln!("boundaries re-aligned       : {}", r.alignments_applied);
-    eprintln!("|loss error| with windows   : {} packets", r.aligned_abs_error);
-    eprintln!("|loss error| without        : {} packets", r.stripped_abs_error);
+    eprintln!(
+        "|loss error| with windows   : {} packets",
+        r.aligned_abs_error
+    );
+    eprintln!(
+        "|loss error| without        : {} packets",
+        r.stripped_abs_error
+    );
     eprintln!("\n(without the §6.3 patch-up windows an honest, lossless domain");
     eprintln!(" shows phantom loss at every boundary that reordering straddled)");
 }

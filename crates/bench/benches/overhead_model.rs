@@ -66,7 +66,12 @@ fn hop_outputs() -> HopData {
             .flat_map(|r| r.samples.iter().copied())
             .collect::<Vec<_>>()
     };
-    (flat(&b4), b4.aggregates.clone(), flat(&b5), b5.aggregates.clone())
+    (
+        flat(&b4),
+        b4.aggregates.clone(),
+        flat(&b5),
+        b5.aggregates.clone(),
+    )
 }
 
 fn bench_verifier_side(c: &mut Criterion) {

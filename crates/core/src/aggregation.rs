@@ -308,7 +308,10 @@ mod tests {
         // Reconstruct: consecutive aggregates tile the digest stream.
         let mut pos = 0usize;
         for f in &aggs {
-            assert_eq!(ds[pos], f.agg.first, "aggregate must start where previous ended");
+            assert_eq!(
+                ds[pos], f.agg.first,
+                "aggregate must start where previous ended"
+            );
             pos += f.pkt_cnt as usize;
             assert_eq!(ds[pos - 1], f.agg.last);
         }
@@ -340,8 +343,7 @@ mod tests {
         let ds = digests(20_000, 4);
         feed(&mut a, &ds, 100); // 100 µs gaps → J=1ms covers ±10 pkts
         let aggs = a.drain();
-        let cut_closed: Vec<&FinishedAggregate> =
-            aggs.iter().filter(|f| f.closed_by_cut).collect();
+        let cut_closed: Vec<&FinishedAggregate> = aggs.iter().filter(|f| f.closed_by_cut).collect();
         assert!(cut_closed.len() > 10);
         for f in &cut_closed {
             assert!(

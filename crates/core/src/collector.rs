@@ -99,10 +99,7 @@ impl Collector {
     /// Observe a packet at local time `t`: classify, digest, update.
     /// Returns the path index it was classified into, if any.
     pub fn observe(&mut self, pkt: &Packet, t: SimTime) -> Option<usize> {
-        let idx = self
-            .paths
-            .iter()
-            .position(|ps| ps.path.spec.matches(pkt))?;
+        let idx = self.paths.iter().position(|ps| ps.path.spec.matches(pkt))?;
         let digest = pkt.digest_with(self.digest_seed);
         self.counters.hash_ops += 1;
         self.observe_classified(idx, digest, t);
@@ -128,8 +125,7 @@ impl Collector {
         self.counters.memory_accesses += 3;
 
         ps.aggregator.observe(digest, t);
-        if let crate::sampling::ObserveOutcome::Marker { swept, .. } =
-            ps.sampler.observe(digest, t)
+        if let crate::sampling::ObserveOutcome::Marker { swept, .. } = ps.sampler.observe(digest, t)
         {
             // One extra access per buffered packet examined (§7.1).
             self.counters.marker_sweep_accesses += swept as u64;
@@ -266,7 +262,10 @@ mod tests {
         let mut c = Collector::new(config());
         let spec = vpm_trace::TraceConfig::paper_default(1, 0).spec;
         c.register_path(path_id(spec));
-        assert_eq!(c.monitoring_cache_bytes(), crate::overhead::PER_PATH_STATE_BYTES);
+        assert_eq!(
+            c.monitoring_cache_bytes(),
+            crate::overhead::PER_PATH_STATE_BYTES
+        );
         let trace = mk_trace(300);
         for tp in &trace {
             c.observe(&tp.packet, tp.ts);
@@ -349,8 +348,7 @@ mod tests {
         // marker arrives), so sweep accesses ≈ packets − markers −
         // still-buffered.
         let ps = c.path(0).unwrap();
-        let expected =
-            counters.packets - ps.sampler.stats().markers - ps.sampler.buffered() as u64;
+        let expected = counters.packets - ps.sampler.stats().markers - ps.sampler.buffered() as u64;
         assert_eq!(counters.marker_sweep_accesses, expected);
     }
 }

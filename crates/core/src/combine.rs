@@ -35,7 +35,11 @@ impl std::fmt::Display for CombineError {
             CombineError::Empty => write!(f, "no receipts to combine"),
             CombineError::PathMismatch => write!(f, "receipts name different paths"),
             CombineError::NotConsecutive { at } => {
-                write!(f, "aggregate receipts {at} and {} are not consecutive", at + 1)
+                write!(
+                    f,
+                    "aggregate receipts {at} and {} are not consecutive",
+                    at + 1
+                )
             }
         }
     }
@@ -210,5 +214,104 @@ mod tests {
     fn single_receipt_combines_to_itself() {
         let a = agg(1, 5, 3, &[1, 2]);
         assert_eq!(combine_aggregates(std::slice::from_ref(&a)).unwrap(), a);
+    }
+
+    // ---- ⊎ algebra: associativity and commutativity (§4) ----
+
+    use proptest::prelude::*;
+
+    /// Build a chain of consecutive aggregate receipts from random
+    /// per-aggregate sizes: receipt `i`'s patch-up window always
+    /// contains receipt `i+1`'s first packet, as Algorithm 2 produces.
+    fn agg_chain(sizes: &[u64]) -> Vec<AggReceipt> {
+        let mut start = 1u64;
+        let mut out = Vec::new();
+        for (i, &raw) in sizes.iter().enumerate() {
+            let n = raw % 50 + 1;
+            let last = start + n - 1;
+            let next_first = last + 1;
+            // Window spans the cut region, including the next opener
+            // (empty for the final aggregate).
+            let trans: Vec<u64> = if i + 1 < sizes.len() {
+                vec![last, next_first]
+            } else {
+                Vec::new()
+            };
+            out.push(agg(start, last, n, &trans));
+            start = next_first;
+        }
+        out
+    }
+
+    proptest! {
+        /// Sample-receipt ⊎ is commutative: the union does not depend
+        /// on the order receipts are combined in.
+        #[test]
+        fn samples_combine_commutatively(
+            ids_a in proptest::collection::vec(any::<u64>(), 0..40),
+            ids_b in proptest::collection::vec(any::<u64>(), 0..40),
+        ) {
+            let mk = |ids: &[u64]| SampleReceipt {
+                path: path(),
+                samples: ids.iter().map(|&i| srec(i, i % 1000)).collect(),
+            };
+            let (a, b) = (mk(&ids_a), mk(&ids_b));
+            let ab = combine_samples(&[a.clone(), b.clone()]).unwrap();
+            let ba = combine_samples(&[b, a]).unwrap();
+            let set = |r: &SampleReceipt| {
+                r.samples.iter().copied().collect::<std::collections::HashSet<_>>()
+            };
+            prop_assert_eq!(set(&ab), set(&ba));
+            prop_assert_eq!(ab.samples.len(), ba.samples.len(), "both dedup alike");
+        }
+
+        /// Sample-receipt ⊎ is associative: (a ⊎ b) ⊎ c = a ⊎ (b ⊎ c),
+        /// and both equal the one-shot combination.
+        #[test]
+        fn samples_combine_associatively(
+            ids_a in proptest::collection::vec(any::<u64>(), 0..30),
+            ids_b in proptest::collection::vec(any::<u64>(), 0..30),
+            ids_c in proptest::collection::vec(any::<u64>(), 0..30),
+        ) {
+            let mk = |ids: &[u64]| SampleReceipt {
+                path: path(),
+                samples: ids.iter().map(|&i| srec(i, i % 1000)).collect(),
+            };
+            let (a, b, c) = (mk(&ids_a), mk(&ids_b), mk(&ids_c));
+            let left = combine_samples(&[
+                combine_samples(&[a.clone(), b.clone()]).unwrap(),
+                c.clone(),
+            ])
+            .unwrap();
+            let right = combine_samples(&[
+                a.clone(),
+                combine_samples(&[b.clone(), c.clone()]).unwrap(),
+            ])
+            .unwrap();
+            let flat = combine_samples(&[a, b, c]).unwrap();
+            prop_assert_eq!(left.clone(), right);
+            prop_assert_eq!(left, flat);
+        }
+
+        /// Aggregate-receipt ⊎ is associative over any consecutive
+        /// chain: grouping does not change the combined receipt.
+        /// (Commutativity does not apply: aggregates are consecutive by
+        /// definition, so only one order is meaningful.)
+        #[test]
+        fn aggregates_combine_associatively(
+            sizes in proptest::collection::vec(any::<u64>(), 3..12),
+            split in any::<u64>(),
+        ) {
+            let chain = agg_chain(&sizes);
+            let k = (split as usize % (chain.len() - 1)) + 1;
+            let left = combine_aggregates(&[
+                combine_aggregates(&chain[..k]).unwrap(),
+                combine_aggregates(&chain[k..]).unwrap(),
+            ])
+            .unwrap();
+            let flat = combine_aggregates(&chain).unwrap();
+            prop_assert_eq!(left, flat.clone());
+            prop_assert_eq!(flat.pkt_cnt, chain.iter().map(|r| r.pkt_cnt).sum::<u64>());
+        }
     }
 }

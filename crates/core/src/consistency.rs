@@ -81,11 +81,7 @@ pub fn check_sample_pair(
 }
 
 /// Check rule 3 for one common aggregate.
-pub fn check_aggregate_pair(
-    agg: AggId,
-    up_cnt: u64,
-    down_cnt: u64,
-) -> Option<LinkInconsistency> {
+pub fn check_aggregate_pair(agg: AggId, up_cnt: u64, down_cnt: u64) -> Option<LinkInconsistency> {
     (up_cnt != down_cnt).then_some(LinkInconsistency::CountMismatch {
         agg,
         up_cnt,
@@ -163,7 +159,9 @@ mod tests {
         };
         assert!(check_aggregate_pair(agg, 100, 100).is_none());
         match check_aggregate_pair(agg, 100, 97) {
-            Some(LinkInconsistency::CountMismatch { up_cnt, down_cnt, .. }) => {
+            Some(LinkInconsistency::CountMismatch {
+                up_cnt, down_cnt, ..
+            }) => {
                 assert_eq!((up_cnt, down_cnt), (100, 97));
             }
             other => panic!("{other:?}"),

@@ -34,8 +34,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod align;
 pub mod aggregation;
+pub mod align;
 pub mod collector;
 pub mod combine;
 pub mod consistency;

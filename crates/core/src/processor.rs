@@ -199,7 +199,11 @@ mod tests {
             duration: SimDuration::from_millis(400),
             ..vpm_trace::TraceConfig::paper_default(1, seed)
         };
-        for tp in vpm_trace::TraceGenerator::new(cfg).generate().iter().take(n) {
+        for tp in vpm_trace::TraceGenerator::new(cfg)
+            .generate()
+            .iter()
+            .take(n)
+        {
             collector.observe(&tp.packet, tp.ts);
         }
     }

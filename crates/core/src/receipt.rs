@@ -101,11 +101,7 @@ pub mod compact {
     /// "receipt size (22 bytes)" when `AggTrans` is empty:
     /// 4 (path ref) + 2·4 (AggID digests) + 6 (count) + 4 (window len).
     pub fn agg_receipt_bytes(r: &AggReceipt) -> usize {
-        PATH_REF_BYTES
-            + 2 * PKT_ID_BYTES
-            + PKT_CNT_BYTES
-            + 4
-            + r.agg_trans.len() * PKT_ID_BYTES
+        PATH_REF_BYTES + 2 * PKT_ID_BYTES + PKT_CNT_BYTES + 4 + r.agg_trans.len() * PKT_ID_BYTES
     }
 }
 

@@ -309,8 +309,7 @@ mod tests {
             // random future packets until a marker fires
             loop {
                 let d = Digest(rng.gen());
-                if let ObserveOutcome::Marker { .. } =
-                    s.observe(d, SimTime::from_micros(trial + 1))
+                if let ObserveOutcome::Marker { .. } = s.observe(d, SimTime::from_micros(trial + 1))
                 {
                     break;
                 }

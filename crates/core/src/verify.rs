@@ -369,8 +369,7 @@ impl Verifier {
                 first: j.start_boundary,
                 last: j.start_boundary,
             };
-            if let Some(v) =
-                check_aggregate_pair(agg, j.up_cnt, j.down_cnt_adjusted.max(0) as u64)
+            if let Some(v) = check_aggregate_pair(agg, j.up_cnt, j.down_cnt_adjusted.max(0) as u64)
             {
                 inconsistencies.push(v);
             }
@@ -391,9 +390,9 @@ mod tests {
     use super::*;
     use crate::aggregation::Aggregator;
     use crate::sampling::DelaySampler;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
     use vpm_hash::Threshold;
     use vpm_packet::{HeaderSpec, SimDuration};
-    use rand::{rngs::SmallRng, Rng, SeedableRng};
 
     fn rec(id: u64, us: u64) -> SampleRecord {
         SampleRecord {
@@ -643,10 +642,14 @@ mod tests {
             .inconsistencies
             .iter()
             .any(|i| matches!(i, LinkInconsistency::ExcessLinkDelay { pkt_id, .. } if *pkt_id == Digest(7))));
-        assert!(report
-            .inconsistencies
-            .iter()
-            .any(|i| matches!(i, LinkInconsistency::CountMismatch { up_cnt: 100, down_cnt: 98, .. })));
+        assert!(report.inconsistencies.iter().any(|i| matches!(
+            i,
+            LinkInconsistency::CountMismatch {
+                up_cnt: 100,
+                down_cnt: 98,
+                ..
+            }
+        )));
         assert_eq!(report.common_samples, 2);
     }
 

@@ -73,9 +73,7 @@ fn read_u32_le(k: &[u8]) -> u32 {
 /// independence.
 pub fn hashlittle2(key: &[u8], pc: u32, pb: u32) -> (u32, u32) {
     let mut len = key.len();
-    let mut a: u32 = 0xdead_beef_u32
-        .wrapping_add(len as u32)
-        .wrapping_add(pc);
+    let mut a: u32 = 0xdead_beef_u32.wrapping_add(len as u32).wrapping_add(pc);
     let mut b: u32 = a;
     let mut c: u32 = a.wrapping_add(pb);
 
@@ -261,7 +259,10 @@ mod tests {
         let buf: Vec<u8> = (0..=70u8).collect();
         let mut seen = std::collections::HashSet::new();
         for n in 0..buf.len() {
-            assert!(seen.insert(hashlittle(&buf[..n], 0)), "collision at length {n}");
+            assert!(
+                seen.insert(hashlittle(&buf[..n], 0)),
+                "collision at length {n}"
+            );
         }
     }
 
@@ -276,7 +277,10 @@ mod tests {
     fn hash64_words_matches_manual_composition() {
         let words = [1u32, 2, 3, 4, 5];
         let (c, b) = hashword2(&words, 7, 9);
-        assert_eq!(hash64_words(&words, ((7u64) << 32) | 9), ((c as u64) << 32) | b as u64);
+        assert_eq!(
+            hash64_words(&words, ((7u64) << 32) | 9),
+            ((c as u64) << 32) | b as u64
+        );
     }
 
     #[test]

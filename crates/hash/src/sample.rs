@@ -86,9 +86,7 @@ mod tests {
         let n = 40_000u64;
         let mut above = 0u64;
         for i in 0..n {
-            if sample_fcn(Digest(i.wrapping_mul(0x9e37_79b9_7f4a_7c15)), marker)
-                > u64::MAX / 2
-            {
+            if sample_fcn(Digest(i.wrapping_mul(0x9e37_79b9_7f4a_7c15)), marker) > u64::MAX / 2 {
                 above += 1;
             }
         }

@@ -31,9 +31,7 @@ use serde::{Deserialize, Serialize};
 /// let ten_percent = Threshold::from_rate(0.10);
 /// assert!(ten_percent.is_superset_of(&one_percent));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Threshold(pub u64);
 
 impl Threshold {
@@ -123,10 +121,7 @@ mod tests {
             }
             let got = hits as f64 / n as f64;
             let tol = (target * 0.25).max(0.0008);
-            assert!(
-                (got - target).abs() < tol,
-                "target {target} got {got}"
-            );
+            assert!((got - target).abs() < tol, "target {target} got {got}");
         }
     }
 

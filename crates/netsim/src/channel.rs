@@ -95,11 +95,9 @@ pub fn apply(ts_in: &[SimTime], cfg: &ChannelConfig) -> Vec<Option<SimTime>> {
                 };
                 Some(*base + SimDuration::from_nanos(extra))
             }
-            DelayModel::Series(fates) => fates
-                .get(i)
-                .copied()
-                .unwrap_or(PacketFate::Dropped)
-                .delay(),
+            DelayModel::Series(fates) => {
+                fates.get(i).copied().unwrap_or(PacketFate::Dropped).delay()
+            }
         };
         out.push(delay.map(|d| t + d));
     }

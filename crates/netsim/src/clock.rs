@@ -102,10 +102,17 @@ mod tests {
             jitter_ns: 0,
             rng: SmallRng::seed_from_u64(0),
         };
-        let early = c.read(SimTime::from_secs(1)).signed_delta(SimTime::from_secs(1));
-        let late = c.read(SimTime::from_secs(100)).signed_delta(SimTime::from_secs(100));
+        let early = c
+            .read(SimTime::from_secs(1))
+            .signed_delta(SimTime::from_secs(1));
+        let late = c
+            .read(SimTime::from_secs(100))
+            .signed_delta(SimTime::from_secs(100));
         assert!(late > early);
-        assert!((late - 10_000_000).abs() < 1000, "100ppm over 100s ≈ 10ms, got {late}");
+        assert!(
+            (late - 10_000_000).abs() < 1000,
+            "100ppm over 100s ≈ 10ms, got {late}"
+        );
     }
 
     #[test]

@@ -182,7 +182,13 @@ pub fn run_bottleneck(
                 pkt_bytes,
             };
             for (t, bytes) in src.generate(horizon_d, seed ^ 0xfeed) {
-                events.push(t, Ev::Fixed { fg_idx: None, bytes });
+                events.push(
+                    t,
+                    Ev::Fixed {
+                        fg_idx: None,
+                        bytes,
+                    },
+                );
             }
         }
         CrossTraffic::LongLivedTcp { flows, seg_bytes } => {
@@ -201,7 +207,13 @@ pub fn run_bottleneck(
                 pkt_bytes: 1250,
             };
             for (t, bytes) in src.generate(horizon_d, seed ^ 0xfeed) {
-                events.push(t, Ev::Fixed { fg_idx: None, bytes });
+                events.push(
+                    t,
+                    Ev::Fixed {
+                        fg_idx: None,
+                        bytes,
+                    },
+                );
             }
             spawn_tcp(&mut tcp_flows, &mut events, n, 1500);
         }
@@ -230,10 +242,7 @@ pub fn run_bottleneck(
                 let seg = tcp_flows[flow].sender.seg_bytes;
                 match queue.offer(now, seg) {
                     QueueOutcome::Departs(depart) => {
-                        events.push(
-                            depart + cfg.prop_delay,
-                            Ev::TcpDeliver { flow, seq },
-                        );
+                        events.push(depart + cfg.prop_delay, Ev::TcpDeliver { flow, seq });
                     }
                     QueueOutcome::Dropped => { /* loss signals via dup-ACK/RTO */ }
                 }
@@ -305,10 +314,7 @@ fn spawn_tcp(
 
 fn arm_rto(st: &mut TcpFlowState, flow: usize, now: SimTime, events: &mut EventQueue<Ev>) {
     st.rto_armed_at = now;
-    events.push(
-        now + st.sender.rto,
-        Ev::TcpRto { flow, armed: now },
-    );
+    events.push(now + st.sender.rto, Ev::TcpRto { flow, armed: now });
 }
 
 fn pump(

@@ -123,10 +123,7 @@ mod tests {
             let n = 400_000;
             let lost = ch.mask(n).iter().filter(|&&s| !s).count();
             let got = lost as f64 / n as f64;
-            assert!(
-                (got - target).abs() < 0.02,
-                "target {target} got {got}"
-            );
+            assert!((got - target).abs() < 0.02, "target {target} got {got}");
             assert!((ch.stationary_loss() - target).abs() < 1e-9);
         }
     }

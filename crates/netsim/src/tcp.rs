@@ -241,7 +241,10 @@ mod tests {
         s.on_ack(2);
         s.on_ack(2);
         s.on_ack(2);
-        assert!(matches!(s.on_ack(2), AckReaction::DupAck | AckReaction::FastRetransmit(_)));
+        assert!(matches!(
+            s.on_ack(2),
+            AckReaction::DupAck | AckReaction::FastRetransmit(_)
+        ));
         // Cumulative ACK covering the recovery point exits recovery and
         // resumes window growth.
         s.on_ack(8);

@@ -51,8 +51,7 @@ impl Packet {
         match &self.transport {
             Transport::Tcp(t) => {
                 buf[17..21].copy_from_slice(&t.seq.to_be_bytes());
-                buf[21..25.min(DIGEST_INPUT_LEN)]
-                    .copy_from_slice(&t.ack.to_be_bytes()[..3]);
+                buf[21..25.min(DIGEST_INPUT_LEN)].copy_from_slice(&t.ack.to_be_bytes()[..3]);
             }
             Transport::Udp(u) => {
                 buf[17..19].copy_from_slice(&u.length.to_be_bytes());

@@ -11,9 +11,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier for an administrative domain.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct DomainId(pub u16);
 
 impl fmt::Display for DomainId {
@@ -23,9 +21,7 @@ impl fmt::Display for DomainId {
 }
 
 /// Identifier for a hand-off point (HOP).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct HopId(pub u16);
 
 impl fmt::Display for HopId {
@@ -38,9 +34,7 @@ impl fmt::Display for HopId {
 ///
 /// Per the paper (§4) it "includes at least a source and destination
 /// origin-prefix pair"; that pair is exactly what we model.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct HeaderSpec {
     /// Origin prefix of the traffic source.
     pub src_prefix: Ipv4Prefix,

@@ -177,7 +177,10 @@ mod tests {
         assert_eq!(t, SimTime::from_millis(8));
         assert_eq!(t - SimTime::from_millis(6), SimDuration::from_millis(2));
         // saturating: earlier - later = 0
-        assert_eq!(SimTime::from_millis(1) - SimTime::from_millis(9), SimDuration::ZERO);
+        assert_eq!(
+            SimTime::from_millis(1) - SimTime::from_millis(9),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

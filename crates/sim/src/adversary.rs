@@ -147,10 +147,17 @@ mod tests {
                 claimed_delay: SimDuration::from_micros(200),
             },
         );
-        assert!(egress.samples.len() > before, "lie must add fabricated records");
+        assert!(
+            egress.samples.len() > before,
+            "lie must add fabricated records"
+        );
         assert_eq!(egress.samples.len(), ingress.samples.len());
         // The doctored batch still signs correctly (liars sign lies).
-        assert!(run.hop(HopId(5)).unwrap().batch.verify_tag(run.hop(HopId(5)).unwrap().key));
+        assert!(run
+            .hop(HopId(5))
+            .unwrap()
+            .batch
+            .verify_tag(run.hop(HopId(5)).unwrap().key));
     }
 
     #[test]

@@ -187,7 +187,8 @@ pub fn trajectory_sampling(w: &Workload, rate: f64, biased: bool) -> SchemeRepor
         delay_error_under_bias_ms: biased.then_some(qerr),
         loss_error,
         verdict: if biased {
-            "sampled set predictable ⇒ colluding domains sugarcoat undetected — fails verifiability".into()
+            "sampled set predictable ⇒ colluding domains sugarcoat undetected — fails verifiability"
+                .into()
         } else {
             "tunable and computable while everyone is honest".into()
         },
@@ -357,7 +358,10 @@ pub fn vpm_scheme(w: &Workload, rate: f64, agg_size: u64) -> SchemeReport {
     let loss_error = (res.loss.rate().unwrap_or(f64::NAN) - w.true_loss()).abs();
 
     SchemeReport {
-        name: format!("VPM ({:.1}% sampling, {agg_size}-pkt aggregates)", rate * 100.0),
+        name: format!(
+            "VPM ({:.1}% sampling, {agg_size}-pkt aggregates)",
+            rate * 100.0
+        ),
         bytes_per_pkt_per_hop: rate * SAMPLE_RECORD_BYTES + AGG_RECEIPT_BYTES / agg_size as f64,
         delay_quantile_error_ms: Some(qerr),
         delay_error_under_bias_ms: None, // bias impossible (see ablation)
@@ -425,10 +429,7 @@ mod tests {
         assert!(honest.delay_quantile_error_ms.unwrap() < 2.0, "{honest:?}");
         // Under collusion the sampled set shows the fast path only: the
         // estimate misses nearly all real congestion.
-        assert!(
-            biased.delay_quantile_error_ms.unwrap() > 8.0,
-            "{biased:?}"
-        );
+        assert!(biased.delay_quantile_error_ms.unwrap() > 8.0, "{biased:?}");
     }
 
     #[test]

@@ -215,16 +215,15 @@ mod tests {
             let (_, key) = batch(HopId(h));
             bus.register_key(HopId(h), key);
         }
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for h in 1..=8u16 {
                 let bus = &bus;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let (b, _) = batch(HopId(h));
                     bus.publish(DomainId(h), b, vec![DomainId(h)]).unwrap();
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(bus.len(), 8);
     }
 }

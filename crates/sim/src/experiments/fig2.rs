@@ -138,8 +138,7 @@ pub fn run(cfg: &Fig2Config) -> Vec<Fig2Point> {
                 hop5.observe(digests[d.idx], d.ts_out);
             }
             // Step 5: verifier-side estimation vs ground truth.
-            let matched =
-                vpm_core::verify::match_samples(&hop4.drain(), &hop5.drain());
+            let matched = vpm_core::verify::match_samples(&hop4.drain(), &hop5.drain());
             let est: Vec<f64> = matched.iter().map(|m| m.delay_ms()).collect();
             let report = quantile_error(&truth, &est, &cfg.quantiles);
             let (acc, mean) = report

@@ -46,7 +46,9 @@ impl Fig3Config {
             pps: 100_000.0,
             duration,
             aggregate_size: 100_000,
-            loss_rates: vec![0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50],
+            loss_rates: vec![
+                0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50,
+            ],
             loss_burst: 5.0,
             j_window: SimDuration::from_millis(10),
             transit: SimDuration::from_micros(200),
@@ -225,9 +227,19 @@ mod tests {
         // Monotone-ish growth, and bounded: at 25% loss the paper sees
         // 1.5× the base granularity; allow up to ~2.5×.
         assert!(g(0.25) >= g(0.0) * 0.99);
-        assert!(g(0.25) < g(0.0) * 2.5, "25% loss: {} vs {}", g(0.25), g(0.0));
+        assert!(
+            g(0.25) < g(0.0) * 2.5,
+            "25% loss: {} vs {}",
+            g(0.25),
+            g(0.0)
+        );
         assert!(g(0.50) >= g(0.25) * 0.9);
-        assert!(g(0.50) < g(0.0) * 5.0, "50% loss: {} vs {}", g(0.50), g(0.0));
+        assert!(
+            g(0.50) < g(0.0) * 5.0,
+            "50% loss: {} vs {}",
+            g(0.50),
+            g(0.0)
+        );
     }
 
     #[test]

@@ -123,9 +123,7 @@ pub fn run(cfg: &VerifiabilityConfig) -> Vec<VerifiabilityPoint> {
     // through X plus both links.
     let truth_3_to_6: Vec<f64> = deliveries
         .iter()
-        .map(|d| {
-            (d.ts_out + cfg.link_delay).signed_delta(t3[d.idx]) as f64 / 1e6
-        })
+        .map(|d| (d.ts_out + cfg.link_delay).signed_delta(t3[d.idx]) as f64 / 1e6)
         .collect();
     // Ground truth for X's own segment (HOP 4 → HOP 5).
     let truth_4_to_5: Vec<f64> = deliveries
@@ -134,13 +132,14 @@ pub fn run(cfg: &VerifiabilityConfig) -> Vec<VerifiabilityPoint> {
         .collect();
 
     let marker = Threshold::from_rate(cfg.marker_rate);
-    let sample_stream = |rate: f64, idx_times: &[(usize, SimTime)]| -> Vec<vpm_core::receipt::SampleRecord> {
-        let mut s = DelaySampler::new(marker, Threshold::from_rate(rate));
-        for &(i, t) in idx_times {
-            s.observe(digests[i], t);
-        }
-        s.drain()
-    };
+    let sample_stream =
+        |rate: f64, idx_times: &[(usize, SimTime)]| -> Vec<vpm_core::receipt::SampleRecord> {
+            let mut s = DelaySampler::new(marker, Threshold::from_rate(rate));
+            for &(i, t) in idx_times {
+                s.observe(digests[i], t);
+            }
+            s.drain()
+        };
 
     let all4: Vec<(usize, SimTime)> = t4.iter().copied().enumerate().collect();
     let all3: Vec<(usize, SimTime)> = t3.iter().copied().enumerate().collect();

@@ -21,6 +21,10 @@
 //!   estimates, per-link consistency, liar exposure.
 //! * [`experiments`] — Figure 2, Figure 3, the §7.2 verifiability
 //!   sweep and the design-choice ablations.
+//! * [`scenario_matrix`] — the deterministic scenario grid: every
+//!   combination of delay model, loss process, reorder window,
+//!   sampling rate and adversary strategy as one enumerable,
+//!   reproducible table.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,9 +35,11 @@ pub mod bus;
 pub mod experiments;
 pub mod partial;
 pub mod run;
+pub mod scenario_matrix;
 pub mod topology;
 pub mod verdict;
 
 pub use run::{PathRun, RunConfig};
+pub use scenario_matrix::{evaluate_cell, full_grid, Cell, CellVerdict};
 pub use topology::{DomainRole, Figure1, LinkSpec, Topology};
 pub use verdict::{analyze_path, PathAnalysis};

@@ -144,10 +144,7 @@ mod tests {
     use vpm_packet::SimDuration;
     use vpm_trace::{TraceConfig, TraceGenerator};
 
-    fn scenario(
-        x_loss: f64,
-        l_loss: f64,
-    ) -> (Topology, PathRun) {
+    fn scenario(x_loss: f64, l_loss: f64) -> (Topology, PathRun) {
         let t = TraceGenerator::new(TraceConfig {
             target_pps: 50_000.0,
             duration: SimDuration::from_millis(250),

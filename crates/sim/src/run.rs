@@ -148,9 +148,7 @@ fn transform(stream: &Stream, channel: &ChannelConfig) -> (Stream, Vec<f64>) {
     let deliveries = arrivals(&out);
     let mut delays = Vec::with_capacity(deliveries.len());
     for d in &deliveries {
-        delays.push(
-            d.ts_out.signed_delta(times[d.idx]) as f64 / 1e6,
-        );
+        delays.push(d.ts_out.signed_delta(times[d.idx]) as f64 / 1e6);
     }
     let next: Stream = deliveries
         .iter()
@@ -206,8 +204,8 @@ pub fn run_path(trace: &[TracePacket], topology: &Topology, cfg: &RunConfig) -> 
     }
 
     let observe = |pipelines: &mut HashMap<HopId, (HopPipeline, HopClock, PathId)>,
-                       hop: HopId,
-                       stream: &Stream| {
+                   hop: HopId,
+                   stream: &Stream| {
         let (pipe, clock, _) = pipelines.get_mut(&hop).expect("registered hop");
         for &(idx, t) in stream {
             let local = clock.read(t);
@@ -216,11 +214,7 @@ pub fn run_path(trace: &[TracePacket], topology: &Topology, cfg: &RunConfig) -> 
     };
 
     // Walk the path.
-    let mut stream: Stream = trace
-        .iter()
-        .enumerate()
-        .map(|(i, tp)| (i, tp.ts))
-        .collect();
+    let mut stream: Stream = trace.iter().enumerate().map(|(i, tp)| (i, tp.ts)).collect();
     let mut truths = Vec::new();
     let mut observed_count: HashMap<HopId, usize> = HashMap::new();
 

@@ -1,0 +1,728 @@
+//! The deterministic scenario matrix.
+//!
+//! The ROADMAP's north star asks for "as many scenarios as you can
+//! imagine"; this module turns that into one enumerable table. A
+//! [`Cell`] fixes every free variable of a Figure-1 experiment — the
+//! delay model inside the domain under evaluation (`X`), the loss
+//! process (none / uniform / bursty Gilbert-Elliott), the reordering
+//! window, the HOPs' sampling rate, the adversary strategy, and the
+//! RNG seed — and [`evaluate_cell`] replays it end to end:
+//!
+//! 1. run the path honestly and check the three per-cell invariants
+//!    the paper promises: **consistency** (honest receipts never flag a
+//!    link), **accuracy** (receipt-derived loss and delay track the
+//!    retained ground truth within tolerances), and
+//! 2. if the cell names an adversary, re-run (or doctor) the same
+//!    scenario with the lie applied and check **exposure**: the lie
+//!    surfaces exactly where §3.1 says it must — on an inter-domain
+//!    link adjacent to a liar, or (for collusion) as blame absorbed
+//!    inside the colluding coalition, or (for sampling bias) as a
+//!    defeated attack whose estimates still track the truth.
+//!
+//! Everything is seeded: evaluating the same cell twice produces
+//! byte-identical [`CellVerdict`]s (`tests/scenario_matrix.rs` asserts
+//! this via JSON serialization). [`full_grid`] enumerates the default
+//! 24-cell sweep the integration suite runs; future PRs extend the
+//! grid rather than writing new one-off scenario tests.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use vpm_hash::Threshold;
+use vpm_netsim::channel::{ChannelConfig, DelayModel};
+use vpm_netsim::congestion::PacketFate;
+use vpm_netsim::reorder::ReorderModel;
+use vpm_packet::{HopId, SimDuration};
+use vpm_trace::{TraceConfig, TraceGenerator, TracePacket};
+
+use crate::adversary::{apply_lie, cover_up, LieStrategy};
+use crate::run::{run_path, PathRun, RunConfig};
+use crate::topology::{Figure1, Topology};
+use crate::verdict::{analyze_path, PathAnalysis};
+
+/// Delay model applied inside domain `X`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DelayAxis {
+    /// Constant 300 µs transit.
+    Constant,
+    /// 100 µs base plus uniform jitter in `[0, 800]` µs.
+    Jitter,
+}
+
+impl DelayAxis {
+    fn model(&self) -> DelayModel {
+        match self {
+            DelayAxis::Constant => DelayModel::Constant(SimDuration::from_micros(300)),
+            DelayAxis::Jitter => DelayModel::Jitter {
+                base: SimDuration::from_micros(100),
+                jitter: SimDuration::from_micros(800),
+            },
+        }
+    }
+
+    /// Fast-path delay a biased domain gives packets it wants to look
+    /// good on (well below either model's typical transit).
+    fn fast_path(&self) -> SimDuration {
+        SimDuration::from_micros(30)
+    }
+}
+
+/// Loss process applied inside domain `X`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LossAxis {
+    /// Lossless.
+    None,
+    /// Independent (uniform) drops at the given rate — Gilbert-Elliott
+    /// with mean burst length 1.
+    Uniform(f64),
+    /// Bursty Gilbert-Elliott drops: `(rate, mean burst)`.
+    Gilbert(f64, f64),
+}
+
+impl LossAxis {
+    fn channel_loss(&self) -> Option<(f64, f64)> {
+        match *self {
+            LossAxis::None => None,
+            LossAxis::Uniform(rate) => Some((rate, 1.0)),
+            LossAxis::Gilbert(rate, burst) => Some((rate, burst)),
+        }
+    }
+
+    /// Target loss rate of the process.
+    pub fn rate(&self) -> f64 {
+        match *self {
+            LossAxis::None => 0.0,
+            LossAxis::Uniform(r) | LossAxis::Gilbert(r, _) => r,
+        }
+    }
+}
+
+/// Reordering window inside domain `X`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ReorderAxis {
+    /// In-order delivery.
+    None,
+    /// Bounded reordering: hold-back probability with a shift strictly
+    /// below the safety threshold `J`.
+    Window {
+        /// Probability a packet is held back.
+        p: f64,
+        /// Hold-back bound in microseconds (< `J`).
+        shift_us: u64,
+    },
+}
+
+impl ReorderAxis {
+    fn model(&self) -> ReorderModel {
+        match *self {
+            ReorderAxis::None => ReorderModel::none(),
+            ReorderAxis::Window { p, shift_us } => ReorderModel {
+                p_reorder: p,
+                max_shift: SimDuration::from_micros(shift_us),
+            },
+        }
+    }
+}
+
+/// The lying strategy exercised in a cell (threat model of §2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdversaryAxis {
+    /// Everyone reports honestly.
+    Honest,
+    /// `X` hides its loss by fabricating egress receipts for every
+    /// packet its ingress saw (§3.1).
+    BlameShift,
+    /// `X` hides delay by shaving its egress timestamps (§3.1).
+    Sugarcoat,
+    /// `X` drops the marker packets that drive Algorithm 1 (§5.3).
+    MarkerDrop,
+    /// `X` blame-shifts and its downstream neighbor `N` covers the lie
+    /// (§3.1 collusion).
+    Collude,
+    /// `X` fast-paths the packets it *guesses* will be sampled — the
+    /// bias attack Algorithm 1 is designed to defeat (§5.1).
+    SampleBias,
+}
+
+impl AdversaryAxis {
+    /// Stable label for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdversaryAxis::Honest => "honest",
+            AdversaryAxis::BlameShift => "blame-shift",
+            AdversaryAxis::Sugarcoat => "sugarcoat",
+            AdversaryAxis::MarkerDrop => "marker-drop",
+            AdversaryAxis::Collude => "collude",
+            AdversaryAxis::SampleBias => "sample-bias",
+        }
+    }
+
+    /// Strategies that only make sense when the domain has loss to
+    /// hide.
+    fn needs_loss(&self) -> bool {
+        matches!(self, AdversaryAxis::BlameShift | AdversaryAxis::Collude)
+    }
+}
+
+/// One fully specified scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    /// Position in the grid (stable across runs).
+    pub id: usize,
+    /// Delay model inside `X`.
+    pub delay: DelayAxis,
+    /// Loss process inside `X`.
+    pub loss: LossAxis,
+    /// Reordering inside `X`.
+    pub reorder: ReorderAxis,
+    /// Sampling rate `σ`-rate at every HOP.
+    pub sampling_rate: f64,
+    /// The lie under test.
+    pub adversary: AdversaryAxis,
+    /// Master seed; every random choice in the cell derives from it.
+    pub seed: u64,
+}
+
+impl Cell {
+    /// Compact human-readable label.
+    pub fn label(&self) -> String {
+        let delay = match self.delay {
+            DelayAxis::Constant => "const300us",
+            DelayAxis::Jitter => "jitter100+800us",
+        };
+        let loss = match self.loss {
+            LossAxis::None => "lossless".to_string(),
+            LossAxis::Uniform(r) => format!("uniform{:.0}%", r * 100.0),
+            LossAxis::Gilbert(r, b) => format!("gilbert{:.0}%xb{b:.0}", r * 100.0),
+        };
+        let reorder = match self.reorder {
+            ReorderAxis::None => "inorder".to_string(),
+            ReorderAxis::Window { p, shift_us } => {
+                format!("reorder{:.0}%<{}us", p * 100.0, shift_us)
+            }
+        };
+        format!(
+            "cell{:02} {delay} {loss} {reorder} σ={:.2} {}",
+            self.id,
+            self.sampling_rate,
+            self.adversary.name()
+        )
+    }
+}
+
+/// What a cell's evaluation concluded. Field order (and therefore the
+/// serialized form) is stable; `tests/scenario_matrix.rs` compares two
+/// evaluations of one cell byte for byte.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellVerdict {
+    /// The evaluated cell's id.
+    pub id: usize,
+    /// The evaluated cell's label.
+    pub label: String,
+    /// Packets injected at the path head.
+    pub trace_len: usize,
+    /// Honest run: did every inter-domain link check out?
+    pub honest_consistent: bool,
+    /// Honest run: receipt-derived loss rate for `X`.
+    pub x_loss_est: f64,
+    /// Honest run: ground-truth loss rate for `X`.
+    pub x_loss_truth: f64,
+    /// Honest run: receipt-derived median transit delay for `X` (ms).
+    pub x_delay_est_ms: f64,
+    /// Honest run: ground-truth median transit delay for `X` (ms).
+    pub x_delay_truth_ms: f64,
+    /// Honest run: matched samples backing the `X` delay estimate.
+    pub matched_samples: usize,
+    /// Adversary run: links flagged inconsistent, as `(up, down)` HOPs.
+    pub flagged_links: Vec<(u16, u16)>,
+    /// Adversary run: one-line account of how the lie surfaced.
+    pub exposure: String,
+    /// Every per-cell invariant that failed (empty = cell passes).
+    pub failures: Vec<String>,
+}
+
+/// Tolerances for the accuracy invariant (the paper's Figures 2/3
+/// operate in this regime for comparable sample counts).
+const LOSS_TOL: f64 = 0.04;
+const DELAY_TOL_MS: f64 = 0.25;
+const DELAY_REL_TOL: f64 = 0.25;
+
+/// The default grid: every combination of delay × loss × reorder
+/// (2 × 3 × 2 = 12 environments) evaluated at two sampling rates, with
+/// the adversary axis cycling so that each strategy appears several
+/// times — 24 cells total.
+pub fn full_grid(base_seed: u64) -> Vec<Cell> {
+    let delays = [DelayAxis::Constant, DelayAxis::Jitter];
+    let losses = [
+        LossAxis::None,
+        LossAxis::Uniform(0.05),
+        LossAxis::Gilbert(0.12, 4.0),
+    ];
+    let reorders = [
+        ReorderAxis::None,
+        ReorderAxis::Window {
+            p: 0.05,
+            shift_us: 300,
+        },
+    ];
+    let rates = [0.05, 0.02];
+    let all = [
+        AdversaryAxis::Honest,
+        AdversaryAxis::BlameShift,
+        AdversaryAxis::Sugarcoat,
+        AdversaryAxis::MarkerDrop,
+        AdversaryAxis::Collude,
+        AdversaryAxis::SampleBias,
+    ];
+
+    let mut cells = Vec::new();
+    let mut cursor = 0usize;
+    for delay in delays {
+        for loss in losses {
+            for reorder in reorders {
+                for rate in rates {
+                    // Deterministically pick the next strategy that is
+                    // legal for this environment.
+                    let adversary = loop {
+                        let cand = all[cursor % all.len()];
+                        cursor += 1;
+                        if !cand.needs_loss() || loss.rate() > 0.0 {
+                            break cand;
+                        }
+                    };
+                    let id = cells.len();
+                    cells.push(Cell {
+                        id,
+                        delay,
+                        loss,
+                        reorder,
+                        sampling_rate: rate,
+                        adversary,
+                        seed: base_seed
+                            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                            .wrapping_add(id as u64),
+                    });
+                }
+            }
+        }
+    }
+    cells
+}
+
+fn x_channel(cell: &Cell) -> ChannelConfig {
+    ChannelConfig {
+        delay: cell.delay.model(),
+        loss: cell.loss.channel_loss(),
+        reorder: cell.reorder.model(),
+        seed: cell.seed ^ 0xc4a1,
+    }
+}
+
+fn topology(cell: &Cell) -> Topology {
+    let mut fig = Figure1::ideal();
+    fig.x_transit = x_channel(cell);
+    fig.build()
+}
+
+fn run_config(cell: &Cell) -> RunConfig {
+    RunConfig {
+        sampling_rate: cell.sampling_rate,
+        aggregate_size: 400,
+        marker_rate: 0.01,
+        j_window: SimDuration::from_millis(2),
+        seed: cell.seed ^ 0x10c5,
+        ..RunConfig::default()
+    }
+}
+
+fn trace(cell: &Cell) -> Vec<TracePacket> {
+    TraceGenerator::new(TraceConfig {
+        target_pps: 40_000.0,
+        duration: SimDuration::from_millis(120),
+        ..TraceConfig::paper_default(1, cell.seed ^ 0x7ace)
+    })
+    .generate()
+}
+
+/// Median of an unsorted sample (NaN for an empty one), via the same
+/// Hyndman-Fan estimator the verifier uses.
+fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("delays are finite"));
+    vpm_stats::empirical_quantile(&v, 0.5)
+}
+
+/// The receipt-derived median delay of a domain report (NaN when no
+/// samples matched).
+fn est_median(report: &crate::verdict::DomainReport) -> f64 {
+    report
+        .estimate
+        .delay
+        .as_ref()
+        .and_then(|d| {
+            d.quantiles
+                .iter()
+                .find(|q| (q.q - 0.5).abs() < 1e-9)
+                .map(|q| q.value)
+        })
+        .unwrap_or(f64::NAN)
+}
+
+fn flagged(analysis: &PathAnalysis) -> Vec<(u16, u16)> {
+    analysis
+        .flagged_links()
+        .iter()
+        .map(|l| (l.up.0, l.down.0))
+        .collect()
+}
+
+/// The X→N inter-domain link, where every lie by `X`'s egress must
+/// surface.
+const XN_LINK: (u16, u16) = (5, 6);
+
+/// Evaluate one cell. Pure: the same cell always produces the same
+/// verdict, byte for byte.
+pub fn evaluate_cell(cell: &Cell) -> CellVerdict {
+    let t = trace(cell);
+    let topo = topology(cell);
+    let cfg = run_config(cell);
+    let honest_run = run_path(&t, &topo, &cfg);
+    let honest = analyze_path(&topo, &honest_run);
+
+    let mut failures = Vec::new();
+
+    // --- Invariant 1: honest receipts are consistent everywhere. ---
+    let honest_consistent = honest.all_consistent();
+    if !honest_consistent {
+        failures.push(format!("honest run flagged links {:?}", flagged(&honest)));
+    }
+
+    // --- Invariant 2: estimates track retained ground truth. ---
+    let x_truth = honest_run.truth("X").expect("X is on the path");
+    let x_loss_truth = 1.0 - x_truth.delivered as f64 / x_truth.sent as f64;
+    let x_report = honest.domain("X").expect("X is a transit domain");
+    let x_loss_est = x_report.estimate.loss.rate().unwrap_or(f64::NAN);
+    // NaN-safe: an unavailable estimate must count as out of tolerance.
+    let loss_ok = (x_loss_est - x_loss_truth).abs() <= LOSS_TOL;
+    if !loss_ok {
+        failures.push(format!(
+            "X loss estimate {x_loss_est:.4} strays from truth {x_loss_truth:.4}"
+        ));
+    }
+    let x_delay_truth_ms = median(&x_truth.delays_ms);
+    let matched_samples = x_report.estimate.matched_samples;
+    let x_delay_est_ms = est_median(x_report);
+    let delay_tol = DELAY_TOL_MS.max(DELAY_REL_TOL * x_delay_truth_ms);
+    // NaN-safe: a NaN estimate must count as out of tolerance.
+    let delay_ok = (x_delay_est_ms - x_delay_truth_ms).abs() <= delay_tol;
+    if !delay_ok {
+        failures.push(format!(
+            "X median delay estimate {x_delay_est_ms:.4} ms strays from truth \
+             {x_delay_truth_ms:.4} ms (tol {delay_tol:.4})"
+        ));
+    }
+    // Innocent neighbors measure clean in the honest run.
+    for name in ["L", "N"] {
+        let loss = honest
+            .domain(name)
+            .expect("transit domain")
+            .estimate
+            .loss
+            .rate()
+            .unwrap_or(0.0);
+        if loss > 0.02 {
+            failures.push(format!("honest neighbor {name} shows loss {loss:.4}"));
+        }
+    }
+
+    // --- Invariant 3: the cell's lie is exposed where it must be. ---
+    let (flagged_links, exposure) = match cell.adversary {
+        AdversaryAxis::Honest => (Vec::new(), "no adversary".to_string()),
+        AdversaryAxis::BlameShift => {
+            let mut run = honest_run.clone();
+            let ingress = run.hop(HopId(4)).expect("X ingress").clone();
+            apply_lie(
+                &ingress,
+                run.hop_mut(HopId(5)).expect("X egress"),
+                LieStrategy::BlameShiftLoss {
+                    claimed_delay: SimDuration::from_micros(300),
+                },
+            );
+            let analysis = analyze_path(&topo, &run);
+            let fl = flagged(&analysis);
+            let x_est = analysis
+                .domain("X")
+                .expect("X")
+                .estimate
+                .loss
+                .rate()
+                .unwrap_or(f64::NAN);
+            // NaN-safe: a broken post-lie estimate is a failure too.
+            let hidden = x_est < 0.02;
+            if !hidden {
+                failures.push(format!("blame-shift failed to hide X loss ({x_est:.4})"));
+            }
+            if !fl.contains(&XN_LINK) {
+                failures.push(format!("blame-shift not flagged on X→N link ({fl:?})"));
+            }
+            if fl.iter().any(|&l| l != XN_LINK) {
+                failures.push(format!("blame-shift flagged innocent links ({fl:?})"));
+            }
+            let detail = format!(
+                "X hid loss {x_loss_truth:.3}→{x_est:.3}; link 5→6 flagged: {}",
+                fl.contains(&XN_LINK)
+            );
+            (fl, detail)
+        }
+        AdversaryAxis::Sugarcoat => {
+            let mut run = honest_run.clone();
+            let ingress = run.hop(HopId(4)).expect("X ingress").clone();
+            apply_lie(
+                &ingress,
+                run.hop_mut(HopId(5)).expect("X egress"),
+                LieStrategy::SugarcoatDelay {
+                    shave: SimDuration::from_millis(5),
+                },
+            );
+            let analysis = analyze_path(&topo, &run);
+            let fl = flagged(&analysis);
+            if !fl.contains(&XN_LINK) {
+                failures.push(format!("sugarcoat not flagged on X→N link ({fl:?})"));
+            }
+            if fl.iter().any(|&l| l != XN_LINK) {
+                failures.push(format!("sugarcoat flagged innocent links ({fl:?})"));
+            }
+            let detail = format!("X shaved 5 ms; link 5→6 flagged: {}", fl.contains(&XN_LINK));
+            (fl, detail)
+        }
+        AdversaryAxis::MarkerDrop => {
+            let mut attack_cfg = cfg.clone();
+            attack_cfg.marker_dropper = Some(topo.domain_by_name("X").expect("X exists").id);
+            let attacked = run_path(&t, &topo, &attack_cfg);
+            let analysis = analyze_path(&topo, &attacked);
+            let fl = flagged(&analysis);
+            // §5.3: markers are *expected* receipts. X's ingress sampled
+            // markers that no HOP downstream of X ever acknowledges —
+            // standing evidence pinned between HOPs 4 and 6.
+            let marker = Threshold::from_rate(attack_cfg.marker_rate);
+            let downstream: HashSet<_> = attacked
+                .hop(HopId(6))
+                .expect("N ingress")
+                .samples
+                .iter()
+                .map(|r| r.pkt_id)
+                .collect();
+            let vanished = attacked
+                .hop(HopId(4))
+                .expect("X ingress")
+                .samples
+                .iter()
+                .filter(|r| marker.passes(r.pkt_id.0) && !downstream.contains(&r.pkt_id))
+                .count();
+            let matched = |run: &PathRun| {
+                vpm_core::verify::match_samples(
+                    &run.hop(HopId(4)).expect("hop 4").samples,
+                    &run.hop(HopId(6)).expect("hop 6").samples,
+                )
+                .len()
+            };
+            let m_honest = matched(&honest_run);
+            let m_attacked = matched(&attacked);
+            if vanished == 0 {
+                failures.push("marker-drop left no vanished-marker evidence".to_string());
+            }
+            if (m_attacked as f64) >= 0.7 * m_honest as f64 {
+                failures.push(format!(
+                    "marker-drop did not collapse sample matching ({m_honest}→{m_attacked})"
+                ));
+            }
+            let detail = format!(
+                "{vanished} expected markers vanished inside X; matches {m_honest}→{m_attacked}"
+            );
+            (fl, detail)
+        }
+        AdversaryAxis::Collude => {
+            let mut run = honest_run.clone();
+            let ingress = run.hop(HopId(4)).expect("X ingress").clone();
+            apply_lie(
+                &ingress,
+                run.hop_mut(HopId(5)).expect("X egress"),
+                LieStrategy::BlameShiftLoss {
+                    claimed_delay: SimDuration::from_micros(300),
+                },
+            );
+            let liar_egress = run.hop(HopId(5)).expect("X egress").clone();
+            cover_up(&liar_egress, run.hop_mut(HopId(6)).expect("N ingress"));
+            let analysis = analyze_path(&topo, &run);
+            let fl = flagged(&analysis);
+            // The coalition hides the X→N mismatch…
+            if fl.contains(&XN_LINK) {
+                failures.push("cover-up failed to hide the X→N link".to_string());
+            }
+            // …but §3.1: the loss does not vanish — the accomplice's own
+            // books inherit it.
+            let n_est = analysis
+                .domain("N")
+                .expect("N")
+                .estimate
+                .loss
+                .rate()
+                .unwrap_or(0.0);
+            if n_est < 0.5 * x_loss_truth {
+                failures.push(format!(
+                    "accomplice N absorbed only {n_est:.4} of X's {x_loss_truth:.4} loss"
+                ));
+            }
+            let detail =
+                format!("coalition quiet; N absorbed X's loss ({n_est:.3} vs {x_loss_truth:.3})");
+            (fl, detail)
+        }
+        AdversaryAxis::SampleBias => {
+            // X fast-paths packets whose digest passes the σ threshold —
+            // its best guess at "will be sampled". Algorithm 1 keys the
+            // real sampling decision on a *future marker*, so the guess
+            // misses and the estimate still tracks the slow path.
+            let digests: Vec<_> = t.iter().map(|tp| tp.packet.digest()).collect();
+            let guess = Threshold::from_rate(cell.sampling_rate);
+            let mut rng_seed = cell.seed ^ 0xb1a5;
+            let fates: Vec<PacketFate> = digests
+                .iter()
+                .map(|d| {
+                    // Deterministic per-packet slow-path delay drawn from
+                    // the cell's delay model (splitmix over the seed).
+                    rng_seed = rng_seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                    let mut z = rng_seed;
+                    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                    z ^= z >> 31;
+                    let slow = match cell.delay {
+                        DelayAxis::Constant => SimDuration::from_micros(300),
+                        DelayAxis::Jitter => SimDuration::from_micros(100 + z % 801),
+                    };
+                    if guess.passes(d.0) {
+                        PacketFate::Delivered(cell.delay.fast_path())
+                    } else {
+                        PacketFate::Delivered(slow)
+                    }
+                })
+                .collect();
+            let mut fig = Figure1::ideal();
+            fig.x_transit = ChannelConfig {
+                delay: DelayModel::Series(fates),
+                loss: cell.loss.channel_loss(),
+                reorder: cell.reorder.model(),
+                seed: cell.seed ^ 0xc4a1,
+            };
+            let biased_topo = fig.build();
+            let biased_run = run_path(&t, &biased_topo, &cfg);
+            let analysis = analyze_path(&biased_topo, &biased_run);
+            let fl = flagged(&analysis);
+            let truth = biased_run.truth("X").expect("X");
+            let truth_med = median(&truth.delays_ms);
+            let est_med = est_median(analysis.domain("X").expect("X"));
+            let fast_ms = cell.delay.fast_path().as_nanos() as f64 / 1e6;
+            let tol = DELAY_TOL_MS.max(DELAY_REL_TOL * truth_med);
+            // NaN-safe: a NaN estimate must count as a failure.
+            let tracks_truth = (est_med - truth_med).abs() <= tol;
+            if !tracks_truth {
+                failures.push(format!(
+                    "bias skewed the estimate: {est_med:.4} ms vs truth {truth_med:.4} ms"
+                ));
+            }
+            let above_fast_path = est_med > 3.0 * fast_ms;
+            if !above_fast_path {
+                failures.push(format!(
+                    "estimate {est_med:.4} ms collapsed toward the fast path {fast_ms:.4} ms"
+                ));
+            }
+            let detail = format!(
+                "bias defeated: estimate {est_med:.3} ms tracks truth {truth_med:.3} ms, \
+                 not the {fast_ms:.3} ms fast path"
+            );
+            (fl, detail)
+        }
+    };
+
+    CellVerdict {
+        id: cell.id,
+        label: cell.label(),
+        trace_len: t.len(),
+        honest_consistent,
+        x_loss_est,
+        x_loss_truth,
+        x_delay_est_ms,
+        x_delay_truth_ms,
+        matched_samples,
+        flagged_links,
+        exposure,
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_24_cells_and_covers_every_axis_value() {
+        let grid = full_grid(1);
+        assert_eq!(grid.len(), 24);
+        let mut delays = HashSet::new();
+        let mut adversaries = HashSet::new();
+        let mut rates = HashSet::new();
+        for c in &grid {
+            delays.insert(format!("{:?}", c.delay));
+            adversaries.insert(c.adversary.name());
+            rates.insert(format!("{:.3}", c.sampling_rate));
+        }
+        assert_eq!(delays.len(), 2);
+        assert_eq!(rates.len(), 2);
+        assert_eq!(
+            adversaries.len(),
+            6,
+            "all six adversary values must appear: {adversaries:?}"
+        );
+        // Loss-hiding strategies never land on lossless environments.
+        for c in &grid {
+            if c.adversary.needs_loss() {
+                assert!(c.loss.rate() > 0.0, "{}", c.label());
+            }
+        }
+        // Ids are positional and unique.
+        for (i, c) in grid.iter().enumerate() {
+            assert_eq!(c.id, i);
+        }
+    }
+
+    #[test]
+    fn grid_is_deterministic_in_the_seed() {
+        assert_eq!(full_grid(42), full_grid(42));
+        assert_ne!(
+            full_grid(1)[0].seed,
+            full_grid(2)[0].seed,
+            "different base seeds give different cell seeds"
+        );
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let grid = full_grid(7);
+        let labels: HashSet<String> = grid.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), grid.len());
+    }
+
+    #[test]
+    fn one_honest_cell_evaluates_clean() {
+        let grid = full_grid(3);
+        let cell = grid
+            .iter()
+            .find(|c| c.adversary == AdversaryAxis::Honest)
+            .expect("grid contains honest cells");
+        let v = evaluate_cell(cell);
+        assert!(v.failures.is_empty(), "{:?}", v.failures);
+        assert!(v.honest_consistent);
+        assert!(v.matched_samples > 0);
+    }
+}

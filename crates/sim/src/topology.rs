@@ -152,11 +152,46 @@ impl Figure1 {
         };
         let ideal_transit = ChannelConfig::ideal(SimDuration::from_micros(10));
         let domains = vec![
-            d(0, "S", DomainRole::Source, None, Some(1), ideal_transit.clone()),
-            d(1, "L", DomainRole::Transit, Some(2), Some(3), self.l_transit),
-            d(2, "X", DomainRole::Transit, Some(4), Some(5), self.x_transit),
-            d(3, "N", DomainRole::Transit, Some(6), Some(7), self.n_transit),
-            d(4, "D", DomainRole::Destination, Some(8), None, ideal_transit),
+            d(
+                0,
+                "S",
+                DomainRole::Source,
+                None,
+                Some(1),
+                ideal_transit.clone(),
+            ),
+            d(
+                1,
+                "L",
+                DomainRole::Transit,
+                Some(2),
+                Some(3),
+                self.l_transit,
+            ),
+            d(
+                2,
+                "X",
+                DomainRole::Transit,
+                Some(4),
+                Some(5),
+                self.x_transit,
+            ),
+            d(
+                3,
+                "N",
+                DomainRole::Transit,
+                Some(6),
+                Some(7),
+                self.n_transit,
+            ),
+            d(
+                4,
+                "D",
+                DomainRole::Destination,
+                Some(8),
+                None,
+                ideal_transit,
+            ),
         ];
         let link = |up: u16, down: u16| LinkSpec {
             up: HopId(up),
@@ -201,11 +236,7 @@ mod tests {
     fn every_hop_on_exactly_one_link() {
         let t = Figure1::ideal().build();
         for h in t.hops() {
-            let n = t
-                .links
-                .iter()
-                .filter(|l| l.up == h || l.down == h)
-                .count();
+            let n = t.links.iter().filter(|l| l.up == h || l.down == h).count();
             assert_eq!(n, 1, "{h} on {n} links");
         }
         assert_eq!(t.link_max_diff(HopId(5)), Some(SimDuration::from_millis(2)));

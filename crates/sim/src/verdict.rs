@@ -123,12 +123,8 @@ pub fn analyze_path(topology: &Topology, run: &PathRun) -> PathAnalysis {
         let (Some(hi), Some(he)) = (run.hop(ing), run.hop(eg)) else {
             continue;
         };
-        let estimate = verifier.estimate_domain(
-            &hi.samples,
-            &hi.aggregates,
-            &he.samples,
-            &he.aggregates,
-        );
+        let estimate =
+            verifier.estimate_domain(&hi.samples, &hi.aggregates, &he.samples, &he.aggregates);
         domains.push(DomainReport {
             domain: dom.id,
             name: dom.name.clone(),

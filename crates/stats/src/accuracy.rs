@@ -13,9 +13,7 @@ use crate::quantile::empirical_quantile;
 use serde::{Deserialize, Serialize};
 
 /// Default quantile set over which accuracy is evaluated.
-pub const DEFAULT_QUANTILES: [f64; 11] = [
-    0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99,
-];
+pub const DEFAULT_QUANTILES: [f64; 11] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99];
 
 /// Per-quantile and worst-case estimation error.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

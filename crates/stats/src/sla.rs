@@ -109,14 +109,23 @@ mod tests {
 
     #[test]
     fn delay_clause_three_values() {
-        assert_eq!(delay_verdict(&spec(), &est(31.0, 35.0, 40.0)), Verdict::Violated);
-        assert_eq!(delay_verdict(&spec(), &est(10.0, 15.0, 20.0)), Verdict::Compliant);
+        assert_eq!(
+            delay_verdict(&spec(), &est(31.0, 35.0, 40.0)),
+            Verdict::Violated
+        );
+        assert_eq!(
+            delay_verdict(&spec(), &est(10.0, 15.0, 20.0)),
+            Verdict::Compliant
+        );
         assert_eq!(
             delay_verdict(&spec(), &est(25.0, 29.0, 33.0)),
             Verdict::Inconclusive
         );
         // Boundary: hi exactly at the bound is compliant (≤).
-        assert_eq!(delay_verdict(&spec(), &est(20.0, 25.0, 30.0)), Verdict::Compliant);
+        assert_eq!(
+            delay_verdict(&spec(), &est(20.0, 25.0, 30.0)),
+            Verdict::Compliant
+        );
     }
 
     #[test]

@@ -167,8 +167,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         let mix = PacketSizeMix::default();
         let n = 100_000;
-        let mean: f64 =
-            (0..n).map(|_| mix.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| mix.sample(&mut rng) as f64).sum::<f64>() / n as f64;
         assert!(
             (350.0..470.0).contains(&mean),
             "size mix mean {mean} strays from ~400B"

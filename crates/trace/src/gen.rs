@@ -11,8 +11,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use vpm_packet::ipv4::{PROTO_TCP, PROTO_UDP};
 use vpm_packet::{
-    HeaderSpec, Ipv4Header, Packet, SimDuration, SimTime, TcpFlags, TcpHeader, Transport,
-    UdpHeader,
+    HeaderSpec, Ipv4Header, Packet, SimDuration, SimTime, TcpFlags, TcpHeader, Transport, UdpHeader,
 };
 
 /// A timestamped packet as it appears in a trace.
@@ -108,7 +107,10 @@ impl TraceGenerator {
     /// Create a generator for the given config.
     pub fn new(cfg: TraceConfig) -> Self {
         assert!(cfg.target_pps > 0.0, "target_pps must be positive");
-        assert!(cfg.duration > SimDuration::ZERO, "duration must be positive");
+        assert!(
+            cfg.duration > SimDuration::ZERO,
+            "duration must be positive"
+        );
         TraceGenerator { cfg }
     }
 
@@ -195,11 +197,11 @@ fn emit_flow(
             let sport: u16 = rng.gen_range(1024..=65535);
             let dport: u16 = if is_tcp {
                 *[80u16, 443, 22, 25, 8080, rng.gen_range(1024..=65535)]
-                    .get(rng.gen_range(0..6))
+                    .get(rng.gen_range(0..6usize))
                     .expect("static table")
             } else {
                 *[53u16, 123, 4500, rng.gen_range(1024..=65535)]
-                    .get(rng.gen_range(0..4))
+                    .get(rng.gen_range(0..4usize))
                     .expect("static table")
             };
             let mut ip_id: u16 = rng.gen();
@@ -320,8 +322,14 @@ mod tests {
         let a = TraceGenerator::new(small_cfg(1)).generate();
         let b = TraceGenerator::new(small_cfg(2)).generate();
         assert_ne!(
-            a.iter().take(20).map(|t| t.packet.digest()).collect::<Vec<_>>(),
-            b.iter().take(20).map(|t| t.packet.digest()).collect::<Vec<_>>()
+            a.iter()
+                .take(20)
+                .map(|t| t.packet.digest())
+                .collect::<Vec<_>>(),
+            b.iter()
+                .take(20)
+                .map(|t| t.packet.digest())
+                .collect::<Vec<_>>()
         );
     }
 
@@ -343,7 +351,12 @@ mod tests {
         let t = TraceGenerator::new(cfg).generate();
         let s = TraceGenerator::stats(&t);
         let rel = (s.realized_pps - cfg.target_pps).abs() / cfg.target_pps;
-        assert!(rel < 0.35, "realized {} vs target {}", s.realized_pps, cfg.target_pps);
+        assert!(
+            rel < 0.35,
+            "realized {} vs target {}",
+            s.realized_pps,
+            cfg.target_pps
+        );
     }
 
     #[test]

@@ -97,16 +97,12 @@ pub fn read_pcap<R: Read>(mut r: R) -> Result<Vec<TracePacket>, PcapError> {
     }
 
     let mut out = Vec::new();
-    loop {
-        let Some(ts_sec) = read_u32(&mut r)? else {
-            break;
-        };
+    while let Some(ts_sec) = read_u32(&mut r)? {
         let ts_usec = read_u32(&mut r)?.ok_or(PcapError::Truncated)?;
         let incl = read_u32(&mut r)?.ok_or(PcapError::Truncated)? as usize;
         let _orig = read_u32(&mut r)?.ok_or(PcapError::Truncated)?;
         let mut bytes = vec![0u8; incl];
-        r.read_exact(&mut bytes)
-            .map_err(|_| PcapError::Truncated)?;
+        r.read_exact(&mut bytes).map_err(|_| PcapError::Truncated)?;
         let mut packet = wire::decode(&bytes).map_err(PcapError::BadPacket)?;
         packet.seq = out.len() as u64;
         out.push(TracePacket {
@@ -154,7 +150,10 @@ mod tests {
         let mut buf = Vec::new();
         write_pcap(&mut buf, &[]).unwrap();
         assert_eq!(buf.len(), 24, "global header only");
-        assert_eq!(u32::from_le_bytes(buf[0..4].try_into().unwrap()), PCAP_MAGIC);
+        assert_eq!(
+            u32::from_le_bytes(buf[0..4].try_into().unwrap()),
+            PCAP_MAGIC
+        );
         assert_eq!(
             u32::from_le_bytes(buf[20..24].try_into().unwrap()),
             LINKTYPE_RAW

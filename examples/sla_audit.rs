@@ -34,7 +34,10 @@ fn main() {
         ..TraceConfig::paper_default(2, 11)
     })
     .generate();
-    println!("auditing path S → L → X → N → D over {} packets", trace.len());
+    println!(
+        "auditing path S → L → X → N → D over {} packets",
+        trace.len()
+    );
 
     // X is congested: bursty high-rate UDP through its bottleneck, plus
     // bursty loss. (The same machinery as Figure 2.)

@@ -1,0 +1,100 @@
+//! Offline stand-in for `parking_lot`.
+//!
+//! Wraps `std::sync` locks behind parking_lot's panic-free API
+//! (`lock()`/`read()`/`write()` return guards directly; a poisoned
+//! std lock — only possible if a holder panicked — is treated as fatal).
+
+#![forbid(unsafe_code)]
+
+use std::sync;
+
+/// A reader-writer lock with parking_lot's infallible API.
+#[derive(Debug, Default)]
+pub struct RwLock<T>(sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Create a lock owning `value`.
+    pub fn new(value: T) -> Self {
+        RwLock(sync::RwLock::new(value))
+    }
+
+    /// Acquire shared read access.
+    pub fn read(&self) -> sync::RwLockReadGuard<'_, T> {
+        self.0.read().expect("RwLock poisoned: a holder panicked")
+    }
+
+    /// Acquire exclusive write access.
+    pub fn write(&self) -> sync::RwLockWriteGuard<'_, T> {
+        self.0.write().expect("RwLock poisoned: a holder panicked")
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0
+            .into_inner()
+            .expect("RwLock poisoned: a holder panicked")
+    }
+}
+
+/// A mutex with parking_lot's infallible API.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Create a mutex owning `value`.
+    pub fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    /// Acquire the lock.
+    pub fn lock(&self) -> sync::MutexGuard<'_, T> {
+        self.0.lock().expect("Mutex poisoned: a holder panicked")
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0
+            .into_inner()
+            .expect("Mutex poisoned: a holder panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new(1);
+        assert_eq!(*l.read(), 1);
+        *l.write() += 41;
+        assert_eq!(*l.read(), 42);
+        assert_eq!(l.into_inner(), 42);
+    }
+
+    #[test]
+    fn mutex_lock() {
+        let m = Mutex::new(String::from("a"));
+        m.lock().push('b');
+        assert_eq!(*m.lock(), "ab");
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let l = std::sync::Arc::new(RwLock::new(0u64));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let l = l.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        *l.write() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*l.read(), 4000);
+    }
+}

@@ -1,0 +1,528 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]`
+//! against the local value-tree `serde` shim, using only the built-in
+//! `proc_macro` API (no `syn`/`quote` — the build container has no
+//! crates.io access). Supports the shapes this workspace uses:
+//!
+//! * structs with named fields (incl. `#[serde(skip)]`,
+//!   `#[serde(default)]`, `#[serde(default = "path")]`),
+//! * tuple structs (newtypes serialize transparently, larger tuples as
+//!   arrays),
+//! * unit structs,
+//! * enums with unit, tuple and struct variants (externally tagged,
+//!   like real serde),
+//! * simple generics (`Foo<T, U>` — bare type parameters only).
+//!
+//! Codegen is string-based; parsing is token-tree based, so attribute
+//! contents (doc comments etc.) never confuse it.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field.
+struct Field {
+    name: String,            // named fields only; empty for tuple fields
+    skip: bool,              // #[serde(skip)]
+    default: Option<String>, // #[serde(default)] => "", #[serde(default = "p")] => "p"
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+enum Shape {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// --- parsing ---
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+
+    let generics = parse_generics(&tokens, &mut i);
+
+    let shape = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(parse_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => panic!("unsupported struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body: {other:?}"),
+        },
+        kw => panic!("cannot derive serde traits for `{kw}` items"),
+    };
+
+    Item {
+        name,
+        generics,
+        shape,
+    }
+}
+
+/// Advance past leading `#[...]` attributes and a `pub` / `pub(...)`
+/// visibility, collecting any `#[serde(...)]` contents seen.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut serde_words = Vec::new();
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    serde_words.extend(extract_serde_attr(g.stream()));
+                    *i += 2;
+                } else {
+                    panic!("dangling `#` in attributes");
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return serde_words,
+        }
+    }
+}
+
+/// If the attribute group is `serde(...)`, return its comma-separated
+/// entries rendered as strings (e.g. `skip`, `default = "path"`).
+fn extract_serde_attr(attr: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            let mut entries = vec![String::new()];
+            for t in g.stream() {
+                match &t {
+                    TokenTree::Punct(p) if p.as_char() == ',' => entries.push(String::new()),
+                    other => {
+                        let cur = entries.last_mut().expect("non-empty");
+                        if !cur.is_empty() {
+                            cur.push(' ');
+                        }
+                        cur.push_str(&other.to_string());
+                    }
+                }
+            }
+            entries.retain(|e| !e.is_empty());
+            entries
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// Parse `<A, B>` (bare params only) if present.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return params,
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    while depth > 0 {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+            Some(TokenTree::Ident(id)) if depth == 1 => {
+                let s = id.to_string();
+                // Only bare `ident` / `ident,` params are supported;
+                // bounds or lifetimes would need real serde.
+                params.push(s);
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(other) => panic!("unsupported generics on derived type: {other}"),
+            None => panic!("unterminated generics"),
+        }
+        *i += 1;
+    }
+    params
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let serde_words = skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected field name, found {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(make_field(name, &serde_words));
+    }
+    fields
+}
+
+fn parse_tuple_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let serde_words = skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(make_field(String::new(), &serde_words));
+    }
+    fields
+}
+
+fn make_field(name: String, serde_words: &[String]) -> Field {
+    let mut skip = false;
+    let mut default = None;
+    for w in serde_words {
+        if w == "skip" {
+            skip = true;
+        } else if w == "default" {
+            default = Some(String::new());
+        } else if let Some(rest) = w.strip_prefix("default = ") {
+            let path = rest.trim_matches('"').to_string();
+            default = Some(path);
+        } else {
+            panic!("unsupported #[serde({w})] attribute");
+        }
+    }
+    Field {
+        name,
+        skip,
+        default,
+    }
+}
+
+/// Advance past one type expression up to (and past) the next
+/// top-level `,`, or to end of tokens.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle: usize = 0;
+    while let Some(t) = tokens.get(*i) {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle = angle.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields = parse_tuple_fields(g.stream());
+                i += 1;
+                VariantKind::Tuple(fields.len())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the separator.
+        while let Some(t) = tokens.get(i) {
+            if let TokenTree::Punct(p) = t {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// --- codegen ---
+
+fn impl_header(trait_name: &str, item: &Item) -> String {
+    if item.generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {} ", item.name)
+    } else {
+        let bounded: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::{trait_name}"))
+            .collect();
+        format!(
+            "impl<{}> ::serde::{trait_name} for {}<{}> ",
+            bounded.join(", "),
+            item.name,
+            item.generics.join(", ")
+        )
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let body = match &item.shape {
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Tuple(fields) => {
+            let live: Vec<usize> = (0..fields.len()).filter(|&k| !fields[k].skip).collect();
+            if live.len() == 1 {
+                format!("::serde::Serialize::to_value(&self.{})", live[0])
+            } else {
+                let elems: Vec<String> = live
+                    .iter()
+                    .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                    .collect();
+                format!("::serde::Value::Seq(vec![{}])", elems.join(", "))
+            }
+        }
+        Shape::Named(fields) => named_fields_to_value(fields, "self."),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let ty = &item.name;
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!(
+                            "{ty}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{ty}::{vn}({}) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), {inner})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let inner = named_fields_to_value(fields, "");
+                        arms.push_str(&format!(
+                            "{ty}::{vn} {{ {} }} => ::serde::Value::Map(vec![(\"{vn}\".to_string(), {inner})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "{}{{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+        impl_header("Serialize", item)
+    )
+}
+
+/// `prefix` is `self.` for struct impls and empty for destructured
+/// enum-struct-variant bindings.
+fn named_fields_to_value(fields: &[Field], prefix: &str) -> String {
+    let mut out = String::from("::serde::Value::Map(vec![");
+    for f in fields {
+        if f.skip {
+            continue;
+        }
+        let n = &f.name;
+        let amp = if prefix.is_empty() { "" } else { "&" };
+        out.push_str(&format!(
+            "(\"{n}\".to_string(), ::serde::Serialize::to_value({amp}{prefix}{n})), "
+        ));
+    }
+    out.push_str("])");
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let ty = &item.name;
+    let body = match &item.shape {
+        Shape::Unit => format!("Ok({ty})"),
+        Shape::Tuple(fields) => {
+            let live: Vec<usize> = (0..fields.len()).filter(|&k| !fields[k].skip).collect();
+            if fields.iter().any(|f| f.skip) {
+                panic!("#[serde(skip)] on tuple fields is unsupported");
+            }
+            if live.len() == 1 {
+                format!("Ok({ty}(::serde::Deserialize::from_value(__v)?))")
+            } else {
+                let n = live.len();
+                let elems: Vec<String> = (0..n)
+                    .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+                    .collect();
+                format!(
+                    "let __items = __v.as_seq().ok_or_else(|| ::serde::DeError::expected(\"array\", \"{ty}\", __v))?;\n\
+                     if __items.len() != {n} {{ return Err(::serde::DeError(format!(\"expected {n} elements for {ty}, got {{}}\", __items.len()))); }}\n\
+                     Ok({ty}({}))",
+                    elems.join(", ")
+                )
+            }
+        }
+        Shape::Named(fields) => {
+            format!(
+                "let __m = __v.as_map().ok_or_else(|| ::serde::DeError::expected(\"object\", \"{ty}\", __v))?;\n\
+                 Ok({ty} {{ {} }})",
+                named_fields_from_map(fields, ty)
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => return Ok({ty}::{vn}),\n"));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let ctor = if *n == 1 {
+                            format!("{ty}::{vn}(::serde::Deserialize::from_value(__inner)?)")
+                        } else {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|k| {
+                                    format!("::serde::Deserialize::from_value(&__items[{k}])?")
+                                })
+                                .collect();
+                            format!(
+                                "{{ let __items = __inner.as_seq().ok_or_else(|| ::serde::DeError::expected(\"array\", \"{ty}::{vn}\", __inner))?;\n\
+                                 if __items.len() != {n} {{ return Err(::serde::DeError(format!(\"expected {n} elements for {ty}::{vn}, got {{}}\", __items.len()))); }}\n\
+                                 {ty}::{vn}({}) }}",
+                                elems.join(", ")
+                            )
+                        };
+                        tagged_arms.push_str(&format!("\"{vn}\" => return Ok({ctor}),\n"));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let ctor = format!(
+                            "{{ let __m = __inner.as_map().ok_or_else(|| ::serde::DeError::expected(\"object\", \"{ty}::{vn}\", __inner))?;\n\
+                             {ty}::{vn} {{ {} }} }}",
+                            named_fields_from_map(fields, &format!("{ty}::{vn}"))
+                        );
+                        tagged_arms.push_str(&format!("\"{vn}\" => return Ok({ctor}),\n"));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => Err(::serde::DeError(format!(\"unknown {ty} variant `{{__other}}`\"))),\n\
+                 }},\n\
+                 ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__entries[0];\n\
+                 match __tag.as_str() {{\n{tagged_arms}\
+                 __other => Err(::serde::DeError(format!(\"unknown {ty} variant `{{__other}}`\"))),\n\
+                 }}\n\
+                 }},\n\
+                 __other => Err(::serde::DeError::expected(\"string or 1-key object\", \"{ty}\", __other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "{}{{ fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}",
+        impl_header("Deserialize", item)
+    )
+}
+
+fn named_fields_from_map(fields: &[Field], ty: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let n = &f.name;
+        let expr = if f.skip {
+            match &f.default {
+                Some(path) if !path.is_empty() => format!("{path}()"),
+                _ => "::std::default::Default::default()".to_string(),
+            }
+        } else {
+            let fallback = match &f.default {
+                Some(path) if !path.is_empty() => format!("{path}()"),
+                Some(_) => "::std::default::Default::default()".to_string(),
+                None => format!("return Err(::serde::DeError::missing_field(\"{n}\", \"{ty}\"))"),
+            };
+            format!(
+                "match ::serde::value_get(__m, \"{n}\") {{ Some(__x) => ::serde::Deserialize::from_value(__x)?, None => {fallback} }}"
+            )
+        };
+        out.push_str(&format!("{n}: {expr}, "));
+    }
+    out
+}

@@ -1,0 +1,393 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Serializes the local `serde` shim's [`serde::Value`] tree to JSON
+//! text and parses it back. Integer precision is preserved end-to-end
+//! (`u64`/`i64` never transit through `f64`), floats are emitted with
+//! Rust's shortest-roundtrip formatting, and strings are escaped per
+//! RFC 8259.
+
+#![forbid(unsafe_code)]
+
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::fmt;
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Serialize `value` to a JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out)?;
+    Ok(out)
+}
+
+/// Parse a JSON string into `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+fn write_value(v: &Value, out: &mut String) -> Result<(), Error> {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => {
+            if !x.is_finite() {
+                return Err(Error(format!("cannot serialize non-finite float {x}")));
+            }
+            // `{:?}` is Rust's shortest round-trip float form; ensure a
+            // decimal point or exponent survives so it reparses as F64.
+            let s = format!("{x:?}");
+            out.push_str(&s);
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out)?;
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_value(val, out)?;
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, Error> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error("unexpected end of JSON".into()))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        let got = self.peek()?;
+        if got != b {
+            return Err(Error(format!(
+                "expected `{}` at byte {}, found `{}`",
+                b as char, self.pos, got as char
+            )));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek()? {
+            b'n' => self.keyword("null", Value::Null),
+            b't' => self.keyword("true", Value::Bool(true)),
+            b'f' => self.keyword("false", Value::Bool(false)),
+            b'"' => Ok(Value::Str(self.string()?)),
+            b'[' => self.seq(),
+            b'{' => self.map(),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(Error(format!(
+                "unexpected character `{}` at byte {}",
+                other as char, self.pos
+            ))),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(v)
+        } else {
+            Err(Error(format!("bad keyword at byte {}", self.pos)))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| Error("unterminated string".into()))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| Error("unterminated escape".into()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error("bad \\u escape".into()))?,
+                                16,
+                            )
+                            .map_err(|_| Error("bad \\u escape".into()))?;
+                            self.pos += 4;
+                            // Surrogate pairs: only BMP escapes are
+                            // emitted by this writer, but accept pairs.
+                            let c = if (0xd800..0xdc00).contains(&code) {
+                                if self.bytes.get(self.pos..self.pos + 2) != Some(b"\\u") {
+                                    return Err(Error("lone high surrogate".into()));
+                                }
+                                self.pos += 2;
+                                let hex2 = self
+                                    .bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                                let low = u32::from_str_radix(
+                                    std::str::from_utf8(hex2)
+                                        .map_err(|_| Error("bad \\u escape".into()))?,
+                                    16,
+                                )
+                                .map_err(|_| Error("bad \\u escape".into()))?;
+                                self.pos += 4;
+                                let combined = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| Error("bad surrogate pair".into()))?
+                            } else {
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error("bad \\u escape".into()))?
+                            };
+                            out.push(c);
+                        }
+                        other => return Err(Error(format!("bad escape `\\{}`", other as char))),
+                    }
+                }
+                _ => {
+                    // Re-sync to char boundary for multi-byte UTF-8.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xc0) == 0x80 {
+                        end += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| Error("invalid UTF-8 in string".into()))?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error(format!("bad number `{text}`")))
+    }
+
+    fn seq(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                other => {
+                    return Err(Error(format!(
+                        "expected `,` or `]`, found `{}`",
+                        other as char
+                    )))
+                }
+            }
+        }
+    }
+
+    fn map(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            let val = self.value()?;
+            entries.push((key, val));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                other => {
+                    return Err(Error(format!(
+                        "expected `,` or `}}`, found `{}`",
+                        other as char
+                    )))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert!(from_str::<bool>("true").unwrap());
+        assert_eq!(
+            from_str::<u64>(&to_string(&u64::MAX).unwrap()).unwrap(),
+            u64::MAX
+        );
+        assert_eq!(from_str::<i64>("-42").unwrap(), -42);
+        let x = 0.1f64 + 0.2;
+        assert_eq!(from_str::<f64>(&to_string(&x).unwrap()).unwrap(), x);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let s = "line\nwith \"quotes\" and \\ unicode π \u{1}".to_string();
+        let json = to_string(&s).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+    }
+
+    #[test]
+    fn composite_roundtrip() {
+        let v: Vec<Option<u32>> = vec![Some(1), None, Some(3)];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[1,null,3]");
+        assert_eq!(from_str::<Vec<Option<u32>>>(&json).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<u64>("12 34").is_err());
+        assert!(from_str::<u64>("{").is_err());
+        assert!(from_str::<bool>("truu").is_err());
+    }
+
+    #[test]
+    fn surrogate_pair_parses() {
+        let json = "\"\\ud83d\\ude00\"";
+        assert_eq!(from_str::<String>(json).unwrap(), "😀");
+    }
+}

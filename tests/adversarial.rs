@@ -70,9 +70,7 @@ fn lie_hides_loss_from_own_books_but_not_from_the_link() {
         .iter()
         .filter_map(|i| match i {
             vpm::core::consistency::LinkInconsistency::CountMismatch {
-                up_cnt,
-                down_cnt,
-                ..
+                up_cnt, down_cnt, ..
             } => Some(up_cnt.saturating_sub(*down_cnt)),
             _ => None,
         })
@@ -124,9 +122,57 @@ fn full_collusion_chain_pushes_blame_to_the_last_liar() {
     // liar").
     let nd = analysis.links.iter().find(|l| l.up == HopId(7)).unwrap();
     assert!(!nd.report.is_consistent());
-    assert_eq!(
-        nd.implicates.1,
-        topo.domain_by_name("D").unwrap().id
+    assert_eq!(nd.implicates.1, topo.domain_by_name("D").unwrap().id);
+}
+
+#[test]
+fn cover_up_without_further_lies_absorbs_the_loss() {
+    // The third §3.1 outcome: X lies, N covers X at its ingress but
+    // reports its own egress honestly. No link is flagged — but X's
+    // loss has not disappeared; N's own books now show it. Collusion
+    // means absorbing the liar's losses.
+    let (topo, mut run) = lossy_scenario(53);
+    let true_loss = {
+        let x = run.truth("X").unwrap();
+        1.0 - x.delivered as f64 / x.sent as f64
+    };
+    let ingress4 = run.hop(HopId(4)).unwrap().clone();
+    apply_lie(
+        &ingress4,
+        run.hop_mut(HopId(5)).unwrap(),
+        LieStrategy::BlameShiftLoss {
+            claimed_delay: SimDuration::from_micros(300),
+        },
+    );
+    let egress5 = run.hop(HopId(5)).unwrap().clone();
+    cover_up(&egress5, run.hop_mut(HopId(6)).unwrap());
+    let analysis = analyze_path(&topo, &run);
+
+    // The coalition's links are quiet, and X's books look perfect…
+    assert!(analysis
+        .links
+        .iter()
+        .find(|l| l.up == HopId(5))
+        .unwrap()
+        .report
+        .is_consistent());
+    assert!(analysis.domain("X").unwrap().estimate.loss.rate().unwrap() < 0.01);
+    // …but N inherits what X hid, at full magnitude.
+    let n_loss = analysis.domain("N").unwrap().estimate.loss.rate().unwrap();
+    assert!(
+        n_loss > 0.8 * true_loss,
+        "N absorbed {n_loss:.4} of X's {true_loss:.4}"
+    );
+    // The honest neighbor L is untouched.
+    assert!(
+        analysis
+            .domain("L")
+            .unwrap()
+            .estimate
+            .loss
+            .rate()
+            .unwrap_or(0.0)
+            < 0.01
     );
 }
 

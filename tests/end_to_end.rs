@@ -197,11 +197,7 @@ fn desynchronized_clocks_violate_max_diff_as_the_paper_warns() {
         r.time += SimDuration::from_millis(5);
     }
     let analysis = analyze_path(&topo, &run);
-    let xn = analysis
-        .links
-        .iter()
-        .find(|l| l.up == HopId(5))
-        .unwrap();
+    let xn = analysis.links.iter().find(|l| l.up == HopId(5)).unwrap();
     assert!(
         !xn.report.is_consistent(),
         "5 ms skew against a 2 ms MaxDiff must flag the link"
@@ -224,7 +220,6 @@ fn domain_estimates_survive_serde_roundtrip() {
     assert_eq!(est, back);
 
     let batch_json = serde_json::to_string(&h4.batch).unwrap();
-    let batch_back: vpm::core::processor::ReceiptBatch =
-        serde_json::from_str(&batch_json).unwrap();
+    let batch_back: vpm::core::processor::ReceiptBatch = serde_json::from_str(&batch_json).unwrap();
     assert!(batch_back.verify_tag(h4.key));
 }

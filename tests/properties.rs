@@ -158,6 +158,80 @@ proptest! {
         }
     }
 
+    /// §6.1 partial order, reflexivity: every partition is coarser
+    /// than (because equal to) itself.
+    #[test]
+    fn coarser_is_reflexive(
+        items in proptest::collection::vec(any::<u16>(), 1..60),
+        cuts in proptest::collection::vec(any::<bool>(), 60),
+    ) {
+        let part = Partition::from_cuts(&items, {
+            let mut i = 0;
+            move |_| { let c = cuts[i]; i += 1; c }
+        });
+        prop_assert!(part.is_coarser_than(&part));
+        prop_assert_eq!(part.join(&part).unwrap(), part);
+    }
+
+    /// §6.1 partial order, antisymmetry: mutually coarser partitions
+    /// are equal.
+    #[test]
+    fn coarser_is_antisymmetric(
+        items in proptest::collection::vec(any::<u16>(), 1..60),
+        cuts_a in proptest::collection::vec(any::<bool>(), 60),
+        cuts_b in proptest::collection::vec(any::<bool>(), 60),
+    ) {
+        let cut = |cuts: &[bool]| {
+            let c = cuts.to_vec();
+            let mut i = 0;
+            Partition::from_cuts(&items, move |_| { let v = c[i]; i += 1; v })
+        };
+        let a = cut(&cuts_a);
+        let b = cut(&cuts_b);
+        if a.is_coarser_than(&b) && b.is_coarser_than(&a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// §6.1 partial order, transitivity — via Algorithm-2-style
+    /// threshold cuts, which generate arbitrary chains: the higher
+    /// threshold cuts at a subset of the lower's boundaries.
+    #[test]
+    fn coarser_is_transitive_on_threshold_chains(
+        items in proptest::collection::vec(any::<u32>(), 1..80),
+        t1 in any::<u32>(),
+        t2 in any::<u32>(),
+        t3 in any::<u32>(),
+    ) {
+        let mut ts = [t1, t2, t3];
+        ts.sort_unstable();
+        let part = |t: u32| Partition::from_cuts(&items, |&x| x > t);
+        let (fine, mid, coarse) = (part(ts[0]), part(ts[1]), part(ts[2]));
+        prop_assert!(coarse.is_coarser_than(&mid));
+        prop_assert!(mid.is_coarser_than(&fine));
+        prop_assert!(coarse.is_coarser_than(&fine), "transitivity");
+    }
+
+    /// §6.1: "A is coarser than B" and "Join(A, B) = A" are the same
+    /// statement — the join characterizes the order.
+    #[test]
+    fn join_characterizes_the_order(
+        items in proptest::collection::vec(any::<u16>(), 1..60),
+        cuts_a in proptest::collection::vec(any::<bool>(), 60),
+        cuts_b in proptest::collection::vec(any::<bool>(), 60),
+    ) {
+        let cut = |cuts: &[bool]| {
+            let c = cuts.to_vec();
+            let mut i = 0;
+            Partition::from_cuts(&items, move |_| { let v = c[i]; i += 1; v })
+        };
+        let a = cut(&cuts_a);
+        let b = cut(&cuts_b);
+        let j = a.join(&b).unwrap();
+        prop_assert_eq!(a.is_coarser_than(&b), j == a);
+        prop_assert_eq!(b.is_coarser_than(&a), j == b);
+    }
+
     /// The abstract partition join is associative and commutative on
     /// common sequences — a verifier can merge receipts from many HOPs
     /// in any order.
@@ -184,4 +258,34 @@ proptest! {
         prop_assert_eq!(abc.clone(), cba);
         prop_assert_eq!(abc, acb);
     }
+}
+
+/// The paper's Table 1 (§6.1), checked through the public facade:
+/// S = {p1..p4}, partitions A1 (all singletons) through A4 (one
+/// aggregate), with the coarser relations and joins the table lists.
+#[test]
+fn paper_table1_through_the_facade() {
+    let p = |aggs: &[&[u8]]| Partition::new(aggs.iter().map(|a| a.to_vec()).collect()).unwrap();
+    let a1 = p(&[&[1], &[2], &[3], &[4]]);
+    let a2 = p(&[&[1, 2], &[3, 4]]);
+    let a3 = p(&[&[1], &[2, 3], &[4]]);
+    let a3p = p(&[&[1], &[2], &[3, 4]]);
+    let a4 = p(&[&[1, 2, 3, 4]]);
+
+    // Coarser/finer relations.
+    assert!(a2.is_coarser_than(&a1));
+    assert!(a3.is_coarser_than(&a1));
+    assert!(a3p.is_coarser_than(&a1));
+    assert!(a4.is_coarser_than(&a2));
+    assert!(a4.is_coarser_than(&a3));
+    assert!(a2.is_coarser_than(&a3p));
+    // Incomparable pair: neither direction holds.
+    assert!(!a2.is_coarser_than(&a3));
+    assert!(!a3.is_coarser_than(&a2));
+
+    // Joins.
+    assert_eq!(a1.join(&a2).unwrap(), a2);
+    assert_eq!(a2.join(&a3).unwrap(), a4);
+    assert_eq!(a2.join(&a3p).unwrap(), a2);
+    assert_eq!(a1.join(&a4).unwrap(), a4);
 }
