@@ -133,4 +133,77 @@ mod tests {
         assert_eq!(r.as_nanos(), 0);
         let _ = SimDuration::ZERO;
     }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// With non-negative drift and no read jitter, a clock is a
+            /// monotone map of true time: later reads never go
+            /// backwards (strictly increasing once past the zero
+            /// clamp).
+            #[test]
+            fn reads_monotone_under_positive_drift(
+                offset_ms in -5i64..=5,
+                drift_ppm in 0.0f64..=500.0,
+                raw in proptest::collection::vec(0u64..=100_000_000_000, 2..40),
+            ) {
+                let mut times = raw;
+                times.sort_unstable();
+                let mut c = HopClock {
+                    offset_ns: offset_ms * 1_000_000,
+                    drift_ppm,
+                    jitter_ns: 0,
+                    rng: SmallRng::seed_from_u64(0),
+                };
+                let mut prev = None;
+                for &t in &times {
+                    let r = c.read(SimTime::from_nanos(t));
+                    if let Some(p) = prev {
+                        prop_assert!(r >= p, "time went backwards: {p} -> {r}");
+                    }
+                    prev = Some(r);
+                }
+            }
+
+            /// The ideal clock is the identity at every instant.
+            #[test]
+            fn ideal_clock_is_the_identity_everywhere(
+                raw in proptest::collection::vec(0u64..=u64::MAX / 4, 1..40),
+            ) {
+                let mut c = HopClock::ideal();
+                for &t in &raw {
+                    let time = SimTime::from_nanos(t);
+                    prop_assert_eq!(c.read(time), time);
+                }
+            }
+
+            /// §4's regime: over a simulated run of up to 10 s, two
+            /// independently seeded NTP-grade clocks stay mutually
+            /// synchronized "at the granularity of a millisecond" —
+            /// ±0.5 ms offset each, ±50 ppm drift each and 10 µs read
+            /// jitter bound their skew by ~2 ms, well under the paper's
+            /// multi-millisecond MaxDiff advertisements.
+            #[test]
+            fn two_ntp_grade_clocks_stay_in_the_millisecond_regime(
+                seed_a in any::<u64>(),
+                seed_b in any::<u64>(),
+                raw in proptest::collection::vec(0u64..=10_000_000_000, 1..40),
+            ) {
+                let mut a = HopClock::ntp_grade(seed_a);
+                let mut b = HopClock::ntp_grade(seed_b);
+                for &t in &raw {
+                    let time = SimTime::from_nanos(t);
+                    let skew = a.read(time).signed_delta(b.read(time)).abs();
+                    // offsets ≤ 2·0.5 ms, drift ≤ 2·50 ppm·10 s = 1 ms,
+                    // jitter ≤ 2·10 µs.
+                    prop_assert!(
+                        skew <= 2_020_000,
+                        "mutual skew {skew} ns at t={t} exceeds the ms regime"
+                    );
+                }
+            }
+        }
+    }
 }

@@ -9,9 +9,9 @@
 //! neighbor it implicated.
 
 use vpm_core::receipt::{AggReceipt, SampleRecord};
-use vpm_packet::SimDuration;
+use vpm_packet::{HopId, SimDuration};
 
-use crate::run::HopOutput;
+use crate::run::{HopOutput, PathRun};
 
 /// How a lying domain doctors its egress receipts.
 #[derive(Debug, Clone, Copy)]
@@ -64,6 +64,35 @@ pub fn apply_lie(ingress: &HopOutput, egress: &mut HopOutput, strategy: LieStrat
         }
     }
     resign(egress);
+}
+
+/// One lying egress: the domain whose egress HOP doctors its receipts
+/// from what its ingress HOP observed.
+#[derive(Debug, Clone, Copy)]
+pub struct LieSite {
+    /// The liar's ingress HOP (source of the observations the lie is
+    /// constructed from).
+    pub ingress: HopId,
+    /// The liar's egress HOP (whose receipts are doctored).
+    pub egress: HopId,
+    /// The lie.
+    pub strategy: LieStrategy,
+}
+
+/// Apply several independent lies to one run — the multi-liar threat
+/// model: each site's domain doctors its own egress from its own
+/// ingress observations, without coordination between liars. §3.1's
+/// localization argument applies to each liar separately: every lie
+/// still surfaces on an inter-domain link adjacent to *that* liar.
+pub fn apply_lies(run: &mut PathRun, sites: &[LieSite]) {
+    for site in sites {
+        let ingress = run
+            .hop(site.ingress)
+            .expect("lie site ingress exists")
+            .clone();
+        let egress = run.hop_mut(site.egress).expect("lie site egress exists");
+        apply_lie(&ingress, egress, site.strategy);
+    }
 }
 
 /// Collusion: a downstream neighbor covers an upstream liar by claiming
@@ -176,6 +205,38 @@ mod tests {
         for (a, b) in before.iter().zip(&egress.samples) {
             assert!(b.time <= a.time);
             assert_eq!(a.pkt_id, b.pkt_id);
+        }
+    }
+
+    #[test]
+    fn apply_lies_doctors_every_site_independently() {
+        let mut run = lossy_x_run();
+        let l_ingress = run.hop(HopId(2)).unwrap().samples.len();
+        let n_ingress = run.hop(HopId(6)).unwrap().samples.len();
+        apply_lies(
+            &mut run,
+            &[
+                LieSite {
+                    ingress: HopId(2),
+                    egress: HopId(3),
+                    strategy: LieStrategy::BlameShiftLoss {
+                        claimed_delay: SimDuration::from_micros(200),
+                    },
+                },
+                LieSite {
+                    ingress: HopId(6),
+                    egress: HopId(7),
+                    strategy: LieStrategy::BlameShiftLoss {
+                        claimed_delay: SimDuration::from_micros(200),
+                    },
+                },
+            ],
+        );
+        // Each egress now mirrors its own ingress and still signs.
+        for (egress, expect) in [(HopId(3), l_ingress), (HopId(7), n_ingress)] {
+            let h = run.hop(egress).unwrap();
+            assert_eq!(h.samples.len(), expect, "{egress}");
+            assert!(h.batch.verify_tag(h.key), "{egress}");
         }
     }
 

@@ -21,10 +21,12 @@
 //!   estimates, per-link consistency, liar exposure.
 //! * [`experiments`] — Figure 2, Figure 3, the §7.2 verifiability
 //!   sweep and the design-choice ablations.
-//! * [`scenario_matrix`] — the deterministic scenario grid: every
-//!   combination of delay model, loss process, reorder window,
-//!   sampling rate and adversary strategy as one enumerable,
-//!   reproducible table.
+//! * [`scenario_matrix`] — the deterministic scenario grid: delay
+//!   model (incl. congestion series), loss process, reorder window,
+//!   sampling rate, clock quality, deployment state and adversary
+//!   strategy (incl. two independent liars) as one enumerable,
+//!   reproducible, parallel-evaluable table — the repo's primary
+//!   verification instrument, surfaced as `vpm matrix`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,6 +42,9 @@ pub mod topology;
 pub mod verdict;
 
 pub use run::{PathRun, RunConfig};
-pub use scenario_matrix::{evaluate_cell, full_grid, Cell, CellVerdict};
+pub use scenario_matrix::{
+    evaluate_cell, evaluate_grid, full_grid, parse_filter, render_matrix_table, Cell, CellVerdict,
+    MatrixFilter, CANONICAL_BASE_SEED,
+};
 pub use topology::{DomainRole, Figure1, LinkSpec, Topology};
 pub use verdict::{analyze_path, PathAnalysis};

@@ -1,43 +1,65 @@
-//! The deterministic scenario matrix.
+//! The deterministic scenario matrix — the repo's primary verification
+//! instrument.
 //!
 //! The ROADMAP's north star asks for "as many scenarios as you can
 //! imagine"; this module turns that into one enumerable table. A
 //! [`Cell`] fixes every free variable of a Figure-1 experiment — the
-//! delay model inside the domain under evaluation (`X`), the loss
-//! process (none / uniform / bursty Gilbert-Elliott), the reordering
-//! window, the HOPs' sampling rate, the adversary strategy, and the
-//! RNG seed — and [`evaluate_cell`] replays it end to end:
+//! delay model inside the domain under evaluation (`X`, including
+//! congestion-driven delay series from the bottleneck simulator), the
+//! loss process (none / uniform / bursty Gilbert-Elliott), the
+//! reordering window, the HOPs' sampling rate, the clock quality
+//! (ideal vs NTP-grade, §4), the deployment state (full vs partial,
+//! §8), the adversary strategy (§2.1, including two independent
+//! liars), and the RNG seed — and [`evaluate_cell`] replays it end to
+//! end:
 //!
-//! 1. run the path honestly and check the three per-cell invariants
-//!    the paper promises: **consistency** (honest receipts never flag a
-//!    link), **accuracy** (receipt-derived loss and delay track the
-//!    retained ground truth within tolerances), and
+//! 1. run the path honestly and check the paper's per-cell invariants:
+//!    **consistency** (honest receipts never flag a link — even under
+//!    NTP-grade clocks, whose mutual skew stays under the advertised
+//!    `MaxDiff` and must never produce a false accusation) and
+//!    **accuracy** (receipt-derived loss and delay track the retained
+//!    ground truth within tolerances; partially deployed cells check
+//!    the bracketing segment from `partial::analyze_partial` instead
+//!    of the per-domain report);
 //! 2. if the cell names an adversary, re-run (or doctor) the same
 //!    scenario with the lie applied and check **exposure**: the lie
 //!    surfaces exactly where §3.1 says it must — on an inter-domain
-//!    link adjacent to a liar, or (for collusion) as blame absorbed
-//!    inside the colluding coalition, or (for sampling bias) as a
-//!    defeated attack whose estimates still track the truth.
+//!    link adjacent to a liar (for two liars, on a link adjacent to
+//!    *each* liar), or (for collusion) as blame absorbed inside the
+//!    colluding coalition, or (for sampling bias) as a defeated attack
+//!    whose estimates still track the truth.
 //!
 //! Everything is seeded: evaluating the same cell twice produces
-//! byte-identical [`CellVerdict`]s (`tests/scenario_matrix.rs` asserts
-//! this via JSON serialization). [`full_grid`] enumerates the default
-//! 24-cell sweep the integration suite runs; future PRs extend the
+//! byte-identical [`CellVerdict`]s, and [`evaluate_grid`] evaluates
+//! cells in parallel with `std::thread::scope` while merging results
+//! in index order — the result set is byte-identical regardless of the
+//! thread count (`tests/scenario_matrix.rs` asserts both via JSON
+//! serialization). [`full_grid`] enumerates the default 216-cell
+//! sweep; the `vpm matrix` subcommand filters, evaluates and prints it
+//! ([`parse_filter`], [`render_matrix_table`]). Future PRs extend the
 //! grid rather than writing new one-off scenario tests.
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use vpm_hash::Threshold;
 use vpm_netsim::channel::{ChannelConfig, DelayModel};
-use vpm_netsim::congestion::PacketFate;
+use vpm_netsim::congestion::{foreground_delays, BottleneckConfig, CrossTraffic, PacketFate};
 use vpm_netsim::reorder::ReorderModel;
-use vpm_packet::{HopId, SimDuration};
+use vpm_packet::{DomainId, HopId, SimDuration};
 use vpm_trace::{TraceConfig, TraceGenerator, TracePacket};
 
-use crate::adversary::{apply_lie, cover_up, LieStrategy};
-use crate::run::{run_path, PathRun, RunConfig};
+use crate::adversary::{apply_lies, cover_up, LieSite, LieStrategy};
+use crate::partial::analyze_partial;
+use crate::run::{run_path, ClockMode, PathRun, RunConfig};
 use crate::topology::{Figure1, Topology};
 use crate::verdict::{analyze_path, PathAnalysis};
+
+/// Base seed of the canonical sweep run by the integration suite and
+/// the `vpm matrix` subcommand. Changing it changes every cell's
+/// traffic and channel randomness — the invariants must hold anyway.
+pub const CANONICAL_BASE_SEED: u64 = 0xA110_F7E5;
 
 /// Delay model applied inside domain `X`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -46,21 +68,29 @@ pub enum DelayAxis {
     Constant,
     /// 100 µs base plus uniform jitter in `[0, 800]` µs.
     Jitter,
+    /// Congestion-driven delay series: the cell's trace shares a
+    /// drop-tail bottleneck with a bursty UDP flow (the Figure-2
+    /// congestion source) and every packet's fate comes out of the
+    /// event simulation as a [`DelayModel::Series`].
+    Congested,
 }
 
 impl DelayAxis {
-    fn model(&self) -> DelayModel {
+    /// Every level of this axis, in grid order — the single source of
+    /// truth for grid construction and the `--filter` vocabulary.
+    pub const ALL: [DelayAxis; 3] = [DelayAxis::Constant, DelayAxis::Jitter, DelayAxis::Congested];
+
+    /// Stable axis label for filters and reports.
+    pub fn name(&self) -> &'static str {
         match self {
-            DelayAxis::Constant => DelayModel::Constant(SimDuration::from_micros(300)),
-            DelayAxis::Jitter => DelayModel::Jitter {
-                base: SimDuration::from_micros(100),
-                jitter: SimDuration::from_micros(800),
-            },
+            DelayAxis::Constant => "constant",
+            DelayAxis::Jitter => "jitter",
+            DelayAxis::Congested => "congested",
         }
     }
 
     /// Fast-path delay a biased domain gives packets it wants to look
-    /// good on (well below either model's typical transit).
+    /// good on (well below either closed-form model's typical transit).
     fn fast_path(&self) -> SimDuration {
         SimDuration::from_micros(30)
     }
@@ -94,6 +124,20 @@ impl LossAxis {
             LossAxis::Uniform(r) | LossAxis::Gilbert(r, _) => r,
         }
     }
+
+    /// Every family label [`Self::family`] can return — the `--filter`
+    /// vocabulary (kept adjacent so they cannot drift apart).
+    pub const FAMILIES: [&'static str; 3] = ["none", "uniform", "gilbert"];
+
+    /// Stable family label for filters ("none" / "uniform" /
+    /// "gilbert").
+    pub fn family(&self) -> &'static str {
+        match self {
+            LossAxis::None => "none",
+            LossAxis::Uniform(_) => "uniform",
+            LossAxis::Gilbert(_, _) => "gilbert",
+        }
+    }
 }
 
 /// Reordering window inside domain `X`.
@@ -121,6 +165,86 @@ impl ReorderAxis {
             },
         }
     }
+
+    /// Every family label [`Self::family`] can return — the `--filter`
+    /// vocabulary (kept adjacent so they cannot drift apart).
+    pub const FAMILIES: [&'static str; 2] = ["none", "window"];
+
+    /// Stable family label for filters ("none" / "window").
+    pub fn family(&self) -> &'static str {
+        match self {
+            ReorderAxis::None => "none",
+            ReorderAxis::Window { .. } => "window",
+        }
+    }
+}
+
+/// Clock quality at every HOP (§4: VPM needs no synchronized clocks,
+/// but delay estimates inherit the HOPs' mutual skew).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClockAxis {
+    /// Perfect clocks.
+    Ideal,
+    /// NTP-grade clocks: offset within ±0.5 ms, drift within ±50 ppm,
+    /// 10 µs read jitter — "reasonably synchronized, at the
+    /// granularity of a millisecond" (§4).
+    NtpGrade,
+}
+
+impl ClockAxis {
+    /// Every level of this axis — the single source of truth for grid
+    /// construction and the `--filter` vocabulary.
+    pub const ALL: [ClockAxis; 2] = [ClockAxis::Ideal, ClockAxis::NtpGrade];
+
+    fn mode(&self) -> ClockMode {
+        match self {
+            ClockAxis::Ideal => ClockMode::Ideal,
+            ClockAxis::NtpGrade => ClockMode::NtpGrade,
+        }
+    }
+
+    /// Stable axis label for filters and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ClockAxis::Ideal => "ideal",
+            ClockAxis::NtpGrade => "ntp",
+        }
+    }
+
+    /// Extra slack the delay-accuracy tolerance gets under this clock:
+    /// two NTP-grade HOPs can disagree by up to ~1 ms of offset plus
+    /// drift and read jitter, all of which lands in the estimate.
+    fn slack_ms(&self) -> f64 {
+        match self {
+            ClockAxis::Ideal => 0.0,
+            ClockAxis::NtpGrade => 1.2,
+        }
+    }
+}
+
+/// Deployment state of the path (§8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeployAxis {
+    /// Every domain runs HOPs.
+    Full,
+    /// `X` does not deploy: it produces no receipts, and its
+    /// performance can only be measured end-to-end over the segment
+    /// between the nearest deployed HOPs (3→6), which is exactly where
+    /// `partial::analyze_partial` must localize it.
+    Partial,
+}
+
+impl DeployAxis {
+    /// Every level of this axis — the `--filter` vocabulary.
+    pub const ALL: [DeployAxis; 2] = [DeployAxis::Full, DeployAxis::Partial];
+
+    /// Stable axis label for filters and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DeployAxis::Full => "full",
+            DeployAxis::Partial => "partial",
+        }
+    }
 }
 
 /// The lying strategy exercised in a cell (threat model of §2.1).
@@ -141,9 +265,26 @@ pub enum AdversaryAxis {
     /// `X` fast-paths the packets it *guesses* will be sampled — the
     /// bias attack Algorithm 1 is designed to defeat (§5.1).
     SampleBias,
+    /// Two non-adjacent domains (`L` and `N`) hide their own loss
+    /// independently. §3.1's localization argument applies per liar:
+    /// *both* must surface, each on an inter-domain link adjacent to
+    /// itself, while the innocent `X` between them stays clean.
+    TwoLiars,
 }
 
 impl AdversaryAxis {
+    /// Every strategy, in cycling order — the single source of truth
+    /// for grid construction and the `--filter` vocabulary.
+    pub const ALL: [AdversaryAxis; 7] = [
+        AdversaryAxis::Honest,
+        AdversaryAxis::BlameShift,
+        AdversaryAxis::Sugarcoat,
+        AdversaryAxis::MarkerDrop,
+        AdversaryAxis::Collude,
+        AdversaryAxis::SampleBias,
+        AdversaryAxis::TwoLiars,
+    ];
+
     /// Stable label for reports.
     pub fn name(&self) -> &'static str {
         match self {
@@ -153,13 +294,32 @@ impl AdversaryAxis {
             AdversaryAxis::MarkerDrop => "marker-drop",
             AdversaryAxis::Collude => "collude",
             AdversaryAxis::SampleBias => "sample-bias",
+            AdversaryAxis::TwoLiars => "two-liars",
         }
     }
 
-    /// Strategies that only make sense when the domain has loss to
-    /// hide.
+    /// Strategies that only make sense when `X` has loss to hide.
+    /// (`TwoLiars` brings its own loss inside `L` and `N`.)
     fn needs_loss(&self) -> bool {
         matches!(self, AdversaryAxis::BlameShift | AdversaryAxis::Collude)
+    }
+
+    /// Can this strategy be exercised meaningfully in the given
+    /// environment?
+    ///
+    /// * loss-hiding needs loss to hide;
+    /// * the sample-bias attack needs a closed-form slow path to
+    ///   fast-path against (not a congestion series) and ideal clocks
+    ///   (its "estimate must sit far above the fast path" check is
+    ///   meaningless once clock offsets can push the estimate around).
+    fn legal(&self, delay: DelayAxis, loss: LossAxis, clock: ClockAxis) -> bool {
+        if self.needs_loss() && loss.rate() <= 0.0 {
+            return false;
+        }
+        match self {
+            AdversaryAxis::SampleBias => delay != DelayAxis::Congested && clock == ClockAxis::Ideal,
+            _ => true,
+        }
     }
 }
 
@@ -176,6 +336,10 @@ pub struct Cell {
     pub reorder: ReorderAxis,
     /// Sampling rate `σ`-rate at every HOP.
     pub sampling_rate: f64,
+    /// Clock quality at every HOP.
+    pub clock: ClockAxis,
+    /// Deployment state of the path.
+    pub deploy: DeployAxis,
     /// The lie under test.
     pub adversary: AdversaryAxis,
     /// Master seed; every random choice in the cell derives from it.
@@ -185,27 +349,46 @@ pub struct Cell {
 impl Cell {
     /// Compact human-readable label.
     pub fn label(&self) -> String {
-        let delay = match self.delay {
+        format!(
+            "cell{:03} {} {} {} σ={:.2} {} {} {}",
+            self.id,
+            self.delay_token(),
+            self.loss_token(),
+            self.reorder_token(),
+            self.sampling_rate,
+            self.clock.name(),
+            self.deploy.name(),
+            self.adversary.name()
+        )
+    }
+
+    /// Detailed delay token ("const300us", "jitter100+800us",
+    /// "congested").
+    pub fn delay_token(&self) -> &'static str {
+        match self.delay {
             DelayAxis::Constant => "const300us",
             DelayAxis::Jitter => "jitter100+800us",
-        };
-        let loss = match self.loss {
+            DelayAxis::Congested => "congested",
+        }
+    }
+
+    /// Detailed loss token.
+    pub fn loss_token(&self) -> String {
+        match self.loss {
             LossAxis::None => "lossless".to_string(),
             LossAxis::Uniform(r) => format!("uniform{:.0}%", r * 100.0),
             LossAxis::Gilbert(r, b) => format!("gilbert{:.0}%xb{b:.0}", r * 100.0),
-        };
-        let reorder = match self.reorder {
+        }
+    }
+
+    /// Detailed reorder token.
+    pub fn reorder_token(&self) -> String {
+        match self.reorder {
             ReorderAxis::None => "inorder".to_string(),
             ReorderAxis::Window { p, shift_us } => {
                 format!("reorder{:.0}%<{}us", p * 100.0, shift_us)
             }
-        };
-        format!(
-            "cell{:02} {delay} {loss} {reorder} σ={:.2} {}",
-            self.id,
-            self.sampling_rate,
-            self.adversary.name()
-        )
+        }
     }
 }
 
@@ -222,11 +405,13 @@ pub struct CellVerdict {
     pub trace_len: usize,
     /// Honest run: did every inter-domain link check out?
     pub honest_consistent: bool,
-    /// Honest run: receipt-derived loss rate for `X`.
+    /// Honest run: receipt-derived loss rate for `X` (for partial
+    /// deployment, for the segment spanning `X`).
     pub x_loss_est: f64,
     /// Honest run: ground-truth loss rate for `X`.
     pub x_loss_truth: f64,
-    /// Honest run: receipt-derived median transit delay for `X` (ms).
+    /// Honest run: receipt-derived median transit delay for `X` (ms;
+    /// for partial deployment, for the segment spanning `X`).
     pub x_delay_est_ms: f64,
     /// Honest run: ground-truth median transit delay for `X` (ms).
     pub x_delay_truth_ms: f64,
@@ -240,18 +425,57 @@ pub struct CellVerdict {
     pub failures: Vec<String>,
 }
 
+impl CellVerdict {
+    /// Did every invariant hold?
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
 /// Tolerances for the accuracy invariant (the paper's Figures 2/3
 /// operate in this regime for comparable sample counts).
 const LOSS_TOL: f64 = 0.04;
 const DELAY_TOL_MS: f64 = 0.25;
 const DELAY_REL_TOL: f64 = 0.25;
 
-/// The default grid: every combination of delay × loss × reorder
-/// (2 × 3 × 2 = 12 environments) evaluated at two sampling rates, with
-/// the adversary axis cycling so that each strategy appears several
-/// times — 24 cells total.
+/// Loss the two liars of [`AdversaryAxis::TwoLiars`] carry inside
+/// their own domains (`L` and `N`), independent of the `X` loss axis.
+const TWO_LIAR_LOSS: (f64, f64) = (0.10, 4.0);
+
+/// The delay-accuracy tolerance for a cell given the ground-truth
+/// median: base tolerance plus clock-skew slack.
+fn delay_tolerance(cell: &Cell, truth_ms: f64) -> f64 {
+    DELAY_TOL_MS.max(DELAY_REL_TOL * truth_ms) + cell.clock.slack_ms()
+}
+
+/// The ground-truth band the delay estimate must land in. For the
+/// closed-form delay models the band collapses to the true median; a
+/// congestion series is bimodal (quiet vs. burst), so the *sample*
+/// median's realization noise across the gap is unbounded and the
+/// estimate is instead checked against the q30–q70 truth band (a
+/// ±2σ-of-the-sample-median band for ≥ 90 samples is within ±11
+/// percentiles; q30–q70 leaves 4σ of margin).
+fn truth_delay_band(cell: &Cell, truth_delays_ms: &[f64]) -> (f64, f64) {
+    match cell.delay {
+        DelayAxis::Congested => (
+            quantile(truth_delays_ms, 0.3),
+            quantile(truth_delays_ms, 0.7),
+        ),
+        _ => {
+            let m = median(truth_delays_ms);
+            (m, m)
+        }
+    }
+}
+
+/// The default grid: delay (3) × loss (3) × reorder (2) × sampling
+/// rate (2) × clock (2) = 72 environments, each contributing three
+/// cells — two full-deployment cells cycling deterministically through
+/// the legal adversary strategies, plus a third slot that alternates
+/// between a partial-deployment (honest) cell and another adversary —
+/// 216 cells total.
 pub fn full_grid(base_seed: u64) -> Vec<Cell> {
-    let delays = [DelayAxis::Constant, DelayAxis::Jitter];
+    let delays = DelayAxis::ALL;
     let losses = [
         LossAxis::None,
         LossAxis::Uniform(0.05),
@@ -265,42 +489,94 @@ pub fn full_grid(base_seed: u64) -> Vec<Cell> {
         },
     ];
     let rates = [0.05, 0.02];
-    let all = [
-        AdversaryAxis::Honest,
-        AdversaryAxis::BlameShift,
-        AdversaryAxis::Sugarcoat,
-        AdversaryAxis::MarkerDrop,
-        AdversaryAxis::Collude,
-        AdversaryAxis::SampleBias,
-    ];
+    let clocks = ClockAxis::ALL;
+    let all = AdversaryAxis::ALL;
+    // Deterministically pick the next strategy legal in the
+    // environment; the cursor persists across environments so every
+    // strategy lands in many of them.
+    fn next_legal(
+        all: &[AdversaryAxis],
+        cursor: &mut usize,
+        delay: DelayAxis,
+        loss: LossAxis,
+        clock: ClockAxis,
+    ) -> AdversaryAxis {
+        loop {
+            let cand = all[*cursor % all.len()];
+            *cursor += 1;
+            if cand.legal(delay, loss, clock) {
+                return cand;
+            }
+        }
+    }
 
     let mut cells = Vec::new();
     let mut cursor = 0usize;
+    let mut env_idx = 0usize;
+    let push = |cells: &mut Vec<Cell>, delay, loss, reorder, rate, clock, deploy, adversary| {
+        let id = cells.len();
+        cells.push(Cell {
+            id,
+            delay,
+            loss,
+            reorder,
+            sampling_rate: rate,
+            clock,
+            deploy,
+            adversary,
+            seed: base_seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(id as u64),
+        });
+    };
     for delay in delays {
         for loss in losses {
             for reorder in reorders {
                 for rate in rates {
-                    // Deterministically pick the next strategy that is
-                    // legal for this environment.
-                    let adversary = loop {
-                        let cand = all[cursor % all.len()];
-                        cursor += 1;
-                        if !cand.needs_loss() || loss.rate() > 0.0 {
-                            break cand;
+                    for clock in clocks {
+                        for _ in 0..2 {
+                            let adversary = next_legal(&all, &mut cursor, delay, loss, clock);
+                            push(
+                                &mut cells,
+                                delay,
+                                loss,
+                                reorder,
+                                rate,
+                                clock,
+                                DeployAxis::Full,
+                                adversary,
+                            );
                         }
-                    };
-                    let id = cells.len();
-                    cells.push(Cell {
-                        id,
-                        delay,
-                        loss,
-                        reorder,
-                        sampling_rate: rate,
-                        adversary,
-                        seed: base_seed
-                            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                            .wrapping_add(id as u64),
-                    });
+                        // Third slot: every other environment tests
+                        // partial deployment (honest — lying with a
+                        // non-deployer in the gap is exercised by the
+                        // dedicated integration tests).
+                        if env_idx.is_multiple_of(2) {
+                            push(
+                                &mut cells,
+                                delay,
+                                loss,
+                                reorder,
+                                rate,
+                                clock,
+                                DeployAxis::Partial,
+                                AdversaryAxis::Honest,
+                            );
+                        } else {
+                            let adversary = next_legal(&all, &mut cursor, delay, loss, clock);
+                            push(
+                                &mut cells,
+                                delay,
+                                loss,
+                                reorder,
+                                rate,
+                                clock,
+                                DeployAxis::Full,
+                                adversary,
+                            );
+                        }
+                        env_idx += 1;
+                    }
                 }
             }
         }
@@ -308,18 +584,76 @@ pub fn full_grid(base_seed: u64) -> Vec<Cell> {
     cells
 }
 
-fn x_channel(cell: &Cell) -> ChannelConfig {
+/// Per-packet fates of the cell's trace through the congested
+/// bottleneck (the Figure-2 congestion methodology scaled to the
+/// cell's 40 kpps trace: bursty UDP oversubscribes the link while ON,
+/// the queue oscillates through several milliseconds, and drops stay
+/// rare).
+///
+/// The series is generated over the full trace schedule and applied
+/// positionally to X's input stream. When an upstream domain thins
+/// that stream (two-liar cells, where `L` carries loss), the series
+/// acts as a fixed *exogenous* congestion schedule rather than a
+/// closed-loop function of X's exact arrivals — still a valid bursty
+/// delay process (truth and estimates both derive from the applied
+/// delays), just not re-simulated per survivor set.
+fn congested_fates(cell: &Cell, trace: &[TracePacket]) -> Vec<PacketFate> {
+    // Sized against the cell's ~130 Mbps foreground so the queue
+    // oscillates through several milliseconds without tail drops, with
+    // bursts short enough (~12 ms cycle) that the delay process mixes
+    // ~10 times within the 120 ms trace — congestion states must
+    // decorrelate across marker windows or the matched-sample median
+    // degenerates to a handful of effective observations.
+    let bottleneck = BottleneckConfig {
+        rate_bps: 200e6,
+        queue_limit: SimDuration::from_millis(30),
+        prop_delay: SimDuration::from_micros(500),
+    };
+    let cross = CrossTraffic::BurstyUdp {
+        rate_bps: 400e6,
+        mean_on: SimDuration::from_millis(2),
+        mean_off: SimDuration::from_millis(10),
+        pkt_bytes: 1250,
+    };
+    foreground_delays(trace, &bottleneck, &cross, cell.seed ^ 0x0b07)
+}
+
+fn x_channel(cell: &Cell, trace: &[TracePacket]) -> ChannelConfig {
+    let delay = match cell.delay {
+        DelayAxis::Constant => DelayModel::Constant(SimDuration::from_micros(300)),
+        DelayAxis::Jitter => DelayModel::Jitter {
+            base: SimDuration::from_micros(100),
+            jitter: SimDuration::from_micros(800),
+        },
+        DelayAxis::Congested => DelayModel::Series(congested_fates(cell, trace)),
+    };
     ChannelConfig {
-        delay: cell.delay.model(),
+        delay,
         loss: cell.loss.channel_loss(),
         reorder: cell.reorder.model(),
         seed: cell.seed ^ 0xc4a1,
     }
 }
 
-fn topology(cell: &Cell) -> Topology {
+fn topology(cell: &Cell, trace: &[TracePacket]) -> Topology {
     let mut fig = Figure1::ideal();
-    fig.x_transit = x_channel(cell);
+    fig.x_transit = x_channel(cell, trace);
+    if cell.adversary == AdversaryAxis::TwoLiars {
+        // The liars are L and N; give each loss of its own to hide.
+        let (rate, burst) = TWO_LIAR_LOSS;
+        fig.l_transit = ChannelConfig {
+            delay: DelayModel::Constant(SimDuration::from_micros(300)),
+            loss: Some((rate, burst)),
+            reorder: ReorderModel::none(),
+            seed: cell.seed ^ 0x11a2,
+        };
+        fig.n_transit = ChannelConfig {
+            delay: DelayModel::Constant(SimDuration::from_micros(300)),
+            loss: Some((rate, burst)),
+            reorder: ReorderModel::none(),
+            seed: cell.seed ^ 0x22b3,
+        };
+    }
     fig.build()
 }
 
@@ -327,8 +661,13 @@ fn run_config(cell: &Cell) -> RunConfig {
     RunConfig {
         sampling_rate: cell.sampling_rate,
         aggregate_size: 400,
-        marker_rate: 0.01,
+        // Near the paper's µ = 10⁻³ regime: markers are identifiable
+        // (digest above µ) and always sampled, so they MUST stay a
+        // small fraction of the sample set or a sample-bias attacker
+        // fast-pathing the top of digest space skews the estimate.
+        marker_rate: 2e-3,
         j_window: SimDuration::from_millis(2),
+        clocks: cell.clock.mode(),
         seed: cell.seed ^ 0x10c5,
         ..RunConfig::default()
     }
@@ -343,22 +682,26 @@ fn trace(cell: &Cell) -> Vec<TracePacket> {
     .generate()
 }
 
-/// Median of an unsorted sample (NaN for an empty one), via the same
+/// Quantile of an unsorted sample (NaN for an empty one), via the same
 /// Hyndman-Fan estimator the verifier uses.
-fn median(values: &[f64]) -> f64 {
+fn quantile(values: &[f64], q: f64) -> f64 {
     if values.is_empty() {
         return f64::NAN;
     }
     let mut v = values.to_vec();
     v.sort_by(|a, b| a.partial_cmp(b).expect("delays are finite"));
-    vpm_stats::empirical_quantile(&v, 0.5)
+    vpm_stats::empirical_quantile(&v, q)
 }
 
-/// The receipt-derived median delay of a domain report (NaN when no
+/// Median of an unsorted sample (NaN for an empty one).
+fn median(values: &[f64]) -> f64 {
+    quantile(values, 0.5)
+}
+
+/// The receipt-derived median delay of an estimate (NaN when no
 /// samples matched).
-fn est_median(report: &crate::verdict::DomainReport) -> f64 {
-    report
-        .estimate
+fn est_median(estimate: &vpm_core::verify::DomainEstimate) -> f64 {
+    estimate
         .delay
         .as_ref()
         .and_then(|d| {
@@ -378,32 +721,95 @@ fn flagged(analysis: &PathAnalysis) -> Vec<(u16, u16)> {
         .collect()
 }
 
+/// The L→X inter-domain link (where a lie by `L`'s egress surfaces).
+const LX_LINK: (u16, u16) = (3, 4);
 /// The X→N inter-domain link, where every lie by `X`'s egress must
 /// surface.
 const XN_LINK: (u16, u16) = (5, 6);
+/// The N→D inter-domain link (where a lie by `N`'s egress surfaces).
+const ND_LINK: (u16, u16) = (7, 8);
+/// One-way delay of each ideal inter-domain link, in ms.
+const LINK_DELAY_MS: f64 = 0.05;
 
 /// Evaluate one cell. Pure: the same cell always produces the same
 /// verdict, byte for byte.
 pub fn evaluate_cell(cell: &Cell) -> CellVerdict {
     let t = trace(cell);
-    let topo = topology(cell);
+    let topo = topology(cell, &t);
     let cfg = run_config(cell);
     let honest_run = run_path(&t, &topo, &cfg);
     let honest = analyze_path(&topo, &honest_run);
 
     let mut failures = Vec::new();
 
-    // --- Invariant 1: honest receipts are consistent everywhere. ---
+    // --- Invariant 1: honest receipts are consistent everywhere, ---
+    // --- under ideal AND NTP-grade clocks (no false accusations). ---
     let honest_consistent = honest.all_consistent();
     if !honest_consistent {
-        failures.push(format!("honest run flagged links {:?}", flagged(&honest)));
+        failures.push(format!(
+            "honest run ({} clocks) flagged links {:?}",
+            cell.clock.name(),
+            flagged(&honest)
+        ));
     }
 
     // --- Invariant 2: estimates track retained ground truth. ---
     let x_truth = honest_run.truth("X").expect("X is on the path");
     let x_loss_truth = 1.0 - x_truth.delivered as f64 / x_truth.sent as f64;
-    let x_report = honest.domain("X").expect("X is a transit domain");
-    let x_loss_est = x_report.estimate.loss.rate().unwrap_or(f64::NAN);
+    let x_delay_truth_ms = median(&x_truth.delays_ms);
+
+    let (band_lo, band_hi) = truth_delay_band(cell, &x_truth.delays_ms);
+
+    // Under full deployment X's own report is checked; under partial
+    // deployment X produces no receipts and the bracketing 3→6 segment
+    // must localize its behaviour instead (§8).
+    let (x_loss_est, x_delay_est_ms, matched_samples, delay_offset_ms) = match cell.deploy {
+        DeployAxis::Full => {
+            let x_report = honest.domain("X").expect("X is a transit domain");
+            (
+                x_report.estimate.loss.rate().unwrap_or(f64::NAN),
+                est_median(&x_report.estimate),
+                x_report.estimate.matched_samples,
+                0.0,
+            )
+        }
+        DeployAxis::Partial => {
+            let x_id = topo.domain_by_name("X").expect("X exists").id;
+            let deployed: HashSet<DomainId> = topo
+                .domains
+                .iter()
+                .filter(|d| d.id != x_id)
+                .map(|d| d.id)
+                .collect();
+            let pa = analyze_partial(&topo, &honest_run, &deployed);
+            match pa.segment_spanning(x_id) {
+                None => {
+                    // Impossible on Figure 1 by construction; recorded
+                    // as a failure (NaN estimates fail the tolerance
+                    // checks below too) rather than special-cased.
+                    failures.push("partial analysis produced no segment spanning X".to_string());
+                    (f64::NAN, f64::NAN, 0, 0.0)
+                }
+                Some(seg) => {
+                    if (seg.up_hop, seg.down_hop) != (HopId(3), HopId(6)) {
+                        failures.push(format!(
+                            "segment spanning X is {}→{}, expected 3→6",
+                            seg.up_hop, seg.down_hop
+                        ));
+                    }
+                    // The segment includes the two ideal inter-domain
+                    // links bracketing X.
+                    (
+                        seg.estimate.loss.rate().unwrap_or(f64::NAN),
+                        est_median(&seg.estimate),
+                        seg.estimate.matched_samples,
+                        2.0 * LINK_DELAY_MS,
+                    )
+                }
+            }
+        }
+    };
+
     // NaN-safe: an unavailable estimate must count as out of tolerance.
     let loss_ok = (x_loss_est - x_loss_truth).abs() <= LOSS_TOL;
     if !loss_ok {
@@ -411,44 +817,63 @@ pub fn evaluate_cell(cell: &Cell) -> CellVerdict {
             "X loss estimate {x_loss_est:.4} strays from truth {x_loss_truth:.4}"
         ));
     }
-    let x_delay_truth_ms = median(&x_truth.delays_ms);
-    let matched_samples = x_report.estimate.matched_samples;
-    let x_delay_est_ms = est_median(x_report);
-    let delay_tol = DELAY_TOL_MS.max(DELAY_REL_TOL * x_delay_truth_ms);
+    let delay_tol = delay_tolerance(cell, x_delay_truth_ms + delay_offset_ms);
+    let (lo, hi) = (
+        band_lo + delay_offset_ms - delay_tol,
+        band_hi + delay_offset_ms + delay_tol,
+    );
     // NaN-safe: a NaN estimate must count as out of tolerance.
-    let delay_ok = (x_delay_est_ms - x_delay_truth_ms).abs() <= delay_tol;
+    let delay_ok = x_delay_est_ms >= lo && x_delay_est_ms <= hi;
     if !delay_ok {
         failures.push(format!(
-            "X median delay estimate {x_delay_est_ms:.4} ms strays from truth \
-             {x_delay_truth_ms:.4} ms (tol {delay_tol:.4})"
+            "X median delay estimate {x_delay_est_ms:.4} ms outside truth band \
+             [{lo:.4}, {hi:.4}] ms"
         ));
     }
-    // Innocent neighbors measure clean in the honest run.
+    // Neighbors in the honest run: clean — except in two-liar cells,
+    // where L and N carry loss of their own and must instead be
+    // *measured* accurately before they start lying.
     for name in ["L", "N"] {
-        let loss = honest
-            .domain(name)
-            .expect("transit domain")
-            .estimate
-            .loss
-            .rate()
-            .unwrap_or(0.0);
-        if loss > 0.02 {
+        let report = honest.domain(name).expect("transit domain");
+        let loss = report.estimate.loss.rate().unwrap_or(f64::NAN);
+        if cell.adversary == AdversaryAxis::TwoLiars {
+            let truth = honest_run.truth(name).expect("truth retained");
+            let truth_rate = 1.0 - truth.delivered as f64 / truth.sent as f64;
+            // NaN-safe: an unavailable estimate must count as out of
+            // tolerance.
+            if loss.is_nan() || (loss - truth_rate).abs() > LOSS_TOL {
+                failures.push(format!(
+                    "honest liar-to-be {name} measured {loss:.4} vs truth {truth_rate:.4}"
+                ));
+            }
+        } else if loss.is_nan() || loss > 0.02 {
             failures.push(format!("honest neighbor {name} shows loss {loss:.4}"));
         }
     }
 
     // --- Invariant 3: the cell's lie is exposed where it must be. ---
     let (flagged_links, exposure) = match cell.adversary {
-        AdversaryAxis::Honest => (Vec::new(), "no adversary".to_string()),
+        AdversaryAxis::Honest => match cell.deploy {
+            DeployAxis::Full => (Vec::new(), "no adversary".to_string()),
+            DeployAxis::Partial => (
+                Vec::new(),
+                format!(
+                    "partial deployment: segment 3→6 localizes X \
+                     (loss {x_loss_est:.3} vs truth {x_loss_truth:.3})"
+                ),
+            ),
+        },
         AdversaryAxis::BlameShift => {
             let mut run = honest_run.clone();
-            let ingress = run.hop(HopId(4)).expect("X ingress").clone();
-            apply_lie(
-                &ingress,
-                run.hop_mut(HopId(5)).expect("X egress"),
-                LieStrategy::BlameShiftLoss {
-                    claimed_delay: SimDuration::from_micros(300),
-                },
+            apply_lies(
+                &mut run,
+                &[LieSite {
+                    ingress: HopId(4),
+                    egress: HopId(5),
+                    strategy: LieStrategy::BlameShiftLoss {
+                        claimed_delay: SimDuration::from_micros(300),
+                    },
+                }],
             );
             let analysis = analyze_path(&topo, &run);
             let fl = flagged(&analysis);
@@ -478,13 +903,15 @@ pub fn evaluate_cell(cell: &Cell) -> CellVerdict {
         }
         AdversaryAxis::Sugarcoat => {
             let mut run = honest_run.clone();
-            let ingress = run.hop(HopId(4)).expect("X ingress").clone();
-            apply_lie(
-                &ingress,
-                run.hop_mut(HopId(5)).expect("X egress"),
-                LieStrategy::SugarcoatDelay {
-                    shave: SimDuration::from_millis(5),
-                },
+            apply_lies(
+                &mut run,
+                &[LieSite {
+                    ingress: HopId(4),
+                    egress: HopId(5),
+                    strategy: LieStrategy::SugarcoatDelay {
+                        shave: SimDuration::from_millis(5),
+                    },
+                }],
             );
             let analysis = analyze_path(&topo, &run);
             let fl = flagged(&analysis);
@@ -545,13 +972,15 @@ pub fn evaluate_cell(cell: &Cell) -> CellVerdict {
         }
         AdversaryAxis::Collude => {
             let mut run = honest_run.clone();
-            let ingress = run.hop(HopId(4)).expect("X ingress").clone();
-            apply_lie(
-                &ingress,
-                run.hop_mut(HopId(5)).expect("X egress"),
-                LieStrategy::BlameShiftLoss {
-                    claimed_delay: SimDuration::from_micros(300),
-                },
+            apply_lies(
+                &mut run,
+                &[LieSite {
+                    ingress: HopId(4),
+                    egress: HopId(5),
+                    strategy: LieStrategy::BlameShiftLoss {
+                        claimed_delay: SimDuration::from_micros(300),
+                    },
+                }],
             );
             let liar_egress = run.hop(HopId(5)).expect("X egress").clone();
             cover_up(&liar_egress, run.hop_mut(HopId(6)).expect("N ingress"));
@@ -598,8 +1027,10 @@ pub fn evaluate_cell(cell: &Cell) -> CellVerdict {
                     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
                     z ^= z >> 31;
                     let slow = match cell.delay {
-                        DelayAxis::Constant => SimDuration::from_micros(300),
                         DelayAxis::Jitter => SimDuration::from_micros(100 + z % 801),
+                        // Constant (Congested is never paired with this
+                        // adversary — no closed-form slow path exists).
+                        _ => SimDuration::from_micros(300),
                     };
                     if guess.passes(d.0) {
                         PacketFate::Delivered(cell.delay.fast_path())
@@ -621,9 +1052,9 @@ pub fn evaluate_cell(cell: &Cell) -> CellVerdict {
             let fl = flagged(&analysis);
             let truth = biased_run.truth("X").expect("X");
             let truth_med = median(&truth.delays_ms);
-            let est_med = est_median(analysis.domain("X").expect("X"));
+            let est_med = est_median(&analysis.domain("X").expect("X").estimate);
             let fast_ms = cell.delay.fast_path().as_nanos() as f64 / 1e6;
-            let tol = DELAY_TOL_MS.max(DELAY_REL_TOL * truth_med);
+            let tol = delay_tolerance(cell, truth_med);
             // NaN-safe: a NaN estimate must count as a failure.
             let tracks_truth = (est_med - truth_med).abs() <= tol;
             if !tracks_truth {
@@ -640,6 +1071,66 @@ pub fn evaluate_cell(cell: &Cell) -> CellVerdict {
             let detail = format!(
                 "bias defeated: estimate {est_med:.3} ms tracks truth {truth_med:.3} ms, \
                  not the {fast_ms:.3} ms fast path"
+            );
+            (fl, detail)
+        }
+        AdversaryAxis::TwoLiars => {
+            // L and N each hide their own loss by fabricating egress
+            // receipts — independently, without coordination.
+            let mut run = honest_run.clone();
+            apply_lies(
+                &mut run,
+                &[
+                    LieSite {
+                        ingress: HopId(2),
+                        egress: HopId(3),
+                        strategy: LieStrategy::BlameShiftLoss {
+                            claimed_delay: SimDuration::from_micros(300),
+                        },
+                    },
+                    LieSite {
+                        ingress: HopId(6),
+                        egress: HopId(7),
+                        strategy: LieStrategy::BlameShiftLoss {
+                            claimed_delay: SimDuration::from_micros(300),
+                        },
+                    },
+                ],
+            );
+            let analysis = analyze_path(&topo, &run);
+            let fl = flagged(&analysis);
+            // Both liars now look lossless from their own receipts…
+            for name in ["L", "N"] {
+                let est = analysis
+                    .domain(name)
+                    .expect("liar domain")
+                    .estimate
+                    .loss
+                    .rate()
+                    .unwrap_or(f64::NAN);
+                if est.is_nan() || est >= 0.02 {
+                    failures.push(format!("liar {name} failed to hide its loss ({est:.4})"));
+                }
+            }
+            // …and *both* surface, each on an inter-domain link
+            // adjacent to itself (§3.1 per liar), with the innocent X
+            // between them staying clean.
+            for (link, liar) in [(LX_LINK, "L"), (ND_LINK, "N")] {
+                if !fl.contains(&link) {
+                    failures.push(format!(
+                        "liar {liar} not exposed on link {}→{} ({fl:?})",
+                        link.0, link.1
+                    ));
+                }
+            }
+            if fl.iter().any(|&l| l != LX_LINK && l != ND_LINK) {
+                failures.push(format!("two-liar run flagged innocent links ({fl:?})"));
+            }
+            let detail = format!(
+                "both liars exposed: 3→4 flagged {}, 7→8 flagged {}, X clean {}",
+                fl.contains(&LX_LINK),
+                fl.contains(&ND_LINK),
+                !fl.contains(&XN_LINK)
             );
             (fl, detail)
         }
@@ -661,33 +1152,226 @@ pub fn evaluate_cell(cell: &Cell) -> CellVerdict {
     }
 }
 
+/// Evaluate many cells, `jobs` at a time, merging verdicts in cell
+/// order. [`evaluate_cell`] is pure, every worker writes only its own
+/// index, and the merge is index-ordered — so the result (and its
+/// serialized form) is byte-identical for every `jobs >= 1`.
+pub fn evaluate_grid(cells: &[Cell], jobs: usize) -> Vec<CellVerdict> {
+    let jobs = jobs.clamp(1, cells.len().max(1));
+    if jobs <= 1 {
+        return cells.iter().map(evaluate_cell).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<CellVerdict>>> =
+        Mutex::new((0..cells.len()).map(|_| None).collect());
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cells.len() {
+                    break;
+                }
+                let verdict = evaluate_cell(&cells[i]);
+                slots.lock().expect("no panics hold the lock")[i] = Some(verdict);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("workers joined")
+        .into_iter()
+        .map(|v| v.expect("every index was evaluated"))
+        .collect()
+}
+
+/// One `axis=value` predicate over cells (the `--filter` grammar of
+/// `vpm matrix`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatrixFilter {
+    /// `delay=<`[`DelayAxis::name`]`>`
+    Delay(DelayAxis),
+    /// `loss=<`[`LossAxis::family`]`>`
+    Loss(&'static str),
+    /// `reorder=<`[`ReorderAxis::family`]`>`
+    Reorder(&'static str),
+    /// `rate=<f64>` (exact sampling-rate match)
+    Rate(f64),
+    /// `clock=<`[`ClockAxis::name`]`>`
+    Clock(ClockAxis),
+    /// `deploy=<`[`DeployAxis::name`]`>`
+    Deploy(DeployAxis),
+    /// `adversary=<`[`AdversaryAxis::name`]`>`
+    Adversary(AdversaryAxis),
+}
+
+impl MatrixFilter {
+    /// Does the cell match the predicate?
+    pub fn matches(&self, cell: &Cell) -> bool {
+        match *self {
+            MatrixFilter::Delay(v) => cell.delay == v,
+            MatrixFilter::Loss(v) => cell.loss.family() == v,
+            MatrixFilter::Reorder(v) => cell.reorder.family() == v,
+            MatrixFilter::Rate(v) => (cell.sampling_rate - v).abs() < 1e-12,
+            MatrixFilter::Clock(v) => cell.clock == v,
+            MatrixFilter::Deploy(v) => cell.deploy == v,
+            MatrixFilter::Adversary(v) => cell.adversary == v,
+        }
+    }
+}
+
+/// Find the axis level whose name matches `value`; the error lists the
+/// legal values (derived from the same canonical array the grid is
+/// built from, so new axis levels are filterable without touching the
+/// parser).
+fn lookup<T: Copy>(
+    all: &[T],
+    name_of: impl Fn(&T) -> &'static str,
+    key: &str,
+    value: &str,
+) -> Result<T, String> {
+    all.iter()
+        .copied()
+        .find(|v| name_of(v) == value)
+        .ok_or_else(|| {
+            format!(
+                "unknown {key} value '{value}' (expected one of: {})",
+                all.iter().map(&name_of).collect::<Vec<_>>().join(", ")
+            )
+        })
+}
+
+/// Parse one `axis=value` filter; the error names the axis's legal
+/// values.
+pub fn parse_filter(arg: &str) -> Result<MatrixFilter, String> {
+    let Some((key, value)) = arg.split_once('=') else {
+        return Err(format!("filter '{arg}' is not of the form axis=value"));
+    };
+    match key {
+        "delay" => Ok(MatrixFilter::Delay(lookup(
+            &DelayAxis::ALL,
+            |v| v.name(),
+            key,
+            value,
+        )?)),
+        "loss" => Ok(MatrixFilter::Loss(lookup(
+            &LossAxis::FAMILIES,
+            |v| v,
+            key,
+            value,
+        )?)),
+        "reorder" => Ok(MatrixFilter::Reorder(lookup(
+            &ReorderAxis::FAMILIES,
+            |v| v,
+            key,
+            value,
+        )?)),
+        "rate" => value
+            .parse::<f64>()
+            .map(MatrixFilter::Rate)
+            .map_err(|_| format!("rate value '{value}' is not a number")),
+        "clock" => Ok(MatrixFilter::Clock(lookup(
+            &ClockAxis::ALL,
+            |v| v.name(),
+            key,
+            value,
+        )?)),
+        "deploy" => Ok(MatrixFilter::Deploy(lookup(
+            &DeployAxis::ALL,
+            |v| v.name(),
+            key,
+            value,
+        )?)),
+        "adversary" => Ok(MatrixFilter::Adversary(lookup(
+            &AdversaryAxis::ALL,
+            |v| v.name(),
+            key,
+            value,
+        )?)),
+        _ => Err(format!(
+            "unknown filter axis '{key}' (expected one of: delay, loss, reorder, rate, clock, \
+             deploy, adversary)"
+        )),
+    }
+}
+
+/// Render the verdict table the `vpm matrix` subcommand prints.
+/// `cells` and `verdicts` must be parallel slices.
+pub fn render_matrix_table(cells: &[Cell], verdicts: &[CellVerdict]) -> String {
+    assert_eq!(cells.len(), verdicts.len(), "parallel slices");
+    let failed = verdicts.iter().filter(|v| !v.passed()).count();
+    let mut s = format!(
+        "scenario matrix: {} cells, {} failed\n",
+        cells.len(),
+        failed
+    );
+    s.push_str(&format!(
+        "{:>4}  {:<15} {:<13} {:<15} {:>5}  {:<5} {:<7} {:<11} {:<4}  {}\n",
+        "id", "delay", "loss", "reorder", "σ", "clock", "deploy", "adversary", "ok", "exposure"
+    ));
+    for (c, v) in cells.iter().zip(verdicts) {
+        s.push_str(&format!(
+            "{:>4}  {:<15} {:<13} {:<15} {:>5.2}  {:<5} {:<7} {:<11} {:<4}  {}\n",
+            c.id,
+            c.delay_token(),
+            c.loss_token(),
+            c.reorder_token(),
+            c.sampling_rate,
+            c.clock.name(),
+            c.deploy.name(),
+            c.adversary.name(),
+            if v.passed() { "pass" } else { "FAIL" },
+            v.exposure
+        ));
+        for f in &v.failures {
+            s.push_str(&format!("      !! {f}\n"));
+        }
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn grid_has_24_cells_and_covers_every_axis_value() {
+    fn grid_has_216_cells_and_covers_every_axis_value() {
         let grid = full_grid(1);
-        assert_eq!(grid.len(), 24);
+        assert_eq!(grid.len(), 216);
         let mut delays = HashSet::new();
         let mut adversaries = HashSet::new();
         let mut rates = HashSet::new();
+        let mut clocks = HashSet::new();
+        let mut deploys = HashSet::new();
         for c in &grid {
-            delays.insert(format!("{:?}", c.delay));
+            delays.insert(c.delay.name());
             adversaries.insert(c.adversary.name());
             rates.insert(format!("{:.3}", c.sampling_rate));
+            clocks.insert(c.clock.name());
+            deploys.insert(c.deploy.name());
         }
-        assert_eq!(delays.len(), 2);
+        assert_eq!(delays.len(), 3);
         assert_eq!(rates.len(), 2);
+        assert_eq!(clocks.len(), 2);
+        assert_eq!(deploys.len(), 2);
         assert_eq!(
             adversaries.len(),
-            6,
-            "all six adversary values must appear: {adversaries:?}"
+            7,
+            "all seven adversary values must appear: {adversaries:?}"
         );
-        // Loss-hiding strategies never land on lossless environments.
         for c in &grid {
+            // Loss-hiding strategies never land on lossless environments.
             if c.adversary.needs_loss() {
                 assert!(c.loss.rate() > 0.0, "{}", c.label());
+            }
+            // The sample-bias attack needs a closed-form slow path and
+            // ideal clocks.
+            if c.adversary == AdversaryAxis::SampleBias {
+                assert_ne!(c.delay, DelayAxis::Congested, "{}", c.label());
+                assert_eq!(c.clock, ClockAxis::Ideal, "{}", c.label());
+            }
+            // Partial-deployment cells are honest.
+            if c.deploy == DeployAxis::Partial {
+                assert_eq!(c.adversary, AdversaryAxis::Honest, "{}", c.label());
             }
         }
         // Ids are positional and unique.
@@ -718,11 +1402,59 @@ mod tests {
         let grid = full_grid(3);
         let cell = grid
             .iter()
-            .find(|c| c.adversary == AdversaryAxis::Honest)
+            .find(|c| {
+                c.adversary == AdversaryAxis::Honest
+                    && c.deploy == DeployAxis::Full
+                    && c.clock == ClockAxis::Ideal
+            })
             .expect("grid contains honest cells");
         let v = evaluate_cell(cell);
         assert!(v.failures.is_empty(), "{:?}", v.failures);
         assert!(v.honest_consistent);
         assert!(v.matched_samples > 0);
+    }
+
+    #[test]
+    fn evaluate_grid_is_identical_for_any_job_count() {
+        let grid = full_grid(5);
+        let slice = &grid[..4];
+        let serial = evaluate_grid(slice, 1);
+        let parallel = evaluate_grid(slice, 3);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn filters_parse_and_select() {
+        let grid = full_grid(9);
+        let f = parse_filter("adversary=two-liars").unwrap();
+        let n = grid.iter().filter(|c| f.matches(c)).count();
+        assert!(n > 0, "two-liar cells exist");
+        for c in grid.iter().filter(|c| f.matches(c)) {
+            assert_eq!(c.adversary, AdversaryAxis::TwoLiars);
+        }
+        let f = parse_filter("clock=ntp").unwrap();
+        assert!(grid.iter().filter(|c| f.matches(c)).count() >= 72);
+        let f = parse_filter("deploy=partial").unwrap();
+        assert_eq!(grid.iter().filter(|c| f.matches(c)).count(), 36);
+        let f = parse_filter("rate=0.05").unwrap();
+        assert_eq!(grid.iter().filter(|c| f.matches(c)).count(), 108);
+
+        assert!(parse_filter("nonsense").is_err());
+        assert!(parse_filter("delay=warp").is_err());
+        assert!(parse_filter("rate=fast").is_err());
+        assert!(parse_filter("axis=value").is_err());
+    }
+
+    #[test]
+    fn table_renders_one_row_per_cell() {
+        let grid = full_grid(11);
+        let cells = &grid[..2];
+        let verdicts = evaluate_grid(cells, 2);
+        let table = render_matrix_table(cells, &verdicts);
+        assert!(table.starts_with("scenario matrix: 2 cells"));
+        assert!(table.lines().count() >= 3, "{table}");
+        for c in cells {
+            assert!(table.contains(c.adversary.name()), "{table}");
+        }
     }
 }

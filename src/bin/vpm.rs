@@ -1,6 +1,7 @@
 //! `vpm` — unified command-line entry point for the reproduction.
 //!
 //! ```text
+//! vpm matrix [--filter k=v] [--json] [--jobs N]   run the scenario matrix
 //! vpm fig2 [secs] [seed] [n_seeds]   regenerate Figure 2
 //! vpm fig3 [secs] [seed]             regenerate Figure 3
 //! vpm verifiability [secs] [seed]    regenerate the §7.2 sweep
@@ -11,13 +12,21 @@
 
 use std::process::ExitCode;
 use vpm::packet::SimDuration;
+use vpm::sim::scenario_matrix::{
+    evaluate_grid, full_grid, parse_filter, render_matrix_table, MatrixFilter, CANONICAL_BASE_SEED,
+};
 use vpm::sim::{baselines, experiments};
 use vpm::trace::{TraceConfig, TraceGenerator};
 
-fn usage() -> ExitCode {
+fn print_usage() {
     eprintln!(
         "usage: vpm <command> [args]\n\
          commands:\n\
+           matrix [--filter axis=value] [--json] [--jobs N]\n\
+                                                evaluate the scenario matrix and print\n\
+                                                the verdict table (exit 1 on failing\n\
+                                                cells); axes: delay, loss, reorder,\n\
+                                                rate, clock, deploy, adversary\n\
            fig2 [secs=2] [seed=1] [n_seeds=3]   Figure 2 (delay accuracy)\n\
            fig3 [secs=20] [seed=1]              Figure 3 (loss granularity)\n\
            verifiability [secs=2] [seed=1]      §7.2 verification sweep\n\
@@ -25,11 +34,103 @@ fn usage() -> ExitCode {
            baselines [seed=1]                   §3 strawman comparison\n\
            pcap <out.pcap> [ms=100] [seed=1]    export a synthetic trace"
     );
+}
+
+fn usage() -> ExitCode {
+    print_usage();
     ExitCode::from(2)
 }
 
+/// Positional argument at `i`, or `default` when absent. An argument
+/// that is *present but unparsable* is an error: print usage, exit 2 —
+/// never run an experiment with silently substituted parameters.
 fn arg<T: std::str::FromStr>(args: &[String], i: usize, default: T) -> T {
-    args.get(i).and_then(|s| s.parse().ok()).unwrap_or(default)
+    match args.get(i) {
+        None => default,
+        Some(s) => s.parse().unwrap_or_else(|_| {
+            eprintln!("vpm: unparsable argument '{s}'");
+            print_usage();
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// Parse and run `vpm matrix [--filter axis=value]... [--json]
+/// [--jobs N]`.
+fn matrix(args: &[String]) -> ExitCode {
+    let mut filters: Vec<MatrixFilter> = Vec::new();
+    let mut json = false;
+    let mut jobs = 1usize;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--filter" => {
+                let Some(spec) = args.get(i + 1) else {
+                    eprintln!("vpm: --filter needs an axis=value argument");
+                    return usage();
+                };
+                match parse_filter(spec) {
+                    Ok(f) => filters.push(f),
+                    Err(e) => {
+                        eprintln!("vpm: {e}");
+                        return usage();
+                    }
+                }
+                i += 2;
+            }
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            "--jobs" => {
+                let Some(n) = args.get(i + 1) else {
+                    eprintln!("vpm: --jobs needs a number");
+                    return usage();
+                };
+                match n.parse::<usize>() {
+                    Ok(n) if n >= 1 => jobs = n,
+                    _ => {
+                        eprintln!("vpm: --jobs value '{n}' is not a positive integer");
+                        return usage();
+                    }
+                }
+                i += 2;
+            }
+            other => {
+                eprintln!("vpm: unknown matrix option '{other}'");
+                return usage();
+            }
+        }
+    }
+
+    let cells: Vec<_> = full_grid(CANONICAL_BASE_SEED)
+        .into_iter()
+        .filter(|c| filters.iter().all(|f| f.matches(c)))
+        .collect();
+    // An empty selection must not pass as a green gate: a filter set
+    // that matches nothing (over-constrained, or stale after a grid
+    // change) would otherwise "verify" zero cells and exit 0.
+    if cells.is_empty() {
+        eprintln!("vpm: no cells match the given filters");
+        return ExitCode::from(2);
+    }
+    let verdicts = evaluate_grid(&cells, jobs);
+    if json {
+        match serde_json::to_string(&verdicts) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("vpm: cannot serialize verdicts: {e:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        print!("{}", render_matrix_table(&cells, &verdicts));
+    }
+    if verdicts.iter().all(|v| v.passed()) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn main() -> ExitCode {
@@ -38,6 +139,7 @@ fn main() -> ExitCode {
         return usage();
     };
     match cmd.as_str() {
+        "matrix" => return matrix(&args),
         "fig2" => {
             let cfg = experiments::fig2::Fig2Config::paper(
                 SimDuration::from_secs(arg(&args, 1, 2u64)),

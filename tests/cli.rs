@@ -1,0 +1,146 @@
+//! End-to-end tests of the `vpm` binary: argument handling must be
+//! strict (an unparsable argument is a usage error, never a silent
+//! fallback to defaults) and the `matrix` subcommand must be
+//! deterministic — same filters, same verdicts, same bytes, regardless
+//! of `--jobs`.
+
+use std::process::{Command, Output};
+
+fn vpm(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_vpm"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn no_command_prints_usage_and_exits_2() {
+    let out = vpm(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("usage: vpm"));
+}
+
+#[test]
+fn unknown_command_prints_usage_and_exits_2() {
+    let out = vpm(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("usage: vpm"));
+}
+
+#[test]
+fn unparsable_positional_argument_is_an_error_not_a_default() {
+    // Regression: `vpm fig2 junk` used to run the full experiment with
+    // the silently substituted default `secs=2`.
+    let out = vpm(&["fig2", "junk"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("unparsable argument 'junk'"), "{err}");
+    assert!(err.contains("usage: vpm"), "{err}");
+    assert!(
+        stdout(&out).is_empty(),
+        "no experiment output on a usage error"
+    );
+}
+
+#[test]
+fn unparsable_seed_argument_is_an_error() {
+    let out = vpm(&["baselines", "not-a-seed"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unparsable argument 'not-a-seed'"));
+}
+
+#[test]
+fn matrix_rejects_bad_filters_with_exit_2() {
+    for (args, needle) in [
+        (
+            vec!["matrix", "--filter", "delay=warp"],
+            "unknown delay value 'warp'",
+        ),
+        (
+            vec!["matrix", "--filter", "nonsense"],
+            "not of the form axis=value",
+        ),
+        (
+            vec!["matrix", "--filter", "axis=value"],
+            "unknown filter axis 'axis'",
+        ),
+        (vec!["matrix", "--filter"], "--filter needs"),
+        (vec!["matrix", "--jobs", "zero"], "--jobs value"),
+        (vec!["matrix", "--jobs", "0"], "--jobs value"),
+        (vec!["matrix", "--frobnicate"], "unknown matrix option"),
+        // Individually valid but jointly empty (partial cells are
+        // always honest): must not pass as a green gate.
+        (
+            vec![
+                "matrix",
+                "--filter",
+                "deploy=partial",
+                "--filter",
+                "adversary=two-liars",
+            ],
+            "no cells match",
+        ),
+    ] {
+        let out = vpm(&args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        assert!(stderr(&out).contains(needle), "{args:?}: {}", stderr(&out));
+    }
+}
+
+#[test]
+fn matrix_json_is_byte_identical_across_job_counts() {
+    // The determinism contract straight through the CLI: a filtered
+    // slice evaluated with 1 and with 8 workers prints identical JSON.
+    let filter = &[
+        "matrix",
+        "--filter",
+        "delay=congested",
+        "--filter",
+        "adversary=two-liars",
+        "--json",
+    ];
+    let serial = vpm(&[filter as &[&str], &["--jobs", "1"]].concat());
+    let parallel = vpm(&[filter as &[&str], &["--jobs", "8"]].concat());
+    assert_eq!(serial.status.code(), Some(0), "{}", stderr(&serial));
+    assert_eq!(parallel.status.code(), Some(0), "{}", stderr(&parallel));
+    let a = stdout(&serial);
+    assert_eq!(a, stdout(&parallel), "--jobs must not change the bytes");
+    assert!(a.trim_start().starts_with('['), "JSON array output: {a}");
+    assert!(a.contains("two-liars"), "{a}");
+}
+
+#[test]
+fn matrix_table_matches_golden_file() {
+    // Pin the exact table rendering for a small filtered slice. If a
+    // legitimate change alters the rendering or the cells' verdicts,
+    // regenerate with:
+    //   cargo run --release --bin vpm -- matrix --filter delay=constant \
+    //     --filter adversary=two-liars --filter rate=0.05 --jobs 2 \
+    //     > tests/golden/matrix_slice.txt
+    let out = vpm(&[
+        "matrix",
+        "--filter",
+        "delay=constant",
+        "--filter",
+        "adversary=two-liars",
+        "--filter",
+        "rate=0.05",
+        "--jobs",
+        "2",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let golden = include_str!("golden/matrix_slice.txt");
+    assert_eq!(
+        stdout(&out),
+        golden,
+        "vpm matrix rendering drifted from tests/golden/matrix_slice.txt"
+    );
+}

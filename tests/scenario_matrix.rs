@@ -2,40 +2,36 @@
 //! you can imagine" as one enumerable, deterministic table.
 //!
 //! Every cell of [`vpm::sim::scenario_matrix::full_grid`] fixes a
-//! point in {delay model × loss process × reorder window × sampling
-//! rate × adversary strategy} on the Figure-1 topology and is checked
-//! for the paper's three promises:
+//! point in {delay model (incl. congestion series) × loss process ×
+//! reorder window × sampling rate × clock quality × deployment state ×
+//! adversary strategy} on the Figure-1 topology and is checked for the
+//! paper's promises:
 //!
-//! 1. **consistency** — honest domains' receipts never flag a link;
+//! 1. **consistency** — honest domains' receipts never flag a link,
+//!    under ideal *and* NTP-grade clocks (§4: skew below the
+//!    advertised `MaxDiff` must never produce a false accusation);
 //! 2. **accuracy** — receipt-derived loss and delay track the retained
-//!    ground truth within tolerances;
+//!    ground truth within tolerances (for partial deployment, via the
+//!    bracketing segment of §8);
 //! 3. **exposure** — every lying strategy surfaces at the correct
-//!    inter-domain link (or, for collusion, as blame absorbed inside
-//!    the coalition; for sampling bias, as a defeated attack).
+//!    inter-domain link (for two independent liars, at a link adjacent
+//!    to *each*; for collusion, as blame absorbed inside the
+//!    coalition; for sampling bias, as a defeated attack).
 //!
 //! The sweep is deterministic end to end: a fixed base seed derives
-//! every cell's RNG streams, and `verdicts_are_byte_identical_across_
-//! runs` re-evaluates a cell and compares the serialized verdicts byte
-//! for byte.
+//! every cell's RNG streams, and the whole grid evaluated with 1 and
+//! with 8 worker threads serializes to byte-identical JSON.
 
-use vpm::sim::scenario_matrix::{evaluate_cell, full_grid, AdversaryAxis, LossAxis, ReorderAxis};
-
-/// Base seed for the canonical sweep. Changing it changes every cell's
-/// traffic and channel randomness — the invariants must hold anyway.
-const BASE_SEED: u64 = 0xA110_F7E5;
+use vpm::sim::scenario_matrix::{
+    evaluate_cell, evaluate_grid, full_grid, AdversaryAxis, ClockAxis, DelayAxis, DeployAxis,
+    LossAxis, ReorderAxis, CANONICAL_BASE_SEED,
+};
 
 #[test]
-fn grid_covers_at_least_24_cells_and_all_strategies() {
-    let grid = full_grid(BASE_SEED);
-    assert!(grid.len() >= 24, "grid has {} cells", grid.len());
-    for strategy in [
-        AdversaryAxis::Honest,
-        AdversaryAxis::BlameShift,
-        AdversaryAxis::Sugarcoat,
-        AdversaryAxis::MarkerDrop,
-        AdversaryAxis::Collude,
-        AdversaryAxis::SampleBias,
-    ] {
+fn grid_covers_at_least_200_cells_and_all_axes() {
+    let grid = full_grid(CANONICAL_BASE_SEED);
+    assert!(grid.len() >= 200, "grid has {} cells", grid.len());
+    for strategy in AdversaryAxis::ALL {
         let n = grid.iter().filter(|c| c.adversary == strategy).count();
         assert!(
             n >= 2,
@@ -43,7 +39,11 @@ fn grid_covers_at_least_24_cells_and_all_strategies() {
             strategy.name()
         );
     }
-    // Both loss families and both reorder settings are exercised.
+    // Every new axis is represented on both (or all three) levels.
+    assert!(grid.iter().any(|c| c.delay == DelayAxis::Congested));
+    assert!(grid.iter().any(|c| c.clock == ClockAxis::NtpGrade));
+    assert!(grid.iter().any(|c| c.clock == ClockAxis::Ideal));
+    assert!(grid.iter().any(|c| c.deploy == DeployAxis::Partial));
     assert!(grid.iter().any(|c| matches!(c.loss, LossAxis::Uniform(_))));
     assert!(grid
         .iter()
@@ -51,14 +51,37 @@ fn grid_covers_at_least_24_cells_and_all_strategies() {
     assert!(grid
         .iter()
         .any(|c| matches!(c.reorder, ReorderAxis::Window { .. })));
+    // New-axis *combinations* that matter are present too.
+    assert!(grid
+        .iter()
+        .any(|c| c.delay == DelayAxis::Congested && c.clock == ClockAxis::NtpGrade));
+    assert!(grid
+        .iter()
+        .any(|c| c.deploy == DeployAxis::Partial && c.delay == DelayAxis::Congested));
+    assert!(grid
+        .iter()
+        .any(|c| c.adversary == AdversaryAxis::TwoLiars && c.clock == ClockAxis::NtpGrade));
 }
 
+/// The tentpole sweep: evaluate the full grid serially and with 8
+/// worker threads; every cell must pass all invariants, and the two
+/// evaluations must serialize byte-identically (index-ordered merge,
+/// pure per-cell evaluation — thread count cannot leak into results).
 #[test]
-fn every_cell_upholds_consistency_accuracy_and_exposure() {
-    let grid = full_grid(BASE_SEED);
+fn full_grid_passes_everywhere_and_parallel_is_byte_identical_to_serial() {
+    let grid = full_grid(CANONICAL_BASE_SEED);
+    let serial = evaluate_grid(&grid, 1);
+    let parallel = evaluate_grid(&grid, 8);
+
+    let serial_json = serde_json::to_string(&serial).expect("verdicts serialize");
+    let parallel_json = serde_json::to_string(&parallel).expect("verdicts serialize");
+    assert_eq!(
+        serial_json, parallel_json,
+        "--jobs 1 and --jobs 8 must produce byte-identical verdict sets"
+    );
+
     let mut failures = Vec::new();
-    for cell in &grid {
-        let v = evaluate_cell(cell);
+    for v in &serial {
         assert!(
             v.honest_consistent || !v.failures.is_empty(),
             "{}: inconsistent honest run must be recorded as a failure",
@@ -81,18 +104,48 @@ fn every_cell_upholds_consistency_accuracy_and_exposure() {
         grid.len(),
         failures.join("\n")
     );
+
+    // Multi-liar cells: *both* liars exposed, each on an inter-domain
+    // link adjacent to itself (3→4 for L, 7→8 for N), and the innocent
+    // X between them is never implicated.
+    let mut two_liar_cells = 0;
+    for (cell, v) in grid.iter().zip(&serial) {
+        if cell.adversary != AdversaryAxis::TwoLiars {
+            continue;
+        }
+        two_liar_cells += 1;
+        assert!(
+            v.flagged_links.contains(&(3, 4)),
+            "{}: L not exposed ({:?})",
+            v.label,
+            v.flagged_links
+        );
+        assert!(
+            v.flagged_links.contains(&(7, 8)),
+            "{}: N not exposed ({:?})",
+            v.label,
+            v.flagged_links
+        );
+        assert!(
+            !v.flagged_links.contains(&(5, 6)),
+            "{}: innocent X implicated ({:?})",
+            v.label,
+            v.flagged_links
+        );
+    }
+    assert!(two_liar_cells >= 2, "grid exercises multi-liar cells");
 }
 
 #[test]
 fn verdicts_are_byte_identical_across_runs() {
     // One run of one cell must be exactly reproducible: every RNG in
     // the pipeline takes an explicit seed derived from the cell.
-    let grid = full_grid(BASE_SEED);
-    // Pick an adversarial cell (more moving parts than an honest one).
+    let grid = full_grid(CANONICAL_BASE_SEED);
+    // Pick an adversarial NTP cell (the most moving parts).
     let cell = grid
         .iter()
-        .find(|c| c.adversary != AdversaryAxis::Honest)
-        .expect("grid contains adversarial cells");
+        .find(|c| c.adversary != AdversaryAxis::Honest && c.clock == ClockAxis::NtpGrade)
+        .expect("grid contains adversarial NTP cells");
     let first = serde_json::to_string(&evaluate_cell(cell)).expect("verdict serializes");
     let second = serde_json::to_string(&evaluate_cell(cell)).expect("verdict serializes");
     assert_eq!(
@@ -102,7 +155,10 @@ fn verdicts_are_byte_identical_across_runs() {
         cell.label()
     );
     // And the whole-grid shape is stable too.
-    assert_eq!(full_grid(BASE_SEED), full_grid(BASE_SEED));
+    assert_eq!(
+        full_grid(CANONICAL_BASE_SEED),
+        full_grid(CANONICAL_BASE_SEED)
+    );
 }
 
 #[test]
@@ -110,7 +166,7 @@ fn different_base_seeds_change_traffic_but_not_verdict_outcomes() {
     // The invariants are seed-independent: sweep a second, disjoint
     // seed over a subset of cells (one per adversary strategy) and
     // expect zero failures there too.
-    let grid = full_grid(BASE_SEED ^ 0x5eed_cafe);
+    let grid = full_grid(CANONICAL_BASE_SEED ^ 0x5eed_cafe);
     let mut seen = std::collections::HashSet::new();
     for cell in &grid {
         if !seen.insert(cell.adversary.name()) {
@@ -124,5 +180,5 @@ fn different_base_seeds_change_traffic_but_not_verdict_outcomes() {
             v.failures
         );
     }
-    assert_eq!(seen.len(), 6, "one cell per strategy was evaluated");
+    assert_eq!(seen.len(), 7, "one cell per strategy was evaluated");
 }
