@@ -7,12 +7,26 @@
 //! digest, Algorithm 1, Algorithm 2, counters), reported as packets
 //! per second per core. At 400 B average packets, 10 Gbps is ~3.1 Mpps
 //! per direction — compare with the measured element throughput.
+//!
+//! Two benchmark groups:
+//!
+//! * `collector` — the single-path pipeline of the seed benchmark
+//!   (kept for trajectory continuity), plus the batched variant.
+//! * `collector_200paths` — the §7.1 many-path regime: a 200-path
+//!   `/32`-pair workload through the pre-index linear scan
+//!   (reconstructed reference), the classifier index, and the
+//!   per-packet vs batched prehashed data plane. The linear-scan vs
+//!   indexed/batched rows are the before/after of the line-rate
+//!   rebuild.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use vpm_bench::bench_trace;
+use vpm_bench::collector_bench::{
+    build_workload, mk_collector as mk_collector_multi, CollectorBenchConfig,
+};
 use vpm_core::receipt::PathId;
 use vpm_core::{Collector, HopConfig};
-use vpm_hash::Digest;
+use vpm_hash::{Digest, DEFAULT_DIGEST_SEED};
 use vpm_packet::{DomainId, HopId, SimDuration, SimTime};
 
 fn mk_collector() -> Collector {
@@ -69,6 +83,92 @@ fn bench_observe_digest_fastpath(c: &mut Criterion) {
             criterion::BatchSize::LargeInput,
         )
     });
+    let triples: Vec<(usize, Digest, SimTime)> = (0..digests.len())
+        .map(|i| (0usize, digests[i], times[i]))
+        .collect();
+    g.bench_function("observe_batch_prehashed", |b| {
+        b.iter_batched(
+            mk_collector,
+            |mut col| {
+                for chunk in triples.chunks(4096) {
+                    col.observe_batch(chunk);
+                }
+                col
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_observe_200paths(c: &mut Criterion) {
+    let cfg = CollectorBenchConfig {
+        packets: 40_000,
+        paths: 200,
+        batch: 4096,
+        repeats: 1,
+    };
+    let w = build_workload(&cfg);
+    let digests: Vec<Digest> = w.packets.iter().map(|p| p.digest()).collect();
+    let triples: Vec<(usize, Digest, SimTime)> = (0..w.packets.len())
+        .map(|i| (w.path_idx[i], digests[i], w.times[i]))
+        .collect();
+
+    let mut g = c.benchmark_group("collector_200paths");
+    g.throughput(Throughput::Elements(w.packets.len() as u64));
+
+    // The pre-index architecture, reconstructed: O(paths) linear
+    // classification scan + per-packet digest + per-packet update.
+    g.bench_function("observe_linear_scan", |b| {
+        b.iter_batched(
+            || mk_collector_multi(&w),
+            |mut col| {
+                for (pkt, &t) in w.packets.iter().zip(&w.times) {
+                    if let Some(idx) = w.specs.iter().position(|s| s.matches(pkt)) {
+                        col.observe_digest(idx, pkt.digest_with(DEFAULT_DIGEST_SEED), t);
+                    }
+                }
+                col
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("observe_indexed", |b| {
+        b.iter_batched(
+            || mk_collector_multi(&w),
+            |mut col| {
+                for (pkt, &t) in w.packets.iter().zip(&w.times) {
+                    black_box(col.observe(pkt, t));
+                }
+                col
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("observe_prehashed", |b| {
+        b.iter_batched(
+            || mk_collector_multi(&w),
+            |mut col| {
+                for &(idx, d, t) in &triples {
+                    col.observe_digest(idx, d, t);
+                }
+                col
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("observe_batch_prehashed", |b| {
+        b.iter_batched(
+            || mk_collector_multi(&w),
+            |mut col| {
+                for chunk in triples.chunks(cfg.batch) {
+                    col.observe_batch(chunk);
+                }
+                col
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
     g.finish();
 }
 
@@ -95,6 +195,7 @@ criterion_group!(
     benches,
     bench_observe_full,
     bench_observe_digest_fastpath,
+    bench_observe_200paths,
     bench_report_cycle
 );
 criterion_main!(benches);

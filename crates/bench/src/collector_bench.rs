@@ -1,0 +1,407 @@
+//! Measured collector hot-path throughput — the backend of the
+//! `vpm bench-collector` subcommand.
+//!
+//! The paper's §7.1 proof of concept argues the VPM modules leave a
+//! software router's forwarding rate untouched, i.e. the collector is
+//! not the bottleneck. This harness makes that claim measurable on
+//! every checkout: it walks one multi-path workload through the
+//! collector's classification/digest/update variants and reports
+//! ns/packet and Mpps per variant, including a reconstruction of the
+//! pre-index linear-scan hot path so the before/after is visible in
+//! one run. `vpm bench-collector` serializes the report to
+//! `BENCH_collector.json`, seeding the repo's performance trajectory.
+
+use std::net::Ipv4Addr;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+use vpm_core::receipt::PathId;
+use vpm_core::{Collector, HopConfig};
+use vpm_hash::{Digest, DEFAULT_DIGEST_SEED};
+use vpm_packet::{
+    ipv4, DomainId, HeaderSpec, HopId, Ipv4Header, Ipv4Prefix, Packet, SimDuration, SimTime,
+    Transport, UdpHeader, DIGEST_INPUT_WORDS,
+};
+
+/// Workload shape for one collector benchmark run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CollectorBenchConfig {
+    /// Packets pushed through each variant.
+    pub packets: usize,
+    /// Registered `/32`-pair paths; traffic round-robins across them.
+    pub paths: usize,
+    /// Batch size for the batched variants.
+    pub batch: usize,
+    /// Timed repetitions per variant (the minimum is reported).
+    pub repeats: usize,
+}
+
+impl Default for CollectorBenchConfig {
+    fn default() -> Self {
+        CollectorBenchConfig {
+            packets: 200_000,
+            paths: 200,
+            // NIC-ring sized: large enough that a 200-path round-robin
+            // still leaves ~20-packet per-path partitions to amortize
+            // over.
+            batch: 4096,
+            repeats: 3,
+        }
+    }
+}
+
+/// One measured variant.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VariantResult {
+    /// Variant name (stable identifier for trajectory tracking).
+    pub name: String,
+    /// Nanoseconds per packet (minimum over repeats).
+    pub ns_per_packet: f64,
+    /// Million packets per second implied by `ns_per_packet`.
+    pub mpps: f64,
+}
+
+/// The full report `vpm bench-collector` prints and serializes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CollectorBenchReport {
+    /// Workload shape.
+    pub config: CollectorBenchConfig,
+    /// Per-variant measurements, in pipeline order.
+    pub results: Vec<VariantResult>,
+    /// `observe_linear_scan / observe_indexed` — the classifier-index
+    /// win at this path count.
+    pub classify_speedup: f64,
+    /// `observe_prehashed / observe_batch_prehashed` — the batching
+    /// win on the pre-classified, pre-digested data plane.
+    pub batch_speedup: f64,
+    /// `observe_linear_scan / observe_full_batched` — the whole
+    /// rebuilt data plane (index + slice digest + batch) against the
+    /// pre-index per-packet architecture doing the same work.
+    pub hot_path_speedup: f64,
+}
+
+/// The benchmark workload: registered path specs plus a packet stream
+/// round-robining across them at 100 kpps.
+pub struct Workload {
+    /// One `/32`-pair spec per path.
+    pub specs: Vec<HeaderSpec>,
+    /// The packet stream.
+    pub packets: Vec<Packet>,
+    /// Observation times, 10 µs apart.
+    pub times: Vec<SimTime>,
+    /// Ground-truth path index per packet (`i % paths`).
+    pub path_idx: Vec<usize>,
+}
+
+/// Build the deterministic benchmark workload.
+pub fn build_workload(cfg: &CollectorBenchConfig) -> Workload {
+    assert!(cfg.paths > 0 && cfg.paths <= u16::MAX as usize + 1);
+    let specs: Vec<HeaderSpec> = (0..cfg.paths)
+        .map(|p| {
+            HeaderSpec::new(
+                Ipv4Prefix::new(Ipv4Addr::new(10, (p >> 8) as u8, p as u8, 1), 32).unwrap(),
+                Ipv4Prefix::new(Ipv4Addr::new(20, (p >> 8) as u8, p as u8, 1), 32).unwrap(),
+            )
+        })
+        .collect();
+    let mut packets = Vec::with_capacity(cfg.packets);
+    let mut times = Vec::with_capacity(cfg.packets);
+    let mut path_idx = Vec::with_capacity(cfg.packets);
+    for i in 0..cfg.packets {
+        let p = i % cfg.paths;
+        let mut ip = Ipv4Header::simple(
+            Ipv4Addr::new(10, (p >> 8) as u8, p as u8, 1),
+            Ipv4Addr::new(20, (p >> 8) as u8, p as u8, 1),
+            ipv4::PROTO_UDP,
+            428,
+        );
+        ip.id = i as u16;
+        packets.push(Packet {
+            seq: i as u64,
+            ipv4: ip,
+            transport: Transport::Udp(UdpHeader {
+                sport: 1024 + (i % 50_000) as u16,
+                dport: 53,
+                length: 408,
+            }),
+            payload_len: 400,
+        });
+        times.push(SimTime::from_micros(10 * i as u64));
+        path_idx.push(p);
+    }
+    Workload {
+        specs,
+        packets,
+        times,
+        path_idx,
+    }
+}
+
+/// Collector under test: paper-default thresholds (1% sampling,
+/// 1000-packet aggregates) with every workload spec registered. Shared
+/// with the criterion bench so the two harnesses stay comparable.
+pub fn mk_collector(w: &Workload) -> Collector {
+    let cfg = HopConfig::new(HopId(4), DomainId(2))
+        .with_sampling_rate(0.01)
+        .with_aggregate_size(1000);
+    let mut c = Collector::new(cfg);
+    for &spec in &w.specs {
+        c.register_path(PathId {
+            spec,
+            prev_hop: Some(HopId(3)),
+            next_hop: Some(HopId(5)),
+            max_diff: SimDuration::from_millis(2),
+        });
+    }
+    c
+}
+
+/// Time `body` (which must consume the whole workload once per call)
+/// `repeats` times and return the minimum ns/packet.
+fn time_variant<F: FnMut() -> u64>(packets: usize, repeats: usize, mut body: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        let start = Instant::now();
+        let consumed = body();
+        let elapsed = start.elapsed().as_nanos() as f64;
+        assert_eq!(
+            consumed as usize, packets,
+            "variant must consume the stream"
+        );
+        best = best.min(elapsed / packets as f64);
+    }
+    best
+}
+
+/// Run every variant and assemble the report.
+pub fn run(cfg: &CollectorBenchConfig) -> CollectorBenchReport {
+    let w = build_workload(cfg);
+    let n = w.packets.len();
+    let mut results = Vec::new();
+    let mut record = |name: &str, nspp: f64| {
+        results.push(VariantResult {
+            name: name.to_string(),
+            ns_per_packet: nspp,
+            mpps: 1e3 / nspp,
+        });
+        nspp
+    };
+
+    // The pre-index data plane, reconstructed: O(paths) linear
+    // classification scan, then digest + update. This is what
+    // `Collector::observe` did before the classifier index.
+    let linear = time_variant(n, cfg.repeats, || {
+        let mut col = mk_collector(&w);
+        let mut seen = 0u64;
+        for (pkt, &t) in w.packets.iter().zip(&w.times) {
+            if let Some(idx) = w.specs.iter().position(|s| s.matches(pkt)) {
+                col.observe_digest(idx, pkt.digest_with(DEFAULT_DIGEST_SEED), t);
+                seen += 1;
+            }
+        }
+        std::hint::black_box(col.counters());
+        seen
+    });
+    record("observe_linear_scan", linear);
+
+    // The live full hot path: classifier index + digest + update.
+    let indexed = time_variant(n, cfg.repeats, || {
+        let mut col = mk_collector(&w);
+        let mut seen = 0u64;
+        for (pkt, &t) in w.packets.iter().zip(&w.times) {
+            if col.observe(pkt, t).is_some() {
+                seen += 1;
+            }
+        }
+        std::hint::black_box(col.counters());
+        seen
+    });
+    record("observe_indexed", indexed);
+
+    // Pre-classified, pre-digested per-packet path (what a
+    // NetFlow-style engine with its own classifier would run).
+    let digests: Vec<Digest> = w.packets.iter().map(|p| p.digest()).collect();
+    let prehashed = time_variant(n, cfg.repeats, || {
+        let mut col = mk_collector(&w);
+        for ((&idx, &d), &t) in w.path_idx.iter().zip(&digests).zip(&w.times) {
+            col.observe_digest(idx, d, t);
+        }
+        std::hint::black_box(col.counters());
+        n as u64
+    });
+    record("observe_prehashed", prehashed);
+
+    // The batched data plane: same inputs, amortized counters, pass
+    // masks, and per-path batch fast paths.
+    let triples: Vec<(usize, Digest, SimTime)> = (0..n)
+        .map(|i| (w.path_idx[i], digests[i], w.times[i]))
+        .collect();
+    let batched = time_variant(n, cfg.repeats, || {
+        let mut col = mk_collector(&w);
+        for chunk in triples.chunks(cfg.batch.max(1)) {
+            col.observe_batch(chunk);
+        }
+        std::hint::black_box(col.counters());
+        n as u64
+    });
+    record("observe_batch_prehashed", batched);
+
+    // The rebuilt data plane end to end: classifier index + word-block
+    // `digest_batch` + `observe_batch`, in ring-buffer-sized chunks.
+    // Compare against `observe_linear_scan` — the same work in the
+    // pre-index, per-packet architecture.
+    let full_batched = time_variant(n, cfg.repeats, || {
+        let mut col = mk_collector(&w);
+        let mut blocks: Vec<[u32; DIGEST_INPUT_WORDS]> = Vec::new();
+        let mut chunk_digests: Vec<Digest> = Vec::new();
+        let mut triples: Vec<(usize, Digest, SimTime)> = Vec::new();
+        let mut seen = 0u64;
+        let chunk_len = cfg.batch.max(1);
+        let mut at = 0usize;
+        while at < n {
+            let upto = (at + chunk_len).min(n);
+            blocks.clear();
+            triples.clear();
+            chunk_digests.clear();
+            for i in at..upto {
+                blocks.push(w.packets[i].digest_words());
+            }
+            vpm_hash::digest_batch(&blocks, DEFAULT_DIGEST_SEED, &mut chunk_digests);
+            for (k, i) in (at..upto).enumerate() {
+                if let Some(idx) = col.classify(&w.packets[i]) {
+                    triples.push((idx, chunk_digests[k], w.times[i]));
+                    seen += 1;
+                }
+            }
+            col.observe_batch(&triples);
+            at = upto;
+        }
+        std::hint::black_box(col.counters());
+        seen
+    });
+    record("observe_full_batched", full_batched);
+
+    // Digest computation alone: per-packet byte path vs the
+    // word-block `digest_batch` slice path.
+    let d_bytes = time_variant(n, cfg.repeats, || {
+        let mut acc = 0u64;
+        for pkt in &w.packets {
+            acc ^= pkt.digest().0;
+        }
+        std::hint::black_box(acc);
+        n as u64
+    });
+    record("digest_per_packet", d_bytes);
+
+    let d_words = time_variant(n, cfg.repeats, || {
+        let blocks: Vec<[u32; DIGEST_INPUT_WORDS]> =
+            w.packets.iter().map(|p| p.digest_words()).collect();
+        let mut out = Vec::new();
+        vpm_hash::digest_batch(&blocks, DEFAULT_DIGEST_SEED, &mut out);
+        std::hint::black_box(out.len());
+        n as u64
+    });
+    record("digest_batch_words", d_words);
+
+    CollectorBenchReport {
+        config: *cfg,
+        results,
+        classify_speedup: linear / indexed,
+        batch_speedup: prehashed / batched,
+        hot_path_speedup: linear / full_batched,
+    }
+}
+
+/// Render the report as an aligned text table.
+pub fn render_table(report: &CollectorBenchReport) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "collector hot path — {} packets, {} paths, batch {}",
+        report.config.packets, report.config.paths, report.config.batch
+    );
+    let _ = writeln!(s, "{:<28} {:>12} {:>10}", "variant", "ns/packet", "Mpps");
+    for r in &report.results {
+        let _ = writeln!(
+            s,
+            "{:<28} {:>12.1} {:>10.2}",
+            r.name, r.ns_per_packet, r.mpps
+        );
+    }
+    let _ = writeln!(
+        s,
+        "classifier index speedup (linear scan / indexed): {:.2}x",
+        report.classify_speedup
+    );
+    let _ = writeln!(
+        s,
+        "batch speedup (per-packet prehashed / batched):   {:.2}x",
+        report.batch_speedup
+    );
+    let _ = writeln!(
+        s,
+        "hot-path speedup (linear scan / full batched):    {:.2}x",
+        report.hot_path_speedup
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_classifies_onto_expected_paths() {
+        let cfg = CollectorBenchConfig {
+            packets: 2_000,
+            paths: 37,
+            batch: 64,
+            repeats: 1,
+        };
+        let w = build_workload(&cfg);
+        let col = mk_collector(&w);
+        for (i, pkt) in w.packets.iter().enumerate() {
+            assert_eq!(col.classify(pkt), Some(w.path_idx[i]), "packet {i}");
+            assert_eq!(
+                w.specs.iter().position(|s| s.matches(pkt)),
+                Some(w.path_idx[i]),
+                "linear reference agrees"
+            );
+        }
+    }
+
+    #[test]
+    fn report_has_all_variants_and_sane_numbers() {
+        let report = run(&CollectorBenchConfig {
+            packets: 5_000,
+            paths: 20,
+            batch: 128,
+            repeats: 1,
+        });
+        let names: Vec<&str> = report.results.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "observe_linear_scan",
+                "observe_indexed",
+                "observe_prehashed",
+                "observe_batch_prehashed",
+                "observe_full_batched",
+                "digest_per_packet",
+                "digest_batch_words",
+            ]
+        );
+        for r in &report.results {
+            assert!(
+                r.ns_per_packet > 0.0 && r.ns_per_packet.is_finite(),
+                "{r:?}"
+            );
+            assert!((r.mpps - 1e3 / r.ns_per_packet).abs() < 1e-9);
+        }
+        assert!(report.classify_speedup > 0.0);
+        assert!(report.batch_speedup > 0.0);
+        let table = render_table(&report);
+        assert!(table.contains("observe_batch_prehashed"));
+    }
+}

@@ -11,13 +11,16 @@
 //! * accounts every memory access, hash and timestamp so the §7.1
 //!   processing claims can be measured rather than asserted.
 
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
 use serde::{Deserialize, Serialize};
 use vpm_hash::{Digest, DigestSeed, DEFAULT_DIGEST_SEED};
-use vpm_packet::{Packet, SimTime};
+use vpm_packet::{HeaderSpec, Packet, SimTime};
 
 use crate::aggregation::{Aggregator, FinishedAggregate};
 use crate::hop::HopConfig;
-use crate::receipt::{PathId, SampleRecord};
+use crate::receipt::{AggReceipt, PathId, SampleReceipt, SampleRecord};
 use crate::sampling::DelaySampler;
 
 /// Per-packet work counters (the §7.1 processing model: "three memory
@@ -40,6 +43,91 @@ pub struct CostCounters {
     pub unclassified: u64,
 }
 
+/// A minimal multiply-xor hasher for the exact-match classifier key
+/// (an 8-byte `(src, dst)` address pair). The default SipHash is keyed
+/// for HashDoS resistance we don't need on a fixed-at-registration
+/// table, and costs more than the rest of the per-packet lookup.
+#[derive(Default)]
+struct PairHasher(u64);
+
+impl Hasher for PairHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        // fxhash-style combine: rotate, xor, multiply by a random odd
+        // constant. Plenty for IPv4 pairs feeding a power-of-two table.
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Classifier index over registered [`HeaderSpec`]s.
+///
+/// The §7.1 model sizes a HOP at 100,000 concurrent paths; a linear
+/// `matches()` scan per packet is O(paths) and dominates the hot path
+/// long before that. Almost all real path specs are exact `/32`
+/// host-pair entries, which an 8-byte hash key classifies in O(1); the
+/// remaining genuine prefix ranges stay in a short fallback list
+/// scanned in registration order.
+///
+/// First-match-wins semantics of the original linear scan are
+/// preserved exactly: the exact table keeps the earliest index per
+/// pair, and a fallback prefix only wins if it was registered earlier
+/// than the exact hit.
+#[derive(Debug, Default)]
+struct ClassifierIndex {
+    /// Earliest path index per exact `(src, dst)` address pair.
+    exact: HashMap<(u32, u32), usize, BuildHasherDefault<PairHasher>>,
+    /// `(registration index, spec)` for prefix specs, in order.
+    prefixes: Vec<(usize, HeaderSpec)>,
+}
+
+impl ClassifierIndex {
+    fn insert(&mut self, spec: HeaderSpec, idx: usize) {
+        match spec.host_pair() {
+            Some(key) => {
+                self.exact.entry(key).or_insert(idx);
+            }
+            None => self.prefixes.push((idx, spec)),
+        }
+    }
+
+    fn classify(&self, pkt: &Packet) -> Option<usize> {
+        let exact = self
+            .exact
+            .get(&(u32::from(pkt.ipv4.src), u32::from(pkt.ipv4.dst)))
+            .copied();
+        // Only prefixes registered before the exact hit can outrank it.
+        let bound = exact.unwrap_or(usize::MAX);
+        self.prefixes
+            .iter()
+            .take_while(|&&(i, _)| i < bound)
+            .find(|(_, s)| s.matches(pkt))
+            .map(|&(i, _)| i)
+            .or(exact)
+    }
+}
+
 /// Per-path measurement state (one "open receipt" set per path, as the
 /// monitoring cache holds).
 #[derive(Debug)]
@@ -58,7 +146,21 @@ pub struct Collector {
     config: HopConfig,
     digest_seed: DigestSeed,
     paths: Vec<PathState>,
+    index: ClassifierIndex,
     counters: CostCounters,
+    /// Reusable per-batch scratch: `(digest, time)` pairs plus the
+    /// precomputed marker (`µ`) and cut (`δ`) pass masks for one run.
+    scratch_items: Vec<(Digest, SimTime)>,
+    scratch_markers: Vec<bool>,
+    scratch_cuts: Vec<bool>,
+    /// Per-path partition pool for mixed-path batches (`(path index,
+    /// items)`; Vec capacities persist across batches).
+    scratch_groups: Vec<(usize, Vec<(Digest, SimTime)>)>,
+    /// Epoch-stamped slot map: `slot[path] = (epoch, group)` claims a
+    /// group for the current batch iff `epoch` matches
+    /// `scratch_epoch`. O(1) per packet, nothing to clear per batch.
+    scratch_slot: Vec<(u32, u32)>,
+    scratch_epoch: u32,
 }
 
 impl Collector {
@@ -68,7 +170,14 @@ impl Collector {
             config,
             digest_seed: DEFAULT_DIGEST_SEED,
             paths: Vec::new(),
+            index: ClassifierIndex::default(),
             counters: CostCounters::default(),
+            scratch_items: Vec::new(),
+            scratch_markers: Vec::new(),
+            scratch_cuts: Vec::new(),
+            scratch_groups: Vec::new(),
+            scratch_slot: Vec::new(),
+            scratch_epoch: 0,
         }
     }
 
@@ -78,12 +187,23 @@ impl Collector {
         if let Some(cap) = self.config.buffer_cap {
             sampler = sampler.with_buffer_cap(cap);
         }
+        let idx = self.paths.len();
+        self.index.insert(path.spec, idx);
+        self.scratch_slot.push((0, 0));
         self.paths.push(PathState {
             path,
             sampler,
             aggregator: Aggregator::new(self.config.partition, self.config.j_window),
         });
-        self.paths.len() - 1
+        idx
+    }
+
+    /// Classify a packet into its registered path index without
+    /// observing it (O(1) for `/32`-pair paths, O(prefix paths) for the
+    /// fallback list; first registered match wins, as with a linear
+    /// scan).
+    pub fn classify(&self, pkt: &Packet) -> Option<usize> {
+        self.index.classify(pkt)
     }
 
     /// Number of registered paths.
@@ -97,28 +217,136 @@ impl Collector {
     }
 
     /// Observe a packet at local time `t`: classify, digest, update.
-    /// Returns the path index it was classified into, if any.
+    /// Returns the path index it was classified into, if any; an
+    /// unmatched packet is counted in [`CostCounters::unclassified`]
+    /// (no digest is computed for it, so no hash is charged).
     pub fn observe(&mut self, pkt: &Packet, t: SimTime) -> Option<usize> {
-        let idx = self.paths.iter().position(|ps| ps.path.spec.matches(pkt))?;
+        let Some(idx) = self.index.classify(pkt) else {
+            self.counters.unclassified += 1;
+            return None;
+        };
         let digest = pkt.digest_with(self.digest_seed);
         self.counters.hash_ops += 1;
-        self.observe_classified(idx, digest, t);
+        self.observe_at(idx, digest, t);
         Some(idx)
     }
 
     /// Observe a packet whose classification and digest are already
     /// known (the hot path used by experiment drivers; also counts the
-    /// hash the HOP would have computed).
-    pub fn observe_digest(&mut self, idx: usize, digest: Digest, t: SimTime) {
+    /// hash the HOP would have computed). Returns `false` — charging no
+    /// hash and counting the packet as unclassified — when `idx` names
+    /// no registered path.
+    pub fn observe_digest(&mut self, idx: usize, digest: Digest, t: SimTime) -> bool {
+        if idx >= self.paths.len() {
+            self.counters.unclassified += 1;
+            return false;
+        }
         self.counters.hash_ops += 1;
-        self.observe_classified(idx, digest, t);
+        self.observe_at(idx, digest, t);
+        true
     }
 
-    fn observe_classified(&mut self, idx: usize, digest: Digest, t: SimTime) {
-        let Some(ps) = self.paths.get_mut(idx) else {
-            self.counters.unclassified += 1;
+    /// Observe a batch of pre-classified, pre-digested packets —
+    /// byte-identical in samples, aggregates and [`CostCounters`] to
+    /// calling [`Self::observe_digest`] once per element, but
+    /// amortized: the batch is partitioned per path (per-path
+    /// observation order is preserved; cross-path order is
+    /// unobservable because paths share no state and the counters are
+    /// sums), counter updates become one add per partition, the marker
+    /// (`µ`) and cut (`δ`) threshold checks are precomputed into pass
+    /// masks in tight loops, and the per-path sampler/aggregator take
+    /// their own batch fast paths.
+    pub fn observe_batch(&mut self, batch: &[(usize, Digest, SimTime)]) {
+        let Some(&(first_idx, _, _)) = batch.first() else {
             return;
         };
+        // Fast path: the whole batch is one path (the common shape
+        // when an upstream stage already separates flows).
+        if batch.iter().all(|&(i, _, _)| i == first_idx) {
+            self.scratch_items.clear();
+            self.scratch_items
+                .extend(batch.iter().map(|&(_, d, t)| (d, t)));
+            let mut items = std::mem::take(&mut self.scratch_items);
+            self.observe_path_batch(first_idx, &items);
+            items.clear();
+            self.scratch_items = items;
+            return;
+        }
+
+        // General shape: bucket items per path in one pass, reusing
+        // the group pool and its Vec capacities across calls. A new
+        // epoch invalidates every slot claim at once.
+        self.scratch_epoch = self.scratch_epoch.wrapping_add(1);
+        if self.scratch_epoch == 0 {
+            self.scratch_slot.fill((0, 0));
+            self.scratch_epoch = 1;
+        }
+        let epoch = self.scratch_epoch;
+        let mut groups = std::mem::take(&mut self.scratch_groups);
+        let mut used = 0usize;
+        for &(idx, d, t) in batch {
+            let Some(slot) = self.scratch_slot.get_mut(idx) else {
+                // Out-of-range index: same accounting as per-packet
+                // `observe_digest` — unclassified, no hash charged.
+                self.counters.unclassified += 1;
+                continue;
+            };
+            let g = if slot.0 == epoch {
+                slot.1 as usize
+            } else {
+                if used == groups.len() {
+                    groups.push((idx, Vec::new()));
+                } else {
+                    groups[used].0 = idx;
+                    groups[used].1.clear();
+                }
+                used += 1;
+                *slot = (epoch, (used - 1) as u32);
+                used - 1
+            };
+            groups[g].1.push((d, t));
+        }
+        for (idx, items) in groups.iter().take(used) {
+            self.observe_path_batch(*idx, items);
+        }
+        self.scratch_groups = groups;
+    }
+
+    /// Process one path's slice of a batch (all `items` belong to path
+    /// `idx`, in observation order).
+    fn observe_path_batch(&mut self, idx: usize, items: &[(Digest, SimTime)]) {
+        let run_len = items.len() as u64;
+        let Some(ps) = self.paths.get_mut(idx) else {
+            self.counters.unclassified += run_len;
+            return;
+        };
+        self.counters.packets += run_len;
+        self.counters.hash_ops += run_len;
+        self.counters.timestamp_ops += run_len;
+        // §7.1: lookup PathID + update PktCnt + store to temp buffer —
+        // three accesses per packet.
+        self.counters.memory_accesses += 3 * run_len;
+
+        let marker = self.config.marker;
+        let partition = self.config.partition;
+        self.scratch_markers.clear();
+        self.scratch_markers.reserve(items.len());
+        self.scratch_cuts.clear();
+        self.scratch_cuts.reserve(items.len());
+        for &(d, _) in items {
+            self.scratch_markers.push(marker.passes(d.0));
+            self.scratch_cuts.push(partition.passes(d.0));
+        }
+
+        ps.aggregator.observe_batch(items, &self.scratch_cuts);
+        // One extra access per buffered packet examined at marker
+        // sweeps (§7.1).
+        self.counters.marker_sweep_accesses +=
+            ps.sampler.observe_batch(items, &self.scratch_markers);
+    }
+
+    fn observe_at(&mut self, idx: usize, digest: Digest, t: SimTime) {
+        let ps = &mut self.paths[idx];
         self.counters.packets += 1;
         self.counters.timestamp_ops += 1;
         // §7.1: lookup PathID + update PktCnt + store to temp buffer.
@@ -143,6 +371,35 @@ impl Collector {
     pub fn drain_path(&mut self, idx: usize) -> (Vec<SampleRecord>, Vec<FinishedAggregate>) {
         let ps = &mut self.paths[idx];
         (ps.sampler.drain(), ps.aggregator.drain())
+    }
+
+    /// Drain every path's samples and finished aggregates directly into
+    /// receipt form, in one pass over the path table (the batched
+    /// control-plane read used by `Processor::report`). Equivalent to
+    /// calling [`Self::drain_path`] per index and wrapping the results,
+    /// without the per-index lookups and intermediate moves.
+    pub fn drain_receipts(
+        &mut self,
+        samples: &mut Vec<SampleReceipt>,
+        aggregates: &mut Vec<AggReceipt>,
+    ) {
+        for ps in &mut self.paths {
+            let recs = ps.sampler.drain();
+            if !recs.is_empty() {
+                samples.push(SampleReceipt {
+                    path: ps.path,
+                    samples: recs,
+                });
+            }
+            for f in ps.aggregator.drain() {
+                aggregates.push(AggReceipt {
+                    path: ps.path,
+                    agg: f.agg,
+                    pkt_cnt: f.pkt_cnt,
+                    agg_trans: f.agg_trans,
+                });
+            }
+        }
     }
 
     /// Iterate path indices.
@@ -237,6 +494,31 @@ mod tests {
             assert!(c.observe(&tp.packet, tp.ts).is_none());
         }
         assert_eq!(c.counters().packets, 0);
+        // Every rejected packet is accounted — nothing silently
+        // disappears from the cost model.
+        assert_eq!(c.counters().unclassified, trace.len() as u64);
+        assert_eq!(c.counters().hash_ops, 0, "no digest for unmatched packets");
+    }
+
+    #[test]
+    fn out_of_range_index_rejected_without_hash_charge() {
+        let trace = mk_trace(20);
+        let spec = vpm_trace::TraceConfig::paper_default(1, 0).spec;
+        let mut c = Collector::new(config());
+        let idx = c.register_path(path_id(spec));
+        assert!(c.observe_digest(idx, Digest(1), SimTime::ZERO));
+        // A bogus index must not charge a hash for work never done,
+        // must not update any path, and must count as unclassified.
+        let before = c.counters();
+        for tp in trace.iter().take(5) {
+            assert!(!c.observe_digest(7, tp.packet.digest(), tp.ts));
+        }
+        let after = c.counters();
+        assert_eq!(after.hash_ops, before.hash_ops);
+        assert_eq!(after.packets, before.packets);
+        assert_eq!(after.timestamp_ops, before.timestamp_ops);
+        assert_eq!(after.memory_accesses, before.memory_accesses);
+        assert_eq!(after.unclassified, before.unclassified + 5);
     }
 
     #[test]
@@ -331,6 +613,159 @@ mod tests {
                 assert_eq!(total, 0, "path {i} must be untouched");
                 assert!(samples.is_empty());
             }
+        }
+    }
+
+    fn pkt(src: std::net::Ipv4Addr, dst: std::net::Ipv4Addr, sport: u16) -> vpm_packet::Packet {
+        vpm_packet::Packet {
+            seq: 0,
+            ipv4: vpm_packet::Ipv4Header::simple(src, dst, vpm_packet::ipv4::PROTO_UDP, 28),
+            transport: vpm_packet::Transport::Udp(vpm_packet::UdpHeader {
+                sport,
+                dport: 53,
+                length: 8,
+            }),
+            payload_len: 0,
+        }
+    }
+
+    /// The classifier index must preserve the linear scan's
+    /// first-registered-match-wins semantics when exact `/32`-pair and
+    /// prefix paths overlap.
+    #[test]
+    fn classifier_index_mixes_exact_and_prefix_paths() {
+        use std::net::Ipv4Addr;
+        let wide = HeaderSpec::new("10.0.0.0/8".parse().unwrap(), "20.0.0.0/8".parse().unwrap());
+        let narrow = HeaderSpec::new(
+            "10.0.0.1/32".parse().unwrap(),
+            "20.0.0.1/32".parse().unwrap(),
+        );
+        let other = HeaderSpec::new(
+            "10.0.0.2/32".parse().unwrap(),
+            "20.0.0.2/32".parse().unwrap(),
+        );
+        let elsewhere =
+            HeaderSpec::new("30.0.0.0/8".parse().unwrap(), "40.0.0.0/8".parse().unwrap());
+
+        // Prefix registered first shadows a later exact pair.
+        let mut c = Collector::new(config());
+        let w = c.register_path(path_id(wide));
+        let n = c.register_path(path_id(narrow));
+        let _ = c.register_path(path_id(other));
+        let e = c.register_path(path_id(elsewhere));
+        assert_ne!(n, w);
+        let covered = pkt(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(20, 0, 0, 1), 1);
+        assert_eq!(c.classify(&covered), Some(w), "earlier prefix wins");
+        let covered2 = pkt(Ipv4Addr::new(10, 0, 0, 2), Ipv4Addr::new(20, 0, 0, 2), 1);
+        assert_eq!(c.classify(&covered2), Some(w));
+        let outside = pkt(Ipv4Addr::new(30, 1, 2, 3), Ipv4Addr::new(40, 4, 5, 6), 1);
+        assert_eq!(c.classify(&outside), Some(e));
+        let nowhere = pkt(Ipv4Addr::new(50, 0, 0, 1), Ipv4Addr::new(60, 0, 0, 1), 1);
+        assert_eq!(c.classify(&nowhere), None);
+
+        // Exact pair registered first outranks a later covering prefix.
+        let mut c2 = Collector::new(config());
+        let n2 = c2.register_path(path_id(narrow));
+        let w2 = c2.register_path(path_id(wide));
+        assert_eq!(c2.classify(&covered), Some(n2), "earlier exact pair wins");
+        assert_eq!(
+            c2.classify(&covered2),
+            Some(w2),
+            "other host pairs fall to the prefix"
+        );
+
+        // Agreement with a reference linear scan across a host sweep.
+        for i in 0..16u8 {
+            let probe = pkt(Ipv4Addr::new(10, 0, 0, i), Ipv4Addr::new(20, 0, 0, i), 9);
+            let linear = [wide, narrow, other, elsewhere]
+                .iter()
+                .position(|s| s.matches(&probe));
+            assert_eq!(c.classify(&probe), linear, "host {i}");
+        }
+    }
+
+    /// `observe_batch` must be byte-identical to per-packet
+    /// `observe_digest` — samples, aggregates, and cost counters —
+    /// including runs across multiple paths and invalid indices.
+    #[test]
+    fn batch_observe_matches_per_packet() {
+        let trace = mk_trace(20_000);
+        let spec = vpm_trace::TraceConfig::paper_default(1, 0).spec;
+        let decoy = HeaderSpec::new("1.0.0.0/8".parse().unwrap(), "2.0.0.0/8".parse().unwrap());
+        let mk = || {
+            let mut c = Collector::new(config());
+            c.register_path(path_id(decoy));
+            c.register_path(path_id(spec));
+            c
+        };
+        // Spread packets over path 0, path 1, and an invalid index.
+        let batch: Vec<(usize, Digest, SimTime)> = trace
+            .iter()
+            .enumerate()
+            .map(|(i, tp)| {
+                (
+                    if i % 31 == 0 { 9 } else { i % 2 },
+                    tp.packet.digest(),
+                    tp.ts,
+                )
+            })
+            .collect();
+
+        let mut per_packet = mk();
+        for &(idx, d, t) in &batch {
+            per_packet.observe_digest(idx, d, t);
+        }
+        per_packet.flush();
+
+        for batch_size in [1usize, 64, 257] {
+            let mut batched = mk();
+            for chunk in batch.chunks(batch_size) {
+                batched.observe_batch(chunk);
+            }
+            batched.flush();
+            assert_eq!(per_packet.counters(), batched.counters(), "bs {batch_size}");
+            for idx in 0..2 {
+                let (s_a, a_a) = {
+                    let ps = per_packet.path(idx).unwrap();
+                    (ps.sampler.pending().to_vec(), ps.aggregator.finished_len())
+                };
+                let ps = batched.path(idx).unwrap();
+                assert_eq!(
+                    s_a,
+                    ps.sampler.pending(),
+                    "samples path {idx} bs {batch_size}"
+                );
+                assert_eq!(a_a, ps.aggregator.finished_len());
+            }
+            let mut s1 = Vec::new();
+            let mut g1 = Vec::new();
+            batched.drain_receipts(&mut s1, &mut g1);
+            let mut s2 = Vec::new();
+            let mut g2 = Vec::new();
+            for idx in 0..2 {
+                let (recs, aggs) = per_packet.drain_path(idx);
+                if !recs.is_empty() {
+                    s2.push(crate::receipt::SampleReceipt {
+                        path: per_packet.path(idx).unwrap().path,
+                        samples: recs,
+                    });
+                }
+                for f in aggs {
+                    g2.push(crate::receipt::AggReceipt {
+                        path: per_packet.path(idx).unwrap().path,
+                        agg: f.agg,
+                        pkt_cnt: f.pkt_cnt,
+                        agg_trans: f.agg_trans,
+                    });
+                }
+            }
+            assert_eq!(s1, s2, "bs {batch_size}");
+            assert_eq!(g1, g2, "bs {batch_size}");
+            per_packet = mk();
+            for &(idx, d, t) in &batch {
+                per_packet.observe_digest(idx, d, t);
+            }
+            per_packet.flush();
         }
     }
 

@@ -125,28 +125,12 @@ impl Processor {
         self.key
     }
 
-    /// Drain the collector into a signed receipt batch.
+    /// Drain the collector into a signed receipt batch (one pass over
+    /// the collector's path table via `Collector::drain_receipts`).
     pub fn report(&mut self, collector: &mut Collector) -> ReceiptBatch {
         let mut samples = Vec::new();
         let mut aggregates = Vec::new();
-        for idx in collector.path_indices() {
-            let path = collector.path(idx).expect("index from range").path;
-            let (recs, aggs) = collector.drain_path(idx);
-            if !recs.is_empty() {
-                samples.push(SampleReceipt {
-                    path,
-                    samples: recs,
-                });
-            }
-            for f in aggs {
-                aggregates.push(AggReceipt {
-                    path,
-                    agg: f.agg,
-                    pkt_cnt: f.pkt_cnt,
-                    agg_trans: f.agg_trans,
-                });
-            }
-        }
+        collector.drain_receipts(&mut samples, &mut aggregates);
         let mut batch = ReceiptBatch {
             hop: self.hop,
             batch_seq: self.next_seq,

@@ -25,6 +25,7 @@
 
 use crate::receipt::SampleRecord;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 use vpm_hash::{sample_fcn, Digest, Threshold};
 use vpm_packet::SimTime;
 
@@ -86,8 +87,11 @@ pub struct DelaySampler {
     marker: Threshold,
     /// Sampling threshold `σ` — chosen locally by the HOP.
     sigma: Threshold,
-    /// `TempBuffer`: state for all packets since the last marker.
-    buffer: Vec<SampleRecord>,
+    /// `TempBuffer`: state for all packets since the last marker. A
+    /// ring (`VecDeque`) so cap eviction of the oldest record is O(1)
+    /// instead of a `Vec::remove(0)` memmove — under sustained overload
+    /// (cap hit, no marker) the Vec form was quadratic.
+    buffer: VecDeque<SampleRecord>,
     /// Accumulated samples since the last [`Self::drain`].
     samples: Vec<SampleRecord>,
     /// Optional hard cap on the buffer (real hardware has finite
@@ -103,7 +107,7 @@ impl DelaySampler {
         DelaySampler {
             marker,
             sigma,
-            buffer: Vec::new(),
+            buffer: VecDeque::new(),
             samples: Vec::new(),
             buffer_cap: None,
             stats: SamplerStats::default(),
@@ -152,17 +156,86 @@ impl DelaySampler {
         } else {
             if let Some(cap) = self.buffer_cap {
                 if self.buffer.len() >= cap {
-                    self.buffer.remove(0);
+                    self.buffer.pop_front();
                     self.stats.cap_evictions += 1;
                 }
             }
-            self.buffer.push(SampleRecord {
+            self.buffer.push_back(SampleRecord {
                 pkt_id: digest,
                 time,
             });
             self.stats.max_buffer = self.stats.max_buffer.max(self.buffer.len());
             ObserveOutcome::Buffered
         }
+    }
+
+    /// Observe a batch of packets whose marker decisions are already
+    /// known (`markers[i]` ⇔ `marker.passes(items[i].0)`, precomputed
+    /// once by the caller for all paths sharing the system-wide `µ`).
+    ///
+    /// Produces exactly the samples and stats of calling
+    /// [`Self::observe`] per item, but amortizes the work: runs of
+    /// non-markers are bulk-appended to the buffer with a single
+    /// high-water update, and the per-packet marker branch disappears.
+    /// Returns the total number of buffered packets swept (the §7.1
+    /// marker-sweep access count for this batch).
+    pub fn observe_batch(&mut self, items: &[(Digest, SimTime)], markers: &[bool]) -> u64 {
+        debug_assert_eq!(items.len(), markers.len());
+        self.stats.observed += items.len() as u64;
+        let mut swept_total = 0u64;
+        let mut i = 0;
+        while i < items.len() {
+            if markers[i] {
+                let (digest, time) = items[i];
+                self.stats.markers += 1;
+                swept_total += self.buffer.len() as u64;
+                let mut sampled = 0u64;
+                for q in self.buffer.drain(..) {
+                    if self.sigma.passes(sample_fcn(q.pkt_id, digest)) {
+                        self.samples.push(q);
+                        sampled += 1;
+                    }
+                }
+                self.samples.push(SampleRecord {
+                    pkt_id: digest,
+                    time,
+                });
+                self.stats.sampled += sampled + 1;
+                i += 1;
+            } else {
+                let run_end = markers[i..]
+                    .iter()
+                    .position(|&m| m)
+                    .map_or(items.len(), |off| i + off);
+                let run = &items[i..run_end];
+                match self.buffer_cap {
+                    Some(cap) => {
+                        for &(digest, time) in run {
+                            if self.buffer.len() >= cap {
+                                self.buffer.pop_front();
+                                self.stats.cap_evictions += 1;
+                            }
+                            self.buffer.push_back(SampleRecord {
+                                pkt_id: digest,
+                                time,
+                            });
+                        }
+                    }
+                    None => {
+                        self.buffer
+                            .extend(run.iter().map(|&(digest, time)| SampleRecord {
+                                pkt_id: digest,
+                                time,
+                            }));
+                    }
+                }
+                // The buffer only grows within a markerless run, so the
+                // end-of-run length is the run's high-water mark.
+                self.stats.max_buffer = self.stats.max_buffer.max(self.buffer.len());
+                i = run_end;
+            }
+        }
+        swept_total
     }
 
     /// Take all accumulated samples (e.g. at a reporting interval).
@@ -326,14 +399,72 @@ mod tests {
 
     #[test]
     fn buffer_cap_evicts_oldest() {
-        let mut s = DelaySampler::new(Threshold::NEVER, Threshold::ALWAYS).with_buffer_cap(10);
+        // Marker threshold passed only by u64::MAX, so digests 1..=100
+        // all buffer and we can trigger a sweep on demand.
+        let marker = Threshold(u64::MAX - 1);
+        let mut s = DelaySampler::new(marker, Threshold::ALWAYS).with_buffer_cap(10);
         for i in 0..100u64 {
-            // Digest 0 never passes NEVER... any digest: NEVER passes nothing,
-            // so every packet is buffered.
             s.observe(Digest(i + 1), SimTime::from_micros(i));
         }
         assert_eq!(s.buffered(), 10);
         assert_eq!(s.stats().cap_evictions, 90);
+        // Oldest evicted: the survivors are exactly the 10 newest, in
+        // arrival order — sweep them out with a marker and look.
+        s.observe(Digest(u64::MAX), SimTime::from_micros(1000));
+        let swept: Vec<u64> = s
+            .drain()
+            .into_iter()
+            .map(|r| r.pkt_id.0)
+            .filter(|&d| d != u64::MAX)
+            .collect();
+        assert_eq!(swept, (91..=100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn batch_matches_per_packet_with_and_without_cap() {
+        for cap in [None, Some(7), Some(64)] {
+            for batch_size in [1usize, 3, 64, 257] {
+                let marker = Threshold::from_rate(0.02);
+                let mk = || {
+                    let s = DelaySampler::new(marker, Threshold::from_rate(0.3));
+                    match cap {
+                        Some(c) => s.with_buffer_cap(c),
+                        None => s,
+                    }
+                };
+                let ds = digests(5_000, 11);
+                let items: Vec<(Digest, SimTime)> = ds
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &d)| (d, SimTime::from_micros(10 * i as u64)))
+                    .collect();
+                let mut per_packet = mk();
+                for &(d, t) in &items {
+                    per_packet.observe(d, t);
+                }
+                let mut batched = mk();
+                let mut swept_total = 0u64;
+                for chunk in items.chunks(batch_size) {
+                    let mask: Vec<bool> = chunk.iter().map(|&(d, _)| marker.passes(d.0)).collect();
+                    swept_total += batched.observe_batch(chunk, &mask);
+                }
+                assert_eq!(
+                    per_packet.drain(),
+                    batched.drain(),
+                    "cap {cap:?} bs {batch_size}"
+                );
+                assert_eq!(
+                    per_packet.stats(),
+                    batched.stats(),
+                    "cap {cap:?} bs {batch_size}"
+                );
+                let expected_swept = per_packet.stats().observed
+                    - per_packet.stats().markers
+                    - per_packet.stats().cap_evictions
+                    - per_packet.buffered() as u64;
+                assert_eq!(swept_total, expected_swept);
+            }
+        }
     }
 
     #[test]

@@ -50,6 +50,31 @@ pub fn digest_bytes(bytes: &[u8], seed: DigestSeed) -> Digest {
     Digest(lookup3::hash64(bytes, seed.0))
 }
 
+/// Digest a word slice with the given seed.
+///
+/// lookup3 guarantees that on little-endian byte order `hashword2` over
+/// `n` words equals `hashlittle2` over the same `4n` bytes, so for
+/// word-aligned digest inputs (little-endian word decoding) this is
+/// exactly [`digest_bytes`] — but ~3× cheaper, since the word path
+/// skips all per-byte assembly.
+#[inline]
+pub fn digest_words(words: &[u32], seed: DigestSeed) -> Digest {
+    Digest(lookup3::hash64_words(words, seed.0))
+}
+
+/// Digest a batch of fixed-width word blocks (one digest per block),
+/// appending to `out`.
+///
+/// This is the slice-digesting hot path for batched collectors: one
+/// tight loop over pre-assembled word blocks, no per-packet dispatch.
+/// Equivalent to calling [`digest_words`] on each block.
+pub fn digest_batch<const W: usize>(blocks: &[[u32; W]], seed: DigestSeed, out: &mut Vec<Digest>) {
+    out.reserve(blocks.len());
+    for block in blocks {
+        out.push(digest_words(block, seed));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,7 +114,30 @@ mod tests {
         assert!((0.48..0.52).contains(&mean), "mean {mean}");
     }
 
+    #[test]
+    fn digest_batch_matches_per_element() {
+        let blocks: Vec<[u32; 6]> = (0..100u32)
+            .map(|i| [i, i ^ 7, i.wrapping_mul(13), 0, u32::MAX - i, i << 8])
+            .collect();
+        let mut out = Vec::new();
+        digest_batch(&blocks, DEFAULT_DIGEST_SEED, &mut out);
+        assert_eq!(out.len(), blocks.len());
+        for (block, d) in blocks.iter().zip(&out) {
+            assert_eq!(*d, digest_words(block, DEFAULT_DIGEST_SEED));
+        }
+    }
+
     proptest! {
+        /// The word path must agree with the byte path on word-aligned
+        /// input: this is what lets the batched collector digest
+        /// pre-assembled word blocks while per-packet code hashes bytes.
+        #[test]
+        fn digest_words_matches_digest_bytes(words in proptest::collection::vec(any::<u32>(), 0..32), seed in any::<u64>()) {
+            let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+            let s = DigestSeed(seed);
+            prop_assert_eq!(digest_words(&words, s), digest_bytes(&bytes, s));
+        }
+
         #[test]
         fn digest_is_pure(bytes in proptest::collection::vec(any::<u8>(), 0..128), seed in any::<u64>()) {
             let s = DigestSeed(seed);

@@ -30,6 +30,8 @@ pub mod lookup3;
 pub mod sample;
 pub mod threshold;
 
-pub use digest::{digest_bytes, Digest, DigestSeed, DEFAULT_DIGEST_SEED};
+pub use digest::{
+    digest_batch, digest_bytes, digest_words, Digest, DigestSeed, DEFAULT_DIGEST_SEED,
+};
 pub use sample::{sample_fcn, sample_fcn_keyed, SampleKey};
 pub use threshold::Threshold;

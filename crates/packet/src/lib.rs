@@ -27,7 +27,7 @@ pub mod transport;
 pub mod wire;
 
 pub use ipv4::Ipv4Header;
-pub use packet::Packet;
+pub use packet::{digest_packets, Packet, DIGEST_INPUT_WORDS};
 pub use path::{DomainId, HeaderSpec, HopId};
 pub use prefix::Ipv4Prefix;
 pub use time::{SimDuration, SimTime};

@@ -27,6 +27,9 @@ pub struct Packet {
 /// Length of the canonical digest input in bytes.
 pub const DIGEST_INPUT_LEN: usize = 24;
 
+/// Length of the canonical digest input in 32-bit words.
+pub const DIGEST_INPUT_WORDS: usize = DIGEST_INPUT_LEN / 4;
+
 impl Packet {
     /// Total on-the-wire length of the packet in bytes.
     pub fn wire_len(&self) -> usize {
@@ -61,6 +64,18 @@ impl Packet {
         buf
     }
 
+    /// Canonical digest input as little-endian 32-bit words — the block
+    /// format consumed by the word-oriented lookup3 fast path
+    /// (`vpm_hash::digest_words` / `digest_batch`).
+    pub fn digest_words(&self) -> [u32; DIGEST_INPUT_WORDS] {
+        let bytes = self.digest_input();
+        let mut words = [0u32; DIGEST_INPUT_WORDS];
+        for (w, chunk) in words.iter_mut().zip(bytes.chunks_exact(4)) {
+            *w = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        words
+    }
+
     /// The packet's `PktID` digest with an explicit seed.
     pub fn digest_with(&self, seed: DigestSeed) -> Digest {
         digest_bytes(&self.digest_input(), seed)
@@ -70,6 +85,20 @@ impl Packet {
     pub fn digest(&self) -> Digest {
         self.digest_with(DEFAULT_DIGEST_SEED)
     }
+}
+
+/// Digest a stream of packets in one pass (word-block assembly plus
+/// `vpm_hash::digest_batch`). Produces exactly the digests that
+/// [`Packet::digest_with`] would compute per packet.
+pub fn digest_packets<'a, I>(packets: I, seed: DigestSeed) -> Vec<Digest>
+where
+    I: IntoIterator<Item = &'a Packet>,
+{
+    let blocks: Vec<[u32; DIGEST_INPUT_WORDS]> =
+        packets.into_iter().map(|p| p.digest_words()).collect();
+    let mut out = Vec::new();
+    vpm_hash::digest_batch(&blocks, seed, &mut out);
+    out
 }
 
 #[cfg(test)]
@@ -144,6 +173,33 @@ mod tests {
             payload_len: 0,
         };
         assert_ne!(tcp.digest(), udp.digest());
+    }
+
+    #[test]
+    fn word_digest_path_matches_byte_path() {
+        use vpm_hash::{digest_words, DigestSeed};
+        for (id, seq) in [(0u16, 0u32), (1, 2), (999, 12345), (u16::MAX, u32::MAX)] {
+            let p = tcp_packet(id, seq);
+            assert_eq!(
+                digest_words(&p.digest_words(), DEFAULT_DIGEST_SEED),
+                p.digest()
+            );
+            let odd_seed = DigestSeed(0xdead_beef_1234_5678);
+            assert_eq!(
+                digest_words(&p.digest_words(), odd_seed),
+                p.digest_with(odd_seed)
+            );
+        }
+    }
+
+    #[test]
+    fn digest_packets_matches_per_packet() {
+        let pkts: Vec<Packet> = (0..64).map(|i| tcp_packet(i as u16, i * 7)).collect();
+        let batch = digest_packets(&pkts, DEFAULT_DIGEST_SEED);
+        assert_eq!(batch.len(), pkts.len());
+        for (p, d) in pkts.iter().zip(&batch) {
+            assert_eq!(*d, p.digest());
+        }
     }
 
     #[test]

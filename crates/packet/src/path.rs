@@ -55,6 +55,18 @@ impl HeaderSpec {
     pub fn matches(&self, pkt: &Packet) -> bool {
         self.src_prefix.contains(pkt.ipv4.src) && self.dst_prefix.contains(pkt.ipv4.dst)
     }
+
+    /// If both prefixes are `/32`, the exact `(src, dst)` address pair
+    /// this spec matches — the key an exact-match classifier index can
+    /// hash on. `None` for specs with genuine prefix ranges.
+    pub fn host_pair(&self) -> Option<(u32, u32)> {
+        (self.src_prefix.is_host() && self.dst_prefix.is_host()).then(|| {
+            (
+                u32::from(self.src_prefix.network()),
+                u32::from(self.dst_prefix.network()),
+            )
+        })
+    }
 }
 
 impl fmt::Display for HeaderSpec {
@@ -101,6 +113,26 @@ mod tests {
             Ipv4Addr::new(10, 9, 8, 7),
             Ipv4Addr::new(192, 169, 3, 4)
         )));
+    }
+
+    #[test]
+    fn host_pair_only_for_slash_32_pairs() {
+        let exact = HeaderSpec::new(
+            "10.0.0.1/32".parse().unwrap(),
+            "20.0.0.2/32".parse().unwrap(),
+        );
+        assert_eq!(
+            exact.host_pair(),
+            Some((
+                u32::from(Ipv4Addr::new(10, 0, 0, 1)),
+                u32::from(Ipv4Addr::new(20, 0, 0, 2))
+            ))
+        );
+        let wide = HeaderSpec::new(
+            "10.0.0.0/8".parse().unwrap(),
+            "20.0.0.2/32".parse().unwrap(),
+        );
+        assert_eq!(wide.host_pair(), None);
     }
 
     #[test]

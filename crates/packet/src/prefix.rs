@@ -78,6 +78,11 @@ impl Ipv4Prefix {
         self.len == 0
     }
 
+    /// `true` for a `/32` prefix naming exactly one host.
+    pub fn is_host(&self) -> bool {
+        self.len == 32
+    }
+
     /// Number of addresses covered by the prefix.
     pub fn size(&self) -> u64 {
         1u64 << (32 - self.len as u32)

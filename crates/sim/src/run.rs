@@ -167,7 +167,12 @@ fn drop_markers(stream: &Stream, digests: &[Digest], marker: Threshold) -> Strea
 
 /// Run a trace through a topology.
 pub fn run_path(trace: &[TracePacket], topology: &Topology, cfg: &RunConfig) -> PathRun {
-    let digests: Vec<Digest> = trace.iter().map(|tp| tp.packet.digest()).collect();
+    // Slice-digest the whole trace through the word-oriented lookup3
+    // fast path (identical digests to per-packet `Packet::digest`).
+    let digests: Vec<Digest> = vpm_packet::digest_packets(
+        trace.iter().map(|tp| &tp.packet),
+        vpm_hash::DEFAULT_DIGEST_SEED,
+    );
     let marker = Threshold::from_rate(cfg.marker_rate);
 
     // Build pipelines and clocks.
@@ -203,13 +208,23 @@ pub fn run_path(trace: &[TracePacket], topology: &Topology, cfg: &RunConfig) -> 
         pipelines.insert(hop, (pipe, clock, path));
     }
 
-    let observe = |pipelines: &mut HashMap<HopId, (HopPipeline, HopClock, PathId)>,
-                   hop: HopId,
-                   stream: &Stream| {
+    // Batched data plane: read the clock per packet, then push
+    // ring-sized, pre-classified, pre-digested batches through the
+    // collector's amortized hot path (byte-identical to per-packet
+    // `observe_digest`, measurably faster, O(batch) transient memory).
+    const OBSERVE_BATCH: usize = 4096;
+    let mut batch: Vec<(usize, Digest, SimTime)> = Vec::with_capacity(OBSERVE_BATCH);
+    let mut observe = |pipelines: &mut HashMap<HopId, (HopPipeline, HopClock, PathId)>,
+                       hop: HopId,
+                       stream: &Stream| {
         let (pipe, clock, _) = pipelines.get_mut(&hop).expect("registered hop");
-        for &(idx, t) in stream {
-            let local = clock.read(t);
-            pipe.collector.observe_digest(0, digests[idx], local);
+        for part in stream.chunks(OBSERVE_BATCH) {
+            batch.clear();
+            batch.extend(
+                part.iter()
+                    .map(|&(idx, t)| (0, digests[idx], clock.read(t))),
+            );
+            pipe.collector.observe_batch(&batch);
         }
     };
 

@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! vpm matrix [--filter k=v] [--json] [--jobs N]   run the scenario matrix
+//! vpm bench-collector [--packets N] [--paths P] [--batch B] [--repeats R] [--json]
+//!                                    measure the collector hot path
 //! vpm fig2 [secs] [seed] [n_seeds]   regenerate Figure 2
 //! vpm fig3 [secs] [seed]             regenerate Figure 3
 //! vpm verifiability [secs] [seed]    regenerate the §7.2 sweep
@@ -27,6 +29,12 @@ fn print_usage() {
                                                 the verdict table (exit 1 on failing\n\
                                                 cells); axes: delay, loss, reorder,\n\
                                                 rate, clock, deploy, adversary\n\
+           bench-collector [--packets N] [--paths P] [--batch B]\n\
+                           [--repeats R] [--json]\n\
+                                                measure collector hot-path ns/packet and\n\
+                                                Mpps (linear scan vs classifier index,\n\
+                                                per-packet vs batched; min over R timed\n\
+                                                repeats) and write BENCH_collector.json\n\
            fig2 [secs=2] [seed=1] [n_seeds=3]   Figure 2 (delay accuracy)\n\
            fig3 [secs=20] [seed=1]              Figure 3 (loss granularity)\n\
            verifiability [secs=2] [seed=1]      §7.2 verification sweep\n\
@@ -133,6 +141,76 @@ fn matrix(args: &[String]) -> ExitCode {
     }
 }
 
+/// Parse and run `vpm bench-collector [--packets N] [--paths P]
+/// [--batch B] [--json]`.
+fn bench_collector(args: &[String]) -> ExitCode {
+    let mut cfg = vpm::bench::collector_bench::CollectorBenchConfig::default();
+    let mut json = false;
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            "--packets" | "--paths" | "--batch" | "--repeats" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("vpm: {flag} needs a number");
+                    return usage();
+                };
+                let parsed = match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("vpm: {flag} value '{v}' is not a positive integer");
+                        return usage();
+                    }
+                };
+                match flag {
+                    "--packets" => cfg.packets = parsed,
+                    "--paths" => cfg.paths = parsed,
+                    "--batch" => cfg.batch = parsed,
+                    _ => cfg.repeats = parsed,
+                }
+                i += 2;
+            }
+            other => {
+                eprintln!("vpm: unknown bench-collector option '{other}'");
+                return usage();
+            }
+        }
+    }
+    if cfg.paths > u16::MAX as usize + 1 {
+        eprintln!(
+            "vpm: --paths is limited to {} /32 pairs",
+            u16::MAX as usize + 1
+        );
+        return usage();
+    }
+
+    let report = vpm::bench::collector_bench::run(&cfg);
+    let serialized = match serde_json::to_string(&report) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("vpm: cannot serialize bench report: {e:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The JSON artifact seeds the repo's perf trajectory either way;
+    // --json additionally prints it instead of the table.
+    if let Err(e) = std::fs::write("BENCH_collector.json", &serialized) {
+        eprintln!("vpm: cannot write BENCH_collector.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    if json {
+        println!("{serialized}");
+    } else {
+        print!("{}", vpm::bench::collector_bench::render_table(&report));
+        println!("wrote BENCH_collector.json");
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -140,6 +218,7 @@ fn main() -> ExitCode {
     };
     match cmd.as_str() {
         "matrix" => return matrix(&args),
+        "bench-collector" => return bench_collector(&args),
         "fig2" => {
             let cfg = experiments::fig2::Fig2Config::paper(
                 SimDuration::from_secs(arg(&args, 1, 2u64)),

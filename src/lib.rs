@@ -44,6 +44,7 @@
 //! | [`netsim`] | `vpm-netsim` | DES, queues, TCP/UDP, Gilbert-Elliott, clocks |
 //! | [`core`] | `vpm-core` | receipts, Algorithms 1 & 2, joins, verification |
 //! | [`sim`] | `vpm-sim` | topologies, adversaries, the paper's experiments |
+//! | [`bench`] | `vpm-bench` | measured throughput harnesses (`vpm bench-collector`) |
 //!
 //! ## Minimal example
 //!
@@ -77,6 +78,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use vpm_bench as bench;
 pub use vpm_core as core;
 pub use vpm_hash as hash;
 pub use vpm_netsim as netsim;

@@ -118,6 +118,61 @@ fn matrix_json_is_byte_identical_across_job_counts() {
 }
 
 #[test]
+fn bench_collector_emits_valid_json_and_artifact() {
+    // Tiny workload: this is a smoke test of plumbing, not a timing
+    // assertion.
+    let dir = std::env::temp_dir().join(format!("vpm-bench-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let out = Command::new(env!("CARGO_BIN_EXE_vpm"))
+        .args([
+            "bench-collector",
+            "--packets",
+            "4000",
+            "--paths",
+            "20",
+            "--repeats",
+            "1",
+            "--json",
+        ])
+        .current_dir(&dir)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let printed = stdout(&out);
+    let report: vpm::bench::collector_bench::CollectorBenchReport =
+        serde_json::from_str(printed.trim()).expect("stdout is the JSON report");
+    assert_eq!(report.config.packets, 4000);
+    assert!(report
+        .results
+        .iter()
+        .any(|r| r.name == "observe_batch_prehashed" && r.ns_per_packet > 0.0 && r.mpps > 0.0));
+    // The artifact on disk is the same report.
+    let on_disk = std::fs::read_to_string(dir.join("BENCH_collector.json")).expect("artifact");
+    assert_eq!(on_disk, printed.trim_end());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bench_collector_rejects_bad_flags() {
+    for (args, needle) in [
+        (
+            vec!["bench-collector", "--packets", "zero"],
+            "--packets value",
+        ),
+        (vec!["bench-collector", "--packets"], "--packets needs"),
+        (vec!["bench-collector", "--paths", "0"], "--paths value"),
+        (
+            vec!["bench-collector", "--frobnicate"],
+            "unknown bench-collector option",
+        ),
+    ] {
+        let out = vpm(&args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        assert!(stderr(&out).contains(needle), "{args:?}: {}", stderr(&out));
+    }
+}
+
+#[test]
 fn matrix_table_matches_golden_file() {
     // Pin the exact table rendering for a small filtered slice. If a
     // legitimate change alters the rendering or the cells' verdicts,

@@ -1,0 +1,175 @@
+//! Equivalence of the batched collector data plane with the
+//! per-packet path, through the public API.
+//!
+//! `Collector::observe_batch` is the line-rate hot path the sim
+//! drivers and the scenario matrix run on; these tests pin its
+//! contract: for any batch size and any interleaving of paths, the
+//! samples, aggregates, and cost counters it produces are
+//! byte-identical to calling `observe_digest` once per packet.
+
+use proptest::prelude::*;
+use vpm::core::receipt::{AggReceipt, PathId, SampleReceipt};
+use vpm::core::{Collector, HopConfig};
+use vpm::hash::Digest;
+use vpm::packet::{DomainId, HeaderSpec, HopId, Ipv4Prefix, SimDuration, SimTime};
+
+fn hop_config() -> HopConfig {
+    HopConfig::new(HopId(4), DomainId(2))
+        .with_sampling_rate(0.05)
+        .with_aggregate_size(200)
+        .with_marker_rate(0.01)
+        .with_j_window(SimDuration::from_millis(1))
+}
+
+fn path_id(spec: HeaderSpec) -> PathId {
+    PathId {
+        spec,
+        prev_hop: Some(HopId(3)),
+        next_hop: Some(HopId(5)),
+        max_diff: SimDuration::from_millis(2),
+    }
+}
+
+fn spec32(tag: u8) -> HeaderSpec {
+    HeaderSpec::new(
+        Ipv4Prefix::new(std::net::Ipv4Addr::new(10, 0, 0, tag), 32).unwrap(),
+        Ipv4Prefix::new(std::net::Ipv4Addr::new(20, 0, 0, tag), 32).unwrap(),
+    )
+}
+
+fn mk_collector(n_paths: u8, buffer_cap: Option<usize>) -> Collector {
+    let mut cfg = hop_config();
+    if let Some(cap) = buffer_cap {
+        cfg = cfg.with_buffer_cap(cap);
+    }
+    let mut c = Collector::new(cfg);
+    for tag in 0..n_paths {
+        c.register_path(path_id(spec32(tag)));
+    }
+    c
+}
+
+/// Flush, then drain both collectors into receipt form and compare
+/// everything observable.
+fn assert_identical(mut a: Collector, mut b: Collector, context: &str) {
+    a.flush();
+    b.flush();
+    assert_eq!(a.counters(), b.counters(), "counters differ: {context}");
+    let drain = |c: &mut Collector| -> (Vec<SampleReceipt>, Vec<AggReceipt>) {
+        let mut s = Vec::new();
+        let mut g = Vec::new();
+        c.drain_receipts(&mut s, &mut g);
+        (s, g)
+    };
+    let (sa, ga) = drain(&mut a);
+    let (sb, gb) = drain(&mut b);
+    assert_eq!(sa, sb, "samples differ: {context}");
+    assert_eq!(ga, gb, "aggregates differ: {context}");
+}
+
+fn synth_stream(seed: u64, n: usize, n_paths: u8) -> Vec<(usize, Digest, SimTime)> {
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            // Mostly valid path indices, occasionally out of range —
+            // the batch path must reproduce the per-packet rejection
+            // accounting too.
+            let idx = if i % 97 == 96 {
+                n_paths as usize + 3
+            } else {
+                rng.gen_range(0..n_paths as usize)
+            };
+            (idx, Digest(rng.gen()), SimTime::from_micros(10 * i as u64))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The headline contract: any batch size in 1..=257, any number of
+    /// paths, with or without a sampler buffer cap.
+    #[test]
+    fn observe_batch_equals_per_packet(
+        seed in any::<u64>(),
+        batch_size in 1usize..=257,
+        n_paths in 1u8..6,
+        cap_sel in 0usize..3,
+    ) {
+        let cap = [None, Some(16usize), Some(256usize)][cap_sel];
+        let stream = synth_stream(seed, 6_000, n_paths);
+        let mut per_packet = mk_collector(n_paths, cap);
+        for &(idx, d, t) in &stream {
+            per_packet.observe_digest(idx, d, t);
+        }
+        let mut batched = mk_collector(n_paths, cap);
+        for chunk in stream.chunks(batch_size) {
+            batched.observe_batch(chunk);
+        }
+        assert_identical(
+            per_packet,
+            batched,
+            &format!("bs={batch_size} paths={n_paths} cap={cap:?}"),
+        );
+    }
+}
+
+/// Deterministic spot check at the batch sizes the ring buffers and
+/// chunked drivers actually use.
+#[test]
+fn observe_batch_equals_per_packet_at_driver_sizes() {
+    for batch_size in [1usize, 2, 255, 256, 257, 4096] {
+        let stream = synth_stream(7, 30_000, 4);
+        let mut per_packet = mk_collector(4, None);
+        for &(idx, d, t) in &stream {
+            per_packet.observe_digest(idx, d, t);
+        }
+        let mut batched = mk_collector(4, None);
+        for chunk in stream.chunks(batch_size) {
+            batched.observe_batch(chunk);
+        }
+        assert_identical(per_packet, batched, &format!("bs={batch_size}"));
+    }
+}
+
+/// Batching must also commute with interleaved reporting intervals:
+/// report → more batches → report yields the same receipt stream.
+#[test]
+fn observe_batch_commutes_with_reporting() {
+    let stream = synth_stream(21, 20_000, 3);
+    let run = |batch_size: Option<usize>| {
+        let mut c = mk_collector(3, None);
+        let mut p = vpm::core::Processor::new(HopId(4));
+        let mut samples = Vec::new();
+        let mut aggs = Vec::new();
+        for part in stream.chunks(stream.len() / 4 + 1) {
+            match batch_size {
+                Some(bs) => {
+                    for chunk in part.chunks(bs) {
+                        c.observe_batch(chunk);
+                    }
+                }
+                None => {
+                    for &(idx, d, t) in part {
+                        c.observe_digest(idx, d, t);
+                    }
+                }
+            }
+            let b = p.report(&mut c);
+            samples.extend(b.samples.into_iter().flat_map(|r| r.samples));
+            aggs.extend(b.aggregates);
+        }
+        c.flush();
+        let b = p.report(&mut c);
+        samples.extend(b.samples.into_iter().flat_map(|r| r.samples));
+        aggs.extend(b.aggregates);
+        (samples, aggs)
+    };
+    let per_packet = run(None);
+    for bs in [64, 257] {
+        let batched = run(Some(bs));
+        assert_eq!(per_packet.0, batched.0, "bs={bs}");
+        assert_eq!(per_packet.1, batched.1, "bs={bs}");
+    }
+}
