@@ -151,6 +151,85 @@ pub struct OverheadReport {
     pub rows: Vec<(String, f64, f64)>,
 }
 
+/// Receipt-plane sizes **measured from actual encoded v1 wire frames**
+/// rather than assumed from the model constants. Produced by
+/// `vpm_wire::measure::measured_sizes()` (the codec crate sits above
+/// this one, so the measurement lives there); consumed by
+/// [`measured_bandwidth_spec`] and [`measured_section_7_1_report`] to
+/// recompute every §7.1 bandwidth number from what the encoder really
+/// emits. A test in the wire crate pins each field to the
+/// corresponding `receipt::compact` constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MeasuredSizes {
+    /// Marginal encoded bytes per `⟨PktID, Time⟩` sample record.
+    pub sample_record_bytes: usize,
+    /// Fixed encoded bytes per sample receipt beyond its records (the
+    /// 4-byte path reference plus the frame's 4-byte record-count
+    /// directory entry).
+    pub sample_receipt_framing_bytes: usize,
+    /// Encoded bytes of an aggregate receipt with an empty `AggTrans`
+    /// window (the paper's "22 bytes").
+    pub agg_receipt_bytes: usize,
+    /// Marginal encoded bytes per `AggTrans` window digest.
+    pub agg_window_digest_bytes: usize,
+    /// Encoded bytes of one full `PathID` table entry (paid once per
+    /// path per frame, amortized over every receipt referencing it).
+    pub path_entry_bytes: usize,
+    /// Encoded bytes of an empty frame (header + empty path table and
+    /// receipt sections) — the fixed per-batch framing cost.
+    pub frame_base_bytes: usize,
+}
+
+/// The paper's §7.1 bandwidth scenario, parameterized by *measured*
+/// record sizes instead of the model constants.
+pub fn measured_bandwidth_spec(m: &MeasuredSizes) -> BandwidthSpec {
+    BandwidthSpec {
+        agg_receipt_bytes: m.agg_receipt_bytes,
+        sample_record_bytes: m.sample_record_bytes,
+        ..BandwidthSpec::paper_scenario()
+    }
+}
+
+/// The §7.1 bandwidth rows recomputed from measured encoded sizes,
+/// plus the measured sizes themselves and the framing costs the paper's
+/// arithmetic leaves implicit (batch header, path table).
+pub fn measured_section_7_1_report(m: &MeasuredSizes) -> OverheadReport {
+    let bw = measured_bandwidth_spec(m);
+    let rows = vec![
+        (
+            "measured sample record [B]".to_string(),
+            SAMPLE_RECORD_BYTES as f64,
+            m.sample_record_bytes as f64,
+        ),
+        (
+            "measured aggregate receipt [B]".to_string(),
+            22.0,
+            m.agg_receipt_bytes as f64,
+        ),
+        (
+            "measured receipt bytes/pkt, 10-domain path (aggregates)".to_string(),
+            0.2,
+            bw.agg_bytes_per_pkt_path(),
+        ),
+        (
+            "measured bandwidth overhead (aggregates) [%]".to_string(),
+            0.046,
+            bw.agg_overhead_fraction() * 100.0,
+        ),
+        (
+            "measured bandwidth overhead (incl. samples) [%]".to_string(),
+            f64::NAN, // the paper does not state this one
+            bw.total_overhead_fraction() * 100.0,
+        ),
+        (
+            "frame framing: base + 1 PathID entry [B]".to_string(),
+            f64::NAN, // implicit in the paper ("communicated out of band")
+            (m.frame_base_bytes + m.path_entry_bytes) as f64,
+        ),
+    ];
+    OverheadReport { rows }
+}
+
 /// Build the full §7.1 comparison table.
 pub fn section_7_1_report() -> OverheadReport {
     let mut rows = Vec::new();
@@ -265,5 +344,43 @@ mod tests {
         for (label, _paper, ours) in &r.rows {
             assert!(ours.is_finite(), "{label}");
         }
+    }
+
+    #[test]
+    fn measured_report_reduces_to_the_model_when_sizes_agree() {
+        // When the measured sizes equal the model constants (which the
+        // wire crate's tests pin), the measured bandwidth rows must
+        // reproduce the §7.1 arithmetic exactly.
+        let m = MeasuredSizes {
+            sample_record_bytes: SAMPLE_RECORD_BYTES,
+            sample_receipt_framing_bytes: 8,
+            agg_receipt_bytes: 22,
+            agg_window_digest_bytes: 4,
+            path_entry_bytes: 24,
+            frame_base_bytes: 34,
+        };
+        let bw = measured_bandwidth_spec(&m);
+        assert!((bw.agg_bytes_per_pkt_path() - 0.22).abs() < 1e-9);
+        let r = measured_section_7_1_report(&m);
+        assert_eq!(r.rows.len(), 6);
+        let pct = r
+            .rows
+            .iter()
+            .find(|(l, _, _)| l.contains("(aggregates) [%]"))
+            .expect("bandwidth row")
+            .2;
+        assert!((0.04..0.06).contains(&pct), "{pct}%");
+        // A fatter measured record must raise the overhead rows.
+        let fat = MeasuredSizes {
+            agg_receipt_bytes: 44,
+            ..m
+        };
+        let fat_pct = measured_section_7_1_report(&fat)
+            .rows
+            .iter()
+            .find(|(l, _, _)| l.contains("(aggregates) [%]"))
+            .expect("bandwidth row")
+            .2;
+        assert!((fat_pct - 2.0 * pct).abs() < 1e-9, "{fat_pct} vs {pct}");
     }
 }

@@ -17,7 +17,7 @@ use serde::{Deserialize, Serialize};
 use vpm_packet::HopId;
 
 use crate::collector::Collector;
-use crate::receipt::{compact, AggReceipt, SampleReceipt};
+use crate::receipt::{compact, AggReceipt, PathId, SampleReceipt};
 
 /// A batch of receipts emitted by one HOP at one reporting interval.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -52,6 +52,27 @@ impl ReceiptBatch {
     /// Total sample records in the batch.
     pub fn sample_records(&self) -> usize {
         self.samples.iter().map(|s| s.samples.len()).sum()
+    }
+
+    /// The distinct `PathID`s this batch's receipts reference, in first-
+    /// appearance order (sample receipts before aggregates). This is
+    /// the canonical order of a wire frame's per-batch `PathID` table:
+    /// the encoder emits each path once here and every receipt carries
+    /// a 4-byte reference into it (`receipt::compact::PATH_REF_BYTES`).
+    pub fn paths(&self) -> Vec<PathId> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for path in self
+            .samples
+            .iter()
+            .map(|s| s.path)
+            .chain(self.aggregates.iter().map(|a| a.path))
+        {
+            if seen.insert(path) {
+                out.push(path);
+            }
+        }
+        out
     }
 
     fn tag_input(&self) -> Vec<u8> {
@@ -277,6 +298,27 @@ mod tests {
             a4.iter().map(|a| (a.agg, a.pkt_cnt)).collect::<Vec<_>>(),
             "aggregate receipts must be identical"
         );
+    }
+
+    #[test]
+    fn paths_lists_each_path_once_in_first_appearance_order() {
+        let (mut c, mut p) = pipeline_parts();
+        feed(&mut c, 8_000, 36);
+        c.flush();
+        let b = p.report(&mut c);
+        let paths = b.paths();
+        assert_eq!(paths.len(), 1, "single-path pipeline");
+        assert_eq!(paths[0], b.samples[0].path);
+        // Every receipt's path resolves to an index in the table.
+        for s in &b.samples {
+            assert!(paths.contains(&s.path));
+        }
+        for a in &b.aggregates {
+            assert!(paths.contains(&a.path));
+        }
+        // An empty batch has an empty table.
+        let empty = p.report(&mut c);
+        assert!(empty.paths().is_empty());
     }
 
     #[test]

@@ -74,9 +74,29 @@ pub struct AggReceipt {
     pub agg_trans: Vec<Digest>,
 }
 
-/// Compact wire sizes, mirroring the paper's arithmetic (§7.1): a
-/// sample record is a 4-byte truncated digest plus a 3-byte timestamp;
-/// an aggregate receipt is ~22 bytes.
+/// Compact wire sizes and truncation semantics, mirroring the paper's
+/// arithmetic (§7.1): a sample record is a 4-byte truncated digest plus
+/// a 3-byte timestamp; an aggregate receipt is ~22 bytes.
+///
+/// ## Truncation semantics
+///
+/// The compact wire profile (`vpm-wire`, v1 frames without the PRECISE
+/// flag) carries exactly these truncated values:
+///
+/// * **Digests** keep their low 32 bits ([`compact::truncate_digest`]),
+///   re-expanded on decode by zero-extension
+///   ([`compact::expand_digest`]). Matching stays equality-based: two
+///   HOPs truncate the same 64-bit digest to the same 32 bits, so
+///   honest receipts still pair up; distinct packets colliding at 32
+///   bits are skipped by the verifier's conservative duplicate rule
+///   (`verify::match_samples`).
+/// * **Timestamps** keep the observation time in microseconds modulo
+///   2²⁴ ([`compact::truncate_time`]) — a ≈16.8-second ring. Absolute
+///   time is gone, but one-way delays (≪ the ring circumference)
+///   survive as the smallest-magnitude wrapped difference
+///   ([`compact::wrapped_delta_us`]), which is how the verifier
+///   computes delays from compact receipts
+///   (`verify::Verifier::estimate_delay_truncated`).
 pub mod compact {
     use super::*;
 
@@ -92,6 +112,11 @@ pub mod compact {
     /// Bytes for a packet count.
     pub const PKT_CNT_BYTES: usize = 6;
 
+    /// Resolution of a truncated timestamp: 1 µs per tick.
+    pub const TIME_UNIT_NS: u64 = 1_000;
+    /// A truncated timestamp lives on a ring of 2²⁴ ticks (≈16.8 s).
+    pub const TIME_MOD: u64 = 1 << (8 * TIME_BYTES);
+
     /// Compact size of a sample receipt.
     pub fn sample_receipt_bytes(r: &SampleReceipt) -> usize {
         PATH_REF_BYTES + r.samples.len() * SAMPLE_RECORD_BYTES
@@ -102,6 +127,81 @@ pub mod compact {
     /// 4 (path ref) + 2·4 (AggID digests) + 6 (count) + 4 (window len).
     pub fn agg_receipt_bytes(r: &AggReceipt) -> usize {
         PATH_REF_BYTES + 2 * PKT_ID_BYTES + PKT_CNT_BYTES + 4 + r.agg_trans.len() * PKT_ID_BYTES
+    }
+
+    /// Truncate a digest to its on-wire 32 bits (the low word).
+    pub fn truncate_digest(d: Digest) -> u32 {
+        d.0 as u32
+    }
+
+    /// Re-expand an on-wire digest by zero-extension. Idempotent with
+    /// [`truncate_digest`] on already-truncated digests.
+    pub fn expand_digest(lo: u32) -> Digest {
+        Digest(lo as u64)
+    }
+
+    /// Truncate a timestamp to its on-wire 24 bits: microseconds
+    /// (floor) modulo [`TIME_MOD`].
+    pub fn truncate_time(t: SimTime) -> u32 {
+        ((t.as_nanos() / TIME_UNIT_NS) % TIME_MOD) as u32
+    }
+
+    /// Re-expand an on-wire timestamp to a `SimTime` on the first ring
+    /// revolution. Idempotent with [`truncate_time`] on already-
+    /// truncated times.
+    pub fn expand_time(ticks: u32) -> SimTime {
+        SimTime::from_nanos((ticks as u64 % TIME_MOD) * TIME_UNIT_NS)
+    }
+
+    /// Signed microsecond difference `t_out − t_in` on the truncated-
+    /// timestamp ring: the smallest-magnitude representative, exact for
+    /// true deltas under half the ring (≈8.4 s) — comfortably above any
+    /// plausible one-way transit delay. Accepts full-precision times
+    /// too (both sides are reduced onto the ring first).
+    pub fn wrapped_delta_us(t_in: SimTime, t_out: SimTime) -> i64 {
+        let a = truncate_time(t_in) as i64;
+        let b = truncate_time(t_out) as i64;
+        let half = (TIME_MOD / 2) as i64;
+        let mut d = (b - a).rem_euclid(TIME_MOD as i64);
+        if d >= half {
+            d -= TIME_MOD as i64;
+        }
+        d
+    }
+
+    /// A sample record as the compact wire carries it.
+    pub fn truncate_record(r: &SampleRecord) -> SampleRecord {
+        SampleRecord {
+            pkt_id: expand_digest(truncate_digest(r.pkt_id)),
+            time: expand_time(truncate_time(r.time)),
+        }
+    }
+
+    /// A sample receipt as the compact wire carries it.
+    pub fn truncate_sample_receipt(r: &SampleReceipt) -> SampleReceipt {
+        SampleReceipt {
+            path: r.path,
+            samples: r.samples.iter().map(truncate_record).collect(),
+        }
+    }
+
+    /// An aggregate receipt as the compact wire carries it. `PktCnt` is
+    /// preserved in full (it must fit the 6-byte field; values beyond
+    /// 2⁴⁸−1 are an encode-time error, not silently wrapped here).
+    pub fn truncate_agg_receipt(r: &AggReceipt) -> AggReceipt {
+        AggReceipt {
+            path: r.path,
+            agg: AggId {
+                first: expand_digest(truncate_digest(r.agg.first)),
+                last: expand_digest(truncate_digest(r.agg.last)),
+            },
+            pkt_cnt: r.pkt_cnt,
+            agg_trans: r
+                .agg_trans
+                .iter()
+                .map(|&d| expand_digest(truncate_digest(d)))
+                .collect(),
+        }
     }
 }
 
@@ -187,6 +287,69 @@ mod tests {
             ..agg
         };
         assert_eq!(compact::agg_receipt_bytes(&agg2), 22 + 12);
+    }
+
+    #[test]
+    fn truncation_is_idempotent_and_sized_right() {
+        // Digest: low 32 bits survive, high 32 vanish.
+        let d = Digest(0xdead_beef_0123_4567);
+        assert_eq!(compact::truncate_digest(d), 0x0123_4567);
+        let e = compact::expand_digest(compact::truncate_digest(d));
+        assert_eq!(e, Digest(0x0123_4567));
+        assert_eq!(compact::truncate_digest(e), compact::truncate_digest(d));
+        // Time: µs floor, mod 2^24 — idempotent once truncated.
+        let t = SimTime::from_nanos(17_999_999_999_999); // 18000 s − ε
+        let w = compact::truncate_time(t);
+        assert!(u64::from(w) < compact::TIME_MOD);
+        let back = compact::expand_time(w);
+        assert_eq!(compact::truncate_time(back), w);
+        // The wire stores exactly TIME_BYTES worth of ticks.
+        assert_eq!(compact::TIME_MOD, 1 << (8 * compact::TIME_BYTES));
+    }
+
+    #[test]
+    fn wrapped_delta_recovers_small_delays_across_the_ring_seam() {
+        // A 3 ms transit observed just before/after the ring wraps.
+        let wrap_ns = compact::TIME_MOD * compact::TIME_UNIT_NS;
+        let t_in = SimTime::from_nanos(wrap_ns - 1_000_000); // 1 ms before seam
+        let t_out = SimTime::from_nanos(wrap_ns + 2_000_000); // 2 ms after seam
+        assert_eq!(compact::wrapped_delta_us(t_in, t_out), 3_000);
+        // Negative (skewed-clock) deltas survive too.
+        assert_eq!(compact::wrapped_delta_us(t_out, t_in), -3_000);
+        // And an ordinary mid-ring delta is just the delta.
+        let a = SimTime::from_micros(10_000);
+        let b = SimTime::from_micros(12_500);
+        assert_eq!(compact::wrapped_delta_us(a, b), 2_500);
+    }
+
+    #[test]
+    fn truncate_receipt_helpers_truncate_every_field() {
+        let r = SampleReceipt {
+            path: path(),
+            samples: vec![SampleRecord {
+                pkt_id: Digest(0xffff_ffff_0000_0001),
+                time: SimTime::from_nanos(1_234_567_891),
+            }],
+        };
+        let tr = compact::truncate_sample_receipt(&r);
+        assert_eq!(tr.path, r.path);
+        assert_eq!(tr.samples[0].pkt_id, Digest(1));
+        assert_eq!(tr.samples[0].time, SimTime::from_micros(1_234_567));
+
+        let a = AggReceipt {
+            path: path(),
+            agg: AggId {
+                first: Digest(0xaaaa_bbbb_cccc_dddd),
+                last: Digest(0x1111_2222_3333_4444),
+            },
+            pkt_cnt: 42,
+            agg_trans: vec![Digest(0x9999_0000_0000_0007)],
+        };
+        let ta = compact::truncate_agg_receipt(&a);
+        assert_eq!(ta.agg.first, Digest(0xcccc_dddd));
+        assert_eq!(ta.agg.last, Digest(0x3333_4444));
+        assert_eq!(ta.pkt_cnt, 42);
+        assert_eq!(ta.agg_trans, vec![Digest(7)]);
     }
 
     #[test]

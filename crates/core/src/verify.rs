@@ -43,6 +43,16 @@ impl MatchedSample {
     pub fn delay_ms(&self) -> f64 {
         self.t_out.signed_delta(self.t_in) as f64 / 1e6
     }
+
+    /// Signed transit delay in milliseconds for receipts that traveled
+    /// in the *compact* wire profile (§7.1): timestamps are µs modulo
+    /// 2²⁴, so the delay is the smallest-magnitude wrapped difference
+    /// on that ring ([`crate::receipt::compact::wrapped_delta_us`]).
+    /// Exact for true delays under half the ring (≈8.4 s); also correct
+    /// on full-precision times whose delay fits that bound.
+    pub fn truncated_delay_ms(&self) -> f64 {
+        crate::receipt::compact::wrapped_delta_us(self.t_in, self.t_out) as f64 / 1e3
+    }
 }
 
 /// Match sample records from two HOPs by `PktID`.
@@ -285,10 +295,31 @@ impl Default for Verifier {
 impl Verifier {
     /// Estimate delay quantiles from matched samples.
     pub fn estimate_delay(&self, matched: &[MatchedSample]) -> Option<DelayEstimate> {
-        if matched.is_empty() {
+        self.estimate_from_delays(matched.iter().map(MatchedSample::delay_ms).collect())
+    }
+
+    /// Estimate delay quantiles from matched samples whose times went
+    /// through §7.1 truncation (the compact wire profile): per-sample
+    /// delays come from [`MatchedSample::truncated_delay_ms`], i.e. the
+    /// wrapped difference on the 24-bit microsecond ring. The matching
+    /// itself needs no special handling — truncation is deterministic,
+    /// so both HOPs report the same 32-bit `PktID` for the same packet,
+    /// and 32-bit collisions between *distinct* packets fall into
+    /// [`match_samples`]' conservative duplicate-skip rule.
+    pub fn estimate_delay_truncated(&self, matched: &[MatchedSample]) -> Option<DelayEstimate> {
+        self.estimate_from_delays(
+            matched
+                .iter()
+                .map(MatchedSample::truncated_delay_ms)
+                .collect(),
+        )
+    }
+
+    fn estimate_from_delays(&self, mut delays: Vec<f64>) -> Option<DelayEstimate> {
+        if delays.is_empty() {
             return None;
         }
-        let mut delays: Vec<f64> = matched.iter().map(|m| m.delay_ms()).collect();
+        let matched = delays.len();
         delays.sort_by(|a, b| a.partial_cmp(b).expect("no NaN delays"));
         let quantiles = self
             .quantiles
@@ -297,7 +328,7 @@ impl Verifier {
             .collect();
         Some(DelayEstimate {
             quantiles,
-            matched: matched.len(),
+            matched,
             delays_ms: delays,
         })
     }
@@ -456,6 +487,51 @@ mod tests {
         let est = Verifier::default().estimate_delay(&matched).unwrap();
         for q in &est.quantiles {
             assert!((q.value - 3.0).abs() < 1e-6, "{q:?}");
+        }
+    }
+
+    /// Compact-profile receipts (§7.1 truncation: 32-bit digests,
+    /// 24-bit µs timestamps) still match across HOPs and recover the
+    /// transit delay — including across the timestamp ring's seam,
+    /// which the stream straddles several times here.
+    #[test]
+    fn truncated_receipts_still_estimate_delay() {
+        use crate::receipt::compact;
+        let marker = Threshold::from_rate(0.01);
+        let sigma = Threshold::from_rate(0.05);
+        let mut rng = SmallRng::seed_from_u64(18);
+        let mut h_in = DelaySampler::new(marker, sigma);
+        let mut h_out = DelaySampler::new(marker, sigma);
+        for i in 0..50_000u64 {
+            let d = Digest(rng.gen());
+            // 400 µs apart × 50k packets = 20 s > the 16.8 s ring.
+            let t = SimTime::from_micros(400 * i);
+            h_in.observe(d, t);
+            h_out.observe(d, t + SimDuration::from_millis(3));
+        }
+        let truncate = |recs: Vec<SampleRecord>| -> Vec<SampleRecord> {
+            recs.iter().map(compact::truncate_record).collect()
+        };
+        let full_in = h_in.drain();
+        let full_out = h_out.drain();
+        let matched_full = match_samples(&full_in, &full_out);
+        let matched = match_samples(&truncate(full_in), &truncate(full_out));
+        // Truncation can only lose samples (32-bit collisions fall to
+        // the duplicate rule), never invent matches.
+        assert!(matched.len() <= matched_full.len());
+        assert!(matched.len() as f64 > 0.99 * matched_full.len() as f64);
+        let est = Verifier::default()
+            .estimate_delay_truncated(&matched)
+            .unwrap();
+        for q in &est.quantiles {
+            // Truncation floors each timestamp to µs, so a 3 ms delay
+            // reads as 3 ms ± 1 µs.
+            assert!((q.value - 3.0).abs() < 2e-3, "{q:?}");
+        }
+        // The naive signed delta would be wildly wrong for seam-
+        // straddling samples; the wrapped delta never is.
+        for m in &matched {
+            assert!((m.truncated_delay_ms() - 3.0).abs() < 2e-3, "{m:?}");
         }
     }
 

@@ -11,14 +11,19 @@
 //! * [`topology`] — domains, HOPs, inter-domain links; the canonical
 //!   Figure 1 topology `S–L–X–N–D`.
 //! * [`run`] — the path runner: trace in at HOP 1, receipts out of all
-//!   HOPs, ground truth retained for evaluation.
+//!   HOPs — every batch encoded into a v1 wire frame, published through
+//!   a `vpm_wire::ReceiptTransport`, fetched and decoded back — with
+//!   ground truth retained for evaluation.
 //! * [`bus`] — receipt dissemination ("each receipt is made available
-//!   only to the domains that observed the corresponding traffic").
+//!   only to the domains that observed the corresponding traffic");
+//!   now a compatibility surface over `vpm_wire::transport`.
 //! * [`adversary`] — lying-domain strategies: blame shifting, delay
 //!   sugarcoating, marker dropping, collusive cover-up, and the
 //!   sample-bias attempt VPM is designed to defeat.
 //! * [`verdict`] — the receipt collector's path analysis: per-domain
-//!   estimates, per-link consistency, liar exposure.
+//!   estimates, per-link consistency, liar exposure — from a run's
+//!   outputs or purely from transport-fetched frames
+//!   ([`verdict::analyze_from_transport`]).
 //! * [`experiments`] — Figure 2, Figure 3, the §7.2 verifiability
 //!   sweep and the design-choice ablations.
 //! * [`scenario_matrix`] — the deterministic scenario grid: delay
@@ -41,7 +46,7 @@ pub mod scenario_matrix;
 pub mod topology;
 pub mod verdict;
 
-pub use run::{PathRun, RunConfig};
+pub use run::{run_path, run_path_with_transport, PathRun, RunConfig};
 pub use scenario_matrix::{
     evaluate_cell, evaluate_grid, full_grid, parse_filter, render_matrix_table, Cell, CellVerdict,
     MatrixFilter, CANONICAL_BASE_SEED,

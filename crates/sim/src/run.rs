@@ -6,6 +6,13 @@
 //! (delay / loss / reordering) on the way. The runner retains ground
 //! truth (true per-domain delays and losses) so experiments can score
 //! the receipt-derived estimates against reality.
+//!
+//! Receipts do not shortcut from processor to analysis: every batch is
+//! encoded into a v1 wire frame, published through a
+//! [`ReceiptTransport`], then fetched and decoded to rebuild the
+//! [`HopOutput`]s — so the whole test surface built on `run_path`
+//! (including the 216-cell scenario matrix) exercises the codec's
+//! `encode → decode` round trip and proves it lossless.
 
 use std::collections::HashMap;
 use vpm_core::processor::ReceiptBatch;
@@ -16,8 +23,15 @@ use vpm_netsim::channel::{apply, arrivals, ChannelConfig};
 use vpm_netsim::clock::HopClock;
 use vpm_packet::{DomainId, HopId, SimDuration, SimTime};
 use vpm_trace::TracePacket;
+use vpm_wire::{Profile, ReceiptTransport, ShardedBus, WireEncoder};
 
 use crate::topology::{DomainRole, Topology};
+
+/// Shard count of the transport `run_path` creates for itself. Small
+/// because a Figure-1 run publishes one frame per HOP; many-path
+/// workloads pass their own wider [`ShardedBus`] to
+/// [`run_path_with_transport`].
+const RUN_TRANSPORT_SHARDS: usize = 4;
 
 /// Clock quality at the HOPs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -165,8 +179,28 @@ fn drop_markers(stream: &Stream, digests: &[Digest], marker: Threshold) -> Strea
         .collect()
 }
 
-/// Run a trace through a topology.
+/// Run a trace through a topology, disseminating receipts over a
+/// private [`ShardedBus`] (see [`run_path_with_transport`] to supply a
+/// transport and observe the published frames).
 pub fn run_path(trace: &[TracePacket], topology: &Topology, cfg: &RunConfig) -> PathRun {
+    run_path_with_transport(trace, topology, cfg, &ShardedBus::new(RUN_TRANSPORT_SHARDS))
+}
+
+/// Run a trace through a topology, publishing every HOP's receipt
+/// batch through `transport` as an encoded precise-profile wire frame
+/// and rebuilding the per-HOP outputs from the fetched, decoded
+/// frames.
+///
+/// The runner opens its own subscription before publishing and drains
+/// it afterwards, so it collects exactly this run's frames even on a
+/// shared transport (runs must not interleave publishes on one
+/// transport concurrently if deterministic output is required).
+pub fn run_path_with_transport(
+    trace: &[TracePacket],
+    topology: &Topology,
+    cfg: &RunConfig,
+    transport: &dyn ReceiptTransport,
+) -> PathRun {
     // Slice-digest the whole trace through the word-oriented lookup3
     // fast path (identical digests to per-packet `Packet::digest`).
     let digests: Vec<Digest> = vpm_packet::digest_packets(
@@ -268,13 +302,40 @@ pub fn run_path(trace: &[TracePacket], topology: &Topology, cfg: &RunConfig) -> 
         }
     }
 
-    // Final reports.
-    let mut hops = Vec::new();
+    // Final reports: encode every batch into a precise-profile wire
+    // frame, publish it through the transport (which re-decodes and
+    // tag-verifies the actual bytes), then drain this run's
+    // subscription and rebuild the outputs from the *decoded* batches —
+    // the codec round trip is on the pipeline's critical path.
+    let on_path = topology.domain_ids();
+    let collector_domain = *on_path.first().expect("topology has domains");
+    let sub = transport.subscribe(collector_domain);
+    let encoder = WireEncoder::new(Profile::Precise);
+    let mut hop_meta: HashMap<HopId, (DomainId, PathId, u64)> = HashMap::new();
     for &hop in &hop_order {
         let (mut pipe, _, path) = pipelines.remove(&hop).expect("still present");
         let dom = topology.domain_of(hop).expect("hop has a domain").id;
         let key = pipe.processor.key();
         let batch = pipe.final_report();
+        transport.register_key(hop, key);
+        let frame = encoder.encode(&batch).expect("receipt batches encode");
+        transport
+            .publish(dom, frame, on_path.clone())
+            .expect("honest signed batches publish");
+        hop_meta.insert(hop, (dom, path, key));
+    }
+
+    let mut decoded: HashMap<HopId, ReceiptBatch> = transport
+        .poll(sub)
+        .expect("the collector domain is on-path")
+        .into_iter()
+        .map(|p| (p.hop, p.batch.clone()))
+        .collect();
+
+    let mut hops = Vec::new();
+    for &hop in &hop_order {
+        let (dom, path, key) = hop_meta.remove(&hop).expect("published above");
+        let batch = decoded.remove(&hop).expect("published frame came back");
         let samples: Vec<SampleRecord> = batch
             .samples
             .iter()
@@ -340,6 +401,50 @@ mod tests {
         }
         for truth in &run.truths {
             assert_eq!(truth.sent, truth.delivered, "{}", truth.name);
+        }
+    }
+
+    /// The receipts in a `PathRun` went through encode → transport →
+    /// decode; losslessness means the decoded batches still verify
+    /// under their HOPs' keys and re-encode to the very frames the
+    /// transport holds.
+    #[test]
+    fn run_receipts_round_trip_the_wire_codec_losslessly() {
+        let t = trace(150, 21);
+        let topo = Figure1::ideal().build();
+        let transport = vpm_wire::InMemoryBus::new();
+        let run = run_path_with_transport(&t, &topo, &quick_cfg(), &transport);
+        assert_eq!(transport.len(), run.hops.len());
+        for h in &run.hops {
+            assert!(h.batch.verify_tag(h.key), "{}", h.hop);
+            let published = transport.fetch(h.domain, h.hop).unwrap();
+            assert_eq!(published.len(), 1);
+            let re = vpm_wire::WireEncoder::precise().encode(&h.batch).unwrap();
+            assert_eq!(
+                re, published[0].frame,
+                "decoded batch must re-encode to the published bytes"
+            );
+        }
+    }
+
+    /// The transport implementation is invisible to the result: the
+    /// same trace through the in-memory bus and through sharded buses
+    /// of every acceptance shard count yields identical outputs.
+    #[test]
+    fn path_run_is_identical_across_transports_and_shard_counts() {
+        let t = trace(150, 22);
+        let topo = Figure1::ideal().build();
+        let cfg = quick_cfg();
+        let baseline = run_path_with_transport(&t, &topo, &cfg, &vpm_wire::InMemoryBus::new());
+        for shards in [1, 4, 16] {
+            let run = run_path_with_transport(&t, &topo, &cfg, &vpm_wire::ShardedBus::new(shards));
+            assert_eq!(run.trace_len, baseline.trace_len);
+            for (a, b) in baseline.hops.iter().zip(&run.hops) {
+                assert_eq!(a.hop, b.hop, "{shards} shards");
+                assert_eq!(a.batch, b.batch, "{shards} shards");
+                assert_eq!(a.samples, b.samples, "{shards} shards");
+                assert_eq!(a.aggregates, b.aggregates, "{shards} shards");
+            }
         }
     }
 

@@ -29,6 +29,12 @@
 //!    colluding coalition, or (for sampling bias) as a defeated attack
 //!    whose estimates still track the truth.
 //!
+//! Every cell's receipts take the full dissemination path: `run_path`
+//! encodes each HOP's batch into a v1 wire frame, publishes it through
+//! a `vpm_wire::ReceiptTransport`, and rebuilds the outputs from the
+//! fetched, decoded frames — so all 216 cells double as a losslessness
+//! proof for the binary codec.
+//!
 //! Everything is seeded: evaluating the same cell twice produces
 //! byte-identical [`CellVerdict`]s, and [`evaluate_grid`] evaluates
 //! cells in parallel with `std::thread::scope` while merging results

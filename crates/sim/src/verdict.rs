@@ -10,8 +10,9 @@
 use serde::{Deserialize, Serialize};
 use vpm_core::verify::{DomainEstimate, LinkReport, Verifier};
 use vpm_packet::{DomainId, HopId};
+use vpm_wire::{ReceiptTransport, TransportError};
 
-use crate::run::PathRun;
+use crate::run::{HopOutput, PathRun};
 use crate::topology::{DomainRole, Topology};
 
 /// One transit domain's receipt-derived estimate.
@@ -157,6 +158,66 @@ pub fn analyze_path(topology: &Topology, run: &PathRun) -> PathAnalysis {
     PathAnalysis { domains, links }
 }
 
+/// Analyze a path from disseminated receipts alone: fetch every HOP's
+/// frames from the transport as `requester`, merge the decoded batches
+/// per HOP in publish order, and run the same verifier logic as
+/// [`analyze_path`].
+///
+/// This is the receipt collector's real position in the redesigned
+/// pipeline — it never touches a `PathRun`, only what `publish` put on
+/// the wire. Authenticity was already enforced at publish (the
+/// transport rejects frames whose tag fails), so the collector consumes
+/// the decoded batches directly; HOPs that published nothing are simply
+/// absent from the analysis, exactly like non-deployed HOPs in
+/// [`analyze_path`]. Fails with [`TransportError::NotOnPath`] when
+/// `requester` did not observe the traffic.
+pub fn analyze_from_transport(
+    topology: &Topology,
+    transport: &dyn ReceiptTransport,
+    requester: DomainId,
+) -> Result<PathAnalysis, TransportError> {
+    let mut hops = Vec::new();
+    for hop in topology.hops() {
+        let published = transport.fetch(requester, hop)?;
+        let Some(first) = published.first() else {
+            continue;
+        };
+        // An empty batch (e.g. a quiet first reporting interval) has no
+        // path table; take the path from the first frame that names one
+        // and skip the hop only if *no* frame does.
+        let Some(&path) = published.iter().find_map(|p| p.paths.first()) else {
+            continue;
+        };
+        let mut batch = first.batch.clone();
+        for p in &published[1..] {
+            batch.samples.extend(p.batch.samples.iter().cloned());
+            batch.aggregates.extend(p.batch.aggregates.iter().cloned());
+        }
+        let samples = batch
+            .samples
+            .iter()
+            .flat_map(|r| r.samples.iter().copied())
+            .collect();
+        let aggregates = batch.aggregates.clone();
+        hops.push(HopOutput {
+            hop,
+            domain: topology.domain_of(hop).expect("hop has a domain").id,
+            path,
+            batch,
+            samples,
+            aggregates,
+            observed: 0, // unknown to a pure receipt collector
+            key: 0,      // authenticity was checked at publish
+        });
+    }
+    let run = PathRun {
+        hops,
+        truths: Vec::new(),
+        trace_len: 0,
+    };
+    Ok(analyze_path(topology, &run))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,6 +269,113 @@ mod tests {
         for name in ["L", "N"] {
             let d = analysis.domain(name).unwrap();
             assert!(d.estimate.loss.rate().unwrap_or(0.0) < 0.01, "{name}");
+        }
+    }
+
+    /// A collector working purely from disseminated frames reaches the
+    /// same verdicts as one reading the runner's outputs directly.
+    #[test]
+    fn transport_only_analysis_matches_path_analysis() {
+        let t = TraceGenerator::new(TraceConfig {
+            target_pps: 50_000.0,
+            duration: SimDuration::from_millis(200),
+            ..TraceConfig::paper_default(1, 23)
+        })
+        .generate();
+        let mut fig = Figure1::ideal();
+        fig.x_transit = ChannelConfig {
+            delay: DelayModel::Constant(SimDuration::from_micros(200)),
+            loss: Some((0.15, 4.0)),
+            reorder: ReorderModel::none(),
+            seed: 5,
+        };
+        let topo = fig.build();
+        let cfg = RunConfig {
+            sampling_rate: 0.05,
+            aggregate_size: 500,
+            marker_rate: 0.01,
+            j_window: SimDuration::from_millis(2),
+            ..RunConfig::default()
+        };
+        let transport = vpm_wire::ShardedBus::new(4);
+        let run = crate::run::run_path_with_transport(&t, &topo, &cfg, &transport);
+        let from_run = analyze_path(&topo, &run);
+        let requester = topo.domain_ids()[0];
+        let from_wire = super::analyze_from_transport(&topo, &transport, requester).unwrap();
+        assert_eq!(from_run.domains.len(), from_wire.domains.len());
+        for (a, b) in from_run.domains.iter().zip(&from_wire.domains) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.estimate, b.estimate, "{}", a.name);
+        }
+        assert_eq!(from_run.links.len(), from_wire.links.len());
+        for (a, b) in from_run.links.iter().zip(&from_wire.links) {
+            assert_eq!((a.up, a.down), (b.up, b.down));
+            assert_eq!(a.report, b.report, "{}→{}", a.up, a.down);
+        }
+        // And an off-path collector is refused outright.
+        assert!(matches!(
+            super::analyze_from_transport(&topo, &transport, DomainId(99)),
+            Err(vpm_wire::TransportError::NotOnPath { .. })
+        ));
+    }
+
+    /// A quiet first reporting interval publishes an empty batch (no
+    /// path table); the collector must still use the populated batches
+    /// that follow rather than dropping the HOP.
+    #[test]
+    fn empty_first_batch_does_not_hide_a_hop_from_the_collector() {
+        let t = TraceGenerator::new(TraceConfig {
+            target_pps: 50_000.0,
+            duration: SimDuration::from_millis(150),
+            ..TraceConfig::paper_default(1, 29)
+        })
+        .generate();
+        let topo = Figure1::ideal().build();
+        let cfg = RunConfig {
+            sampling_rate: 0.05,
+            aggregate_size: 500,
+            marker_rate: 0.01,
+            j_window: SimDuration::from_millis(2),
+            ..RunConfig::default()
+        };
+        let run = crate::run::run_path(&t, &topo, &cfg);
+        let transport = vpm_wire::InMemoryBus::new();
+        let on_path = topo.domain_ids();
+        for h in &run.hops {
+            transport.register_key(h.hop, h.key);
+            // Interval 0: nothing matured yet — an empty, signed batch.
+            let mut empty = vpm_core::processor::ReceiptBatch {
+                hop: h.hop,
+                batch_seq: 0,
+                samples: vec![],
+                aggregates: vec![],
+                auth_tag: 0,
+            };
+            empty.auth_tag = empty.compute_tag(h.key);
+            transport
+                .publish_batch(
+                    h.domain,
+                    &empty,
+                    vpm_wire::Profile::Precise,
+                    on_path.clone(),
+                )
+                .unwrap();
+            // Interval 1: the real receipts.
+            transport
+                .publish_batch(
+                    h.domain,
+                    &h.batch,
+                    vpm_wire::Profile::Precise,
+                    on_path.clone(),
+                )
+                .unwrap();
+        }
+        let analysis = super::analyze_from_transport(&topo, &transport, on_path[0]).unwrap();
+        let baseline = analyze_path(&topo, &run);
+        assert_eq!(analysis.domains.len(), baseline.domains.len());
+        for (a, b) in baseline.domains.iter().zip(&analysis.domains) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.estimate, b.estimate, "{}", a.name);
         }
     }
 

@@ -1,0 +1,1029 @@
+//! The v1 binary receipt codec.
+//!
+//! Receipts travel as **frames**: one frame per [`ReceiptBatch`],
+//! self-describing, versioned, and decodable without out-of-band
+//! context. All multi-byte integers are little-endian.
+//!
+//! ```text
+//! offset size      field
+//! 0      4         magic "VPMW"
+//! 4      1         version (currently 1)
+//! 5      1         flags (bit0: PRECISE profile; all other bits zero)
+//! 6      2         reporting HOP id
+//! 8      8         batch sequence number
+//! 16     8         authenticity tag
+//! 24     2         path count (p)
+//! 26     24·p      PathID table, one entry per distinct path:
+//!                  src net u32 | src len u8 | dst net u32 | dst len u8
+//!                  | prev flag u8 | prev u16 | next flag u8 | next u16
+//!                  | MaxDiff ns u64
+//! …      4         sample-receipt count (s)
+//! …      4·s       record-count directory, one u32 per sample receipt
+//! …      …         sample-receipt bodies: path ref u32, then records
+//!                    compact: PktID lo u32 | time µs mod 2²⁴ u24 (7 B)
+//!                    precise: PktID u64   | time ns u64         (16 B)
+//! …      4         aggregate-receipt count (a)
+//! …      …         aggregate-receipt bodies:
+//!                    compact: path ref u32 | first lo u32 | last lo u32
+//!                             | PktCnt u48 | window len u32
+//!                             | window lo u32 each        (22 + 4w B)
+//!                    precise: path ref u32 | first u64 | last u64
+//!                             | PktCnt u64 | window len u32
+//!                             | window u64 each           (32 + 8w B)
+//! ```
+//!
+//! Two record profiles share this layout:
+//!
+//! * [`Profile::Compact`] — the §7.1 wire format. Record bytes are
+//!   **exactly** the `receipt::compact` arithmetic: 7-byte sample
+//!   records, 22-byte aggregate receipts (+4 per window digest), with
+//!   the truncation semantics documented in `vpm_core::receipt::compact`
+//!   (low-32-bit digests; µs-mod-2²⁴ timestamps). Decoding re-expands
+//!   the truncated values; the verifier's truncated digest-matching
+//!   path (`Verifier::estimate_delay_truncated`) consumes them.
+//! * [`Profile::Precise`] — full-fidelity 8-byte digests and nanosecond
+//!   timestamps. `encode → decode` is the identity on [`ReceiptBatch`];
+//!   the simulation pipeline routes every receipt through this profile,
+//!   so the entire test surface (including the 216-cell matrix goldens)
+//!   proves the codec lossless.
+//!
+//! Decoding is **total**: any byte string either decodes or returns a
+//! typed [`WireError`] — truncated input, bad magic, unknown versions
+//! or flags, dangling path references, oversized counts and trailing
+//! garbage are all errors, never panics (fuzzed in this module's
+//! tests).
+//!
+//! ## Versioning rules
+//!
+//! The version byte names the complete layout above. Any layout change
+//! — field widths, section order, new sections — bumps it; decoders
+//! reject versions they do not know ([`WireError::UnsupportedVersion`])
+//! rather than guessing. Flag bits not assigned in a version are
+//! reserved-zero and rejected ([`WireError::BadFlags`]), so a v1
+//! decoder can never silently misread a frame that depends on a newer
+//! feature. The golden fixture `tests/golden/wire_v1.hex` pins the v1
+//! bytes; it fails loudly on any drift that forgets to bump the
+//! version.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use vpm_core::processor::ReceiptBatch;
+use vpm_core::receipt::{compact, AggId, AggReceipt, PathId, SampleReceipt, SampleRecord};
+use vpm_hash::Digest;
+use vpm_packet::{HeaderSpec, HopId, Ipv4Prefix, SimDuration, SimTime};
+
+/// Frame magic: `"VPMW"`.
+pub const MAGIC: [u8; 4] = *b"VPMW";
+/// Current wire-format version.
+pub const VERSION: u8 = 1;
+/// Flag bit selecting the precise (full-fidelity) record profile.
+const FLAG_PRECISE: u8 = 0b0000_0001;
+/// Fixed frame header bytes (magic, version, flags, hop, seq, tag).
+pub const HEADER_BYTES: usize = 24;
+/// Encoded bytes per `PathID` table entry.
+pub const PATH_ENTRY_BYTES: usize = 24;
+
+/// Record encoding carried by a v1 frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Profile {
+    /// §7.1 truncated records: 7-byte samples, 22-byte aggregates.
+    Compact,
+    /// Full-fidelity records: lossless `encode → decode`.
+    Precise,
+}
+
+impl Profile {
+    /// Encoded bytes per sample record in this profile.
+    pub fn sample_record_bytes(self) -> usize {
+        match self {
+            Profile::Compact => compact::SAMPLE_RECORD_BYTES,
+            Profile::Precise => 16,
+        }
+    }
+
+    /// Encoded body bytes of a sample receipt with `records` records
+    /// (path reference + records; the 4-byte directory entry lives in
+    /// the frame's sample directory, not the body).
+    pub fn sample_receipt_bytes(self, records: usize) -> usize {
+        compact::PATH_REF_BYTES + records * self.sample_record_bytes()
+    }
+
+    /// Encoded body bytes of an aggregate receipt with a `window`-digest
+    /// `AggTrans` window. For [`Profile::Compact`] this is the paper's
+    /// 22 bytes plus 4 per window digest.
+    pub fn agg_receipt_bytes(self, window: usize) -> usize {
+        match self {
+            Profile::Compact => {
+                compact::PATH_REF_BYTES
+                    + 2 * compact::PKT_ID_BYTES
+                    + compact::PKT_CNT_BYTES
+                    + 4
+                    + window * compact::PKT_ID_BYTES
+            }
+            Profile::Precise => compact::PATH_REF_BYTES + 2 * 8 + 8 + 4 + window * 8,
+        }
+    }
+
+    fn flags(self) -> u8 {
+        match self {
+            Profile::Compact => 0,
+            Profile::Precise => FLAG_PRECISE,
+        }
+    }
+}
+
+/// Typed codec errors. Decoding is total: every malformed input maps to
+/// one of these, never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before a field could be read.
+    Truncated {
+        /// Byte offset at which more input was needed.
+        at: usize,
+        /// Bytes the next field needed.
+        needed: usize,
+    },
+    /// The first four bytes are not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The version byte names a layout this decoder does not know.
+    UnsupportedVersion(u8),
+    /// The flags byte sets bits v1 does not assign.
+    BadFlags(u8),
+    /// A prefix length exceeded 32 bits.
+    BadPrefixLen(u8),
+    /// An Option tag byte was neither 0 nor 1.
+    BadOptionTag(u8),
+    /// A receipt referenced a path index beyond the frame's table.
+    BadPathRef {
+        /// The dangling reference.
+        reference: u32,
+        /// Entries actually present in the table.
+        paths: u16,
+    },
+    /// A packet count does not fit the compact profile's 6-byte field.
+    CountTooLarge(u64),
+    /// More than `u16::MAX` distinct paths in one batch (encode-side).
+    TooManyPaths(usize),
+    /// A receipt or record count overflowed its 4-byte field
+    /// (encode-side).
+    TooManyItems(usize),
+    /// Bytes remained after the last section (corrupt or concatenated
+    /// input).
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { at, needed } => {
+                write!(f, "input truncated at byte {at} (needed {needed} more)")
+            }
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::BadFlags(b) => write!(f, "unassigned flag bits set: {b:#010b}"),
+            WireError::BadPrefixLen(l) => write!(f, "prefix length {l} > 32"),
+            WireError::BadOptionTag(t) => write!(f, "option tag {t} is neither 0 nor 1"),
+            WireError::BadPathRef { reference, paths } => {
+                write!(f, "path ref {reference} outside table of {paths}")
+            }
+            WireError::CountTooLarge(c) => {
+                write!(f, "packet count {c} exceeds the 6-byte wire field")
+            }
+            WireError::TooManyPaths(p) => write!(f, "{p} paths exceed the 2-byte table"),
+            WireError::TooManyItems(n) => write!(f, "{n} items exceed a 4-byte count"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after the frame"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Where each section of an encoded frame landed — the measured sizes
+/// behind `measure::measured_sizes()` and the `measured_*` §7.1
+/// functions in `vpm_core::overhead`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameStats {
+    /// Total frame bytes.
+    pub total_bytes: usize,
+    /// Fixed header bytes ([`HEADER_BYTES`]).
+    pub header_bytes: usize,
+    /// Path-table bytes (2-byte count + entries).
+    pub path_table_bytes: usize,
+    /// Sample section framing: 4-byte count + 4-byte directory entries.
+    pub sample_directory_bytes: usize,
+    /// Sample-receipt body bytes (path refs + records).
+    pub sample_body_bytes: usize,
+    /// Aggregate section bytes (4-byte count + bodies).
+    pub agg_section_bytes: usize,
+}
+
+/// One encoded receipt frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireFrame {
+    bytes: Vec<u8>,
+}
+
+impl WireFrame {
+    /// Wrap raw bytes without validating them (validation happens at
+    /// [`WireFrame::decode`] / [`WireDecoder::decode`]).
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        WireFrame { bytes }
+    }
+
+    /// The frame's bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Encoded length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Is the frame empty (zero bytes — never a valid encoding)?
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Encode a batch in the given profile.
+    pub fn encode(batch: &ReceiptBatch, profile: Profile) -> Result<WireFrame, WireError> {
+        WireEncoder::new(profile).encode(batch)
+    }
+
+    /// Decode this frame.
+    pub fn decode(&self) -> Result<DecodedFrame, WireError> {
+        WireDecoder::decode(&self.bytes)
+    }
+
+    /// Lower-case hex rendering (golden fixtures, debugging).
+    pub fn to_hex(&self) -> String {
+        self.bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+}
+
+/// A decoded frame: the batch plus frame-level metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedFrame {
+    /// The reconstructed batch. Exact under [`Profile::Precise`];
+    /// truncated per `receipt::compact` under [`Profile::Compact`].
+    pub batch: ReceiptBatch,
+    /// The record profile the frame was encoded with.
+    pub profile: Profile,
+    /// The frame's `PathID` table, in wire order.
+    pub paths: Vec<PathId>,
+}
+
+/// Encodes [`ReceiptBatch`]es into v1 frames.
+#[derive(Debug, Clone, Copy)]
+pub struct WireEncoder {
+    profile: Profile,
+}
+
+impl WireEncoder {
+    /// An encoder for the given record profile.
+    pub fn new(profile: Profile) -> Self {
+        WireEncoder { profile }
+    }
+
+    /// The §7.1 compact-profile encoder.
+    pub fn compact() -> Self {
+        WireEncoder::new(Profile::Compact)
+    }
+
+    /// The lossless precise-profile encoder.
+    pub fn precise() -> Self {
+        WireEncoder::new(Profile::Precise)
+    }
+
+    /// This encoder's record profile.
+    pub fn profile(&self) -> Profile {
+        self.profile
+    }
+
+    /// Encode a batch.
+    pub fn encode(&self, batch: &ReceiptBatch) -> Result<WireFrame, WireError> {
+        self.encode_with_stats(batch).map(|(f, _)| f)
+    }
+
+    /// Encode a batch and report where each section landed.
+    pub fn encode_with_stats(
+        &self,
+        batch: &ReceiptBatch,
+    ) -> Result<(WireFrame, FrameStats), WireError> {
+        let paths = batch.paths();
+        if paths.len() > u16::MAX as usize {
+            return Err(WireError::TooManyPaths(paths.len()));
+        }
+        let path_index: HashMap<PathId, u32> = paths
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i as u32))
+            .collect();
+
+        let mut w = Writer::default();
+        // Header.
+        w.bytes(&MAGIC);
+        w.u8(VERSION);
+        w.u8(self.profile.flags());
+        w.u16(batch.hop.0);
+        w.u64(batch.batch_seq);
+        w.u64(batch.auth_tag);
+        let header_bytes = w.len();
+
+        // Path table.
+        w.u16(paths.len() as u16);
+        for p in &paths {
+            encode_path(&mut w, p);
+        }
+        let path_table_bytes = w.len() - header_bytes;
+
+        // Sample directory.
+        w.u32(count32(batch.samples.len())?);
+        for r in &batch.samples {
+            w.u32(count32(r.samples.len())?);
+        }
+        let sample_directory_bytes = w.len() - header_bytes - path_table_bytes;
+
+        // Sample bodies.
+        let body_start = w.len();
+        for r in &batch.samples {
+            w.u32(path_index[&r.path]);
+            for s in &r.samples {
+                match self.profile {
+                    Profile::Compact => {
+                        w.u32(compact::truncate_digest(s.pkt_id));
+                        w.u24(compact::truncate_time(s.time));
+                    }
+                    Profile::Precise => {
+                        w.u64(s.pkt_id.0);
+                        w.u64(s.time.as_nanos());
+                    }
+                }
+            }
+        }
+        let sample_body_bytes = w.len() - body_start;
+
+        // Aggregate section.
+        let agg_start = w.len();
+        w.u32(count32(batch.aggregates.len())?);
+        for a in &batch.aggregates {
+            w.u32(path_index[&a.path]);
+            match self.profile {
+                Profile::Compact => {
+                    w.u32(compact::truncate_digest(a.agg.first));
+                    w.u32(compact::truncate_digest(a.agg.last));
+                    if a.pkt_cnt >= 1 << 48 {
+                        return Err(WireError::CountTooLarge(a.pkt_cnt));
+                    }
+                    w.u48(a.pkt_cnt);
+                }
+                Profile::Precise => {
+                    w.u64(a.agg.first.0);
+                    w.u64(a.agg.last.0);
+                    w.u64(a.pkt_cnt);
+                }
+            }
+            w.u32(count32(a.agg_trans.len())?);
+            for &d in &a.agg_trans {
+                match self.profile {
+                    Profile::Compact => w.u32(compact::truncate_digest(d)),
+                    Profile::Precise => w.u64(d.0),
+                }
+            }
+        }
+        let agg_section_bytes = w.len() - agg_start;
+
+        let stats = FrameStats {
+            total_bytes: w.len(),
+            header_bytes,
+            path_table_bytes,
+            sample_directory_bytes,
+            sample_body_bytes,
+            agg_section_bytes,
+        };
+        Ok((
+            WireFrame {
+                bytes: w.into_vec(),
+            },
+            stats,
+        ))
+    }
+}
+
+/// Decodes v1 frames back into batches. Stateless; decoding is total.
+#[derive(Debug, Clone, Copy)]
+pub struct WireDecoder;
+
+impl WireDecoder {
+    /// Decode a frame from raw bytes.
+    pub fn decode(bytes: &[u8]) -> Result<DecodedFrame, WireError> {
+        let mut r = Reader::new(bytes);
+        let magic = r.array::<4>()?;
+        if magic != MAGIC {
+            return Err(WireError::BadMagic(magic));
+        }
+        let version = r.u8()?;
+        if version != VERSION {
+            return Err(WireError::UnsupportedVersion(version));
+        }
+        let flags = r.u8()?;
+        let profile = match flags {
+            0 => Profile::Compact,
+            FLAG_PRECISE => Profile::Precise,
+            other => return Err(WireError::BadFlags(other)),
+        };
+        let hop = HopId(r.u16()?);
+        let batch_seq = r.u64()?;
+        let auth_tag = r.u64()?;
+
+        // Path table.
+        let path_count = r.u16()?;
+        r.can_hold(path_count as usize, PATH_ENTRY_BYTES)?;
+        let mut paths = Vec::with_capacity(path_count as usize);
+        for _ in 0..path_count {
+            paths.push(decode_path(&mut r)?);
+        }
+        let path_at = |reference: u32| -> Result<PathId, WireError> {
+            paths
+                .get(reference as usize)
+                .copied()
+                .ok_or(WireError::BadPathRef {
+                    reference,
+                    paths: path_count,
+                })
+        };
+
+        // Sample directory, then bodies.
+        let sample_count = r.u32()? as usize;
+        r.can_hold(sample_count, 4)?;
+        let mut record_counts = Vec::with_capacity(sample_count);
+        for _ in 0..sample_count {
+            record_counts.push(r.u32()? as usize);
+        }
+        let rec_bytes = profile.sample_record_bytes();
+        let mut samples = Vec::with_capacity(sample_count);
+        for &records in &record_counts {
+            let path = path_at(r.u32()?)?;
+            r.can_hold(records, rec_bytes)?;
+            let mut recs = Vec::with_capacity(records);
+            for _ in 0..records {
+                recs.push(match profile {
+                    Profile::Compact => SampleRecord {
+                        pkt_id: compact::expand_digest(r.u32()?),
+                        time: compact::expand_time(r.u24()?),
+                    },
+                    Profile::Precise => SampleRecord {
+                        pkt_id: Digest(r.u64()?),
+                        time: SimTime::from_nanos(r.u64()?),
+                    },
+                });
+            }
+            samples.push(SampleReceipt {
+                path,
+                samples: recs,
+            });
+        }
+
+        // Aggregate section.
+        let agg_count = r.u32()? as usize;
+        r.can_hold(agg_count, profile.agg_receipt_bytes(0))?;
+        let mut aggregates = Vec::with_capacity(agg_count);
+        for _ in 0..agg_count {
+            let path = path_at(r.u32()?)?;
+            let (first, last, pkt_cnt) = match profile {
+                Profile::Compact => (
+                    compact::expand_digest(r.u32()?),
+                    compact::expand_digest(r.u32()?),
+                    r.u48()?,
+                ),
+                Profile::Precise => (Digest(r.u64()?), Digest(r.u64()?), r.u64()?),
+            };
+            let window = r.u32()? as usize;
+            let digest_bytes = match profile {
+                Profile::Compact => compact::PKT_ID_BYTES,
+                Profile::Precise => 8,
+            };
+            r.can_hold(window, digest_bytes)?;
+            let mut agg_trans = Vec::with_capacity(window);
+            for _ in 0..window {
+                agg_trans.push(match profile {
+                    Profile::Compact => compact::expand_digest(r.u32()?),
+                    Profile::Precise => Digest(r.u64()?),
+                });
+            }
+            aggregates.push(AggReceipt {
+                path,
+                agg: AggId { first, last },
+                pkt_cnt,
+                agg_trans,
+            });
+        }
+
+        if r.remaining() > 0 {
+            return Err(WireError::TrailingBytes(r.remaining()));
+        }
+
+        Ok(DecodedFrame {
+            batch: ReceiptBatch {
+                hop,
+                batch_seq,
+                samples,
+                aggregates,
+                auth_tag,
+            },
+            profile,
+            paths,
+        })
+    }
+}
+
+fn count32(n: usize) -> Result<u32, WireError> {
+    u32::try_from(n).map_err(|_| WireError::TooManyItems(n))
+}
+
+fn encode_path(w: &mut Writer, p: &PathId) {
+    w.u32(u32::from(p.spec.src_prefix.network()));
+    w.u8(p.spec.src_prefix.len());
+    w.u32(u32::from(p.spec.dst_prefix.network()));
+    w.u8(p.spec.dst_prefix.len());
+    for hop in [p.prev_hop, p.next_hop] {
+        match hop {
+            None => {
+                w.u8(0);
+                w.u16(0);
+            }
+            Some(h) => {
+                w.u8(1);
+                w.u16(h.0);
+            }
+        }
+    }
+    w.u64(p.max_diff.as_nanos());
+}
+
+fn decode_path(r: &mut Reader<'_>) -> Result<PathId, WireError> {
+    let prefix = |r: &mut Reader<'_>| -> Result<Ipv4Prefix, WireError> {
+        let net = r.u32()?;
+        let len = r.u8()?;
+        Ipv4Prefix::new(std::net::Ipv4Addr::from(net), len)
+            .map_err(|_| WireError::BadPrefixLen(len))
+    };
+    let src = prefix(r)?;
+    let dst = prefix(r)?;
+    let hop = |r: &mut Reader<'_>| -> Result<Option<HopId>, WireError> {
+        let tag = r.u8()?;
+        let id = r.u16()?;
+        match tag {
+            0 => Ok(None),
+            1 => Ok(Some(HopId(id))),
+            other => Err(WireError::BadOptionTag(other)),
+        }
+    };
+    let prev_hop = hop(r)?;
+    let next_hop = hop(r)?;
+    let max_diff = SimDuration::from_nanos(r.u64()?);
+    Ok(PathId {
+        spec: HeaderSpec::new(src, dst),
+        prev_hop,
+        next_hop,
+        max_diff,
+    })
+}
+
+/// Little-endian append-only byte writer.
+#[derive(Default)]
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn len(&self) -> usize {
+        self.buf.len()
+    }
+    fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+    fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u24(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes()[..3]);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u48(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes()[..6]);
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Bounds-checked little-endian reader; every overrun is a typed
+/// [`WireError::Truncated`].
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, at: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    /// Pre-flight an `items × size` section so corrupt counts fail fast
+    /// instead of over-allocating before the per-item reads error out.
+    fn can_hold(&self, items: usize, size: usize) -> Result<(), WireError> {
+        let needed = items.saturating_mul(size);
+        if needed > self.remaining() {
+            return Err(WireError::Truncated {
+                at: self.at,
+                needed: needed - self.remaining(),
+            });
+        }
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                at: self.at,
+                needed: n - self.remaining(),
+            });
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        Ok(self.take(N)?.try_into().expect("take returned N bytes"))
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.array()?))
+    }
+
+    fn u24(&mut self) -> Result<u32, WireError> {
+        let b = self.take(3)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], 0]))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.array()?))
+    }
+
+    fn u48(&mut self) -> Result<u64, WireError> {
+        let b = self.take(6)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], 0, 0,
+        ]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.array()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+    use vpm_packet::DomainId;
+
+    fn path(n: u8) -> PathId {
+        PathId {
+            spec: HeaderSpec::new(
+                format!("10.{n}.0.0/16").parse().unwrap(),
+                "192.168.0.0/24".parse().unwrap(),
+            ),
+            prev_hop: n.is_multiple_of(2).then_some(HopId(3)),
+            next_hop: Some(HopId(5)),
+            max_diff: SimDuration::from_millis(2),
+        }
+    }
+
+    fn known_batch() -> ReceiptBatch {
+        let mut b = ReceiptBatch {
+            hop: HopId(4),
+            batch_seq: 9,
+            samples: vec![
+                SampleReceipt {
+                    path: path(0),
+                    samples: vec![
+                        SampleRecord {
+                            pkt_id: Digest(0xdead_beef_0123_4567),
+                            time: SimTime::from_nanos(1_234_567_891),
+                        },
+                        SampleRecord {
+                            pkt_id: Digest(42),
+                            time: SimTime::from_micros(17),
+                        },
+                    ],
+                },
+                SampleReceipt {
+                    path: path(1),
+                    samples: vec![],
+                },
+            ],
+            aggregates: vec![AggReceipt {
+                path: path(0),
+                agg: AggId {
+                    first: Digest(0xaaaa_bbbb_cccc_dddd),
+                    last: Digest(0x1111_2222_3333_4444),
+                },
+                pkt_cnt: 100_000,
+                agg_trans: vec![Digest(7), Digest(0xffff_ffff_0000_0001)],
+            }],
+            auth_tag: 0,
+        };
+        b.auth_tag = b.compute_tag(0xabc);
+        b
+    }
+
+    /// Deterministic pseudo-random batch for the fuzz properties.
+    fn arb_batch(seed: u64) -> ReceiptBatch {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n_paths = rng.gen_range(0usize..4) + 1;
+        let paths: Vec<PathId> = (0..n_paths)
+            .map(|_| PathId {
+                spec: HeaderSpec::new(
+                    Ipv4Prefix::new(
+                        std::net::Ipv4Addr::from(rng.gen::<u32>()),
+                        rng.gen_range(0u32..33) as u8,
+                    )
+                    .unwrap(),
+                    Ipv4Prefix::new(
+                        std::net::Ipv4Addr::from(rng.gen::<u32>()),
+                        rng.gen_range(0u32..33) as u8,
+                    )
+                    .unwrap(),
+                ),
+                prev_hop: rng.gen::<bool>().then(|| HopId(rng.gen())),
+                next_hop: rng.gen::<bool>().then(|| HopId(rng.gen())),
+                max_diff: SimDuration::from_nanos(rng.gen()),
+            })
+            .collect();
+        ReceiptBatch {
+            hop: HopId(rng.gen()),
+            batch_seq: rng.gen(),
+            samples: (0..rng.gen_range(0usize..4))
+                .map(|_| SampleReceipt {
+                    path: paths[rng.gen_range(0usize..paths.len())],
+                    samples: (0..rng.gen_range(0usize..20))
+                        .map(|_| SampleRecord {
+                            pkt_id: Digest(rng.gen()),
+                            time: SimTime::from_nanos(rng.gen()),
+                        })
+                        .collect(),
+                })
+                .collect(),
+            aggregates: (0..rng.gen_range(0usize..4))
+                .map(|_| AggReceipt {
+                    path: paths[rng.gen_range(0usize..paths.len())],
+                    agg: AggId {
+                        first: Digest(rng.gen()),
+                        last: Digest(rng.gen()),
+                    },
+                    pkt_cnt: rng.gen::<u64>() & ((1 << 48) - 1),
+                    agg_trans: (0..rng.gen_range(0usize..6))
+                        .map(|_| Digest(rng.gen()))
+                        .collect(),
+                })
+                .collect(),
+            auth_tag: rng.gen(),
+        }
+    }
+
+    /// The compact truncation of a batch: what a compact frame decodes
+    /// to (tag bytes preserved verbatim — re-signing is the signer's
+    /// job, not the codec's).
+    fn truncated(b: &ReceiptBatch) -> ReceiptBatch {
+        ReceiptBatch {
+            hop: b.hop,
+            batch_seq: b.batch_seq,
+            samples: b
+                .samples
+                .iter()
+                .map(compact::truncate_sample_receipt)
+                .collect(),
+            aggregates: b
+                .aggregates
+                .iter()
+                .map(compact::truncate_agg_receipt)
+                .collect(),
+            auth_tag: b.auth_tag,
+        }
+    }
+
+    #[test]
+    fn precise_roundtrip_is_the_identity() {
+        let b = known_batch();
+        let frame = WireFrame::encode(&b, Profile::Precise).unwrap();
+        let d = frame.decode().unwrap();
+        assert_eq!(d.profile, Profile::Precise);
+        assert_eq!(d.batch, b);
+        assert_eq!(d.paths, b.paths());
+        // The tag still verifies after the round trip.
+        assert!(d.batch.verify_tag(0xabc));
+    }
+
+    #[test]
+    fn compact_roundtrip_is_the_documented_truncation() {
+        let b = known_batch();
+        let frame = WireFrame::encode(&b, Profile::Compact).unwrap();
+        let d = frame.decode().unwrap();
+        assert_eq!(d.profile, Profile::Compact);
+        assert_eq!(d.batch, truncated(&b));
+        // Truncation is idempotent: re-encoding the decoded batch gives
+        // the same bytes.
+        let again = WireFrame::encode(&d.batch, Profile::Compact).unwrap();
+        assert_eq!(again, frame);
+    }
+
+    #[test]
+    fn encoded_sections_match_the_size_arithmetic() {
+        let b = known_batch();
+        for profile in [Profile::Compact, Profile::Precise] {
+            let (frame, stats) = WireEncoder::new(profile).encode_with_stats(&b).unwrap();
+            assert_eq!(stats.total_bytes, frame.len());
+            assert_eq!(stats.header_bytes, HEADER_BYTES);
+            assert_eq!(
+                stats.path_table_bytes,
+                2 + b.paths().len() * PATH_ENTRY_BYTES
+            );
+            assert_eq!(stats.sample_directory_bytes, 4 + 4 * b.samples.len());
+            assert_eq!(
+                stats.sample_body_bytes,
+                b.samples
+                    .iter()
+                    .map(|r| profile.sample_receipt_bytes(r.samples.len()))
+                    .sum::<usize>()
+            );
+            assert_eq!(
+                stats.agg_section_bytes,
+                4 + b
+                    .aggregates
+                    .iter()
+                    .map(|a| profile.agg_receipt_bytes(a.agg_trans.len()))
+                    .sum::<usize>()
+            );
+        }
+        // Compact receipt bodies are byte-for-byte the §7.1 arithmetic.
+        for r in &b.samples {
+            assert_eq!(
+                Profile::Compact.sample_receipt_bytes(r.samples.len()),
+                compact::sample_receipt_bytes(r)
+            );
+        }
+        for a in &b.aggregates {
+            assert_eq!(
+                Profile::Compact.agg_receipt_bytes(a.agg_trans.len()),
+                compact::agg_receipt_bytes(a)
+            );
+        }
+        assert_eq!(Profile::Compact.sample_record_bytes(), 7);
+        assert_eq!(Profile::Compact.agg_receipt_bytes(0), 22);
+    }
+
+    #[test]
+    fn typed_errors_for_every_malformation() {
+        let b = known_batch();
+        let frame = WireFrame::encode(&b, Profile::Precise).unwrap();
+        let bytes = frame.as_bytes().to_vec();
+
+        assert_eq!(
+            WireDecoder::decode(&[]),
+            Err(WireError::Truncated { at: 0, needed: 4 })
+        );
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            WireDecoder::decode(&bad),
+            Err(WireError::BadMagic(_))
+        ));
+        let mut bad = bytes.clone();
+        bad[4] = 2;
+        assert_eq!(
+            WireDecoder::decode(&bad),
+            Err(WireError::UnsupportedVersion(2))
+        );
+        let mut bad = bytes.clone();
+        bad[5] = 0b1000_0001;
+        assert_eq!(
+            WireDecoder::decode(&bad),
+            Err(WireError::BadFlags(0b1000_0001))
+        );
+        let mut bad = bytes.clone();
+        bad.push(0);
+        assert_eq!(WireDecoder::decode(&bad), Err(WireError::TrailingBytes(1)));
+        // Dangling path reference: the first sample body's path ref
+        // sits right after header, table (2 paths) and directory.
+        let at = HEADER_BYTES + 2 + 2 * PATH_ENTRY_BYTES + 4 + 4 * b.samples.len();
+        let mut bad = bytes.clone();
+        bad[at..at + 4].copy_from_slice(&99u32.to_le_bytes());
+        assert_eq!(
+            WireDecoder::decode(&bad),
+            Err(WireError::BadPathRef {
+                reference: 99,
+                paths: 2
+            })
+        );
+        // Oversized compact packet count is an encode-time error.
+        let mut big = known_batch();
+        big.aggregates[0].pkt_cnt = 1 << 48;
+        assert_eq!(
+            WireFrame::encode(&big, Profile::Compact),
+            Err(WireError::CountTooLarge(1 << 48))
+        );
+        // …but fits the precise profile.
+        assert!(WireFrame::encode(&big, Profile::Precise).is_ok());
+    }
+
+    #[test]
+    fn decoding_shares_no_state_with_the_publisher() {
+        // A frame decodes from raw bytes alone (no out-of-band path
+        // registry): rebuild from the byte string and compare.
+        let b = known_batch();
+        let frame = WireFrame::encode(&b, Profile::Precise).unwrap();
+        let copy = WireFrame::from_bytes(frame.as_bytes().to_vec());
+        assert_eq!(copy.decode().unwrap().batch, b);
+        let _ = DomainId(0); // silence unused-import lint paths
+    }
+
+    proptest::proptest! {
+        /// Decoding is total: arbitrary bytes never panic.
+        #[test]
+        fn decode_never_panics_on_arbitrary_bytes(
+            bytes in proptest::collection::vec(proptest::prelude::any::<u8>(), 0..512)
+        ) {
+            let _ = WireDecoder::decode(&bytes);
+        }
+
+        /// Every strict prefix of a valid encoding is a typed error —
+        /// frames are self-delimiting, so losing any tail bytes is
+        /// always detected.
+        #[test]
+        fn truncations_of_valid_encodings_error(
+            seed in proptest::prelude::any::<u64>(),
+            cut in proptest::prelude::any::<u16>(),
+            precise in proptest::prelude::any::<bool>()
+        ) {
+            let profile = if precise { Profile::Precise } else { Profile::Compact };
+            let frame = WireFrame::encode(&arb_batch(seed), profile).unwrap();
+            let n = frame.len();
+            let cut = cut as usize % n;
+            proptest::prop_assert!(WireDecoder::decode(&frame.as_bytes()[..cut]).is_err());
+        }
+
+        /// Corrupting one byte never panics (it may still decode — a
+        /// flipped digest bit is valid content — but must never crash).
+        #[test]
+        fn single_byte_corruption_never_panics(
+            seed in proptest::prelude::any::<u64>(),
+            pos in proptest::prelude::any::<u16>(),
+            val in proptest::prelude::any::<u8>()
+        ) {
+            let frame = WireFrame::encode(&arb_batch(seed), Profile::Precise).unwrap();
+            let mut bytes = frame.as_bytes().to_vec();
+            let n = bytes.len();
+            bytes[pos as usize % n] = val;
+            let _ = WireDecoder::decode(&bytes);
+        }
+
+        /// Precise encode→decode is the identity on arbitrary batches.
+        #[test]
+        fn precise_roundtrip_on_arbitrary_batches(seed in proptest::prelude::any::<u64>()) {
+            let b = arb_batch(seed);
+            let d = WireFrame::encode(&b, Profile::Precise).unwrap().decode().unwrap();
+            proptest::prop_assert_eq!(d.batch, b);
+        }
+
+        /// Compact encode→decode is exactly the documented truncation,
+        /// and re-encoding the truncation reproduces the same bytes.
+        #[test]
+        fn compact_roundtrip_on_arbitrary_batches(seed in proptest::prelude::any::<u64>()) {
+            let b = arb_batch(seed);
+            let frame = WireFrame::encode(&b, Profile::Compact).unwrap();
+            let d = frame.decode().unwrap();
+            proptest::prop_assert_eq!(&d.batch, &truncated(&b));
+            proptest::prop_assert_eq!(WireFrame::encode(&d.batch, Profile::Compact).unwrap(), frame);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # vpm-wire — the receipt plane's wire layer
+//!
+//! The paper's §7.1 bandwidth claims assume receipts travel as compact
+//! binary records — 4-byte truncated `PktID`s, 3-byte timestamps,
+//! ~22-byte aggregate receipts — disseminated to exactly the domains
+//! that observed the corresponding traffic. This crate is that receipt
+//! plane:
+//!
+//! * [`codec`] — the versioned binary codec. v1 frames carry a magic +
+//!   version byte, a per-batch `PathID` table (receipts reference paths
+//!   by a 4-byte index, `receipt::compact::PATH_REF_BYTES`), and
+//!   records in one of two profiles: **compact** (byte-for-byte the
+//!   §7.1 arithmetic, with the truncation semantics documented in
+//!   `vpm_core::receipt::compact`) or **precise** (lossless — the
+//!   simulation pipeline round-trips every receipt through it).
+//!   Decoding is total: corrupt or truncated input yields a typed
+//!   [`WireError`], never a panic.
+//! * [`transport`] — the transport-agnostic dissemination API:
+//!   [`ReceiptTransport`] (`publish`/`fetch`/`subscribe`) preserving
+//!   the paper's authenticity and on-path-visibility guarantees, with
+//!   an [`InMemoryBus`] reference implementation and a [`ShardedBus`]
+//!   that spreads frames across `PathID`-hashed shards.
+//! * [`measure`] —§7.1 sizes measured from actual encoded frames,
+//!   feeding `vpm_core::overhead`'s `measured_*` report.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod measure;
+pub mod transport;
+
+pub use codec::{
+    DecodedFrame, FrameStats, Profile, WireDecoder, WireEncoder, WireError, WireFrame, MAGIC,
+    VERSION,
+};
+pub use measure::{measured_overhead_report, measured_sizes};
+pub use transport::{
+    InMemoryBus, Published, ReceiptTransport, ShardedBus, SubscriptionId, TransportError,
+};

@@ -1,0 +1,810 @@
+//! Transport-agnostic receipt dissemination.
+//!
+//! The paper assumes receipts are disseminated with authenticity and
+//! integrity guarantees (assumption #2) and a privacy rule (§2.1): "a
+//! receipt is made available only to the domains that observed the
+//! corresponding traffic." [`ReceiptTransport`] is that contract as an
+//! API — `publish` / `fetch` / `subscribe` over encoded
+//! [`WireFrame`]s — with the enforcement points fixed by the trait's
+//! documented semantics rather than by any one backing store:
+//!
+//! * **Authenticity at publish**: a frame must decode and its batch's
+//!   tag must verify under the publishing HOP's registered key, so a
+//!   tampered batch never enters circulation.
+//! * **Visibility at fetch/poll**: a frame is returned only to
+//!   requesters on the `on_path` list the publisher declared.
+//! * **Shared, immutable frames**: published entries are handed out as
+//!   [`Arc<Published>`] — fetching never deep-clones a batch, and two
+//!   fetches of the same entry return pointers to the same allocation.
+//!
+//! Two implementations ship here: [`InMemoryBus`], the single-lock
+//! reference store (kept for tests and small topologies), and
+//! [`ShardedBus`], which spreads frames across `PathID`-hashed,
+//! internally-locked shards so many domains publish and fetch
+//! concurrently without contending on one `RwLock`. Both present
+//! identical observable behaviour: same errors, same frame order
+//! (global publish order), byte-identical fetch results.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use vpm_core::processor::ReceiptBatch;
+use vpm_core::receipt::PathId;
+use vpm_packet::{DomainId, HopId};
+
+use crate::codec::{Profile, WireDecoder, WireEncoder, WireError, WireFrame};
+
+/// A published frame with its provenance, shared by reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Published {
+    /// Global publish sequence number (fetch order).
+    pub seq: u64,
+    /// The publishing domain.
+    pub domain: DomainId,
+    /// The reporting HOP.
+    pub hop: HopId,
+    /// The encoded frame as published.
+    pub frame: WireFrame,
+    /// The decoded batch (verified against the HOP's key at publish).
+    pub batch: ReceiptBatch,
+    /// The frame's `PathID` table (shard routing, path-scoped fetch).
+    pub paths: Vec<PathId>,
+    /// Domains that observed the corresponding traffic — the only ones
+    /// allowed to see this entry.
+    pub on_path: Vec<DomainId>,
+}
+
+impl Published {
+    fn visible_to(&self, requester: DomainId) -> bool {
+        self.on_path.contains(&requester)
+    }
+}
+
+/// A subscription handle returned by [`ReceiptTransport::subscribe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SubscriptionId(pub u64);
+
+/// Errors from transport operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The batch's authenticity tag did not verify under the
+    /// publisher's registered key.
+    BadTag {
+        /// Offending HOP.
+        hop: HopId,
+    },
+    /// The requesting domain is not on the path the receipts describe.
+    NotOnPath {
+        /// The requester.
+        requester: DomainId,
+    },
+    /// No key registered for the HOP.
+    UnknownHop(HopId),
+    /// The published frame does not decode.
+    Malformed(WireError),
+    /// The subscription handle was never issued by this transport.
+    UnknownSubscription(SubscriptionId),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::BadTag { hop } => write!(f, "authenticity tag failed for {hop}"),
+            TransportError::NotOnPath { requester } => {
+                write!(f, "{requester} did not observe this traffic")
+            }
+            TransportError::UnknownHop(h) => write!(f, "no key registered for {h}"),
+            TransportError::Malformed(e) => write!(f, "malformed frame: {e}"),
+            TransportError::UnknownSubscription(s) => write!(f, "unknown subscription {}", s.0),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<WireError> for TransportError {
+    fn from(e: WireError) -> Self {
+        TransportError::Malformed(e)
+    }
+}
+
+/// The dissemination API every receipt transport implements.
+///
+/// Implementations must preserve the paper's two receipt-plane
+/// guarantees — authenticity at publish, on-path visibility at
+/// fetch/poll — and must return entries in global publish order so
+/// different transports are byte-for-byte interchangeable.
+pub trait ReceiptTransport: Send + Sync {
+    /// Register a HOP's signing key (out-of-band trust establishment).
+    fn register_key(&self, hop: HopId, key: u64);
+
+    /// Publish an encoded frame. Decodes it, verifies the batch tag
+    /// against the HOP's registered key (a tampered or malformed frame
+    /// never enters circulation) and stores it visible to `on_path`.
+    /// Returns the entry's global sequence number.
+    fn publish(
+        &self,
+        domain: DomainId,
+        frame: WireFrame,
+        on_path: Vec<DomainId>,
+    ) -> Result<u64, TransportError>;
+
+    /// Every entry the requester may see for a HOP, in publish order.
+    /// Entries are `Arc`-shared, never cloned: fetching twice returns
+    /// pointers to the same allocations.
+    fn fetch(&self, requester: DomainId, hop: HopId)
+        -> Result<Vec<Arc<Published>>, TransportError>;
+
+    /// Every entry the requester may see whose frame references `path`,
+    /// in publish order. On a sharded transport this touches only the
+    /// path's shard.
+    fn fetch_path(
+        &self,
+        requester: DomainId,
+        path: &PathId,
+    ) -> Result<Vec<Arc<Published>>, TransportError>;
+
+    /// Open a subscription for a requester: subsequent [`Self::poll`]
+    /// calls return entries published since the previous poll (starting
+    /// from the subscription point), filtered to what the requester may
+    /// see.
+    fn subscribe(&self, requester: DomainId) -> SubscriptionId;
+
+    /// Drain a subscription: visible entries published since the last
+    /// poll, in publish order. Entries the requester may not see are
+    /// skipped silently (a stream, unlike a targeted fetch, is not an
+    /// assertion that specific traffic was observed).
+    fn poll(&self, sub: SubscriptionId) -> Result<Vec<Arc<Published>>, TransportError>;
+
+    /// Total published entries (diagnostics).
+    fn len(&self) -> usize;
+
+    /// Is the transport empty?
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Convenience: encode `batch` in `profile` and publish it.
+    fn publish_batch(
+        &self,
+        domain: DomainId,
+        batch: &ReceiptBatch,
+        profile: Profile,
+        on_path: Vec<DomainId>,
+    ) -> Result<u64, TransportError> {
+        let frame = WireEncoder::new(profile).encode(batch)?;
+        self.publish(domain, frame, on_path)
+    }
+}
+
+/// Decode + verify a frame against the key table; shared by both
+/// implementations so their admission behaviour cannot drift.
+fn admit(
+    keys: &RwLock<HashMap<HopId, u64>>,
+    seq: u64,
+    domain: DomainId,
+    frame: WireFrame,
+    on_path: Vec<DomainId>,
+) -> Result<Published, TransportError> {
+    let decoded = WireDecoder::decode(frame.as_bytes())?;
+    let hop = decoded.batch.hop;
+    let key = *keys
+        .read()
+        .get(&hop)
+        .ok_or(TransportError::UnknownHop(hop))?;
+    if !decoded.batch.verify_tag(key) {
+        return Err(TransportError::BadTag { hop });
+    }
+    Ok(Published {
+        seq,
+        domain,
+        hop,
+        frame,
+        batch: decoded.batch,
+        paths: decoded.paths,
+        on_path,
+    })
+}
+
+/// The privacy rule shared by `fetch`/`fetch_path`: visible entries are
+/// returned; an empty result caused by hidden entries is an explicit
+/// [`TransportError::NotOnPath`] refusal, not silence.
+fn apply_visibility(
+    requester: DomainId,
+    matching: Vec<Arc<Published>>,
+) -> Result<Vec<Arc<Published>>, TransportError> {
+    let any_hidden = matching.iter().any(|p| !p.visible_to(requester));
+    let visible: Vec<Arc<Published>> = matching
+        .into_iter()
+        .filter(|p| p.visible_to(requester))
+        .collect();
+    if visible.is_empty() && any_hidden {
+        return Err(TransportError::NotOnPath { requester });
+    }
+    Ok(visible)
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SubCursor {
+    requester: DomainId,
+    next_seq: u64,
+}
+
+/// The single-lock reference transport: one `RwLock` over one entry
+/// vector. Simple, obviously correct, and the behavioural baseline the
+/// sharded transport is tested against.
+#[derive(Default)]
+pub struct InMemoryBus {
+    keys: RwLock<HashMap<HopId, u64>>,
+    entries: RwLock<Vec<Arc<Published>>>,
+    subs: Mutex<Vec<SubCursor>>,
+}
+
+impl InMemoryBus {
+    /// Empty bus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ReceiptTransport for InMemoryBus {
+    fn register_key(&self, hop: HopId, key: u64) {
+        self.keys.write().insert(hop, key);
+    }
+
+    fn publish(
+        &self,
+        domain: DomainId,
+        frame: WireFrame,
+        on_path: Vec<DomainId>,
+    ) -> Result<u64, TransportError> {
+        let mut entries = self.entries.write();
+        let seq = entries.len() as u64;
+        let published = admit(&self.keys, seq, domain, frame, on_path)?;
+        entries.push(Arc::new(published));
+        Ok(seq)
+    }
+
+    fn fetch(
+        &self,
+        requester: DomainId,
+        hop: HopId,
+    ) -> Result<Vec<Arc<Published>>, TransportError> {
+        let matching: Vec<Arc<Published>> = self
+            .entries
+            .read()
+            .iter()
+            .filter(|p| p.hop == hop)
+            .cloned()
+            .collect();
+        apply_visibility(requester, matching)
+    }
+
+    fn fetch_path(
+        &self,
+        requester: DomainId,
+        path: &PathId,
+    ) -> Result<Vec<Arc<Published>>, TransportError> {
+        let matching: Vec<Arc<Published>> = self
+            .entries
+            .read()
+            .iter()
+            .filter(|p| p.paths.contains(path))
+            .cloned()
+            .collect();
+        apply_visibility(requester, matching)
+    }
+
+    fn subscribe(&self, requester: DomainId) -> SubscriptionId {
+        let mut subs = self.subs.lock();
+        subs.push(SubCursor {
+            requester,
+            next_seq: self.entries.read().len() as u64,
+        });
+        SubscriptionId(subs.len() as u64 - 1)
+    }
+
+    fn poll(&self, sub: SubscriptionId) -> Result<Vec<Arc<Published>>, TransportError> {
+        let mut subs = self.subs.lock();
+        let cursor = subs
+            .get_mut(sub.0 as usize)
+            .ok_or(TransportError::UnknownSubscription(sub))?;
+        let entries = self.entries.read();
+        let fresh: Vec<Arc<Published>> = entries
+            .iter()
+            .skip(cursor.next_seq as usize)
+            .filter(|p| p.visible_to(cursor.requester))
+            .cloned()
+            .collect();
+        cursor.next_seq = entries.len() as u64;
+        Ok(fresh)
+    }
+
+    fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+}
+
+/// Seed for the stable shard hash (lookup3 over the `PathID` fields).
+const SHARD_SEED: u64 = 0x5348_4152_4453_3031; // "SHARDS01"
+
+fn shard_key_path(path: &PathId) -> u64 {
+    let mut b = [0u8; 24];
+    b[0..4].copy_from_slice(&u32::from(path.spec.src_prefix.network()).to_le_bytes());
+    b[4] = path.spec.src_prefix.len();
+    b[5..9].copy_from_slice(&u32::from(path.spec.dst_prefix.network()).to_le_bytes());
+    b[9] = path.spec.dst_prefix.len();
+    let hop_bytes = |h: Option<HopId>| match h {
+        None => [0u8, 0, 0],
+        Some(h) => {
+            let le = h.0.to_le_bytes();
+            [1, le[0], le[1]]
+        }
+    };
+    b[10..13].copy_from_slice(&hop_bytes(path.prev_hop));
+    b[13..16].copy_from_slice(&hop_bytes(path.next_hop));
+    b[16..24].copy_from_slice(&path.max_diff.as_nanos().to_le_bytes());
+    vpm_hash::lookup3::hash64(&b, SHARD_SEED)
+}
+
+fn shard_key_hop(hop: HopId) -> u64 {
+    vpm_hash::lookup3::hash64(&hop.0.to_le_bytes(), SHARD_SEED ^ 0x55)
+}
+
+/// A `PathID`-sharded transport: entries land in the shard of each path
+/// they reference (pathless frames shard by HOP), every shard behind
+/// its own `RwLock`, so publishes and fetches for different paths
+/// proceed without touching a common lock. A global atomic sequence
+/// number preserves publish order, and every read path merges shards in
+/// that order — fetch results are byte-identical to [`InMemoryBus`] for
+/// the same publish sequence, for any shard count.
+pub struct ShardedBus {
+    shards: Vec<RwLock<Vec<Arc<Published>>>>,
+    keys: RwLock<HashMap<HopId, u64>>,
+    seq: AtomicU64,
+    subs: Mutex<Vec<SubCursor>>,
+}
+
+impl ShardedBus {
+    /// A bus with `shards` internally-locked shards (at least 1).
+    pub fn new(shards: usize) -> Self {
+        ShardedBus {
+            shards: (0..shards.max(1))
+                .map(|_| RwLock::new(Vec::new()))
+                .collect(),
+            keys: RwLock::new(HashMap::new()),
+            seq: AtomicU64::new(0),
+            subs: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of_path(&self, path: &PathId) -> usize {
+        (shard_key_path(path) % self.shards.len() as u64) as usize
+    }
+
+    /// Shard indices an entry is stored under: one per distinct path,
+    /// or the HOP shard for a pathless (empty) batch.
+    fn shard_set(&self, published: &Published) -> Vec<usize> {
+        let mut set: Vec<usize> = published
+            .paths
+            .iter()
+            .map(|p| self.shard_of_path(p))
+            .collect();
+        if set.is_empty() {
+            set.push((shard_key_hop(published.hop) % self.shards.len() as u64) as usize);
+        }
+        set.sort_unstable();
+        set.dedup();
+        set
+    }
+
+    /// Collect entries matching `pred` across all shards, deduplicated
+    /// (multi-path entries are stored once per path shard) and merged
+    /// in global publish order.
+    fn collect<F: Fn(&Published) -> bool>(&self, pred: F) -> Vec<Arc<Published>> {
+        let mut seen = HashSet::new();
+        let mut out: Vec<Arc<Published>> = Vec::new();
+        for shard in &self.shards {
+            for p in shard.read().iter() {
+                if pred(p) && seen.insert(p.seq) {
+                    out.push(Arc::clone(p));
+                }
+            }
+        }
+        out.sort_by_key(|p| p.seq);
+        out
+    }
+}
+
+impl ReceiptTransport for ShardedBus {
+    fn register_key(&self, hop: HopId, key: u64) {
+        self.keys.write().insert(hop, key);
+    }
+
+    fn publish(
+        &self,
+        domain: DomainId,
+        frame: WireFrame,
+        on_path: Vec<DomainId>,
+    ) -> Result<u64, TransportError> {
+        // Admit before consuming a sequence number so rejected frames
+        // leave no gap in the fetch order.
+        let published = admit(&self.keys, 0, domain, frame, on_path)?;
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let published = Arc::new(Published { seq, ..published });
+        for shard in self.shard_set(&published) {
+            self.shards[shard].write().push(Arc::clone(&published));
+        }
+        Ok(seq)
+    }
+
+    fn fetch(
+        &self,
+        requester: DomainId,
+        hop: HopId,
+    ) -> Result<Vec<Arc<Published>>, TransportError> {
+        apply_visibility(requester, self.collect(|p| p.hop == hop))
+    }
+
+    fn fetch_path(
+        &self,
+        requester: DomainId,
+        path: &PathId,
+    ) -> Result<Vec<Arc<Published>>, TransportError> {
+        // The whole point of path sharding: one shard holds every frame
+        // referencing this path.
+        let shard = &self.shards[self.shard_of_path(path)];
+        let mut matching: Vec<Arc<Published>> = shard
+            .read()
+            .iter()
+            .filter(|p| p.paths.contains(path))
+            .cloned()
+            .collect();
+        matching.sort_by_key(|p| p.seq);
+        apply_visibility(requester, matching)
+    }
+
+    fn subscribe(&self, requester: DomainId) -> SubscriptionId {
+        let mut subs = self.subs.lock();
+        subs.push(SubCursor {
+            requester,
+            next_seq: self.seq.load(Ordering::Relaxed),
+        });
+        SubscriptionId(subs.len() as u64 - 1)
+    }
+
+    fn poll(&self, sub: SubscriptionId) -> Result<Vec<Arc<Published>>, TransportError> {
+        let mut subs = self.subs.lock();
+        let cursor = subs
+            .get_mut(sub.0 as usize)
+            .ok_or(TransportError::UnknownSubscription(sub))?;
+        let since = cursor.next_seq;
+        let requester = cursor.requester;
+        // Fast path: nothing has claimed a sequence number past the
+        // cursor, so there is nothing to scan for.
+        if self.seq.load(Ordering::Relaxed) <= since {
+            return Ok(Vec::new());
+        }
+        // Sequence numbers are dense (`admit` runs before the counter
+        // is claimed, so every claimed number is eventually inserted) —
+        // but a publisher may still be between claiming seq N and
+        // pushing into its shard while seq N+1 is already visible.
+        // Advance the cursor only through the *contiguous* prefix of
+        // sequence numbers actually present, so the in-flight entry is
+        // picked up by a later poll instead of being skipped forever.
+        let arrived = self.collect(|p| p.seq >= since);
+        let mut next = since;
+        let mut fresh = Vec::new();
+        for p in arrived {
+            if p.seq != next {
+                break; // a lower seq is still in flight — stop here
+            }
+            next += 1;
+            if p.visible_to(requester) {
+                fresh.push(p);
+            }
+        }
+        cursor.next_seq = next;
+        Ok(fresh)
+    }
+
+    fn len(&self) -> usize {
+        let mut seen = HashSet::new();
+        self.shards
+            .iter()
+            .flat_map(|s| s.read().iter().map(|p| p.seq).collect::<Vec<_>>())
+            .filter(|&s| seen.insert(s))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpm_core::receipt::{AggId, AggReceipt, SampleReceipt, SampleRecord};
+    use vpm_hash::Digest;
+    use vpm_packet::{HeaderSpec, SimDuration, SimTime};
+
+    fn path(n: u8) -> PathId {
+        PathId {
+            spec: HeaderSpec::new(
+                format!("10.{n}.0.0/16").parse().unwrap(),
+                "192.168.0.0/24".parse().unwrap(),
+            ),
+            prev_hop: Some(HopId(3)),
+            next_hop: Some(HopId(5)),
+            max_diff: SimDuration::from_millis(2),
+        }
+    }
+
+    fn batch(hop: HopId, seq: u64, path_n: u8) -> (ReceiptBatch, u64) {
+        let mut b = ReceiptBatch {
+            hop,
+            batch_seq: seq,
+            samples: vec![SampleReceipt {
+                path: path(path_n),
+                samples: vec![SampleRecord {
+                    pkt_id: Digest(0x1000 + seq),
+                    time: SimTime::from_micros(10 * seq),
+                }],
+            }],
+            aggregates: vec![AggReceipt {
+                path: path(path_n),
+                agg: AggId {
+                    first: Digest(1),
+                    last: Digest(2),
+                },
+                pkt_cnt: 100,
+                agg_trans: vec![],
+            }],
+            auth_tag: 0,
+        };
+        let key = 0xabc ^ hop.0 as u64;
+        b.auth_tag = b.compute_tag(key);
+        (b, key)
+    }
+
+    fn frame(b: &ReceiptBatch) -> WireFrame {
+        WireEncoder::precise()
+            .encode(b)
+            .expect("test batch encodes")
+    }
+
+    /// Every transport behaviour the paper requires, exercised
+    /// identically against any implementation.
+    fn transport_suite(t: &dyn ReceiptTransport) {
+        let (b, key) = batch(HopId(5), 0, 1);
+        t.register_key(HopId(5), key);
+        t.publish(
+            DomainId(2),
+            frame(&b),
+            vec![DomainId(0), DomainId(1), DomainId(2)],
+        )
+        .unwrap();
+
+        // On-path fetch returns the decoded batch, Arc-shared.
+        let got = t.fetch(DomainId(1), HopId(5)).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].hop, HopId(5));
+        assert_eq!(got[0].batch, b);
+        let again = t.fetch(DomainId(1), HopId(5)).unwrap();
+        assert!(
+            Arc::ptr_eq(&got[0], &again[0]),
+            "fetch must share entries, not deep-clone them"
+        );
+
+        // Path-scoped fetch finds the same entry; a foreign path is empty.
+        let by_path = t.fetch_path(DomainId(0), &path(1)).unwrap();
+        assert_eq!(by_path.len(), 1);
+        assert!(Arc::ptr_eq(&by_path[0], &got[0]));
+        assert!(t.fetch_path(DomainId(0), &path(9)).unwrap().is_empty());
+
+        // Privacy rule: an off-path domain gets an explicit refusal.
+        assert_eq!(
+            t.fetch(DomainId(9), HopId(5)),
+            Err(TransportError::NotOnPath {
+                requester: DomainId(9)
+            })
+        );
+        assert_eq!(
+            t.fetch_path(DomainId(9), &path(1)),
+            Err(TransportError::NotOnPath {
+                requester: DomainId(9)
+            })
+        );
+
+        // A tampered batch never enters circulation.
+        let (mut doctored, _) = batch(HopId(5), 1, 1);
+        doctored.aggregates[0].pkt_cnt += 1; // tamper after signing
+        assert_eq!(
+            t.publish(DomainId(2), frame(&doctored), vec![DomainId(2)]),
+            Err(TransportError::BadTag { hop: HopId(5) })
+        );
+
+        // Unknown HOPs and malformed frames are refused.
+        let (unknown, _) = batch(HopId(77), 0, 1);
+        assert_eq!(
+            t.publish(DomainId(2), frame(&unknown), vec![DomainId(2)]),
+            Err(TransportError::UnknownHop(HopId(77)))
+        );
+        assert!(matches!(
+            t.publish(DomainId(2), WireFrame::from_bytes(vec![1, 2, 3]), vec![]),
+            Err(TransportError::Malformed(_))
+        ));
+        assert_eq!(t.len(), 1);
+
+        // Subscriptions see exactly what is published after them, once.
+        let sub = t.subscribe(DomainId(1));
+        assert!(t.poll(sub).unwrap().is_empty());
+        let (b2, key2) = batch(HopId(6), 0, 2);
+        t.register_key(HopId(6), key2);
+        t.publish(DomainId(3), frame(&b2), vec![DomainId(1), DomainId(3)])
+            .unwrap();
+        let polled = t.poll(sub).unwrap();
+        assert_eq!(polled.len(), 1);
+        assert_eq!(polled[0].batch, b2);
+        assert!(t.poll(sub).unwrap().is_empty(), "a poll drains the stream");
+        // A hidden publish is skipped silently by the stream.
+        let (b3, key3) = batch(HopId(7), 0, 3);
+        t.register_key(HopId(7), key3);
+        t.publish(DomainId(4), frame(&b3), vec![DomainId(4)])
+            .unwrap();
+        assert!(t.poll(sub).unwrap().is_empty());
+        assert_eq!(
+            t.poll(SubscriptionId(999)),
+            Err(TransportError::UnknownSubscription(SubscriptionId(999)))
+        );
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn in_memory_bus_passes_the_suite() {
+        transport_suite(&InMemoryBus::new());
+    }
+
+    #[test]
+    fn sharded_bus_passes_the_suite_for_1_4_16_shards() {
+        for shards in [1, 4, 16] {
+            let bus = ShardedBus::new(shards);
+            assert_eq!(bus.shards(), shards);
+            transport_suite(&bus);
+        }
+    }
+
+    /// The same publish sequence produces byte-identical fetch results
+    /// on every implementation and shard count — transports are
+    /// interchangeable.
+    #[test]
+    fn fetch_results_are_byte_identical_across_transports() {
+        let make: Vec<Box<dyn Fn() -> Box<dyn ReceiptTransport>>> = vec![
+            Box::new(|| Box::new(InMemoryBus::new())),
+            Box::new(|| Box::new(ShardedBus::new(1))),
+            Box::new(|| Box::new(ShardedBus::new(4))),
+            Box::new(|| Box::new(ShardedBus::new(16))),
+        ];
+        let mut snapshots: Vec<Vec<u8>> = Vec::new();
+        for mk in &make {
+            let t = mk();
+            // Interleave hops and paths so sharding actually spreads.
+            for i in 0..12u64 {
+                let hop = HopId(4 + (i % 3) as u16);
+                let (b, key) = batch(hop, i, (i % 5) as u8);
+                t.register_key(hop, key);
+                t.publish(DomainId(1), frame(&b), vec![DomainId(1), DomainId(2)])
+                    .unwrap();
+            }
+            // Snapshot: every hop fetch and every path fetch, in order,
+            // as raw frame bytes plus sequence numbers.
+            let mut snap = Vec::new();
+            for hop in 4..7u16 {
+                for p in t.fetch(DomainId(2), HopId(hop)).unwrap() {
+                    snap.extend_from_slice(&p.seq.to_le_bytes());
+                    snap.extend_from_slice(p.frame.as_bytes());
+                }
+            }
+            for n in 0..5u8 {
+                for p in t.fetch_path(DomainId(2), &path(n)).unwrap() {
+                    snap.extend_from_slice(&p.seq.to_le_bytes());
+                    snap.extend_from_slice(p.frame.as_bytes());
+                }
+            }
+            snapshots.push(snap);
+        }
+        for s in &snapshots[1..] {
+            assert_eq!(
+                s, &snapshots[0],
+                "every transport must serve the same bytes in the same order"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_bus_spreads_entries_across_shards() {
+        let bus = ShardedBus::new(4);
+        let mut used = std::collections::HashSet::new();
+        for n in 0..16u8 {
+            used.insert(bus.shard_of_path(&path(n)));
+        }
+        assert!(
+            used.len() >= 3,
+            "16 distinct paths landed in only {} of 4 shards",
+            used.len()
+        );
+    }
+
+    /// A subscription must deliver every visible entry exactly once
+    /// even while publishers race: a publisher that claimed sequence N
+    /// but has not yet inserted into its shard when a later entry is
+    /// polled must not be skipped (the cursor advances only through
+    /// the contiguous sequence prefix).
+    #[test]
+    fn polling_under_concurrent_publishers_loses_nothing() {
+        let bus = ShardedBus::new(8);
+        for h in 1..=4u16 {
+            let (_, key) = batch(HopId(h), 0, h as u8);
+            bus.register_key(HopId(h), key);
+        }
+        let sub = bus.subscribe(DomainId(0));
+        let total = 4 * 16;
+        let mut seen: Vec<u64> = Vec::new();
+        std::thread::scope(|s| {
+            for h in 1..=4u16 {
+                let bus = &bus;
+                s.spawn(move || {
+                    for i in 0..16u64 {
+                        let (b, _) = batch(HopId(h), i, (i % 7) as u8);
+                        bus.publish(DomainId(h), frame(&b), vec![DomainId(0), DomainId(h)])
+                            .unwrap();
+                    }
+                });
+            }
+            // Poll concurrently with the publishers.
+            while seen.len() < total {
+                seen.extend(bus.poll(sub).unwrap().iter().map(|p| p.seq));
+            }
+        });
+        assert_eq!(seen.len(), total);
+        assert!(
+            seen.windows(2).all(|w| w[1] == w[0] + 1),
+            "stream must be gap-free and in publish order: {seen:?}"
+        );
+        assert!(bus.poll(sub).unwrap().is_empty());
+    }
+
+    #[test]
+    fn concurrent_publishers_do_not_contend_on_one_lock() {
+        let bus = ShardedBus::new(8);
+        for h in 1..=8u16 {
+            let (_, key) = batch(HopId(h), 0, h as u8);
+            bus.register_key(HopId(h), key);
+        }
+        std::thread::scope(|s| {
+            for h in 1..=8u16 {
+                let bus = &bus;
+                s.spawn(move || {
+                    for i in 0..4u64 {
+                        let (b, _) = batch(HopId(h), i, h as u8);
+                        bus.publish(DomainId(h), frame(&b), vec![DomainId(h)])
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(bus.len(), 32);
+        // Every publisher's frames come back complete and in order.
+        for h in 1..=8u16 {
+            let got = bus.fetch(DomainId(h), HopId(h)).unwrap();
+            assert_eq!(got.len(), 4);
+            assert!(got.windows(2).all(|w| w[0].seq < w[1].seq));
+        }
+    }
+}

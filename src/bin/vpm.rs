@@ -4,6 +4,9 @@
 //! vpm matrix [--filter k=v] [--json] [--jobs N]   run the scenario matrix
 //! vpm bench-collector [--packets N] [--paths P] [--batch B] [--repeats R] [--json]
 //!                                    measure the collector hot path
+//! vpm bench-wire [--receipts N] [--records N] [--aggs N] [--window W]
+//!                [--repeats R] [--json]
+//!                                    measure the wire codec vs the JSON path
 //! vpm fig2 [secs] [seed] [n_seeds]   regenerate Figure 2
 //! vpm fig3 [secs] [seed]             regenerate Figure 3
 //! vpm verifiability [secs] [seed]    regenerate the §7.2 sweep
@@ -35,6 +38,11 @@ fn print_usage() {
                                                 Mpps (linear scan vs classifier index,\n\
                                                 per-packet vs batched; min over R timed\n\
                                                 repeats) and write BENCH_collector.json\n\
+           bench-wire [--receipts N] [--records N] [--aggs N]\n\
+                      [--window W] [--repeats R] [--json]\n\
+                                                measure wire-codec encode/decode MB/s\n\
+                                                and bytes-per-sample (compact vs precise\n\
+                                                vs JSON shim) and write BENCH_wire.json\n\
            fig2 [secs=2] [seed=1] [n_seeds=3]   Figure 2 (delay accuracy)\n\
            fig3 [secs=20] [seed=1]              Figure 3 (loss granularity)\n\
            verifiability [secs=2] [seed=1]      §7.2 verification sweep\n\
@@ -211,6 +219,82 @@ fn bench_collector(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Parse and run `vpm bench-wire [--receipts N] [--records N]
+/// [--aggs N] [--window W] [--repeats R] [--json]`.
+fn bench_wire(args: &[String]) -> ExitCode {
+    let mut cfg = vpm::bench::wire_bench::WireBenchConfig::default();
+    let mut json = false;
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            "--receipts" | "--records" | "--aggs" | "--window" | "--repeats" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("vpm: {flag} needs a number");
+                    return usage();
+                };
+                // `--window 0` is a legitimate workload (empty AggTrans
+                // windows); the item counts must stay positive.
+                let min = usize::from(flag != "--window");
+                let parsed = match v.parse::<usize>() {
+                    Ok(n) if n >= min => n,
+                    _ => {
+                        eprintln!("vpm: {flag} value '{v}' is not a valid count");
+                        return usage();
+                    }
+                };
+                match flag {
+                    "--receipts" => cfg.receipts = parsed,
+                    "--records" => cfg.records = parsed,
+                    "--aggs" => cfg.aggs = parsed,
+                    "--window" => cfg.window = parsed,
+                    _ => cfg.repeats = parsed,
+                }
+                i += 2;
+            }
+            other => {
+                eprintln!("vpm: unknown bench-wire option '{other}'");
+                return usage();
+            }
+        }
+    }
+
+    let report = vpm::bench::wire_bench::run(&cfg);
+    let serialized = match serde_json::to_string(&report) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("vpm: cannot serialize bench report: {e:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write("BENCH_wire.json", &serialized) {
+        eprintln!("vpm: cannot write BENCH_wire.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    if json {
+        println!("{serialized}");
+    } else {
+        print!("{}", vpm::bench::wire_bench::render_table(&report));
+        println!("wrote BENCH_wire.json");
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_overhead_rows(rows: &[(String, f64, f64)]) {
+    for (label, paper, ours) in rows {
+        let p = if paper.is_nan() {
+            "—".to_string()
+        } else {
+            format!("{paper:.3}")
+        };
+        println!("{label:<48} {p:>10} {ours:>10.3}");
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -219,6 +303,7 @@ fn main() -> ExitCode {
     match cmd.as_str() {
         "matrix" => return matrix(&args),
         "bench-collector" => return bench_collector(&args),
+        "bench-wire" => return bench_wire(&args),
         "fig2" => {
             let cfg = experiments::fig2::Fig2Config::paper(
                 SimDuration::from_secs(arg(&args, 1, 2u64)),
@@ -250,14 +335,16 @@ fn main() -> ExitCode {
         "overhead" => {
             let report = vpm::core::overhead::section_7_1_report();
             println!("{:<48} {:>10} {:>10}", "quantity", "paper", "ours");
-            for (label, paper, ours) in &report.rows {
-                let p = if paper.is_nan() {
-                    "—".to_string()
-                } else {
-                    format!("{paper:.3}")
-                };
-                println!("{label:<48} {p:>10} {ours:>10.3}");
-            }
+            print_overhead_rows(&report.rows);
+            // The same §7.1 numbers, recomputed from actual encoded v1
+            // frame lengths instead of the model constants.
+            let measured = vpm::wire::measured_overhead_report();
+            println!();
+            println!(
+                "{:<48} {:>10} {:>10}",
+                "measured from wire frames", "paper", "ours"
+            );
+            print_overhead_rows(&measured.rows);
         }
         "baselines" => {
             let reports = baselines::compare(arg(&args, 1, 1u64));

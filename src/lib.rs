@@ -43,8 +43,9 @@
 //! | [`trace`] | `vpm-trace` | synthetic traces (CAIDA substitute) |
 //! | [`netsim`] | `vpm-netsim` | DES, queues, TCP/UDP, Gilbert-Elliott, clocks |
 //! | [`core`] | `vpm-core` | receipts, Algorithms 1 & 2, joins, verification |
+//! | [`wire`] | `vpm-wire` | v1 binary receipt codec, `ReceiptTransport` dissemination |
 //! | [`sim`] | `vpm-sim` | topologies, adversaries, the paper's experiments |
-//! | [`bench`] | `vpm-bench` | measured throughput harnesses (`vpm bench-collector`) |
+//! | [`mod@bench`] | `vpm-bench` | measured throughput harnesses (`vpm bench-collector`, `vpm bench-wire`) |
 //!
 //! ## Minimal example
 //!
@@ -86,6 +87,7 @@ pub use vpm_packet as packet;
 pub use vpm_sim as sim;
 pub use vpm_stats as stats;
 pub use vpm_trace as trace;
+pub use vpm_wire as wire;
 
 /// Workspace version string.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -153,6 +153,86 @@ fn bench_collector_emits_valid_json_and_artifact() {
 }
 
 #[test]
+fn bench_wire_emits_valid_json_and_artifact() {
+    // Tiny workload: this is a smoke test of plumbing, not a timing
+    // assertion.
+    let dir = std::env::temp_dir().join(format!("vpm-bench-wire-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let out = Command::new(env!("CARGO_BIN_EXE_vpm"))
+        .args([
+            "bench-wire",
+            "--receipts",
+            "8",
+            "--records",
+            "16",
+            "--aggs",
+            "8",
+            "--repeats",
+            "1",
+            "--json",
+        ])
+        .current_dir(&dir)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let printed = stdout(&out);
+    let report: vpm::bench::wire_bench::WireBenchReport =
+        serde_json::from_str(printed.trim()).expect("stdout is the JSON report");
+    assert_eq!(report.config.receipts, 8);
+    assert!(report
+        .results
+        .iter()
+        .any(|r| r.name == "encode_compact" && r.mb_per_s > 0.0));
+    assert_eq!(report.bytes_per_sample_compact, 7.0);
+    // The artifact on disk is the same report.
+    let on_disk = std::fs::read_to_string(dir.join("BENCH_wire.json")).expect("artifact");
+    assert_eq!(on_disk, printed.trim_end());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bench_wire_rejects_bad_flags() {
+    for (args, needle) in [
+        (vec!["bench-wire", "--receipts", "zero"], "--receipts value"),
+        (vec!["bench-wire", "--records"], "--records needs"),
+        (vec!["bench-wire", "--receipts", "0"], "--receipts value"),
+        (
+            vec!["bench-wire", "--frobnicate"],
+            "unknown bench-wire option",
+        ),
+    ] {
+        let out = vpm(&args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        assert!(stderr(&out).contains(needle), "{args:?}: {}", stderr(&out));
+    }
+    // --window 0 is a legal workload (empty patch-up windows). Run in
+    // a temp dir so the artifact never clobbers a real BENCH_wire.json
+    // in the checkout.
+    let dir = std::env::temp_dir().join(format!("vpm-bench-wire-w0-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let out = Command::new(env!("CARGO_BIN_EXE_vpm"))
+        .args([
+            "bench-wire",
+            "--receipts",
+            "2",
+            "--records",
+            "2",
+            "--aggs",
+            "2",
+            "--window",
+            "0",
+            "--repeats",
+            "1",
+            "--json",
+        ])
+        .current_dir(&dir)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn bench_collector_rejects_bad_flags() {
     for (args, needle) in [
         (

@@ -1,5 +1,6 @@
-//! End-to-end integration: trace → topology run → receipts → bus →
-//! verification, all through the public facade API.
+//! End-to-end integration: trace → topology run → encoded receipt
+//! frames → transport → verification, all through the public facade
+//! API.
 
 use vpm::core::verify::Verifier;
 use vpm::netsim::channel::{ChannelConfig, DelayModel};
@@ -10,6 +11,7 @@ use vpm::sim::run::{run_path, ClockMode, HopTuning, RunConfig};
 use vpm::sim::topology::Figure1;
 use vpm::sim::verdict::analyze_path;
 use vpm::trace::{TraceConfig, TraceGenerator, TracePacket};
+use vpm::wire::{Profile, ReceiptTransport, WireEncoder};
 
 fn trace(ms: u64, seed: u64) -> Vec<TracePacket> {
     TraceGenerator::new(TraceConfig {
@@ -77,7 +79,7 @@ fn congested_domain_measured_accurately_across_full_path() {
 }
 
 #[test]
-fn receipts_flow_through_the_bus_with_privacy() {
+fn receipts_flow_through_the_transport_with_privacy() {
     let t = trace(100, 2);
     let topo = Figure1::ideal().build();
     let run = run_path(&t, &topo, &base_cfg());
@@ -86,15 +88,17 @@ fn receipts_flow_through_the_bus_with_privacy() {
     let on_path: Vec<DomainId> = topo.domain_ids();
     for h in &run.hops {
         bus.register_key(h.hop, h.key);
-        bus.publish(h.domain, h.batch.clone(), on_path.clone())
+        bus.publish_batch(h.domain, &h.batch, Profile::Precise, on_path.clone())
             .expect("honest batches publish");
     }
     assert_eq!(bus.len(), 8);
 
-    // Any on-path domain can fetch any HOP's receipts.
+    // Any on-path domain can fetch any HOP's receipts; the decoded
+    // batch on the far side is the published one, bit for bit.
     for requester in &on_path {
         let got = bus.fetch(*requester, HopId(5)).unwrap();
         assert_eq!(got.len(), 1);
+        assert_eq!(&got[0].batch, &run.hop(HopId(5)).unwrap().batch);
     }
     // An off-path domain cannot.
     assert!(bus.fetch(DomainId(99), HopId(5)).is_err());
@@ -112,7 +116,11 @@ fn tampered_receipts_never_enter_circulation() {
     if let Some(a) = doctored.aggregates.first_mut() {
         a.pkt_cnt += 100; // a relay inflates a count without re-signing
     }
-    assert!(bus.publish(h5.domain, doctored, topo.domain_ids()).is_err());
+    let frame = WireEncoder::precise()
+        .encode(&doctored)
+        .expect("doctored batches still encode");
+    assert!(bus.publish(h5.domain, frame, topo.domain_ids()).is_err());
+    assert!(bus.is_empty());
 }
 
 #[test]

@@ -1,0 +1,267 @@
+//! The receipt plane end to end through the public facade: the v1
+//! binary codec's golden byte layout, the measured §7.1 sizes, the
+//! compact profile's truncation semantics feeding the verifier, and the
+//! transport's Arc-sharing contract.
+
+use vpm::core::processor::ReceiptBatch;
+use vpm::core::receipt::{compact, AggId, AggReceipt, PathId, SampleReceipt, SampleRecord};
+use vpm::core::verify::{match_samples, Verifier};
+use vpm::hash::Digest;
+use vpm::packet::{DomainId, HeaderSpec, HopId, SimDuration, SimTime};
+use vpm::wire::{
+    measured_sizes, InMemoryBus, Profile, ReceiptTransport, ShardedBus, WireDecoder, WireEncoder,
+    WireFrame,
+};
+
+fn fixture_path(n: u8) -> PathId {
+    PathId {
+        spec: HeaderSpec::new(
+            format!("10.{n}.0.0/16").parse().unwrap(),
+            "192.168.7.0/24".parse().unwrap(),
+        ),
+        prev_hop: (n == 0).then_some(HopId(3)),
+        next_hop: Some(HopId(5)),
+        max_diff: SimDuration::from_millis(2),
+    }
+}
+
+/// The pinned fixture batch: every field chosen to exercise the layout
+/// (two paths, an empty receipt, truncation-sensitive digests/times, a
+/// 6-byte-boundary packet count, a patch-up window).
+fn fixture_batch() -> ReceiptBatch {
+    let mut b = ReceiptBatch {
+        hop: HopId(4),
+        batch_seq: 3,
+        samples: vec![
+            SampleReceipt {
+                path: fixture_path(0),
+                samples: vec![
+                    SampleRecord {
+                        pkt_id: Digest(0xdead_beef_0123_4567),
+                        time: SimTime::from_nanos(1_234_567_891),
+                    },
+                    SampleRecord {
+                        pkt_id: Digest(42),
+                        time: SimTime::from_micros(17),
+                    },
+                ],
+            },
+            SampleReceipt {
+                path: fixture_path(1),
+                samples: vec![],
+            },
+        ],
+        aggregates: vec![AggReceipt {
+            path: fixture_path(0),
+            agg: AggId {
+                first: Digest(0xaaaa_bbbb_cccc_dddd),
+                last: Digest(0x1111_2222_3333_4444),
+            },
+            pkt_cnt: 0x0000_1234_5678_9abc,
+            agg_trans: vec![Digest(7), Digest(0xffff_ffff_0000_0001)],
+        }],
+        auth_tag: 0,
+    };
+    b.auth_tag = b.compute_tag(0x5650_4d00 ^ 4);
+    b
+}
+
+fn parse_golden(line_tag: &str) -> Vec<u8> {
+    let golden = include_str!("golden/wire_v1.hex");
+    let hex = golden
+        .lines()
+        .find_map(|l| l.strip_prefix(line_tag))
+        .unwrap_or_else(|| panic!("tests/golden/wire_v1.hex has no '{line_tag}' line"))
+        .trim();
+    (0..hex.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&hex[i..i + 2], 16).expect("golden file is hex"))
+        .collect()
+}
+
+/// The golden gate for the satellite task: the v1 byte layout of a
+/// known batch is pinned in `tests/golden/wire_v1.hex`. Any format
+/// drift that forgets to bump the version byte fails here loudly.
+/// Regenerate (after an *intentional*, version-bumped change) with:
+/// `UPDATE_GOLDEN=1 cargo test --test wire wire_v1_layout`.
+#[test]
+fn wire_v1_layout_matches_the_golden_fixture() {
+    let b = fixture_batch();
+    let compact_frame = WireEncoder::compact().encode(&b).unwrap();
+    let precise_frame = WireEncoder::precise().encode(&b).unwrap();
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let text = format!(
+            "compact {}\nprecise {}\n",
+            compact_frame.to_hex(),
+            precise_frame.to_hex()
+        );
+        std::fs::write(
+            concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/wire_v1.hex"),
+            text,
+        )
+        .expect("write golden");
+    }
+
+    let golden_compact = parse_golden("compact ");
+    let golden_precise = parse_golden("precise ");
+    assert_eq!(
+        compact_frame.as_bytes(),
+        &golden_compact[..],
+        "compact v1 layout drifted — if intentional, bump the version byte and regenerate"
+    );
+    assert_eq!(
+        precise_frame.as_bytes(),
+        &golden_precise[..],
+        "precise v1 layout drifted — if intentional, bump the version byte and regenerate"
+    );
+
+    // The pinned bytes decode to the pinned batch (precise: exactly;
+    // compact: the documented truncation).
+    let precise = WireDecoder::decode(&golden_precise).unwrap();
+    assert_eq!(precise.batch, b);
+    assert!(precise.batch.verify_tag(0x5650_4d00 ^ 4));
+    let truncated = WireDecoder::decode(&golden_compact).unwrap().batch;
+    assert_eq!(
+        truncated.samples[0].samples[0].pkt_id,
+        Digest(0x0123_4567),
+        "compact digests keep their low 32 bits"
+    );
+    assert_eq!(
+        truncated.samples[0].samples[0].time,
+        SimTime::from_micros(1_234_567),
+        "compact times are µs mod 2^24"
+    );
+    // And the frame header is what the docs say: magic, version 1.
+    assert_eq!(&golden_compact[..4], b"VPMW");
+    assert_eq!(golden_compact[4], 1);
+    assert_eq!(golden_compact[5], 0, "compact profile flag");
+    assert_eq!(golden_precise[5], 1, "precise profile flag");
+}
+
+/// Acceptance gate: encoded record sizes equal the `receipt::compact`
+/// §7.1 constants, measured from actual frames through the facade.
+#[test]
+fn measured_wire_sizes_equal_the_section_7_1_constants() {
+    let m = measured_sizes();
+    assert_eq!(m.sample_record_bytes, compact::SAMPLE_RECORD_BYTES);
+    assert_eq!(m.sample_record_bytes, 7);
+    assert_eq!(m.agg_receipt_bytes, 22);
+    assert_eq!(m.agg_window_digest_bytes, compact::PKT_ID_BYTES);
+    // The measured report is finite everywhere a value is claimed.
+    for (label, _paper, ours) in &vpm::wire::measured_overhead_report().rows {
+        assert!(ours.is_finite(), "{label}");
+    }
+    // And per-receipt: the encoder's compact bodies are byte-for-byte
+    // the arithmetic the §7.1 bandwidth model charges.
+    let b = fixture_batch();
+    for r in &b.samples {
+        assert_eq!(
+            Profile::Compact.sample_receipt_bytes(r.samples.len()),
+            compact::sample_receipt_bytes(r)
+        );
+    }
+    for a in &b.aggregates {
+        assert_eq!(
+            Profile::Compact.agg_receipt_bytes(a.agg_trans.len()),
+            compact::agg_receipt_bytes(a)
+        );
+    }
+}
+
+/// The compact (§7.1) profile carries enough for verification: two
+/// HOPs' receipts, shipped as truncated wire frames and decoded back,
+/// still match by `PktID` and recover delay and loss.
+#[test]
+fn compact_frames_support_verification_end_to_end() {
+    let path = fixture_path(0);
+    let transit = SimDuration::from_micros(2_500);
+    let mk_records = |offset: SimDuration| -> Vec<SampleRecord> {
+        (0..4_000u64)
+            .map(|i| SampleRecord {
+                // Spread digests across the full 64-bit space so
+                // truncation actually discards bits.
+                pkt_id: Digest(i.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+                time: SimTime::from_micros(50 * i) + offset,
+            })
+            .collect()
+    };
+    let sign = |samples: Vec<SampleRecord>, hop: HopId| -> ReceiptBatch {
+        let mut b = ReceiptBatch {
+            hop,
+            batch_seq: 0,
+            samples: vec![SampleReceipt { path, samples }],
+            aggregates: vec![],
+            auth_tag: 0,
+        };
+        // Compact frames truncate, so the publisher signs what the wire
+        // will actually carry.
+        b = WireEncoder::compact()
+            .encode(&b)
+            .unwrap()
+            .decode()
+            .unwrap()
+            .batch;
+        b.auth_tag = b.compute_tag(0xabc ^ hop.0 as u64);
+        b
+    };
+    let up = sign(mk_records(SimDuration::ZERO), HopId(4));
+    let down = sign(mk_records(transit), HopId(5));
+
+    // Ship both through the transport as compact frames.
+    let bus = InMemoryBus::new();
+    for b in [&up, &down] {
+        bus.register_key(b.hop, 0xabc ^ b.hop.0 as u64);
+        bus.publish_batch(DomainId(1), b, Profile::Compact, vec![DomainId(1)])
+            .unwrap();
+    }
+    let fetched_up = &bus.fetch(DomainId(1), HopId(4)).unwrap()[0].batch;
+    let fetched_down = &bus.fetch(DomainId(1), HopId(5)).unwrap()[0].batch;
+
+    let matched = match_samples(
+        &fetched_up.samples[0].samples,
+        &fetched_down.samples[0].samples,
+    );
+    assert!(matched.len() as f64 > 0.999 * 4_000.0, "{}", matched.len());
+    let est = Verifier::default()
+        .estimate_delay_truncated(&matched)
+        .expect("samples matched");
+    for q in &est.quantiles {
+        assert!((q.value - 2.5).abs() < 2e-3, "{q:?}");
+    }
+}
+
+/// Satellite pin: fetching the same entry twice yields the same
+/// allocation (`Arc`-shared), on both transports — the old bus
+/// deep-cloned every batch per fetch.
+#[test]
+fn fetch_shares_entries_instead_of_cloning() {
+    for bus in [
+        Box::new(InMemoryBus::new()) as Box<dyn ReceiptTransport>,
+        Box::new(ShardedBus::new(4)) as Box<dyn ReceiptTransport>,
+    ] {
+        let b = fixture_batch();
+        bus.register_key(b.hop, 0x5650_4d00 ^ 4);
+        bus.publish_batch(DomainId(2), &b, Profile::Precise, vec![DomainId(2)])
+            .unwrap();
+        let first = bus.fetch(DomainId(2), b.hop).unwrap();
+        let second = bus.fetch(DomainId(2), b.hop).unwrap();
+        assert!(std::sync::Arc::ptr_eq(&first[0], &second[0]));
+    }
+}
+
+/// A frame is bytes: hand the raw encoding to a fresh decoder (as a
+/// remote receipt collector would receive it) and verification-grade
+/// content comes back out.
+#[test]
+fn frames_survive_a_byte_level_round_trip() {
+    let b = fixture_batch();
+    let wire_bytes = WireEncoder::precise()
+        .encode(&b)
+        .unwrap()
+        .as_bytes()
+        .to_vec();
+    let back = WireFrame::from_bytes(wire_bytes).decode().unwrap();
+    assert_eq!(back.batch, b);
+    assert_eq!(back.paths, b.paths());
+}
