@@ -9,6 +9,7 @@ use vpm_packet::SimDuration;
 use vpm_trace::{TraceConfig, TraceGenerator, TracePacket};
 
 pub mod collector_bench;
+pub mod verifier_bench;
 pub mod wire_bench;
 
 /// Standard bench trace: `ms` milliseconds at 100 kpps.

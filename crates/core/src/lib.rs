@@ -30,6 +30,9 @@
 //!   cross-receipt verification with liar exposure.
 //! * [`overhead`] — the §7.1 back-of-the-envelope overhead model,
 //!   computed from this implementation's real receipt sizes.
+//! * [`parallel`] — the deterministic fork-join helper behind every
+//!   `--jobs N` surface (scenario matrix, fleet verifier): parallel
+//!   results are byte-identical to sequential ones.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,6 +44,7 @@ pub mod combine;
 pub mod consistency;
 pub mod hop;
 pub mod overhead;
+pub mod parallel;
 pub mod partition;
 pub mod processor;
 pub mod receipt;
@@ -50,6 +54,7 @@ pub mod verify;
 pub use aggregation::Aggregator;
 pub use collector::Collector;
 pub use hop::{HopConfig, HopPipeline, DEFAULT_J_WINDOW, DEFAULT_MARKER_RATE};
+pub use parallel::par_map_indexed;
 pub use partition::Partition;
 pub use processor::{Processor, ReceiptBatch};
 pub use receipt::{AggId, AggReceipt, PathId, SampleReceipt, SampleRecord};

@@ -23,7 +23,15 @@
 //! * [`verdict`] — the receipt collector's path analysis: per-domain
 //!   estimates, per-link consistency, liar exposure — from a run's
 //!   outputs or purely from transport-fetched frames
-//!   ([`verdict::analyze_from_transport`]).
+//!   ([`verdict::analyze_from_transport`], or the path-scoped
+//!   [`verdict::analyze_from_transport_scoped`] that touches one shard
+//!   per HOP).
+//! * [`fleet`] — the many-path workload: N independent Figure-1
+//!   instances publishing interleaved through one shared `ShardedBus`
+//!   from concurrent threads, verified in parallel
+//!   ([`fleet::analyze_fleet_from_transport`]) with verdicts
+//!   byte-identical for every `--jobs` count — surfaced as
+//!   `vpm fleet`.
 //! * [`experiments`] — Figure 2, Figure 3, the §7.2 verifiability
 //!   sweep and the design-choice ablations.
 //! * [`scenario_matrix`] — the deterministic scenario grid: delay
@@ -40,12 +48,17 @@ pub mod adversary;
 pub mod baselines;
 pub mod bus;
 pub mod experiments;
+pub mod fleet;
 pub mod partial;
 pub mod run;
 pub mod scenario_matrix;
 pub mod topology;
 pub mod verdict;
 
+pub use fleet::{
+    analyze_fleet_from_transport, build_fleet, render_fleet_table, run_fleet, Fleet, FleetConfig,
+    FleetLie, FleetPath, FleetPathVerdict,
+};
 pub use run::{run_path, run_path_with_transport, PathRun, RunConfig};
 pub use scenario_matrix::{
     evaluate_cell, evaluate_grid, full_grid, parse_filter, render_matrix_table, Cell, CellVerdict,

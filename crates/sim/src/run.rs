@@ -193,8 +193,14 @@ pub fn run_path(trace: &[TracePacket], topology: &Topology, cfg: &RunConfig) -> 
 ///
 /// The runner opens its own subscription before publishing and drains
 /// it afterwards, so it collects exactly this run's frames even on a
-/// shared transport (runs must not interleave publishes on one
-/// transport concurrently if deterministic output is required).
+/// shared transport. Concurrent runs on one transport are supported
+/// as long as their HOP and domain id sets are disjoint (e.g. paths
+/// built with `topology::Figure1::numbered`): each run's collector
+/// only sees its own frames, so every run's output is byte-identical
+/// to a run on a private bus (test-pinned below). The drain loops
+/// because another run's publisher sitting between claiming a
+/// sequence number and inserting stalls the stream's contiguous
+/// prefix; it resumes as soon as that publish lands.
 pub fn run_path_with_transport(
     trace: &[TracePacket],
     topology: &Topology,
@@ -209,30 +215,23 @@ pub fn run_path_with_transport(
     );
     let marker = Threshold::from_rate(cfg.marker_rate);
 
-    // Build pipelines and clocks.
+    // Build pipelines and clocks. Every HOP's `PathID` comes from
+    // `Topology::hop_path_ids`, the same table path-scoped verification
+    // uses — runner and verifier cannot drift apart.
     let hop_order = topology.hops();
     let mut pipelines: HashMap<HopId, (HopPipeline, HopClock, PathId)> = HashMap::new();
-    for (pos, &hop) in hop_order.iter().enumerate() {
+    for (hop, path) in topology.hop_path_ids() {
         let dom = topology.domain_of(hop).expect("hop has a domain");
         let tuning = cfg.overrides.get(&hop).copied().unwrap_or(HopTuning {
             sampling_rate: cfg.sampling_rate,
             aggregate_size: cfg.aggregate_size,
         });
-        let max_diff = topology
-            .link_max_diff(hop)
-            .unwrap_or(SimDuration::from_millis(2));
         let hop_cfg = HopConfig::new(hop, dom.id)
             .with_sampling_rate(tuning.sampling_rate)
             .with_aggregate_size(tuning.aggregate_size)
             .with_marker_rate(cfg.marker_rate)
             .with_j_window(cfg.j_window)
-            .with_max_diff(max_diff);
-        let path = PathId {
-            spec: topology.spec,
-            prev_hop: (pos > 0).then(|| hop_order[pos - 1]),
-            next_hop: hop_order.get(pos + 1).copied(),
-            max_diff,
-        };
+            .with_max_diff(path.max_diff);
         let mut pipe = HopPipeline::new(hop_cfg);
         pipe.register_path(path);
         let clock = match cfg.clocks {
@@ -325,12 +324,28 @@ pub fn run_path_with_transport(
         hop_meta.insert(hop, (dom, path, key));
     }
 
-    let mut decoded: HashMap<HopId, ReceiptBatch> = transport
-        .poll(sub)
-        .expect("the collector domain is on-path")
-        .into_iter()
-        .map(|p| (p.hop, p.batch.clone()))
-        .collect();
+    // Drain the run's subscription until every published batch is
+    // back. One poll would suffice on a private transport, but on a
+    // shared bus a *concurrent* publisher (another fleet path) can sit
+    // between claiming a sequence number and inserting, which stalls
+    // the stream's contiguous prefix — loop until the in-flight entry
+    // lands. Frames from other paths are invisible to this collector
+    // (disjoint `on_path` sets) and skipped by the poll itself.
+    let mut decoded: HashMap<HopId, ReceiptBatch> = HashMap::new();
+    while decoded.len() < hop_order.len() {
+        let polled = transport
+            .poll(sub)
+            .expect("the collector domain is on-path");
+        if polled.is_empty() {
+            std::thread::yield_now();
+            continue;
+        }
+        for p in polled {
+            if hop_meta.contains_key(&p.hop) {
+                decoded.entry(p.hop).or_insert_with(|| p.batch.clone());
+            }
+        }
+    }
 
     let mut hops = Vec::new();
     for &hop in &hop_order {
@@ -444,6 +459,45 @@ mod tests {
                 assert_eq!(a.batch, b.batch, "{shards} shards");
                 assert_eq!(a.samples, b.samples, "{shards} shards");
                 assert_eq!(a.aggregates, b.aggregates, "{shards} shards");
+            }
+        }
+    }
+
+    /// Concurrent runs on one shared bus (disjoint HOP/domain id
+    /// spaces) each produce byte-identical output to a private-bus
+    /// run — the drain loop rides out other runs' in-flight publishes
+    /// stalling the subscription's contiguous prefix.
+    #[test]
+    fn concurrent_runs_on_a_shared_transport_match_private_runs() {
+        use crate::topology::Figure1;
+        let instances = 4usize;
+        let traces: Vec<Vec<TracePacket>> =
+            (0..instances).map(|i| trace(60, 40 + i as u64)).collect();
+        let topos: Vec<_> = (0..instances)
+            .map(|i| Figure1::numbered(i).build())
+            .collect();
+        let cfg = quick_cfg();
+        let private: Vec<PathRun> = (0..instances)
+            .map(|i| run_path(&traces[i], &topos[i], &cfg))
+            .collect();
+        let shared = vpm_wire::ShardedBus::new(8);
+        let mut runs: Vec<Option<PathRun>> = (0..instances).map(|_| None).collect();
+        std::thread::scope(|s| {
+            for (i, slot) in runs.iter_mut().enumerate() {
+                let (traces, topos, cfg, shared) = (&traces, &topos, &cfg, &shared);
+                s.spawn(move || {
+                    *slot = Some(run_path_with_transport(&traces[i], &topos[i], cfg, shared));
+                });
+            }
+        });
+        for (i, (a, b)) in private.iter().zip(&runs).enumerate() {
+            let b = b.as_ref().expect("run completed");
+            assert_eq!(a.trace_len, b.trace_len, "instance {i}");
+            for (ha, hb) in a.hops.iter().zip(&b.hops) {
+                assert_eq!(ha.hop, hb.hop, "instance {i}");
+                assert_eq!(ha.batch, hb.batch, "instance {i}");
+                assert_eq!(ha.samples, hb.samples, "instance {i}");
+                assert_eq!(ha.aggregates, hb.aggregates, "instance {i}");
             }
         }
     }

@@ -47,8 +47,6 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use vpm_hash::Threshold;
 use vpm_netsim::channel::{ChannelConfig, DelayModel};
 use vpm_netsim::congestion::{foreground_delays, BottleneckConfig, CrossTraffic, PacketFate};
@@ -1159,35 +1157,11 @@ pub fn evaluate_cell(cell: &Cell) -> CellVerdict {
 }
 
 /// Evaluate many cells, `jobs` at a time, merging verdicts in cell
-/// order. [`evaluate_cell`] is pure, every worker writes only its own
-/// index, and the merge is index-ordered — so the result (and its
-/// serialized form) is byte-identical for every `jobs >= 1`.
+/// order. [`evaluate_cell`] is pure and the fan-out runs on
+/// [`vpm_core::par_map_indexed`] — so the result (and its serialized
+/// form) is byte-identical for every `jobs >= 1`.
 pub fn evaluate_grid(cells: &[Cell], jobs: usize) -> Vec<CellVerdict> {
-    let jobs = jobs.clamp(1, cells.len().max(1));
-    if jobs <= 1 {
-        return cells.iter().map(evaluate_cell).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<CellVerdict>>> =
-        Mutex::new((0..cells.len()).map(|_| None).collect());
-    std::thread::scope(|s| {
-        for _ in 0..jobs {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= cells.len() {
-                    break;
-                }
-                let verdict = evaluate_cell(&cells[i]);
-                slots.lock().expect("no panics hold the lock")[i] = Some(verdict);
-            });
-        }
-    });
-    slots
-        .into_inner()
-        .expect("workers joined")
-        .into_iter()
-        .map(|v| v.expect("every index was evaluated"))
-        .collect()
+    vpm_core::par_map_indexed(cells, jobs, |_, cell| evaluate_cell(cell))
 }
 
 /// One `axis=value` predicate over cells (the `--filter` grammar of

@@ -7,8 +7,10 @@
 //! (HOPs 4,5), `N` (HOPs 6,7) and destination `D` (HOP 8).
 
 use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+use vpm_core::receipt::PathId;
 use vpm_netsim::channel::ChannelConfig;
-use vpm_packet::{DomainId, HeaderSpec, HopId, SimDuration};
+use vpm_packet::{DomainId, HeaderSpec, HopId, Ipv4Prefix, SimDuration};
 
 /// What part a domain plays on the path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -104,6 +106,30 @@ impl Topology {
     pub fn domain_by_name(&self, name: &str) -> Option<&DomainSpec> {
         self.domains.iter().find(|d| d.name == name)
     }
+
+    /// The `PathID` each HOP stamps on its receipts, in path order —
+    /// the single source of truth shared by the path runner (which
+    /// registers these on every pipeline) and path-scoped verification
+    /// (which uses them to fetch a HOP's frames from exactly one shard
+    /// of a sharded transport).
+    pub fn hop_path_ids(&self) -> Vec<(HopId, PathId)> {
+        let hops = self.hops();
+        hops.iter()
+            .enumerate()
+            .map(|(pos, &hop)| {
+                let max_diff = self
+                    .link_max_diff(hop)
+                    .unwrap_or(SimDuration::from_millis(2));
+                let path = PathId {
+                    spec: self.spec,
+                    prev_hop: (pos > 0).then(|| hops[pos - 1]),
+                    next_hop: hops.get(pos + 1).copied(),
+                    max_diff,
+                };
+                (hop, path)
+            })
+            .collect()
+    }
 }
 
 /// Builder for the paper's Figure 1 topology.
@@ -122,7 +148,17 @@ pub struct Figure1 {
     pub max_diff: SimDuration,
     /// The path's prefix pair.
     pub spec: HeaderSpec,
+    /// First HOP id (the canonical Figure 1 starts at HOP 1; fleet
+    /// instances use disjoint ranges).
+    pub hop_base: u16,
+    /// First domain id (the canonical Figure 1 starts at domain 0).
+    pub domain_base: u16,
 }
+
+/// HOPs a [`Figure1`] chain occupies (S:1, L:2, X:2, N:2, D:1).
+pub const FIGURE1_HOPS: u16 = 8;
+/// Domains a [`Figure1`] chain occupies (S, L, X, N, D).
+pub const FIGURE1_DOMAINS: u16 = 5;
 
 impl Figure1 {
     /// Defaults: ideal 100 µs transits everywhere, 50 µs links,
@@ -135,18 +171,49 @@ impl Figure1 {
             link_delay: SimDuration::from_micros(50),
             max_diff: SimDuration::from_millis(2),
             spec: vpm_trace::TraceConfig::paper_default(1, 0).spec,
+            hop_base: 1,
+            domain_base: 0,
         }
     }
 
-    /// Materialize the topology: S(1) – L(2,3) – X(4,5) – N(6,7) – D(8).
+    /// The `idx`-th independent Figure-1 instance of a fleet: HOPs
+    /// `8·idx+1 ..= 8·idx+8`, domains `5·idx ..= 5·idx+4`, and a
+    /// per-instance `/24` prefix pair — so every instance's receipts,
+    /// keys, and `PathID`s are disjoint from every other's and many
+    /// instances can share one transport.
+    ///
+    /// # Panics
+    /// When `idx` would overflow the 16-bit HOP id space
+    /// (`idx > 8190`).
+    pub fn numbered(idx: usize) -> Self {
+        assert!(
+            (idx as u64 + 1) * FIGURE1_HOPS as u64 <= u16::MAX as u64,
+            "fleet index {idx} overflows the HOP id space"
+        );
+        let (hi, lo) = ((idx >> 8) as u8, idx as u8);
+        Figure1 {
+            spec: HeaderSpec::new(
+                Ipv4Prefix::new(Ipv4Addr::new(10, hi, lo, 0), 24).expect("/24 is valid"),
+                Ipv4Prefix::new(Ipv4Addr::new(20, hi, lo, 0), 24).expect("/24 is valid"),
+            ),
+            hop_base: 1 + idx as u16 * FIGURE1_HOPS,
+            domain_base: idx as u16 * FIGURE1_DOMAINS,
+            ..Figure1::ideal()
+        }
+    }
+
+    /// Materialize the topology: S(1) – L(2,3) – X(4,5) – N(6,7) – D(8)
+    /// (HOP and domain numbers shifted by `hop_base - 1` and
+    /// `domain_base`).
     pub fn build(self) -> Topology {
+        let hop = |n: u16| self.hop_base + n - 1;
         let d = |i: u16, name: &str, role, ing: Option<u16>, eg: Option<u16>, ch: ChannelConfig| {
             DomainSpec {
-                id: DomainId(i),
+                id: DomainId(self.domain_base + i),
                 name: name.to_string(),
                 role,
-                ingress: ing.map(HopId),
-                egress: eg.map(HopId),
+                ingress: ing.map(|n| HopId(hop(n))),
+                egress: eg.map(|n| HopId(hop(n))),
                 transit: ch,
             }
         };
@@ -194,8 +261,8 @@ impl Figure1 {
             ),
         ];
         let link = |up: u16, down: u16| LinkSpec {
-            up: HopId(up),
-            down: HopId(down),
+            up: HopId(hop(up)),
+            down: HopId(hop(down)),
             channel: ChannelConfig::ideal(self.link_delay),
             max_diff: self.max_diff,
         };
@@ -248,5 +315,49 @@ mod tests {
         assert_eq!(t.domain_by_name("X").unwrap().id, DomainId(2));
         assert!(t.domain_by_name("Z").is_none());
         assert_eq!(t.domain_ids().len(), 5);
+    }
+
+    #[test]
+    fn numbered_instances_occupy_disjoint_id_spaces() {
+        assert_eq!(
+            Figure1::numbered(0).build().hops(),
+            Figure1::ideal().build().hops()
+        );
+        let a = Figure1::numbered(3).build();
+        let b = Figure1::numbered(4).build();
+        assert_eq!(a.hops(), (25..=32).map(HopId).collect::<Vec<_>>());
+        assert_eq!(b.hops(), (33..=40).map(HopId).collect::<Vec<_>>());
+        assert_eq!(a.domain_ids(), (15..20).map(DomainId).collect::<Vec<_>>());
+        assert_ne!(a.spec, b.spec, "per-instance prefix pairs differ");
+        // The shifted chain keeps the Figure-1 shape.
+        assert_eq!(a.domain_by_name("X").unwrap().ingress, Some(HopId(28)));
+        assert_eq!(a.links.len(), 4);
+        for h in a.hops() {
+            assert_eq!(
+                a.links.iter().filter(|l| l.up == h || l.down == h).count(),
+                1,
+                "{h}"
+            );
+        }
+    }
+
+    #[test]
+    fn hop_path_ids_chain_prev_and_next() {
+        let t = Figure1::numbered(2).build();
+        let ids = t.hop_path_ids();
+        assert_eq!(ids.len(), 8);
+        for (pos, (hop, path)) in ids.iter().enumerate() {
+            assert_eq!(*hop, t.hops()[pos]);
+            assert_eq!(path.spec, t.spec);
+            assert_eq!(path.prev_hop, (pos > 0).then(|| t.hops()[pos - 1]));
+            assert_eq!(path.next_hop, t.hops().get(pos + 1).copied());
+            assert_eq!(path.max_diff, t.link_max_diff(*hop).unwrap());
+        }
+        // All eight PathIDs are distinct (they disambiguate shards).
+        for i in 0..ids.len() {
+            for j in i + 1..ids.len() {
+                assert_ne!(ids[i].1, ids[j].1, "{i} vs {j}");
+            }
+        }
     }
 }

@@ -73,7 +73,7 @@ impl PathAnalysis {
 }
 
 /// Summary suitable for printing (used by examples).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DomainSummary {
     /// Domain name.
     pub name: String,
@@ -179,36 +179,13 @@ pub fn analyze_from_transport(
     let mut hops = Vec::new();
     for hop in topology.hops() {
         let published = transport.fetch(requester, hop)?;
-        let Some(first) = published.first() else {
-            continue;
-        };
         // An empty batch (e.g. a quiet first reporting interval) has no
         // path table; take the path from the first frame that names one
         // and skip the hop only if *no* frame does.
         let Some(&path) = published.iter().find_map(|p| p.paths.first()) else {
             continue;
         };
-        let mut batch = first.batch.clone();
-        for p in &published[1..] {
-            batch.samples.extend(p.batch.samples.iter().cloned());
-            batch.aggregates.extend(p.batch.aggregates.iter().cloned());
-        }
-        let samples = batch
-            .samples
-            .iter()
-            .flat_map(|r| r.samples.iter().copied())
-            .collect();
-        let aggregates = batch.aggregates.clone();
-        hops.push(HopOutput {
-            hop,
-            domain: topology.domain_of(hop).expect("hop has a domain").id,
-            path,
-            batch,
-            samples,
-            aggregates,
-            observed: 0, // unknown to a pure receipt collector
-            key: 0,      // authenticity was checked at publish
-        });
+        hops.push(hop_output_from_frames(topology, hop, path, &published));
     }
     let run = PathRun {
         hops,
@@ -216,6 +193,78 @@ pub fn analyze_from_transport(
         trace_len: 0,
     };
     Ok(analyze_path(topology, &run))
+}
+
+/// [`analyze_from_transport`], but **path-scoped**: every HOP's frames
+/// are fetched by its `PathID` (from [`Topology::hop_path_ids`])
+/// instead of by HOP id. On a [`vpm_wire::ShardedBus`] each such fetch
+/// touches exactly one shard, so analyzing one path of an N-path fleet
+/// costs O(its own frames), not O(every frame on the bus) — this is
+/// the per-path unit of work `crate::fleet::analyze_fleet_from_transport`
+/// fans across its verification workers.
+///
+/// Produces the same analysis as [`analyze_from_transport`] for any
+/// publish sequence the path runner emits (pinned by test): an empty
+/// batch carries no path table, so a path-scoped fetch never sees it —
+/// but an empty batch contributes no samples or aggregates either way.
+pub fn analyze_from_transport_scoped(
+    topology: &Topology,
+    transport: &dyn ReceiptTransport,
+    requester: DomainId,
+) -> Result<PathAnalysis, TransportError> {
+    let mut hops = Vec::new();
+    for (hop, path) in topology.hop_path_ids() {
+        let mut published = transport.fetch_path(requester, &path)?;
+        // Defensive: a frame in this path's shard that some *other* HOP
+        // published must not pollute this HOP's batch.
+        published.retain(|p| p.hop == hop);
+        if published.iter().all(|p| p.paths.is_empty()) {
+            continue; // nothing but (impossible via fetch_path) empties
+        }
+        hops.push(hop_output_from_frames(topology, hop, path, &published));
+    }
+    let run = PathRun {
+        hops,
+        truths: Vec::new(),
+        trace_len: 0,
+    };
+    Ok(analyze_path(topology, &run))
+}
+
+/// Rebuild one HOP's output from its fetched frames, merging the
+/// decoded batches in publish order (shared by the by-HOP and
+/// path-scoped collectors so they cannot drift apart).
+fn hop_output_from_frames(
+    topology: &Topology,
+    hop: HopId,
+    path: vpm_core::receipt::PathId,
+    published: &[std::sync::Arc<vpm_wire::Published>],
+) -> HopOutput {
+    let mut batch = published
+        .first()
+        .expect("caller checked non-empty")
+        .batch
+        .clone();
+    for p in &published[1..] {
+        batch.samples.extend(p.batch.samples.iter().cloned());
+        batch.aggregates.extend(p.batch.aggregates.iter().cloned());
+    }
+    let samples = batch
+        .samples
+        .iter()
+        .flat_map(|r| r.samples.iter().copied())
+        .collect();
+    let aggregates = batch.aggregates.clone();
+    HopOutput {
+        hop,
+        domain: topology.domain_of(hop).expect("hop has a domain").id,
+        path,
+        batch,
+        samples,
+        aggregates,
+        observed: 0, // unknown to a pure receipt collector
+        key: 0,      // authenticity was checked at publish
+    }
 }
 
 #[cfg(test)]
@@ -376,6 +425,71 @@ mod tests {
         for (a, b) in baseline.domains.iter().zip(&analysis.domains) {
             assert_eq!(a.name, b.name);
             assert_eq!(a.estimate, b.estimate, "{}", a.name);
+        }
+    }
+
+    /// The path-scoped collector (one shard per HOP fetch) reaches the
+    /// same verdicts as the by-HOP collector, including with an empty
+    /// first reporting interval on the bus.
+    #[test]
+    fn scoped_analysis_matches_hop_fetch_analysis() {
+        let t = TraceGenerator::new(TraceConfig {
+            target_pps: 50_000.0,
+            duration: SimDuration::from_millis(150),
+            ..TraceConfig::paper_default(1, 31)
+        })
+        .generate();
+        let mut fig = Figure1::ideal();
+        fig.x_transit = ChannelConfig {
+            delay: DelayModel::Constant(SimDuration::from_micros(200)),
+            loss: Some((0.1, 3.0)),
+            reorder: ReorderModel::none(),
+            seed: 7,
+        };
+        let topo = fig.build();
+        let cfg = RunConfig {
+            sampling_rate: 0.05,
+            aggregate_size: 500,
+            marker_rate: 0.01,
+            j_window: SimDuration::from_millis(2),
+            ..RunConfig::default()
+        };
+        let transport = vpm_wire::ShardedBus::new(8);
+        let on_path = topo.domain_ids();
+        // An empty interval-0 batch for every HOP, then the real run.
+        for (hop, _) in topo.hop_path_ids() {
+            let key = 0x5eed ^ hop.0 as u64;
+            transport.register_key(hop, key);
+            let mut empty = vpm_core::processor::ReceiptBatch {
+                hop,
+                batch_seq: 0,
+                samples: vec![],
+                aggregates: vec![],
+                auth_tag: 0,
+            };
+            empty.auth_tag = empty.compute_tag(key);
+            transport
+                .publish_batch(
+                    topo.domain_of(hop).unwrap().id,
+                    &empty,
+                    vpm_wire::Profile::Precise,
+                    on_path.clone(),
+                )
+                .unwrap();
+        }
+        crate::run::run_path_with_transport(&t, &topo, &cfg, &transport);
+        let requester = on_path[0];
+        let by_hop = super::analyze_from_transport(&topo, &transport, requester).unwrap();
+        let scoped = super::analyze_from_transport_scoped(&topo, &transport, requester).unwrap();
+        assert_eq!(by_hop.domains.len(), scoped.domains.len());
+        for (a, b) in by_hop.domains.iter().zip(&scoped.domains) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.estimate, b.estimate, "{}", a.name);
+        }
+        assert_eq!(by_hop.links.len(), scoped.links.len());
+        for (a, b) in by_hop.links.iter().zip(&scoped.links) {
+            assert_eq!((a.up, a.down), (b.up, b.down));
+            assert_eq!(a.report, b.report, "{}→{}", a.up, a.down);
         }
     }
 

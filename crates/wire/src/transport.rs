@@ -22,12 +22,15 @@
 //! [`ShardedBus`], which spreads frames across `PathID`-hashed,
 //! internally-locked shards so many domains publish and fetch
 //! concurrently without contending on one `RwLock`. Both present
-//! identical observable behaviour: same errors, same frame order
-//! (global publish order), byte-identical fetch results.
+//! identical observable behaviour — same errors, same frame order
+//! (global publish order), byte-identical fetch results — with one
+//! documented exception: a sharded path-filtered stream orders racing
+//! same-path publishers by shard arrival (see
+//! [`ReceiptTransport::subscribe_path`]).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
@@ -153,10 +156,27 @@ pub trait ReceiptTransport: Send + Sync {
     /// see.
     fn subscribe(&self, requester: DomainId) -> SubscriptionId;
 
+    /// Open a **path-filtered** subscription: [`Self::poll`] returns
+    /// only entries whose frames reference `path`, each exactly once.
+    /// On a sharded transport this is the cheap way to follow one path
+    /// — polling touches exactly the path's shard (and, when the shard
+    /// is idle, no lock at all). Entries within one poll are returned
+    /// in publish order; across polls, publishers racing each other on
+    /// the same path may be delivered in shard-arrival order instead.
+    fn subscribe_path(&self, requester: DomainId, path: &PathId) -> SubscriptionId;
+
     /// Drain a subscription: visible entries published since the last
-    /// poll, in publish order. Entries the requester may not see are
-    /// skipped silently (a stream, unlike a targeted fetch, is not an
-    /// assertion that specific traffic was observed).
+    /// poll. Entries the requester may not see are skipped silently (a
+    /// stream, unlike a targeted fetch, is not an assertion that
+    /// specific traffic was observed).
+    ///
+    /// Ordering: a subscription from [`Self::subscribe`] delivers
+    /// strictly in global publish order. A **path-filtered**
+    /// subscription ([`Self::subscribe_path`]) delivers each entry
+    /// exactly once and in publish order within one poll, but a
+    /// sharded transport may order entries across polls by
+    /// shard-arrival when publishers race each other on the same path
+    /// (see [`Self::subscribe_path`]).
     fn poll(&self, sub: SubscriptionId) -> Result<Vec<Arc<Published>>, TransportError>;
 
     /// Total published entries (diagnostics).
@@ -231,6 +251,8 @@ fn apply_visibility(
 struct SubCursor {
     requester: DomainId,
     next_seq: u64,
+    /// When set, the stream only carries entries referencing this path.
+    path: Option<PathId>,
 }
 
 /// The single-lock reference transport: one `RwLock` over one entry
@@ -303,6 +325,17 @@ impl ReceiptTransport for InMemoryBus {
         subs.push(SubCursor {
             requester,
             next_seq: self.entries.read().len() as u64,
+            path: None,
+        });
+        SubscriptionId(subs.len() as u64 - 1)
+    }
+
+    fn subscribe_path(&self, requester: DomainId, path: &PathId) -> SubscriptionId {
+        let mut subs = self.subs.lock();
+        subs.push(SubCursor {
+            requester,
+            next_seq: self.entries.read().len() as u64,
+            path: Some(*path),
         });
         SubscriptionId(subs.len() as u64 - 1)
     }
@@ -317,6 +350,7 @@ impl ReceiptTransport for InMemoryBus {
             .iter()
             .skip(cursor.next_seq as usize)
             .filter(|p| p.visible_to(cursor.requester))
+            .filter(|p| cursor.path.as_ref().is_none_or(|f| p.paths.contains(f)))
             .cloned()
             .collect();
         cursor.next_seq = entries.len() as u64;
@@ -354,6 +388,54 @@ fn shard_key_hop(hop: HopId) -> u64 {
     vpm_hash::lookup3::hash64(&hop.0.to_le_bytes(), SHARD_SEED ^ 0x55)
 }
 
+/// One shard: its entries behind a private `RwLock`, plus a high-water
+/// mark (the number of fully inserted entries) readable without the
+/// lock so idle shards can be skipped for free.
+struct Shard {
+    entries: RwLock<Vec<Arc<Published>>>,
+    high_water: AtomicUsize,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            entries: RwLock::new(Vec::new()),
+            high_water: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// A global subscription's cursor: per-shard scan positions plus a
+/// reorder buffer, so a poll touches only shards with new entries and
+/// never rescans what it has already seen.
+struct GlobalCursor {
+    requester: DomainId,
+    /// Next global sequence number the stream owes the subscriber;
+    /// everything below it was delivered (or skipped as invisible).
+    next_seq: u64,
+    /// How far into each shard's entry vector this subscription has
+    /// scanned.
+    shard_pos: Vec<usize>,
+    /// Entries scanned but not yet released: they wait here until the
+    /// contiguous sequence prefix reaches them (a publisher between
+    /// claiming seq N and inserting must not be skipped when N+1 is
+    /// polled first).
+    pending: BTreeMap<u64, Arc<Published>>,
+}
+
+/// A path-filtered subscription's cursor: one shard, one position.
+struct PathCursor {
+    requester: DomainId,
+    path: PathId,
+    shard: usize,
+    pos: usize,
+}
+
+enum ShardSub {
+    Global(GlobalCursor),
+    Path(PathCursor),
+}
+
 /// A `PathID`-sharded transport: entries land in the shard of each path
 /// they reference (pathless frames shard by HOP), every shard behind
 /// its own `RwLock`, so publishes and fetches for different paths
@@ -361,29 +443,52 @@ fn shard_key_hop(hop: HopId) -> u64 {
 /// number preserves publish order, and every read path merges shards in
 /// that order — fetch results are byte-identical to [`InMemoryBus`] for
 /// the same publish sequence, for any shard count.
+///
+/// Subscriptions carry **per-shard cursors**: [`ReceiptTransport::poll`]
+/// scans each shard only from where the previous poll left off, skips
+/// shards whose high-water mark has not moved without taking their
+/// lock, and a path-filtered subscription
+/// ([`ReceiptTransport::subscribe_path`]) touches exactly one shard —
+/// an idle poll on it reads a single atomic and no global state.
+/// [`Self::poll_shard_scans`] exposes how many shard scans polling has
+/// performed so tests can pin these fast paths.
+///
+/// The one observable divergence from [`InMemoryBus`]: a path-filtered
+/// stream orders entries by shard arrival across polls (exact publish
+/// order within each poll), so publishers racing each other on the
+/// same path may be delivered slightly out of publish order — the
+/// global stream's contiguous-prefix ordering is unaffected.
 pub struct ShardedBus {
-    shards: Vec<RwLock<Vec<Arc<Published>>>>,
+    shards: Vec<Shard>,
     keys: RwLock<HashMap<HopId, u64>>,
     seq: AtomicU64,
-    subs: Mutex<Vec<SubCursor>>,
+    subs: Mutex<Vec<ShardSub>>,
+    poll_shard_scans: AtomicU64,
 }
 
 impl ShardedBus {
     /// A bus with `shards` internally-locked shards (at least 1).
     pub fn new(shards: usize) -> Self {
         ShardedBus {
-            shards: (0..shards.max(1))
-                .map(|_| RwLock::new(Vec::new()))
-                .collect(),
+            shards: (0..shards.max(1)).map(|_| Shard::new()).collect(),
             keys: RwLock::new(HashMap::new()),
             seq: AtomicU64::new(0),
             subs: Mutex::new(Vec::new()),
+            poll_shard_scans: AtomicU64::new(0),
         }
     }
 
     /// Number of shards.
     pub fn shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// How many shard scans (shard read-lock acquisitions) polling has
+    /// performed since construction. An idle poll — global or
+    /// path-filtered — must not move this counter: that is the
+    /// observable the fast-path tests pin.
+    pub fn poll_shard_scans(&self) -> u64 {
+        self.poll_shard_scans.load(Ordering::Relaxed)
     }
 
     fn shard_of_path(&self, path: &PathId) -> usize {
@@ -413,7 +518,7 @@ impl ShardedBus {
         let mut seen = HashSet::new();
         let mut out: Vec<Arc<Published>> = Vec::new();
         for shard in &self.shards {
-            for p in shard.read().iter() {
+            for p in shard.entries.read().iter() {
                 if pred(p) && seen.insert(p.seq) {
                     out.push(Arc::clone(p));
                 }
@@ -421,6 +526,107 @@ impl ShardedBus {
         }
         out.sort_by_key(|p| p.seq);
         out
+    }
+
+    /// Incremental poll of a global subscription: scan only shards
+    /// whose high-water mark moved, park out-of-order arrivals in the
+    /// cursor's reorder buffer, and release the contiguous sequence
+    /// prefix.
+    fn poll_global(&self, c: &mut GlobalCursor) -> Vec<Arc<Published>> {
+        // Idle fast path: nothing has claimed a sequence number past
+        // the cursor and nothing is parked — no shard is touched.
+        if c.pending.is_empty() && self.seq.load(Ordering::Relaxed) <= c.next_seq {
+            return Vec::new();
+        }
+        for (i, shard) in self.shards.iter().enumerate() {
+            if shard.high_water.load(Ordering::Acquire) <= c.shard_pos[i] {
+                continue; // shard idle since the last poll: skip lock-free
+            }
+            self.poll_shard_scans.fetch_add(1, Ordering::Relaxed);
+            let entries = shard.entries.read();
+            for e in &entries[c.shard_pos[i]..] {
+                // `>= next_seq` drops the second copy of a multi-shard
+                // entry whose first copy was already released.
+                if e.seq >= c.next_seq {
+                    c.pending.entry(e.seq).or_insert_with(|| Arc::clone(e));
+                }
+            }
+            c.shard_pos[i] = entries.len();
+        }
+        let mut fresh = Vec::new();
+        while let Some(e) = c.pending.remove(&c.next_seq) {
+            c.next_seq += 1;
+            if e.visible_to(c.requester) {
+                fresh.push(e);
+            }
+        }
+        fresh
+    }
+
+    /// Poll of a path-filtered subscription: exactly one shard, and an
+    /// idle shard costs one atomic load — no lock, no global sequence
+    /// read.
+    fn poll_path(&self, c: &mut PathCursor) -> Vec<Arc<Published>> {
+        let shard = &self.shards[c.shard];
+        if shard.high_water.load(Ordering::Acquire) <= c.pos {
+            return Vec::new();
+        }
+        self.poll_shard_scans.fetch_add(1, Ordering::Relaxed);
+        let entries = shard.entries.read();
+        let mut fresh: Vec<Arc<Published>> = entries[c.pos..]
+            .iter()
+            .filter(|e| e.paths.contains(&c.path) && e.visible_to(c.requester))
+            .cloned()
+            .collect();
+        c.pos = entries.len();
+        fresh.sort_by_key(|e| e.seq);
+        fresh
+    }
+
+    /// The pre-cursor poll algorithm, kept as a reference: rescan
+    /// *every* shard for entries past the cursor's sequence number and
+    /// release the contiguous prefix. Behaviourally equivalent to
+    /// [`ReceiptTransport::poll`] on a global subscription (the
+    /// differential tests pin this), but O(total entries) per call —
+    /// `vpm bench-verifier` measures exactly this gap. Only meaningful
+    /// on subscriptions from [`ReceiptTransport::subscribe`];
+    /// path-filtered subscriptions are delegated to the regular poll.
+    pub fn poll_full_rescan(
+        &self,
+        sub: SubscriptionId,
+    ) -> Result<Vec<Arc<Published>>, TransportError> {
+        let mut subs = self.subs.lock();
+        let cursor = subs
+            .get_mut(sub.0 as usize)
+            .ok_or(TransportError::UnknownSubscription(sub))?;
+        let c = match cursor {
+            ShardSub::Path(c) => {
+                let fresh = self.poll_path(c);
+                return Ok(fresh);
+            }
+            ShardSub::Global(c) => c,
+        };
+        let since = c.next_seq;
+        if self.seq.load(Ordering::Relaxed) <= since {
+            return Ok(Vec::new());
+        }
+        let arrived = self.collect(|p| p.seq >= since);
+        let mut fresh = Vec::new();
+        for p in arrived {
+            if p.seq != c.next_seq {
+                break; // a lower seq is still in flight — stop here
+            }
+            c.next_seq += 1;
+            if p.visible_to(c.requester) {
+                fresh.push(p);
+            }
+        }
+        // Keep the cursor-poll state consistent in case the two poll
+        // flavours are interleaved on one subscription: anything now
+        // below the released prefix must never be re-delivered.
+        let next = c.next_seq;
+        c.pending.retain(|&s, _| s >= next);
+        Ok(fresh)
     }
 }
 
@@ -441,7 +647,12 @@ impl ReceiptTransport for ShardedBus {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let published = Arc::new(Published { seq, ..published });
         for shard in self.shard_set(&published) {
-            self.shards[shard].write().push(Arc::clone(&published));
+            let shard = &self.shards[shard];
+            let mut entries = shard.entries.write();
+            entries.push(Arc::clone(&published));
+            // Published under the write lock, so a poller that sees
+            // the new high-water mark and then locks sees the entry.
+            shard.high_water.store(entries.len(), Ordering::Release);
         }
         Ok(seq)
     }
@@ -463,6 +674,7 @@ impl ReceiptTransport for ShardedBus {
         // referencing this path.
         let shard = &self.shards[self.shard_of_path(path)];
         let mut matching: Vec<Arc<Published>> = shard
+            .entries
             .read()
             .iter()
             .filter(|p| p.paths.contains(path))
@@ -474,10 +686,30 @@ impl ReceiptTransport for ShardedBus {
 
     fn subscribe(&self, requester: DomainId) -> SubscriptionId {
         let mut subs = self.subs.lock();
-        subs.push(SubCursor {
+        // `shard_pos` starts at 0: every entry already present has a
+        // sequence number below the subscription point (publishers
+        // claim their number before inserting), so the first poll's
+        // scan filters them out by `seq` and later polls never revisit
+        // them.
+        subs.push(ShardSub::Global(GlobalCursor {
             requester,
             next_seq: self.seq.load(Ordering::Relaxed),
-        });
+            shard_pos: vec![0; self.shards.len()],
+            pending: BTreeMap::new(),
+        }));
+        SubscriptionId(subs.len() as u64 - 1)
+    }
+
+    fn subscribe_path(&self, requester: DomainId, path: &PathId) -> SubscriptionId {
+        let shard = self.shard_of_path(path);
+        let pos = self.shards[shard].entries.read().len();
+        let mut subs = self.subs.lock();
+        subs.push(ShardSub::Path(PathCursor {
+            requester,
+            path: *path,
+            shard,
+            pos,
+        }));
         SubscriptionId(subs.len() as u64 - 1)
     }
 
@@ -486,41 +718,17 @@ impl ReceiptTransport for ShardedBus {
         let cursor = subs
             .get_mut(sub.0 as usize)
             .ok_or(TransportError::UnknownSubscription(sub))?;
-        let since = cursor.next_seq;
-        let requester = cursor.requester;
-        // Fast path: nothing has claimed a sequence number past the
-        // cursor, so there is nothing to scan for.
-        if self.seq.load(Ordering::Relaxed) <= since {
-            return Ok(Vec::new());
-        }
-        // Sequence numbers are dense (`admit` runs before the counter
-        // is claimed, so every claimed number is eventually inserted) —
-        // but a publisher may still be between claiming seq N and
-        // pushing into its shard while seq N+1 is already visible.
-        // Advance the cursor only through the *contiguous* prefix of
-        // sequence numbers actually present, so the in-flight entry is
-        // picked up by a later poll instead of being skipped forever.
-        let arrived = self.collect(|p| p.seq >= since);
-        let mut next = since;
-        let mut fresh = Vec::new();
-        for p in arrived {
-            if p.seq != next {
-                break; // a lower seq is still in flight — stop here
-            }
-            next += 1;
-            if p.visible_to(requester) {
-                fresh.push(p);
-            }
-        }
-        cursor.next_seq = next;
-        Ok(fresh)
+        Ok(match cursor {
+            ShardSub::Global(c) => self.poll_global(c),
+            ShardSub::Path(c) => self.poll_path(c),
+        })
     }
 
     fn len(&self) -> usize {
         let mut seen = HashSet::new();
         self.shards
             .iter()
-            .flat_map(|s| s.read().iter().map(|p| p.seq).collect::<Vec<_>>())
+            .flat_map(|s| s.entries.read().iter().map(|p| p.seq).collect::<Vec<_>>())
             .filter(|&s| seen.insert(s))
             .count()
     }
@@ -664,6 +872,29 @@ mod tests {
         );
         assert_eq!(t.len(), 3);
         assert!(!t.is_empty());
+
+        // Path-filtered subscriptions deliver exactly the entries whose
+        // frames reference the path, each exactly once, in publish
+        // order; foreign paths and hidden entries are skipped silently.
+        let psub = t.subscribe_path(DomainId(1), &path(4));
+        assert!(t.poll(psub).unwrap().is_empty());
+        let (b4, key4) = batch(HopId(8), 0, 4);
+        t.register_key(HopId(8), key4);
+        t.publish(DomainId(5), frame(&b4), vec![DomainId(1), DomainId(5)])
+            .unwrap();
+        let (b5, key5) = batch(HopId(9), 0, 5); // foreign path
+        t.register_key(HopId(9), key5);
+        t.publish(DomainId(5), frame(&b5), vec![DomainId(1), DomainId(5)])
+            .unwrap();
+        let polled = t.poll(psub).unwrap();
+        assert_eq!(polled.len(), 1, "only the watched path's frame");
+        assert_eq!(polled[0].batch, b4);
+        assert!(t.poll(psub).unwrap().is_empty(), "exactly once");
+        let (b4b, _) = batch(HopId(8), 1, 4);
+        t.publish(DomainId(5), frame(&b4b), vec![DomainId(5)])
+            .unwrap(); // hidden from DomainId(1)
+        assert!(t.poll(psub).unwrap().is_empty());
+        assert_eq!(t.len(), 6);
     }
 
     #[test]
@@ -727,6 +958,91 @@ mod tests {
         }
     }
 
+    /// The cursor design's observable contract: an idle poll costs no
+    /// shard scan (global subscriptions skip unmoved shards via their
+    /// high-water marks; a path-filtered subscription checks only its
+    /// own shard's mark and never reads the global sequence), and a
+    /// busy poll scans exactly the shards that moved.
+    #[test]
+    fn idle_polls_touch_no_shard() {
+        let bus = ShardedBus::new(8);
+        let (_, key1) = batch(HopId(1), 0, 1);
+        bus.register_key(HopId(1), key1);
+        let gsub = bus.subscribe(DomainId(0));
+        let psub = bus.subscribe_path(DomainId(0), &path(1));
+        assert!(bus.poll(gsub).unwrap().is_empty());
+        assert!(bus.poll(psub).unwrap().is_empty());
+        assert_eq!(bus.poll_shard_scans(), 0, "idle polls must be free");
+
+        // Publish onto a path whose shard differs from path 1's.
+        let other = (2..64u8)
+            .find(|&n| bus.shard_of_path(&path(n)) != bus.shard_of_path(&path(1)))
+            .expect("some path lands in another shard");
+        let (b, keyb) = batch(HopId(2), 0, other);
+        bus.register_key(HopId(2), keyb);
+        bus.publish(DomainId(1), frame(&b), vec![DomainId(0), DomainId(1)])
+            .unwrap();
+
+        // The path subscription's shard did not move: its poll is still
+        // free even though the global sequence advanced.
+        assert!(bus.poll(psub).unwrap().is_empty());
+        assert_eq!(
+            bus.poll_shard_scans(),
+            0,
+            "a foreign-shard publish must not cost the path sub a scan"
+        );
+
+        // The global subscription scans exactly the one moved shard…
+        assert_eq!(bus.poll(gsub).unwrap().len(), 1);
+        assert_eq!(bus.poll_shard_scans(), 1);
+        // …and is free again once drained.
+        assert!(bus.poll(gsub).unwrap().is_empty());
+        assert_eq!(bus.poll_shard_scans(), 1);
+
+        // Traffic on the watched path costs the path sub one scan.
+        let (b1, _) = batch(HopId(1), 1, 1);
+        bus.publish(DomainId(1), frame(&b1), vec![DomainId(0), DomainId(1)])
+            .unwrap();
+        assert_eq!(bus.poll(psub).unwrap().len(), 1);
+        assert_eq!(bus.poll_shard_scans(), 2);
+    }
+
+    /// The incremental cursor poll and the pre-cursor full-rescan poll
+    /// release identical streams for the same publish sequence.
+    #[test]
+    fn cursor_poll_matches_full_rescan_poll() {
+        let bus = ShardedBus::new(4);
+        for h in 1..=3u16 {
+            let (_, key) = batch(HopId(h), 0, h as u8);
+            bus.register_key(HopId(h), key);
+        }
+        let cursor_sub = bus.subscribe(DomainId(0));
+        let rescan_sub = bus.subscribe(DomainId(0));
+        let mut cursor_seqs: Vec<u64> = Vec::new();
+        let mut rescan_seqs: Vec<u64> = Vec::new();
+        for i in 0..24u64 {
+            let hop = HopId(1 + (i % 3) as u16);
+            let (b, _) = batch(hop, i, (i % 6) as u8);
+            let on_path = if i % 4 == 3 {
+                vec![DomainId(9)] // hidden from the subscriber
+            } else {
+                vec![DomainId(0), DomainId(9)]
+            };
+            bus.publish(DomainId(9), frame(&b), on_path).unwrap();
+            cursor_seqs.extend(bus.poll(cursor_sub).unwrap().iter().map(|p| p.seq));
+            rescan_seqs.extend(
+                bus.poll_full_rescan(rescan_sub)
+                    .unwrap()
+                    .iter()
+                    .map(|p| p.seq),
+            );
+        }
+        assert_eq!(cursor_seqs, rescan_seqs);
+        assert_eq!(cursor_seqs.len(), 18, "6 of 24 publishes are hidden");
+        assert!(bus.poll(cursor_sub).unwrap().is_empty());
+        assert!(bus.poll_full_rescan(rescan_sub).unwrap().is_empty());
+    }
+
     #[test]
     fn sharded_bus_spreads_entries_across_shards() {
         let bus = ShardedBus::new(4);
@@ -776,6 +1092,45 @@ mod tests {
         assert!(
             seen.windows(2).all(|w| w[1] == w[0] + 1),
             "stream must be gap-free and in publish order: {seen:?}"
+        );
+        assert!(bus.poll(sub).unwrap().is_empty());
+    }
+
+    /// A path-filtered subscription under racing publishers still
+    /// delivers exactly its path's entries, exactly once, with
+    /// monotonically increasing sequence numbers (one publisher per
+    /// path ⇒ shard-arrival order is publish order).
+    #[test]
+    fn path_filtered_polling_under_racing_publishers_is_exactly_once() {
+        let bus = ShardedBus::new(8);
+        for h in 1..=4u16 {
+            let (_, key) = batch(HopId(h), 0, h as u8);
+            bus.register_key(HopId(h), key);
+        }
+        let watched = path(2);
+        let sub = bus.subscribe_path(DomainId(0), &watched);
+        let per_hop = 12usize;
+        let mut got: Vec<Arc<Published>> = Vec::new();
+        std::thread::scope(|s| {
+            for h in 1..=4u16 {
+                let bus = &bus;
+                s.spawn(move || {
+                    for i in 0..per_hop as u64 {
+                        let (b, _) = batch(HopId(h), i, h as u8);
+                        bus.publish(DomainId(h), frame(&b), vec![DomainId(0), DomainId(h)])
+                            .unwrap();
+                    }
+                });
+            }
+            while got.len() < per_hop {
+                got.extend(bus.poll(sub).unwrap());
+            }
+        });
+        assert_eq!(got.len(), per_hop);
+        assert!(got.iter().all(|p| p.hop == HopId(2)), "only path 2's hop");
+        assert!(
+            got.windows(2).all(|w| w[0].seq < w[1].seq),
+            "exactly once, in increasing sequence order"
         );
         assert!(bus.poll(sub).unwrap().is_empty());
     }

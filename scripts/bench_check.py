@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""CI bench-trend gate: validate that every BENCH_*.json artifact
+shares the bench schema.
+
+All three measured harnesses (`vpm bench-collector`, `vpm bench-wire`,
+`vpm bench-verifier`) serialize the same shape so the artifacts can be
+tracked as one performance trajectory:
+
+    {
+      "config":  { ... workload shape ... },
+      "results": [ { "name": "<variant>", <numeric throughput fields> }, ... ],
+      <numeric summary fields: speedups, ratios, sizes>
+    }
+
+The gate fails (exit 1) when a required key is missing, a variant has
+no throughput field, any value that must be numeric is missing,
+non-numeric, or non-finite, or variant names collide. It validates
+structure, not timings — CI boxes are too noisy for absolute
+assertions; the artifacts carry the numbers.
+"""
+
+import json
+import math
+import sys
+
+DEFAULT_ARTIFACTS = [
+    "BENCH_collector.json",
+    "BENCH_wire.json",
+    "BENCH_verifier.json",
+]
+
+
+def fail(msg: str) -> None:
+    print(f"bench_check: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def is_finite_number(v) -> bool:
+    return not isinstance(v, bool) and isinstance(v, (int, float)) and math.isfinite(v)
+
+
+def check(path: str) -> int:
+    try:
+        with open(path, encoding="utf-8") as f:
+            report = json.load(f)
+    except FileNotFoundError:
+        fail(f"{path}: artifact missing")
+    except json.JSONDecodeError as e:
+        fail(f"{path}: not valid JSON ({e})")
+
+    if not isinstance(report, dict):
+        fail(f"{path}: top level must be an object, got {type(report).__name__}")
+    config = report.get("config")
+    if not isinstance(config, dict) or not config:
+        fail(f"{path}: missing non-empty 'config' object")
+    results = report.get("results")
+    if not isinstance(results, list) or not results:
+        fail(f"{path}: missing non-empty 'results' array")
+
+    names = set()
+    for i, r in enumerate(results):
+        where = f"{path}: results[{i}]"
+        if not isinstance(r, dict):
+            fail(f"{where}: must be an object")
+        name = r.get("name")
+        if not isinstance(name, str) or not name:
+            fail(f"{where}: missing string 'name'")
+        if name in names:
+            fail(f"{where}: duplicate variant name '{name}'")
+        names.add(name)
+        throughput = {k: v for k, v in r.items() if k != "name"}
+        if not throughput:
+            fail(f"{where} ('{name}'): no throughput fields")
+        for k, v in throughput.items():
+            if not is_finite_number(v):
+                fail(f"{where} ('{name}').{k}: not a finite number: {v!r}")
+
+    for k, v in report.items():
+        if k in ("config", "results"):
+            continue
+        if not is_finite_number(v):
+            fail(f"{path}: summary field '{k}': not a finite number: {v!r}")
+
+    print(f"bench_check: {path}: {len(results)} variants, schema OK")
+    return len(results)
+
+
+def main() -> None:
+    artifacts = sys.argv[1:] or DEFAULT_ARTIFACTS
+    total = sum(check(p) for p in artifacts)
+    print(f"bench_check: {len(artifacts)} artifacts, {total} variants — all OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -2,11 +2,19 @@
 //!
 //! ```text
 //! vpm matrix [--filter k=v] [--json] [--jobs N]   run the scenario matrix
+//! vpm fleet [--paths N] [--jobs J] [--liars K] [--shards S] [--json]
+//!                                    run the many-path fleet and verify every
+//!                                    path in parallel (exit 1 on any false
+//!                                    accusation or missed liar)
 //! vpm bench-collector [--packets N] [--paths P] [--batch B] [--repeats R] [--json]
 //!                                    measure the collector hot path
 //! vpm bench-wire [--receipts N] [--records N] [--aggs N] [--window W]
 //!                [--repeats R] [--json]
 //!                                    measure the wire codec vs the JSON path
+//! vpm bench-verifier [--paths N] [--jobs J] [--shards S] [--frames F]
+//!                    [--subs K] [--repeats R] [--json]
+//!                                    measure parallel verification and
+//!                                    cursor-poll throughput
 //! vpm fig2 [secs] [seed] [n_seeds]   regenerate Figure 2
 //! vpm fig3 [secs] [seed]             regenerate Figure 3
 //! vpm verifiability [secs] [seed]    regenerate the §7.2 sweep
@@ -32,6 +40,12 @@ fn print_usage() {
                                                 the verdict table (exit 1 on failing\n\
                                                 cells); axes: delay, loss, reorder,\n\
                                                 rate, clock, deploy, adversary\n\
+           fleet [--paths N] [--jobs J] [--liars K] [--shards S] [--json]\n\
+                                                run N independent paths through one\n\
+                                                sharded bus (concurrent publishers)\n\
+                                                and verify each path from its frames,\n\
+                                                J paths at a time; exit 1 on any\n\
+                                                false accusation or missed liar\n\
            bench-collector [--packets N] [--paths P] [--batch B]\n\
                            [--repeats R] [--json]\n\
                                                 measure collector hot-path ns/packet and\n\
@@ -43,6 +57,12 @@ fn print_usage() {
                                                 measure wire-codec encode/decode MB/s\n\
                                                 and bytes-per-sample (compact vs precise\n\
                                                 vs JSON shim) and write BENCH_wire.json\n\
+           bench-verifier [--paths N] [--jobs J] [--shards S]\n\
+                          [--frames F] [--subs K] [--repeats R] [--json]\n\
+                                                measure sequential vs parallel fleet\n\
+                                                verification and full-rescan vs\n\
+                                                per-shard-cursor polling; write\n\
+                                                BENCH_verifier.json\n\
            fig2 [secs=2] [seed=1] [n_seeds=3]   Figure 2 (delay accuracy)\n\
            fig3 [secs=20] [seed=1]              Figure 3 (loss granularity)\n\
            verifiability [secs=2] [seed=1]      §7.2 verification sweep\n\
@@ -147,6 +167,152 @@ fn matrix(args: &[String]) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Parse and run `vpm fleet [--paths N] [--jobs J] [--liars K]
+/// [--shards S] [--json]`.
+fn fleet(args: &[String]) -> ExitCode {
+    let mut paths = 64usize;
+    let mut jobs = 4usize;
+    let mut liars: Option<usize> = None;
+    let mut shards = 32usize;
+    let mut json = false;
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            "--paths" | "--jobs" | "--liars" | "--shards" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("vpm: {flag} needs a number");
+                    return usage();
+                };
+                // `--liars 0` is a legitimate all-honest fleet; the
+                // other counts must stay positive.
+                let min = usize::from(flag != "--liars");
+                let parsed = match v.parse::<usize>() {
+                    Ok(n) if n >= min => n,
+                    _ => {
+                        eprintln!("vpm: {flag} value '{v}' is not a valid count");
+                        return usage();
+                    }
+                };
+                match flag {
+                    "--paths" => paths = parsed,
+                    "--jobs" => jobs = parsed,
+                    "--liars" => liars = Some(parsed),
+                    _ => shards = parsed,
+                }
+                i += 2;
+            }
+            other => {
+                eprintln!("vpm: unknown fleet option '{other}'");
+                return usage();
+            }
+        }
+    }
+    let liars = liars.unwrap_or(paths / 8);
+    if liars > paths {
+        eprintln!("vpm: --liars {liars} exceeds --paths {paths}");
+        return usage();
+    }
+    if paths * vpm::sim::topology::FIGURE1_HOPS as usize > u16::MAX as usize {
+        eprintln!("vpm: --paths {paths} overflows the 16-bit HOP id space");
+        return usage();
+    }
+
+    let cfg = vpm::sim::FleetConfig {
+        paths,
+        liars,
+        publishers: jobs,
+        ..vpm::sim::FleetConfig::default()
+    };
+    let fleet = vpm::sim::build_fleet(&cfg);
+    let bus = vpm::wire::ShardedBus::new(shards);
+    vpm::sim::run_fleet(&fleet, &bus);
+    let verdicts = vpm::sim::analyze_fleet_from_transport(&fleet, &bus, jobs);
+    if json {
+        match serde_json::to_string(&verdicts) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("vpm: cannot serialize fleet verdicts: {e:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        print!("{}", vpm::sim::render_fleet_table(&fleet, &verdicts));
+    }
+    if verdicts.iter().all(|v| v.passed()) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Parse and run `vpm bench-verifier [--paths N] [--jobs J]
+/// [--shards S] [--frames F] [--subs K] [--repeats R] [--json]`.
+fn bench_verifier(args: &[String]) -> ExitCode {
+    let mut cfg = vpm::bench::verifier_bench::VerifierBenchConfig::default();
+    let mut json = false;
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            "--paths" | "--jobs" | "--shards" | "--frames" | "--subs" | "--repeats" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("vpm: {flag} needs a number");
+                    return usage();
+                };
+                let parsed = match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("vpm: {flag} value '{v}' is not a positive integer");
+                        return usage();
+                    }
+                };
+                match flag {
+                    "--paths" => cfg.paths = parsed,
+                    "--jobs" => cfg.jobs = parsed,
+                    "--shards" => cfg.shards = parsed,
+                    "--frames" => cfg.frames = parsed,
+                    "--subs" => cfg.subs = parsed,
+                    _ => cfg.repeats = parsed,
+                }
+                i += 2;
+            }
+            other => {
+                eprintln!("vpm: unknown bench-verifier option '{other}'");
+                return usage();
+            }
+        }
+    }
+
+    let report = vpm::bench::verifier_bench::run(&cfg);
+    let serialized = match serde_json::to_string(&report) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("vpm: cannot serialize bench report: {e:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write("BENCH_verifier.json", &serialized) {
+        eprintln!("vpm: cannot write BENCH_verifier.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    if json {
+        println!("{serialized}");
+    } else {
+        print!("{}", vpm::bench::verifier_bench::render_table(&report));
+        println!("wrote BENCH_verifier.json");
+    }
+    ExitCode::SUCCESS
 }
 
 /// Parse and run `vpm bench-collector [--packets N] [--paths P]
@@ -302,8 +468,10 @@ fn main() -> ExitCode {
     };
     match cmd.as_str() {
         "matrix" => return matrix(&args),
+        "fleet" => return fleet(&args),
         "bench-collector" => return bench_collector(&args),
         "bench-wire" => return bench_wire(&args),
+        "bench-verifier" => return bench_verifier(&args),
         "fig2" => {
             let cfg = experiments::fig2::Fig2Config::paper(
                 SimDuration::from_secs(arg(&args, 1, 2u64)),

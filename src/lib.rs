@@ -44,8 +44,8 @@
 //! | [`netsim`] | `vpm-netsim` | DES, queues, TCP/UDP, Gilbert-Elliott, clocks |
 //! | [`core`] | `vpm-core` | receipts, Algorithms 1 & 2, joins, verification |
 //! | [`wire`] | `vpm-wire` | v1 binary receipt codec, `ReceiptTransport` dissemination |
-//! | [`sim`] | `vpm-sim` | topologies, adversaries, the paper's experiments |
-//! | [`mod@bench`] | `vpm-bench` | measured throughput harnesses (`vpm bench-collector`, `vpm bench-wire`) |
+//! | [`sim`] | `vpm-sim` | topologies, adversaries, the paper's experiments, the scenario matrix, the many-path fleet |
+//! | [`mod@bench`] | `vpm-bench` | measured throughput harnesses (`vpm bench-collector`, `vpm bench-wire`, `vpm bench-verifier`) |
 //!
 //! ## Minimal example
 //!

@@ -118,6 +118,106 @@ fn matrix_json_is_byte_identical_across_job_counts() {
 }
 
 #[test]
+fn fleet_json_is_byte_identical_across_job_counts() {
+    // The fleet determinism contract straight through the CLI: the
+    // same fleet verified with 1 and with 8 workers prints identical
+    // JSON (publishing concurrency differs too — it must not matter).
+    let base = &["fleet", "--paths", "8", "--liars", "2", "--json"];
+    let serial = vpm(&[base as &[&str], &["--jobs", "1"]].concat());
+    let parallel = vpm(&[base as &[&str], &["--jobs", "8"]].concat());
+    assert_eq!(serial.status.code(), Some(0), "{}", stderr(&serial));
+    assert_eq!(parallel.status.code(), Some(0), "{}", stderr(&parallel));
+    let a = stdout(&serial);
+    assert_eq!(a, stdout(&parallel), "--jobs must not change the bytes");
+    let verdicts: Vec<vpm::sim::FleetPathVerdict> =
+        serde_json::from_str(a.trim()).expect("stdout is the verdict list");
+    assert_eq!(verdicts.len(), 8);
+    assert_eq!(verdicts.iter().filter(|v| v.lie.is_some()).count(), 2);
+    assert!(verdicts.iter().all(|v| v.passed()));
+}
+
+#[test]
+fn fleet_rejects_bad_flags() {
+    for (args, needle) in [
+        (vec!["fleet", "--paths", "0"], "--paths value"),
+        (vec!["fleet", "--paths"], "--paths needs"),
+        (vec!["fleet", "--jobs", "zero"], "--jobs value"),
+        (vec!["fleet", "--liars", "junk"], "--liars value"),
+        (
+            vec!["fleet", "--paths", "4", "--liars", "5"],
+            "exceeds --paths",
+        ),
+        (
+            vec!["fleet", "--paths", "9000"],
+            "overflows the 16-bit HOP id space",
+        ),
+        (vec!["fleet", "--frobnicate"], "unknown fleet option"),
+    ] {
+        let out = vpm(&args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        assert!(stderr(&out).contains(needle), "{args:?}: {}", stderr(&out));
+    }
+}
+
+#[test]
+fn bench_verifier_emits_valid_json_and_artifact() {
+    // Tiny workload: this is a smoke test of plumbing, not a timing
+    // assertion.
+    let dir = std::env::temp_dir().join(format!("vpm-bench-verifier-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let out = Command::new(env!("CARGO_BIN_EXE_vpm"))
+        .args([
+            "bench-verifier",
+            "--paths",
+            "2",
+            "--jobs",
+            "2",
+            "--shards",
+            "4",
+            "--frames",
+            "32",
+            "--subs",
+            "2",
+            "--repeats",
+            "1",
+            "--json",
+        ])
+        .current_dir(&dir)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let printed = stdout(&out);
+    let report: vpm::bench::verifier_bench::VerifierBenchReport =
+        serde_json::from_str(printed.trim()).expect("stdout is the JSON report");
+    assert_eq!(report.config.paths, 2);
+    assert!(report
+        .results
+        .iter()
+        .any(|r| r.name == "poll_cursor" && r.items_per_s > 0.0));
+    assert!(report.cursor_poll_speedup > 0.0);
+    // The artifact on disk is the same report.
+    let on_disk = std::fs::read_to_string(dir.join("BENCH_verifier.json")).expect("artifact");
+    assert_eq!(on_disk, printed.trim_end());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bench_verifier_rejects_bad_flags() {
+    for (args, needle) in [
+        (vec!["bench-verifier", "--paths", "0"], "--paths value"),
+        (vec!["bench-verifier", "--frames"], "--frames needs"),
+        (
+            vec!["bench-verifier", "--frobnicate"],
+            "unknown bench-verifier option",
+        ),
+    ] {
+        let out = vpm(&args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        assert!(stderr(&out).contains(needle), "{args:?}: {}", stderr(&out));
+    }
+}
+
+#[test]
 fn bench_collector_emits_valid_json_and_artifact() {
     // Tiny workload: this is a smoke test of plumbing, not a timing
     // assertion.

@@ -1,0 +1,237 @@
+//! The fleet verification contract, end to end:
+//!
+//! * a real many-path fleet published from concurrent threads through
+//!   one `ShardedBus` verifies correctly — every liar exposed on
+//!   exactly its own link, no honest path accused;
+//! * `analyze_fleet_from_transport` is byte-identical for every
+//!   `jobs` count AND byte-identical to the sequential per-path
+//!   `analyze_from_transport` fold — pinned under proptest for
+//!   arbitrary path counts 1..=65 and jobs 1/2/8, including paths
+//!   whose first published batch is empty (the quiet-first-interval
+//!   edge) and paths with partially deployed HOPs;
+//! * the transport implementation stays invisible: the same fleet
+//!   through `InMemoryBus` and `ShardedBus` yields identical verdicts.
+
+use proptest::prelude::*;
+use vpm::core::processor::ReceiptBatch;
+use vpm::core::receipt::{AggId, AggReceipt, SampleReceipt, SampleRecord};
+use vpm::hash::Digest;
+use vpm::packet::SimTime;
+use vpm::sim::fleet::{
+    analyze_fleet_from_transport, build_fleet, run_fleet, Fleet, FleetConfig, FleetPath,
+    FleetPathVerdict,
+};
+use vpm::sim::topology::Figure1;
+use vpm::sim::verdict::analyze_from_transport;
+use vpm::sim::RunConfig;
+use vpm::wire::{InMemoryBus, Profile, ReceiptTransport, ShardedBus};
+
+fn small_fleet_config() -> FleetConfig {
+    FleetConfig {
+        paths: 10,
+        liars: 3,
+        publishers: 3,
+        trace_ms: 60,
+        target_pps: 25_000.0,
+        ..FleetConfig::default()
+    }
+}
+
+/// Serialize verdicts for byte-for-byte comparison.
+fn bytes(verdicts: &[FleetPathVerdict]) -> String {
+    serde_json::to_string(verdicts).expect("verdicts serialize")
+}
+
+#[test]
+fn fleet_exposes_exactly_its_liars() {
+    let fleet = build_fleet(&small_fleet_config());
+    let bus = ShardedBus::new(16);
+    let frames = run_fleet(&fleet, &bus);
+    assert!(
+        frames >= 8 * fleet.paths.len(),
+        "one frame per HOP at least"
+    );
+    let verdicts = analyze_fleet_from_transport(&fleet, &bus, 3);
+    assert_eq!(verdicts.len(), fleet.paths.len());
+    for (p, v) in fleet.paths.iter().zip(&verdicts) {
+        assert!(v.passed(), "path {}: {:?}", p.index, v.failures);
+        match p.lie {
+            None => assert!(v.flagged_links.is_empty(), "path {}", p.index),
+            Some(_) => assert_eq!(
+                v.flagged_links,
+                vec![p.expected_liar_link()],
+                "path {}",
+                p.index
+            ),
+        }
+    }
+    // The three liars are where the builder spread them.
+    let exposed: Vec<usize> = verdicts
+        .iter()
+        .filter(|v| !v.flagged_links.is_empty())
+        .map(|v| v.path)
+        .collect();
+    assert_eq!(exposed.len(), 3);
+}
+
+#[test]
+fn fleet_verdicts_are_byte_identical_across_jobs_and_transports() {
+    let fleet = build_fleet(&small_fleet_config());
+    let sharded = ShardedBus::new(16);
+    run_fleet(&fleet, &sharded);
+    let baseline = bytes(&analyze_fleet_from_transport(&fleet, &sharded, 1));
+    for jobs in [2, 3, 8] {
+        assert_eq!(
+            bytes(&analyze_fleet_from_transport(&fleet, &sharded, jobs)),
+            baseline,
+            "--jobs {jobs} must not change the bytes"
+        );
+    }
+    // Same fleet, different transport (and a re-run: path runs are
+    // deterministic): identical verdicts.
+    let in_memory = InMemoryBus::new();
+    run_fleet(&fleet, &in_memory);
+    assert_eq!(
+        bytes(&analyze_fleet_from_transport(&fleet, &in_memory, 2)),
+        baseline,
+        "the transport implementation must be invisible to the verdicts"
+    );
+}
+
+/// Deterministic splitmix64 stream for the synthetic fleets.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Build an honest synthetic fleet of `n` paths and publish small
+/// hand-made receipt batches for a random subset of each path's HOPs —
+/// some paths lead with an empty (pathless) batch, some HOPs publish
+/// nothing at all (partial deployment), sample contents are arbitrary.
+fn synthetic_fleet(n: usize, seed: u64) -> (Fleet, ShardedBus) {
+    let mut rng = seed;
+    let bus = ShardedBus::new(7);
+    let paths: Vec<FleetPath> = (0..n)
+        .map(|i| FleetPath {
+            index: i,
+            topology: Figure1::numbered(i).build(),
+            run_config: RunConfig::default(),
+            lie: None,
+            quiet_first_interval: false,
+            trace_ms: 0,
+            target_pps: 0.0,
+            seed: seed ^ i as u64,
+        })
+        .collect();
+    for p in &paths {
+        let on_path = p.topology.domain_ids();
+        for (hop, path_id) in p.topology.hop_path_ids() {
+            let key = 0x5eed ^ hop.0 as u64;
+            bus.register_key(hop, key);
+            if mix(&mut rng) % 10 < 3 {
+                continue; // this HOP never reports (partial deployment)
+            }
+            if mix(&mut rng) % 10 < 4 {
+                // Quiet first interval: an empty, signed, pathless batch.
+                let mut empty = ReceiptBatch {
+                    hop,
+                    batch_seq: 0,
+                    samples: vec![],
+                    aggregates: vec![],
+                    auth_tag: 0,
+                };
+                empty.auth_tag = empty.compute_tag(key);
+                bus.publish_batch(
+                    p.topology.domain_of(hop).unwrap().id,
+                    &empty,
+                    Profile::Precise,
+                    on_path.clone(),
+                )
+                .unwrap();
+            }
+            let records = 1 + (mix(&mut rng) % 3) as usize;
+            let mut batch = ReceiptBatch {
+                hop,
+                batch_seq: 1,
+                samples: vec![SampleReceipt {
+                    path: path_id,
+                    samples: (0..records)
+                        .map(|_| SampleRecord {
+                            pkt_id: Digest(mix(&mut rng)),
+                            time: SimTime::from_micros(mix(&mut rng) % 1_000_000),
+                        })
+                        .collect(),
+                }],
+                aggregates: vec![AggReceipt {
+                    path: path_id,
+                    agg: AggId {
+                        first: Digest(mix(&mut rng)),
+                        last: Digest(mix(&mut rng)),
+                    },
+                    pkt_cnt: 1 + mix(&mut rng) % 1000,
+                    agg_trans: vec![],
+                }],
+                auth_tag: 0,
+            };
+            batch.auth_tag = batch.compute_tag(key);
+            bus.publish_batch(
+                p.topology.domain_of(hop).unwrap().id,
+                &batch,
+                Profile::Precise,
+                on_path.clone(),
+            )
+            .unwrap();
+        }
+    }
+    let fleet = Fleet {
+        config: FleetConfig {
+            paths: n,
+            liars: 0,
+            ..FleetConfig::default()
+        },
+        paths,
+    };
+    (fleet, bus)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The tentpole's determinism contract: for arbitrary fleets —
+    /// any path count 1..=65, HOPs that never report, empty first
+    /// batches, arbitrary receipt contents — the parallel verifier is
+    /// byte-identical to the sequential per-path
+    /// `analyze_from_transport` fold, for jobs 1, 2, and 8.
+    #[test]
+    fn parallel_fleet_analysis_is_byte_identical_to_sequential_fold(
+        n in 1usize..=65,
+        seed in any::<u64>(),
+    ) {
+        let (fleet, bus) = synthetic_fleet(n, seed);
+        let sequential: Vec<FleetPathVerdict> = fleet
+            .paths
+            .iter()
+            .map(|p| {
+                let analysis =
+                    analyze_from_transport(&p.topology, &bus, p.collector_domain())
+                        .expect("collector is on-path");
+                FleetPathVerdict::from_analysis(p, &analysis)
+            })
+            .collect();
+        let expect = bytes(&sequential);
+        for jobs in [1usize, 2, 8] {
+            let parallel = analyze_fleet_from_transport(&fleet, &bus, jobs);
+            prop_assert_eq!(
+                bytes(&parallel),
+                expect.clone(),
+                "jobs={} n={} seed={:#x}",
+                jobs,
+                n,
+                seed
+            );
+        }
+    }
+}
