@@ -29,7 +29,7 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 use vpm_core::processor::ReceiptBatch;
 use vpm_core::receipt::{AggId, AggReceipt, PathId, SampleReceipt, SampleRecord};
-use vpm_hash::Digest;
+use vpm_hash::{Digest, HopKey, KeyEpoch};
 use vpm_packet::{DomainId, HeaderSpec, HopId, Ipv4Prefix, SimDuration, SimTime};
 use vpm_sim::fleet::{analyze_fleet_from_transport, build_fleet, run_fleet, Fleet, FleetConfig};
 use vpm_wire::{Profile, ReceiptTransport, ShardedBus};
@@ -120,7 +120,7 @@ fn poll_path_id(n: u16) -> PathId {
 }
 
 /// A small signed single-sample batch for `hop` on synthetic path `n`.
-fn poll_batch(hop: HopId, seq: u64, n: u16) -> (ReceiptBatch, u64) {
+fn poll_batch(hop: HopId, seq: u64, n: u16) -> (ReceiptBatch, HopKey) {
     let mut b = ReceiptBatch {
         hop,
         batch_seq: seq,
@@ -142,8 +142,8 @@ fn poll_batch(hop: HopId, seq: u64, n: u16) -> (ReceiptBatch, u64) {
         }],
         auth_tag: 0,
     };
-    let key = 0xbe5c ^ hop.0 as u64;
-    b.auth_tag = b.compute_tag(key);
+    let key = HopKey::from_seed(0xbe5c ^ hop.0 as u64);
+    b.auth_tag = b.compute_tag(key.tag_key());
     (b, key)
 }
 
@@ -162,7 +162,8 @@ fn drive_polls(
     let bus = ShardedBus::new(cfg.shards);
     for h in 0..POLL_PATHS {
         let (_, key) = poll_batch(HopId(h + 1), 0, h);
-        bus.register_key(HopId(h + 1), key);
+        bus.register_key(HopId(h + 1), key)
+            .expect("bench keys register once");
     }
     let subs: Vec<_> = (0..cfg.subs)
         .map(|s| subscribe(&bus, s as u16 % POLL_PATHS))
@@ -189,9 +190,9 @@ fn poll_frames(cfg: &VerifierBenchConfig) -> Vec<vpm_wire::WireFrame> {
     (0..cfg.frames as u64)
         .map(|i| {
             let n = (i % POLL_PATHS as u64) as u16;
-            let (b, _) = poll_batch(HopId(n + 1), i, n);
+            let (b, key) = poll_batch(HopId(n + 1), i, n);
             vpm_wire::WireEncoder::new(Profile::Precise)
-                .encode(&b)
+                .encode_signed(&b, &key, KeyEpoch(0))
                 .expect("bench batches encode")
         })
         .collect()

@@ -14,7 +14,7 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 use vpm_core::processor::ReceiptBatch;
 use vpm_core::receipt::{AggId, AggReceipt, PathId, SampleReceipt, SampleRecord};
-use vpm_hash::Digest;
+use vpm_hash::{Digest, HopKey, KeyEpoch};
 use vpm_packet::{HeaderSpec, HopId, Ipv4Prefix, SimDuration, SimTime};
 use vpm_wire::{Profile, WireDecoder, WireEncoder};
 
@@ -79,6 +79,19 @@ pub struct WireBenchReport {
     pub encode_speedup_vs_json: f64,
     /// `decode_json / decode_compact` time ratio.
     pub decode_speedup_vs_json: f64,
+    /// `encode_signed_compact / encode_compact` time ratio — what the
+    /// HMAC-SHA-256 MAC trailer costs at encode, compact profile.
+    pub signed_encode_overhead_compact: f64,
+    /// `encode_signed_precise / encode_precise` time ratio.
+    pub signed_encode_overhead_precise: f64,
+    /// MAC trailer bytes per signed frame (epoch + HMAC-SHA-256 tag).
+    pub mac_trailer_bytes: usize,
+}
+
+/// The signing key for the benchmark workload; its seed doubles as the
+/// legacy tag key `build_batch` signs with.
+pub fn bench_key() -> HopKey {
+    HopKey::from_seed(0x5650_4d00 ^ 4)
 }
 
 /// Deterministic benchmark batch: `receipts` single-path sample
@@ -131,7 +144,7 @@ pub fn build_batch(cfg: &WireBenchConfig) -> ReceiptBatch {
             .collect(),
         auth_tag: 0,
     };
-    batch.auth_tag = batch.compute_tag(0x5650_4d00 ^ 4);
+    batch.auth_tag = batch.compute_tag(bench_key().tag_key());
     batch
 }
 
@@ -196,6 +209,56 @@ pub fn run(cfg: &WireBenchConfig) -> WireBenchReport {
     });
     record("decode_json", json.len(), dec_json);
 
+    // Signed-frame variants: the same codec work plus the HMAC-SHA-256
+    // MAC trailer every circulating frame now carries.
+    let key = bench_key();
+    let signed_compact = WireEncoder::compact()
+        .encode_signed(&batch, &key, KeyEpoch(0))
+        .expect("signs");
+    let signed_precise = WireEncoder::precise()
+        .encode_signed(&batch, &key, KeyEpoch(0))
+        .expect("signs");
+    let enc_signed_compact = time_secs(cfg.repeats, || {
+        std::hint::black_box(
+            WireEncoder::compact()
+                .encode_signed(&batch, &key, KeyEpoch(0))
+                .expect("signs"),
+        );
+    });
+    record(
+        "encode_signed_compact",
+        signed_compact.len(),
+        enc_signed_compact,
+    );
+    let enc_signed_precise = time_secs(cfg.repeats, || {
+        std::hint::black_box(
+            WireEncoder::precise()
+                .encode_signed(&batch, &key, KeyEpoch(0))
+                .expect("signs"),
+        );
+    });
+    record(
+        "encode_signed_precise",
+        signed_precise.len(),
+        enc_signed_precise,
+    );
+    let verify_signed_compact = time_secs(cfg.repeats, || {
+        assert!(std::hint::black_box(signed_compact.verify_mac(&key)));
+    });
+    record(
+        "verify_signed_compact",
+        signed_compact.len(),
+        verify_signed_compact,
+    );
+    let verify_signed_precise = time_secs(cfg.repeats, || {
+        assert!(std::hint::black_box(signed_precise.verify_mac(&key)));
+    });
+    record(
+        "verify_signed_precise",
+        signed_precise.len(),
+        verify_signed_precise,
+    );
+
     WireBenchReport {
         config: *cfg,
         results,
@@ -205,6 +268,9 @@ pub fn run(cfg: &WireBenchConfig) -> WireBenchReport {
         json_size_ratio: json.len() as f64 / compact_frame.len() as f64,
         encode_speedup_vs_json: enc_json / enc_compact,
         decode_speedup_vs_json: dec_json / dec_compact,
+        signed_encode_overhead_compact: enc_signed_compact / enc_compact,
+        signed_encode_overhead_precise: enc_signed_precise / enc_precise,
+        mac_trailer_bytes: vpm_wire::MAC_TRAILER_BYTES,
     }
 }
 
@@ -242,6 +308,13 @@ pub fn render_table(report: &WireBenchReport) -> String {
         s,
         "binary vs JSON: encode {:.1}x, decode {:.1}x",
         report.encode_speedup_vs_json, report.decode_speedup_vs_json
+    );
+    let _ = writeln!(
+        s,
+        "HMAC trailer: {} B/frame; signed encode {:.2}x compact, {:.2}x precise",
+        report.mac_trailer_bytes,
+        report.signed_encode_overhead_compact,
+        report.signed_encode_overhead_precise
     );
     s
 }
@@ -285,6 +358,10 @@ mod tests {
                 "decode_compact",
                 "decode_precise",
                 "decode_json",
+                "encode_signed_compact",
+                "encode_signed_precise",
+                "verify_signed_compact",
+                "verify_signed_precise",
             ]
         );
         for r in &report.results {
@@ -299,9 +376,32 @@ mod tests {
             "JSON cannot beat the binary codec: {report:?}"
         );
         assert!(report.json_size_ratio > 1.0);
+        assert!(report.signed_encode_overhead_compact > 0.0);
+        assert!(report.signed_encode_overhead_precise > 0.0);
+        assert_eq!(report.mac_trailer_bytes, vpm_wire::MAC_TRAILER_BYTES);
         let table = render_table(&report);
         assert!(table.contains("encode_compact"));
+        assert!(table.contains("verify_signed_precise"));
         assert!(table.contains("bytes/sample"));
+        assert!(table.contains("HMAC trailer"));
+    }
+
+    #[test]
+    fn signed_bench_frames_verify_under_the_bench_key() {
+        let batch = build_batch(&WireBenchConfig {
+            receipts: 4,
+            records: 8,
+            aggs: 4,
+            window: 1,
+            repeats: 1,
+        });
+        let key = bench_key();
+        let frame = WireEncoder::precise()
+            .encode_signed(&batch, &key, KeyEpoch(0))
+            .unwrap();
+        assert!(frame.verify_mac(&key));
+        assert!(!frame.verify_mac(&HopKey::from_seed(1)));
+        assert_eq!(frame.decode().unwrap().batch, batch);
     }
 
     #[test]

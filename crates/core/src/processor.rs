@@ -8,12 +8,16 @@
 //! bandwidth model).
 //!
 //! Authenticity: the paper assumes receipts are disseminated with
-//! integrity/authenticity guarantees (assumption #2, e.g. HTTPS). We
-//! substitute a keyed-digest tag over the batch content — enough to
-//! exercise "reject tampered receipts" behaviour in tests without an
-//! external TLS stack (see DESIGN.md, substitutions).
+//! integrity/authenticity guarantees (assumption #2, e.g. HTTPS). The
+//! in-batch `auth_tag` is a cheap keyed-digest checksum over the batch
+//! content; the real cryptographic binding is the HMAC-SHA-256 MAC
+//! trailer the wire layer stamps on every published frame under the
+//! HOP's [`HopKey`] (see `vpm-wire`'s codec and transport). The tag
+//! key is the [`HopKey`]'s seed prefix ([`HopKey::tag_key`]), so both
+//! layers are driven by one per-HOP secret.
 
 use serde::{Deserialize, Serialize};
+use vpm_hash::HopKey;
 use vpm_packet::HopId;
 
 use crate::collector::Collector;
@@ -121,11 +125,18 @@ pub struct ProcessorStats {
     pub aggregate_receipts: u64,
 }
 
+/// The default per-HOP signing key, derived from the HOP id. Its seed
+/// doubles as the legacy u64 tag key ([`HopKey::tag_key`]), so batches
+/// signed through it keep the auth-tag values of the pre-HMAC fixtures.
+pub fn default_hop_key(hop: HopId) -> HopKey {
+    HopKey::from_seed(0x5650_4d00 ^ hop.0 as u64)
+}
+
 /// The control-plane processor.
 #[derive(Debug)]
 pub struct Processor {
     hop: HopId,
-    key: u64,
+    key: HopKey,
     next_seq: u64,
     stats: ProcessorStats,
 }
@@ -135,14 +146,20 @@ impl Processor {
     pub fn new(hop: HopId) -> Self {
         Processor {
             hop,
-            key: 0x5650_4d00 ^ hop.0 as u64,
+            key: default_hop_key(hop),
             next_seq: 0,
             stats: ProcessorStats::default(),
         }
     }
 
-    /// The HOP's signing key (shared with verifiers out of band).
+    /// The legacy u64 tag key the batch `auth_tag` is computed under.
     pub fn key(&self) -> u64 {
+        self.key.tag_key()
+    }
+
+    /// The HOP's full signing key (registered with the transport out
+    /// of band; MACs every published frame).
+    pub fn hop_key(&self) -> HopKey {
         self.key
     }
 
@@ -159,7 +176,7 @@ impl Processor {
             aggregates,
             auth_tag: 0,
         };
-        batch.auth_tag = batch.compute_tag(self.key);
+        batch.auth_tag = batch.compute_tag(self.key.tag_key());
         self.next_seq += 1;
         self.stats.batches += 1;
         self.stats.receipt_bytes += batch.compact_bytes() as u64;

@@ -62,13 +62,17 @@ pub fn digest_words(words: &[u32], seed: DigestSeed) -> Digest {
     Digest(lookup3::hash64_words(words, seed.0))
 }
 
-/// Digest a batch of fixed-width word blocks (one digest per block),
-/// appending to `out`.
+/// Digest a batch of fixed-width word blocks (one digest per block)
+/// into `out`, which is **cleared first**: after the call,
+/// `out[i] == digest_words(&blocks[i], seed)` and
+/// `out.len() == blocks.len()`, regardless of what the (reusable)
+/// scratch Vec held before.
 ///
 /// This is the slice-digesting hot path for batched collectors: one
 /// tight loop over pre-assembled word blocks, no per-packet dispatch.
 /// Equivalent to calling [`digest_words`] on each block.
 pub fn digest_batch<const W: usize>(blocks: &[[u32; W]], seed: DigestSeed, out: &mut Vec<Digest>) {
+    out.clear();
     out.reserve(blocks.len());
     for block in blocks {
         out.push(digest_words(block, seed));
@@ -123,6 +127,23 @@ mod tests {
         digest_batch(&blocks, DEFAULT_DIGEST_SEED, &mut out);
         assert_eq!(out.len(), blocks.len());
         for (block, d) in blocks.iter().zip(&out) {
+            assert_eq!(*d, digest_words(block, DEFAULT_DIGEST_SEED));
+        }
+    }
+
+    /// Pin the clear-and-fill contract: a reused, dirty scratch Vec
+    /// holds exactly the new batch afterwards — no stale digests ahead
+    /// of (or behind) the fresh ones.
+    #[test]
+    fn digest_batch_clears_a_dirty_scratch_buffer() {
+        let stale: Vec<[u32; 4]> = (0..10u32).map(|i| [i, i, i, i]).collect();
+        let fresh: Vec<[u32; 4]> = (0..3u32).map(|i| [i ^ 9, 0, 1, 2]).collect();
+        let mut out = Vec::new();
+        digest_batch(&stale, DEFAULT_DIGEST_SEED, &mut out);
+        assert_eq!(out.len(), 10);
+        digest_batch(&fresh, DEFAULT_DIGEST_SEED, &mut out);
+        assert_eq!(out.len(), fresh.len(), "stale digests must not survive");
+        for (block, d) in fresh.iter().zip(&out) {
             assert_eq!(*d, digest_words(block, DEFAULT_DIGEST_SEED));
         }
     }

@@ -16,7 +16,12 @@
 //!   threshold `µ`, the sampling threshold `σ` and the partition
 //!   threshold `δ`. Thresholds are totally ordered, which is what gives
 //!   VPM its superset-sampling and nested-partition properties (paper
-//!   §5.2, §6.2).
+//!   §5.2, §6.2);
+//! * [`mod@sha256`] — in-tree SHA-256 / HMAC-SHA-256 (NIST FIPS 180-4 and
+//!   RFC 4231 test-vector verified), the primitive behind real receipt
+//!   binding on the wire;
+//! * [`hopkey`] — per-HOP 32-byte secret keys ([`HopKey`]) and rotation
+//!   generations ([`KeyEpoch`]) for the transport's key registry.
 //!
 //! Everything here is deterministic and allocation-free: the same bytes
 //! always produce the same digest on every HOP, which is the foundation
@@ -26,12 +31,16 @@
 #![warn(missing_docs)]
 
 pub mod digest;
+pub mod hopkey;
 pub mod lookup3;
 pub mod sample;
+pub mod sha256;
 pub mod threshold;
 
 pub use digest::{
     digest_batch, digest_bytes, digest_words, Digest, DigestSeed, DEFAULT_DIGEST_SEED,
 };
+pub use hopkey::{HopKey, KeyEpoch};
 pub use sample::{sample_fcn, sample_fcn_keyed, SampleKey};
+pub use sha256::{hmac_sha256, mac_eq, sha256, Sha256, SHA256_BLOCK_BYTES, SHA256_DIGEST_BYTES};
 pub use threshold::Threshold;

@@ -1,0 +1,364 @@
+//! In-tree SHA-256 (FIPS 180-4) and HMAC-SHA-256 (RFC 2104).
+//!
+//! The receipt plane needs real cryptographic binding — a MAC trailer
+//! over every published wire frame — and the build container has no
+//! crates.io access, so the primitive lives here under the same
+//! no-dependency discipline as the rest of `vpm-hash`. The
+//! implementation is the straightforward scalar compression function:
+//! receipts are batched, so MAC cost is amortized over whole frames
+//! and the §7.1 budget cares about bytes, not cycles.
+//!
+//! Correctness is pinned against the NIST FIPS 180-4 example vectors
+//! (including the streaming million-`a` message) and all seven RFC
+//! 4231 HMAC-SHA-256 test cases.
+
+/// Round constants: fractional parts of the cube roots of the first
+/// 64 primes (FIPS 180-4 §4.2.2).
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Initial hash state: fractional parts of the square roots of the
+/// first 8 primes (FIPS 180-4 §5.3.3).
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// SHA-256 block size in bytes (also the HMAC pad width).
+pub const SHA256_BLOCK_BYTES: usize = 64;
+
+/// SHA-256 digest size in bytes.
+pub const SHA256_DIGEST_BYTES: usize = 32;
+
+/// Incremental SHA-256 hasher.
+///
+/// ```
+/// use vpm_hash::Sha256;
+/// let mut h = Sha256::new();
+/// h.update(b"ab");
+/// h.update(b"c");
+/// assert_eq!(h.finalize(), vpm_hash::sha256(b"abc"));
+/// ```
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buf: [u8; SHA256_BLOCK_BYTES],
+    buf_len: usize,
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Fresh hasher in the FIPS 180-4 initial state.
+    pub fn new() -> Self {
+        Sha256 {
+            state: H0,
+            buf: [0u8; SHA256_BLOCK_BYTES],
+            buf_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Absorb `data`; may be called any number of times.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let take = (SHA256_BLOCK_BYTES - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == SHA256_BLOCK_BYTES {
+                let block = self.buf;
+                compress(&mut self.state, &block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= SHA256_BLOCK_BYTES {
+            let (block, rest) = data.split_at(SHA256_BLOCK_BYTES);
+            compress(&mut self.state, block.try_into().expect("64-byte split"));
+            data = rest;
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Pad, run the final blocks, and return the 32-byte digest.
+    pub fn finalize(mut self) -> [u8; SHA256_DIGEST_BYTES] {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // 0x80 terminator, then zeros until 8 bytes remain in a block.
+        self.update(&[0x80]);
+        while self.buf_len != SHA256_BLOCK_BYTES - 8 {
+            self.update(&[0]);
+        }
+        // Length field is excluded from `total_len` bookkeeping by
+        // snapshotting `bit_len` first.
+        let mut block = self.buf;
+        block[SHA256_BLOCK_BYTES - 8..].copy_from_slice(&bit_len.to_be_bytes());
+        compress(&mut self.state, &block);
+
+        let mut out = [0u8; SHA256_DIGEST_BYTES];
+        for (chunk, word) in out.chunks_exact_mut(4).zip(self.state) {
+            chunk.copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+}
+
+/// One FIPS 180-4 §6.2.2 compression round over a 64-byte block.
+fn compress(state: &mut [u32; 8], block: &[u8; SHA256_BLOCK_BYTES]) {
+    let mut w = [0u32; 64];
+    for (i, chunk) in block.chunks_exact(4).enumerate() {
+        w[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
+    }
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    for i in 0..64 {
+        let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ (!e & g);
+        let t1 = h
+            .wrapping_add(s1)
+            .wrapping_add(ch)
+            .wrapping_add(K[i])
+            .wrapping_add(w[i]);
+        let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let t2 = s0.wrapping_add(maj);
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
+}
+
+/// One-shot SHA-256 of `data`.
+pub fn sha256(data: &[u8]) -> [u8; SHA256_DIGEST_BYTES] {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// HMAC-SHA-256 of `msg` under `key` (RFC 2104; any key length —
+/// keys longer than the 64-byte block are hashed first).
+pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> [u8; SHA256_DIGEST_BYTES] {
+    let mut k = [0u8; SHA256_BLOCK_BYTES];
+    if key.len() > SHA256_BLOCK_BYTES {
+        k[..SHA256_DIGEST_BYTES].copy_from_slice(&sha256(key));
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+
+    let mut ipad = [0x36u8; SHA256_BLOCK_BYTES];
+    let mut opad = [0x5cu8; SHA256_BLOCK_BYTES];
+    for i in 0..SHA256_BLOCK_BYTES {
+        ipad[i] ^= k[i];
+        opad[i] ^= k[i];
+    }
+
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(msg);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// Constant-time 32-byte comparison: MAC checks must not leak how
+/// many prefix bytes matched through early exit.
+pub fn mac_eq(a: &[u8; SHA256_DIGEST_BYTES], b: &[u8; SHA256_DIGEST_BYTES]) -> bool {
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).expect("hex"))
+            .collect()
+    }
+
+    // FIPS 180-4 example vectors (NIST CSRC "SHA All" examples).
+    #[test]
+    fn nist_fips_180_4_vectors() {
+        let cases: &[(&[u8], &str)] = &[
+            (
+                b"",
+                "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+            ),
+            (
+                b"abc",
+                "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+            ),
+            (
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+                "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+            ),
+            (
+                b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+                  ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+                "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1",
+            ),
+        ];
+        for (msg, want) in cases {
+            assert_eq!(&hex(&sha256(msg)), want, "msg len {}", msg.len());
+        }
+    }
+
+    #[test]
+    fn nist_million_a_streams_through_arbitrary_chunking() {
+        // The millionth-`a` vector, fed in deliberately awkward chunk
+        // sizes to exercise the buffered update path.
+        let mut h = Sha256::new();
+        let mut fed = 0usize;
+        let mut chunk = 1usize;
+        while fed < 1_000_000 {
+            let n = chunk.min(1_000_000 - fed);
+            h.update(&b"a".repeat(n));
+            fed += n;
+            chunk = (chunk * 3 + 7) % 257 + 1;
+        }
+        assert_eq!(
+            hex(&h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_one_shot_at_every_split() {
+        let data: Vec<u8> = (0..257u16).map(|i| (i * 31 % 251) as u8).collect();
+        let want = sha256(&data);
+        for split in 0..data.len() {
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), want, "split {split}");
+        }
+    }
+
+    // RFC 4231: all seven HMAC-SHA-256 test cases. TC5 checks the
+    // truncated-output case by prefix.
+    #[test]
+    fn rfc_4231_hmac_sha256_vectors() {
+        struct Tc {
+            key: Vec<u8>,
+            data: Vec<u8>,
+            mac: &'static str,
+            truncated_to: usize,
+        }
+        let cases = [
+            Tc {
+                key: vec![0x0b; 20],
+                data: b"Hi There".to_vec(),
+                mac: "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7",
+                truncated_to: 32,
+            },
+            Tc {
+                key: b"Jefe".to_vec(),
+                data: b"what do ya want for nothing?".to_vec(),
+                mac: "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843",
+                truncated_to: 32,
+            },
+            Tc {
+                key: vec![0xaa; 20],
+                data: vec![0xdd; 50],
+                mac: "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe",
+                truncated_to: 32,
+            },
+            Tc {
+                key: unhex("0102030405060708090a0b0c0d0e0f10111213141516171819"),
+                data: vec![0xcd; 50],
+                mac: "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b",
+                truncated_to: 32,
+            },
+            Tc {
+                key: vec![0x0c; 20],
+                data: b"Test With Truncation".to_vec(),
+                mac: "a3b6167473100ee06e0c796c2955552b",
+                truncated_to: 16,
+            },
+            Tc {
+                key: vec![0xaa; 131],
+                data: b"Test Using Larger Than Block-Size Key - Hash Key First".to_vec(),
+                mac: "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54",
+                truncated_to: 32,
+            },
+            Tc {
+                key: vec![0xaa; 131],
+                data: b"This is a test using a larger than block-size key and a larger \
+                        than block-size data. The key needs to be hashed before being \
+                        used by the HMAC algorithm."
+                    .to_vec(),
+                mac: "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2",
+                truncated_to: 32,
+            },
+        ];
+        for (i, tc) in cases.iter().enumerate() {
+            let got = hmac_sha256(&tc.key, &tc.data);
+            assert_eq!(
+                hex(&got[..tc.truncated_to]),
+                tc.mac,
+                "RFC 4231 test case {}",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn mac_eq_is_exact() {
+        let a = sha256(b"x");
+        let mut b = a;
+        assert!(mac_eq(&a, &b));
+        b[31] ^= 1;
+        assert!(!mac_eq(&a, &b));
+        b[31] ^= 1;
+        b[0] ^= 0x80;
+        assert!(!mac_eq(&a, &b));
+    }
+}

@@ -126,7 +126,7 @@ fn resign(out: &mut HopOutput) {
         samples: out.samples.clone(),
     }];
     out.batch.aggregates = out.aggregates.clone();
-    out.batch.auth_tag = out.batch.compute_tag(out.key);
+    out.batch.auth_tag = out.batch.compute_tag(out.tag_key());
 }
 
 #[cfg(test)]
@@ -186,7 +186,7 @@ mod tests {
             .hop(HopId(5))
             .unwrap()
             .batch
-            .verify_tag(run.hop(HopId(5)).unwrap().key));
+            .verify_tag(run.hop(HopId(5)).unwrap().tag_key()));
     }
 
     #[test]
@@ -236,7 +236,7 @@ mod tests {
         for (egress, expect) in [(HopId(3), l_ingress), (HopId(7), n_ingress)] {
             let h = run.hop(egress).unwrap();
             assert_eq!(h.samples.len(), expect, "{egress}");
-            assert!(h.batch.verify_tag(h.key), "{egress}");
+            assert!(h.batch.verify_tag(h.tag_key()), "{egress}");
         }
     }
 

@@ -1,20 +1,28 @@
 //! Receipt dissemination — compatibility surface.
 //!
-//! The receipt bus grew up and moved out: dissemination now lives in
-//! `vpm_wire::transport` as the transport-agnostic [`ReceiptTransport`]
-//! API (`publish`/`fetch`/`subscribe` over encoded wire frames), with
-//! the paper's authenticity and on-path-visibility guarantees enforced
-//! at the trait's documented boundaries and two implementations:
-//! [`InMemoryBus`] (the single-lock reference store this module used to
-//! define) and [`ShardedBus`] (`PathID`-hash sharded for contention-free
-//! scale-out). This module re-exports that surface under the historical
-//! names so sim-level code and older call sites keep reading naturally.
+//! The receipt bus grew up and moved out: dissemination lives in
+//! [`vpm_wire::transport`] as the transport-agnostic
+//! [`ReceiptTransport`] API (`publish`/`fetch`/`subscribe` over
+//! encoded wire frames), with the paper's authenticity and
+//! on-path-visibility guarantees enforced at the trait's documented
+//! boundaries and two implementations: [`InMemoryBus`] (the
+//! single-lock reference store this module used to define) and
+//! [`ShardedBus`] (`PathID`-hash sharded for contention-free
+//! scale-out). This module re-exports that surface under the
+//! historical names so older call sites keep compiling, but new code
+//! should import from [`vpm_wire::transport`] directly — the aliases
+//! below are deprecated.
 //!
 //! What changed relative to the old `ReceiptBus`:
 //!
-//! * batches travel as encoded [`vpm_wire::WireFrame`]s — `publish`
-//!   decodes and tag-verifies the actual wire bytes, so the codec sits
-//!   on the pipeline's critical path rather than beside it;
+//! * batches travel as encoded [`vpm_wire::WireFrame`]s carrying an
+//!   HMAC-SHA-256 MAC trailer — `publish` decodes the actual wire
+//!   bytes and verifies the MAC under the HOP's registered
+//!   [`vpm_wire::HopKey`] at the epoch the frame claims (and re-checks
+//!   it at `fetch`), so unsigned or forged frames never circulate;
+//! * keys are epoch-tagged: `register_key` refuses to overwrite an
+//!   established HOP's key and rotation is an explicit
+//!   [`ReceiptTransport::rotate_key`];
 //! * `fetch` returns [`Arc`](std::sync::Arc)-shared [`Published`]
 //!   entries instead of deep-cloning every matching batch per call;
 //! * `subscribe`/`poll` expose dissemination as a stream, which is how
@@ -25,19 +33,29 @@ pub use vpm_wire::transport::{
 };
 
 /// The historical name of the in-memory dissemination bus.
+#[deprecated(
+    since = "0.6.0",
+    note = "use `vpm_wire::transport::InMemoryBus` (or a `ShardedBus`) directly"
+)]
 pub type ReceiptBus = InMemoryBus;
 
 /// The historical name of the transport error type.
+#[deprecated(
+    since = "0.6.0",
+    note = "use `vpm_wire::transport::TransportError` directly"
+)]
 pub type BusError = TransportError;
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the aliases under test are the deprecation
+
     use super::*;
     use vpm_core::processor::ReceiptBatch;
     use vpm_packet::{DomainId, HopId};
-    use vpm_wire::Profile;
+    use vpm_wire::{HopKey, Profile};
 
-    fn batch(hop: HopId) -> (ReceiptBatch, u64) {
+    fn batch(hop: HopId) -> (ReceiptBatch, HopKey) {
         let mut b = ReceiptBatch {
             hop,
             batch_seq: 0,
@@ -45,8 +63,8 @@ mod tests {
             aggregates: vec![],
             auth_tag: 0,
         };
-        let key = 0xabc ^ hop.0 as u64;
-        b.auth_tag = b.compute_tag(key);
+        let key = HopKey::from_seed(0xabc ^ hop.0 as u64);
+        b.auth_tag = b.compute_tag(key.tag_key());
         (b, key)
     }
 
@@ -56,12 +74,13 @@ mod tests {
     fn legacy_names_still_publish_and_fetch() {
         let bus = ReceiptBus::new();
         let (b, key) = batch(HopId(5));
-        bus.register_key(HopId(5), key);
+        bus.register_key(HopId(5), key).unwrap();
         bus.publish_batch(
             DomainId(2),
             &b,
             Profile::Precise,
             vec![DomainId(0), DomainId(1), DomainId(2)],
+            &key,
         )
         .unwrap();
         let got = bus.fetch(DomainId(1), HopId(5)).unwrap();
@@ -79,14 +98,14 @@ mod tests {
         let bus = ShardedBus::new(4);
         for h in 1..=8u16 {
             let (_, key) = batch(HopId(h));
-            bus.register_key(HopId(h), key);
+            bus.register_key(HopId(h), key).unwrap();
         }
         std::thread::scope(|s| {
             for h in 1..=8u16 {
                 let bus = &bus;
                 s.spawn(move || {
-                    let (b, _) = batch(HopId(h));
-                    bus.publish_batch(DomainId(h), &b, Profile::Precise, vec![DomainId(h)])
+                    let (b, key) = batch(HopId(h));
+                    bus.publish_batch(DomainId(h), &b, Profile::Precise, vec![DomainId(h)], &key)
                         .unwrap();
                 });
             }

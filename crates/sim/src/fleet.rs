@@ -299,7 +299,10 @@ fn publish_path(path: &FleetPath, transport: &dyn ReceiptTransport) -> usize {
     let on_path = path.topology.domain_ids();
     let mut frames = 0usize;
     for h in &run.hops {
-        transport.register_key(h.hop, h.key);
+        let key = h.hop_key();
+        transport
+            .register_key(h.hop, key)
+            .expect("fleet HOP keys are consistent");
         if path.quiet_first_interval {
             // Interval 0: nothing matured yet — an empty, signed batch
             // (the PR 4 quiet-first-interval edge, now a standing part
@@ -311,14 +314,14 @@ fn publish_path(path: &FleetPath, transport: &dyn ReceiptTransport) -> usize {
                 aggregates: vec![],
                 auth_tag: 0,
             };
-            empty.auth_tag = empty.compute_tag(h.key);
+            empty.auth_tag = empty.compute_tag(key.tag_key());
             transport
-                .publish_batch(h.domain, &empty, Profile::Precise, on_path.clone())
+                .publish_batch(h.domain, &empty, Profile::Precise, on_path.clone(), &key)
                 .expect("signed empty batches publish");
             frames += 1;
         }
         transport
-            .publish_batch(h.domain, &h.batch, Profile::Precise, on_path.clone())
+            .publish_batch(h.domain, &h.batch, Profile::Precise, on_path.clone(), &key)
             .expect("signed batches publish");
         frames += 1;
     }

@@ -18,7 +18,7 @@ use std::collections::HashMap;
 use vpm_core::processor::ReceiptBatch;
 use vpm_core::receipt::{AggReceipt, PathId, SampleRecord};
 use vpm_core::{HopConfig, HopPipeline};
-use vpm_hash::{Digest, Threshold};
+use vpm_hash::{Digest, HopKey, KeyEpoch, Threshold};
 use vpm_netsim::channel::{apply, arrivals, ChannelConfig};
 use vpm_netsim::clock::HopClock;
 use vpm_packet::{DomainId, HopId, SimDuration, SimTime};
@@ -105,8 +105,27 @@ pub struct HopOutput {
     pub aggregates: Vec<AggReceipt>,
     /// Packets this HOP observed.
     pub observed: usize,
-    /// The HOP's signing key.
-    pub key: u64,
+    /// The HOP's signing key. `None` when the output was rebuilt by a
+    /// pure receipt collector, which never learns HOP secrets —
+    /// authenticity was enforced by the transport's MAC checks.
+    pub key: Option<HopKey>,
+    /// The key epoch the HOP's frames were published (and verified)
+    /// under.
+    pub key_epoch: KeyEpoch,
+}
+
+impl HopOutput {
+    /// The full signing key; panics on collector-rebuilt outputs,
+    /// which don't carry secrets.
+    pub fn hop_key(&self) -> HopKey {
+        self.key.expect("output carries its signing key")
+    }
+
+    /// The legacy u64 tag key (for `ReceiptBatch::verify_tag`); panics
+    /// on collector-rebuilt outputs.
+    pub fn tag_key(&self) -> u64 {
+        self.hop_key().tag_key()
+    }
 }
 
 /// Ground truth for one transit domain.
@@ -310,18 +329,22 @@ pub fn run_path_with_transport(
     let collector_domain = *on_path.first().expect("topology has domains");
     let sub = transport.subscribe(collector_domain);
     let encoder = WireEncoder::new(Profile::Precise);
-    let mut hop_meta: HashMap<HopId, (DomainId, PathId, u64)> = HashMap::new();
+    let mut hop_meta: HashMap<HopId, (DomainId, PathId, HopKey, KeyEpoch)> = HashMap::new();
     for &hop in &hop_order {
         let (mut pipe, _, path) = pipelines.remove(&hop).expect("still present");
         let dom = topology.domain_of(hop).expect("hop has a domain").id;
-        let key = pipe.processor.key();
+        let key = pipe.processor.hop_key();
         let batch = pipe.final_report();
-        transport.register_key(hop, key);
-        let frame = encoder.encode(&batch).expect("receipt batches encode");
+        let epoch = transport
+            .register_key(hop, key)
+            .expect("per-HOP keys are consistent across runs");
+        let frame = encoder
+            .encode_signed(&batch, &key, epoch)
+            .expect("receipt batches encode");
         transport
             .publish(dom, frame, on_path.clone())
             .expect("honest signed batches publish");
-        hop_meta.insert(hop, (dom, path, key));
+        hop_meta.insert(hop, (dom, path, key, epoch));
     }
 
     // Drain the run's subscription until every published batch is
@@ -349,7 +372,7 @@ pub fn run_path_with_transport(
 
     let mut hops = Vec::new();
     for &hop in &hop_order {
-        let (dom, path, key) = hop_meta.remove(&hop).expect("published above");
+        let (dom, path, key, epoch) = hop_meta.remove(&hop).expect("published above");
         let batch = decoded.remove(&hop).expect("published frame came back");
         let samples: Vec<SampleRecord> = batch
             .samples
@@ -365,7 +388,8 @@ pub fn run_path_with_transport(
             samples,
             aggregates,
             observed: observed_count.get(&hop).copied().unwrap_or(0),
-            key,
+            key: Some(key),
+            key_epoch: epoch,
         });
     }
 
@@ -412,7 +436,7 @@ mod tests {
             assert_eq!(h.observed, t.len(), "{} observed", h.hop);
             assert!(!h.samples.is_empty());
             assert!(!h.aggregates.is_empty());
-            assert!(h.batch.verify_tag(h.key));
+            assert!(h.batch.verify_tag(h.tag_key()));
         }
         for truth in &run.truths {
             assert_eq!(truth.sent, truth.delivered, "{}", truth.name);
@@ -431,13 +455,16 @@ mod tests {
         let run = run_path_with_transport(&t, &topo, &quick_cfg(), &transport);
         assert_eq!(transport.len(), run.hops.len());
         for h in &run.hops {
-            assert!(h.batch.verify_tag(h.key), "{}", h.hop);
+            assert!(h.batch.verify_tag(h.tag_key()), "{}", h.hop);
             let published = transport.fetch(h.domain, h.hop).unwrap();
             assert_eq!(published.len(), 1);
-            let re = vpm_wire::WireEncoder::precise().encode(&h.batch).unwrap();
+            assert_eq!(published[0].epoch, h.key_epoch);
+            let re = vpm_wire::WireEncoder::precise()
+                .encode_signed(&h.batch, &h.hop_key(), h.key_epoch)
+                .unwrap();
             assert_eq!(
                 re, published[0].frame,
-                "decoded batch must re-encode to the published bytes"
+                "decoded batch must re-sign-and-encode to the published bytes"
             );
         }
     }

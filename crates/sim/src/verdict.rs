@@ -255,6 +255,15 @@ fn hop_output_from_frames(
         .flat_map(|r| r.samples.iter().copied())
         .collect();
     let aggregates = batch.aggregates.clone();
+    // The collector never learns HOP secrets, so the rebuilt output
+    // carries no key — but it does carry the authenticated key epoch
+    // the transport MAC-verified the frames under (the newest one, if
+    // a rotation happened mid-stream).
+    let key_epoch = published
+        .iter()
+        .map(|p| p.epoch)
+        .max()
+        .expect("caller checked non-empty");
     HopOutput {
         hop,
         domain: topology.domain_of(hop).expect("hop has a domain").id,
@@ -263,7 +272,8 @@ fn hop_output_from_frames(
         samples,
         aggregates,
         observed: 0, // unknown to a pure receipt collector
-        key: 0,      // authenticity was checked at publish
+        key: None,   // MAC-checked at publish and re-checked at fetch
+        key_epoch,
     }
 }
 
@@ -391,7 +401,8 @@ mod tests {
         let transport = vpm_wire::InMemoryBus::new();
         let on_path = topo.domain_ids();
         for h in &run.hops {
-            transport.register_key(h.hop, h.key);
+            let key = h.hop_key();
+            transport.register_key(h.hop, key).unwrap();
             // Interval 0: nothing matured yet — an empty, signed batch.
             let mut empty = vpm_core::processor::ReceiptBatch {
                 hop: h.hop,
@@ -400,13 +411,14 @@ mod tests {
                 aggregates: vec![],
                 auth_tag: 0,
             };
-            empty.auth_tag = empty.compute_tag(h.key);
+            empty.auth_tag = empty.compute_tag(key.tag_key());
             transport
                 .publish_batch(
                     h.domain,
                     &empty,
                     vpm_wire::Profile::Precise,
                     on_path.clone(),
+                    &key,
                 )
                 .unwrap();
             // Interval 1: the real receipts.
@@ -416,6 +428,7 @@ mod tests {
                     &h.batch,
                     vpm_wire::Profile::Precise,
                     on_path.clone(),
+                    &key,
                 )
                 .unwrap();
         }
@@ -457,9 +470,12 @@ mod tests {
         let transport = vpm_wire::ShardedBus::new(8);
         let on_path = topo.domain_ids();
         // An empty interval-0 batch for every HOP, then the real run.
+        // The keys must be the processors' own: the run that follows
+        // registers them too, and the transport refuses a different
+        // key for an established HOP.
         for (hop, _) in topo.hop_path_ids() {
-            let key = 0x5eed ^ hop.0 as u64;
-            transport.register_key(hop, key);
+            let key = vpm_core::processor::default_hop_key(hop);
+            transport.register_key(hop, key).unwrap();
             let mut empty = vpm_core::processor::ReceiptBatch {
                 hop,
                 batch_seq: 0,
@@ -467,13 +483,14 @@ mod tests {
                 aggregates: vec![],
                 auth_tag: 0,
             };
-            empty.auth_tag = empty.compute_tag(key);
+            empty.auth_tag = empty.compute_tag(key.tag_key());
             transport
                 .publish_batch(
                     topo.domain_of(hop).unwrap().id,
                     &empty,
                     vpm_wire::Profile::Precise,
                     on_path.clone(),
+                    &key,
                 )
                 .unwrap();
         }
@@ -490,6 +507,80 @@ mod tests {
         for (a, b) in by_hop.links.iter().zip(&scoped.links) {
             assert_eq!((a.up, a.down), (b.up, b.down));
             assert_eq!(a.report, b.report, "{}→{}", a.up, a.down);
+        }
+    }
+
+    /// A HOP whose key rotates mid-stream stays fully analyzable: the
+    /// old-epoch frames keep verifying at fetch, the new key signs at
+    /// the bumped epoch, the retired key is refused, and the rebuilt
+    /// output carries the newest authenticated epoch (never a secret).
+    #[test]
+    fn rotated_key_hop_still_verifies_and_carries_the_new_epoch() {
+        use vpm_wire::{HopKey, KeyEpoch, ReceiptTransport};
+        let (topo, run) = scenario(0.0);
+        let transport = vpm_wire::InMemoryBus::new();
+        let on_path = topo.domain_ids();
+        for h in &run.hops {
+            let key = h.hop_key();
+            transport.register_key(h.hop, key).unwrap();
+            transport
+                .publish_batch(
+                    h.domain,
+                    &h.batch,
+                    vpm_wire::Profile::Precise,
+                    on_path.clone(),
+                    &key,
+                )
+                .unwrap();
+        }
+        // Rotate HOP 4 and publish a second interval under the new key.
+        let h4 = run.hop(vpm_packet::HopId(4)).unwrap();
+        let rotated = HopKey::from_seed(0x5070_a7ed ^ h4.hop.0 as u64);
+        assert_eq!(transport.rotate_key(h4.hop, rotated), Ok(KeyEpoch(1)));
+        let mut next = vpm_core::processor::ReceiptBatch {
+            hop: h4.hop,
+            batch_seq: h4.batch.batch_seq + 1,
+            samples: vec![],
+            aggregates: vec![],
+            auth_tag: 0,
+        };
+        next.auth_tag = next.compute_tag(rotated.tag_key());
+        transport
+            .publish_batch(
+                h4.domain,
+                &next,
+                vpm_wire::Profile::Precise,
+                on_path.clone(),
+                &rotated,
+            )
+            .unwrap();
+        // The retired key no longer signs at the current epoch.
+        assert_eq!(
+            transport.publish_batch(
+                h4.domain,
+                &next,
+                vpm_wire::Profile::Precise,
+                on_path.clone(),
+                &h4.hop_key(),
+            ),
+            Err(vpm_wire::TransportError::BadMac { hop: h4.hop })
+        );
+        // Fetch re-verifies both epochs; the rebuilt output carries the
+        // newest authenticated epoch and no secret.
+        let published = transport.fetch(on_path[0], h4.hop).unwrap();
+        assert_eq!(published.len(), 2);
+        assert_eq!(published[0].epoch, KeyEpoch(0));
+        assert_eq!(published[1].epoch, KeyEpoch(1));
+        let rebuilt = super::hop_output_from_frames(&topo, h4.hop, h4.path, &published);
+        assert_eq!(rebuilt.key_epoch, KeyEpoch(1));
+        assert!(rebuilt.key.is_none());
+        // And the collector's verdicts are unchanged by the rotation.
+        let analysis = super::analyze_from_transport(&topo, &transport, on_path[0]).unwrap();
+        assert!(analysis.all_consistent());
+        let baseline = analyze_path(&topo, &run);
+        for (a, b) in baseline.domains.iter().zip(&analysis.domains) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.estimate, b.estimate, "{}", a.name);
         }
     }
 

@@ -8,7 +8,8 @@
 //! offset size      field
 //! 0      4         magic "VPMW"
 //! 4      1         version (currently 1)
-//! 5      1         flags (bit0: PRECISE profile; all other bits zero)
+//! 5      1         flags (bit0: PRECISE profile; bit1: SIGNED frame;
+//!                  all other bits zero)
 //! 6      2         reporting HOP id
 //! 8      8         batch sequence number
 //! 16     8         authenticity tag
@@ -30,6 +31,11 @@
 //!                    precise: path ref u32 | first u64 | last u64
 //!                             | PktCnt u64 | window len u32
 //!                             | window u64 each           (32 + 8w B)
+//! …      36        MAC trailer, only when the SIGNED flag is set:
+//!                    key epoch u32 | HMAC-SHA-256 (32 B) over every
+//!                    preceding frame byte, epoch field included — so
+//!                    the MAC binds the epoch, and any bit of header,
+//!                    body, or epoch invalidates it
 //! ```
 //!
 //! Two record profiles share this layout:
@@ -53,6 +59,20 @@
 //! garbage are all errors, never panics (fuzzed in this module's
 //! tests).
 //!
+//! ## Signed frames
+//!
+//! A frame with the SIGNED flag carries a 36-byte MAC trailer
+//! ([`MAC_TRAILER_BYTES`]): the [`vpm_hash::KeyEpoch`] under which the
+//! publishing HOP's key was registered, then an HMAC-SHA-256 over all
+//! preceding bytes under the HOP's 32-byte [`vpm_hash::HopKey`].
+//! [`WireEncoder::encode_signed`] produces them;
+//! [`WireFrame::verify_mac`] checks them (constant-time compare). An
+//! unsigned v1 frame is byte-identical to what pre-MAC encoders
+//! produced, so the golden fixture and every historical frame still
+//! decode; the decoder merely reports `signature: None`. Enforcement —
+//! *rejecting* unsigned or mis-signed publishes — lives in the
+//! transport's `admit`, not the codec.
+//!
 //! ## Versioning rules
 //!
 //! The version byte names the complete layout above. Any layout change
@@ -70,7 +90,7 @@ use std::fmt;
 
 use vpm_core::processor::ReceiptBatch;
 use vpm_core::receipt::{compact, AggId, AggReceipt, PathId, SampleReceipt, SampleRecord};
-use vpm_hash::Digest;
+use vpm_hash::{mac_eq, Digest, HopKey, KeyEpoch, SHA256_DIGEST_BYTES};
 use vpm_packet::{HeaderSpec, HopId, Ipv4Prefix, SimDuration, SimTime};
 
 /// Frame magic: `"VPMW"`.
@@ -79,10 +99,15 @@ pub const MAGIC: [u8; 4] = *b"VPMW";
 pub const VERSION: u8 = 1;
 /// Flag bit selecting the precise (full-fidelity) record profile.
 const FLAG_PRECISE: u8 = 0b0000_0001;
+/// Flag bit marking a signed frame (MAC trailer present).
+const FLAG_SIGNED: u8 = 0b0000_0010;
 /// Fixed frame header bytes (magic, version, flags, hop, seq, tag).
 pub const HEADER_BYTES: usize = 24;
 /// Encoded bytes per `PathID` table entry.
 pub const PATH_ENTRY_BYTES: usize = 24;
+/// Bytes of the MAC trailer a signed frame appends: key epoch (u32) +
+/// HMAC-SHA-256 (32 B).
+pub const MAC_TRAILER_BYTES: usize = 4 + SHA256_DIGEST_BYTES;
 
 /// Record encoding carried by a v1 frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -216,6 +241,18 @@ pub struct FrameStats {
     pub sample_body_bytes: usize,
     /// Aggregate section bytes (4-byte count + bodies).
     pub agg_section_bytes: usize,
+    /// MAC trailer bytes: [`MAC_TRAILER_BYTES`] for a signed frame,
+    /// 0 for an unsigned one.
+    pub mac_trailer_bytes: usize,
+}
+
+/// The MAC trailer of a signed frame, as decoded off the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameSignature {
+    /// The key epoch the publisher claims to have signed under.
+    pub epoch: KeyEpoch,
+    /// The HMAC-SHA-256 over every preceding frame byte.
+    pub mac: [u8; SHA256_DIGEST_BYTES],
 }
 
 /// One encoded receipt frame.
@@ -256,6 +293,24 @@ impl WireFrame {
         WireDecoder::decode(&self.bytes)
     }
 
+    /// Verify the MAC trailer of a signed frame against `key`
+    /// (constant-time compare). Returns `false` for unsigned or
+    /// impossibly short frames — a frame that carries no signature can
+    /// never *verify*.
+    ///
+    /// The MAC covers every byte before the 32-byte MAC itself
+    /// (header, body, and the epoch field), so any single-bit change
+    /// anywhere in the frame invalidates it.
+    pub fn verify_mac(&self, key: &HopKey) -> bool {
+        let n = self.bytes.len();
+        if n < HEADER_BYTES + MAC_TRAILER_BYTES || self.bytes[5] & FLAG_SIGNED == 0 {
+            return false;
+        }
+        let (msg, mac) = self.bytes.split_at(n - SHA256_DIGEST_BYTES);
+        let mac: [u8; SHA256_DIGEST_BYTES] = mac.try_into().expect("32-byte split");
+        mac_eq(&key.mac(msg), &mac)
+    }
+
     /// Lower-case hex rendering (golden fixtures, debugging).
     pub fn to_hex(&self) -> String {
         self.bytes.iter().map(|b| format!("{b:02x}")).collect()
@@ -272,6 +327,10 @@ pub struct DecodedFrame {
     pub profile: Profile,
     /// The frame's `PathID` table, in wire order.
     pub paths: Vec<PathId>,
+    /// The MAC trailer, when the frame was signed. Decoding reads it;
+    /// it does **not** verify it — call [`WireFrame::verify_mac`] with
+    /// the registered key for the claimed epoch.
+    pub signature: Option<FrameSignature>,
 }
 
 /// Encodes [`ReceiptBatch`]es into v1 frames.
@@ -311,6 +370,39 @@ impl WireEncoder {
         &self,
         batch: &ReceiptBatch,
     ) -> Result<(WireFrame, FrameStats), WireError> {
+        self.encode_inner(batch, None)
+    }
+
+    /// Encode a batch as a **signed** frame: the SIGNED flag is set
+    /// and a [`MAC_TRAILER_BYTES`]-byte trailer (epoch + HMAC-SHA-256
+    /// under `key`) is appended. Deterministic: the same batch, key,
+    /// and epoch always produce the same bytes.
+    pub fn encode_signed(
+        &self,
+        batch: &ReceiptBatch,
+        key: &HopKey,
+        epoch: KeyEpoch,
+    ) -> Result<WireFrame, WireError> {
+        self.encode_signed_with_stats(batch, key, epoch)
+            .map(|(f, _)| f)
+    }
+
+    /// [`WireEncoder::encode_signed`], also reporting section sizes
+    /// (`mac_trailer_bytes` included).
+    pub fn encode_signed_with_stats(
+        &self,
+        batch: &ReceiptBatch,
+        key: &HopKey,
+        epoch: KeyEpoch,
+    ) -> Result<(WireFrame, FrameStats), WireError> {
+        self.encode_inner(batch, Some((key, epoch)))
+    }
+
+    fn encode_inner(
+        &self,
+        batch: &ReceiptBatch,
+        sign: Option<(&HopKey, KeyEpoch)>,
+    ) -> Result<(WireFrame, FrameStats), WireError> {
         let paths = batch.paths();
         if paths.len() > u16::MAX as usize {
             return Err(WireError::TooManyPaths(paths.len()));
@@ -325,7 +417,11 @@ impl WireEncoder {
         // Header.
         w.bytes(&MAGIC);
         w.u8(VERSION);
-        w.u8(self.profile.flags());
+        let mut flags = self.profile.flags();
+        if sign.is_some() {
+            flags |= FLAG_SIGNED;
+        }
+        w.u8(flags);
         w.u16(batch.hop.0);
         w.u64(batch.batch_seq);
         w.u64(batch.auth_tag);
@@ -394,6 +490,17 @@ impl WireEncoder {
         }
         let agg_section_bytes = w.len() - agg_start;
 
+        // MAC trailer: epoch, then the HMAC over everything written so
+        // far — epoch field included, so a replay under a different
+        // epoch cannot reuse the MAC.
+        let mut mac_trailer_bytes = 0;
+        if let Some((key, epoch)) = sign {
+            w.u32(epoch.0);
+            let mac = key.mac(w.as_slice());
+            w.bytes(&mac);
+            mac_trailer_bytes = MAC_TRAILER_BYTES;
+        }
+
         let stats = FrameStats {
             total_bytes: w.len(),
             header_bytes,
@@ -401,6 +508,7 @@ impl WireEncoder {
             sample_directory_bytes,
             sample_body_bytes,
             agg_section_bytes,
+            mac_trailer_bytes,
         };
         Ok((
             WireFrame {
@@ -428,10 +536,11 @@ impl WireDecoder {
             return Err(WireError::UnsupportedVersion(version));
         }
         let flags = r.u8()?;
-        let profile = match flags {
+        let signed = flags & FLAG_SIGNED != 0;
+        let profile = match flags & !FLAG_SIGNED {
             0 => Profile::Compact,
             FLAG_PRECISE => Profile::Precise,
-            other => return Err(WireError::BadFlags(other)),
+            _ => return Err(WireError::BadFlags(flags)),
         };
         let hop = HopId(r.u16()?);
         let batch_seq = r.u64()?;
@@ -520,6 +629,15 @@ impl WireDecoder {
             });
         }
 
+        // MAC trailer (signed frames only), then nothing may remain.
+        let signature = if signed {
+            let epoch = KeyEpoch(r.u32()?);
+            let mac = r.array::<SHA256_DIGEST_BYTES>()?;
+            Some(FrameSignature { epoch, mac })
+        } else {
+            None
+        };
+
         if r.remaining() > 0 {
             return Err(WireError::TrailingBytes(r.remaining()));
         }
@@ -534,6 +652,7 @@ impl WireDecoder {
             },
             profile,
             paths,
+            signature,
         })
     }
 }
@@ -600,6 +719,9 @@ struct Writer {
 impl Writer {
     fn len(&self) -> usize {
         self.buf.len()
+    }
+    fn as_slice(&self) -> &[u8] {
+        &self.buf
     }
     fn into_vec(self) -> Vec<u8> {
         self.buf
@@ -884,6 +1006,18 @@ mod tests {
                     .map(|a| profile.agg_receipt_bytes(a.agg_trans.len()))
                     .sum::<usize>()
             );
+            assert_eq!(
+                stats.mac_trailer_bytes, 0,
+                "unsigned frames carry no trailer"
+            );
+            // Signing adds exactly the fixed trailer, nothing else.
+            let key = HopKey::from_seed(0xabc);
+            let (signed, s_stats) = WireEncoder::new(profile)
+                .encode_signed_with_stats(&b, &key, KeyEpoch(0))
+                .unwrap();
+            assert_eq!(s_stats.mac_trailer_bytes, MAC_TRAILER_BYTES);
+            assert_eq!(s_stats.total_bytes, stats.total_bytes + MAC_TRAILER_BYTES);
+            assert_eq!(signed.len(), frame.len() + MAC_TRAILER_BYTES);
         }
         // Compact receipt bodies are byte-for-byte the §7.1 arithmetic.
         for r in &b.samples {
@@ -967,6 +1101,100 @@ mod tests {
         let _ = DomainId(0); // silence unused-import lint paths
     }
 
+    #[test]
+    fn signed_frames_round_trip_and_verify() {
+        let b = known_batch();
+        let key = HopKey::from_seed(0xabc);
+        for profile in [Profile::Compact, Profile::Precise] {
+            let frame = WireEncoder::new(profile)
+                .encode_signed(&b, &key, KeyEpoch(3))
+                .unwrap();
+            let d = frame.decode().unwrap();
+            assert_eq!(d.profile, profile);
+            let sig = d.signature.expect("signed frame decodes a signature");
+            assert_eq!(sig.epoch, KeyEpoch(3));
+            assert!(frame.verify_mac(&key));
+            // A different key — even one sharing the legacy tag-key
+            // prefix — must not verify.
+            assert!(!frame.verify_mac(&HopKey::from_seed(0xabd)));
+            let mut same_prefix = *key.as_bytes();
+            same_prefix[31] ^= 1;
+            assert!(!frame.verify_mac(&HopKey::from_bytes(same_prefix)));
+            // The signed body is the unsigned encoding except for the
+            // flags byte, so the batch content is unchanged.
+            if profile == Profile::Precise {
+                assert_eq!(d.batch, b);
+            }
+        }
+    }
+
+    #[test]
+    fn signing_binds_the_epoch() {
+        // Same batch, same key, different epoch: different trailer —
+        // and splicing one epoch's MAC after another epoch field fails.
+        let b = known_batch();
+        let key = HopKey::from_seed(0xabc);
+        let e0 = WireEncoder::precise()
+            .encode_signed(&b, &key, KeyEpoch(0))
+            .unwrap();
+        let e1 = WireEncoder::precise()
+            .encode_signed(&b, &key, KeyEpoch(1))
+            .unwrap();
+        assert_ne!(e0, e1);
+        let n = e0.len();
+        let mut spliced = e0.as_bytes().to_vec();
+        // Replace the epoch field (first 4 trailer bytes) with 1 while
+        // keeping epoch 0's MAC.
+        spliced[n - MAC_TRAILER_BYTES..n - SHA256_DIGEST_BYTES]
+            .copy_from_slice(&1u32.to_le_bytes());
+        let spliced = WireFrame::from_bytes(spliced);
+        assert_eq!(
+            spliced.decode().unwrap().signature.unwrap().epoch,
+            KeyEpoch(1)
+        );
+        assert!(!spliced.verify_mac(&key), "epoch splice must break the MAC");
+    }
+
+    #[test]
+    fn unsigned_frames_are_byte_identical_to_the_pre_mac_encoding() {
+        // The SIGNED flag is opt-in: plain encode produces exactly the
+        // historical bytes (flag clear, no trailer, signature None).
+        let b = known_batch();
+        let frame = WireFrame::encode(&b, Profile::Precise).unwrap();
+        assert_eq!(frame.as_bytes()[5] & FLAG_SIGNED, 0);
+        assert_eq!(frame.decode().unwrap().signature, None);
+        assert!(!frame.verify_mac(&HopKey::from_seed(0xabc)));
+    }
+
+    #[test]
+    fn truncated_trailers_are_typed_errors() {
+        let b = known_batch();
+        let key = HopKey::from_seed(0xabc);
+        let frame = WireEncoder::precise()
+            .encode_signed(&b, &key, KeyEpoch(0))
+            .unwrap();
+        for cut in [1, SHA256_DIGEST_BYTES, MAC_TRAILER_BYTES] {
+            let short = &frame.as_bytes()[..frame.len() - cut];
+            assert!(
+                matches!(WireDecoder::decode(short), Err(WireError::Truncated { .. })),
+                "cut {cut}"
+            );
+        }
+        // A frame claiming SIGNED with extra bytes after the trailer is
+        // trailing garbage, and an unsigned frame with a stray trailer
+        // appended is too.
+        let mut long = frame.as_bytes().to_vec();
+        long.push(0);
+        assert_eq!(WireDecoder::decode(&long), Err(WireError::TrailingBytes(1)));
+        let unsigned = WireFrame::encode(&b, Profile::Precise).unwrap();
+        let mut garbage = unsigned.as_bytes().to_vec();
+        garbage.extend_from_slice(&[0u8; MAC_TRAILER_BYTES]);
+        assert_eq!(
+            WireDecoder::decode(&garbage),
+            Err(WireError::TrailingBytes(MAC_TRAILER_BYTES))
+        );
+    }
+
     proptest::proptest! {
         /// Decoding is total: arbitrary bytes never panic.
         #[test]
@@ -1005,6 +1233,34 @@ mod tests {
             let n = bytes.len();
             bytes[pos as usize % n] = val;
             let _ = WireDecoder::decode(&bytes);
+        }
+
+        /// Corrupting any single byte of a signed frame never panics
+        /// and never leaves a frame that still MAC-verifies: the MAC
+        /// covers every byte before it, and a corrupted MAC no longer
+        /// matches the recomputation.
+        #[test]
+        fn signed_single_byte_corruption_never_panics_and_never_verifies(
+            seed in proptest::prelude::any::<u64>(),
+            pos in proptest::prelude::any::<u16>(),
+            xor in 1u8..=255
+        ) {
+            let key = HopKey::from_seed(seed ^ 0x5ec7e7);
+            let frame = WireEncoder::precise()
+                .encode_signed(&arb_batch(seed), &key, KeyEpoch(seed as u32 % 4))
+                .unwrap();
+            let mut bytes = frame.as_bytes().to_vec();
+            let n = bytes.len();
+            bytes[pos as usize % n] ^= xor; // xor≠0: always a real change
+            let corrupted = WireFrame::from_bytes(bytes);
+            proptest::prop_assert!(!corrupted.verify_mac(&key));
+            // Decoding stays total, and anything that still decodes as
+            // signed carries a signature that no longer verifies.
+            if let Ok(d) = corrupted.decode() {
+                proptest::prop_assert!(
+                    d.signature.is_none() || !corrupted.verify_mac(&key)
+                );
+            }
         }
 
         /// Precise encode→decode is the identity on arbitrary batches.

@@ -13,13 +13,18 @@
 //!   §7.1 arithmetic, with the truncation semantics documented in
 //!   `vpm_core::receipt::compact`) or **precise** (lossless — the
 //!   simulation pipeline round-trips every receipt through it).
-//!   Decoding is total: corrupt or truncated input yields a typed
-//!   [`WireError`], never a panic.
+//!   Signed frames append a flag-gated HMAC-SHA-256 MAC trailer
+//!   ([`codec::MAC_TRAILER_BYTES`]) binding the frame to a per-HOP
+//!   key and epoch. Decoding is total: corrupt or truncated input
+//!   yields a typed [`WireError`], never a panic.
 //! * [`transport`] — the transport-agnostic dissemination API:
-//!   [`ReceiptTransport`] (`publish`/`fetch`/`subscribe`) preserving
-//!   the paper's authenticity and on-path-visibility guarantees, with
-//!   an [`InMemoryBus`] reference implementation and a [`ShardedBus`]
-//!   that spreads frames across `PathID`-hashed shards.
+//!   [`ReceiptTransport`] (`publish`/`fetch`/`subscribe`) enforcing
+//!   the paper's authenticity rule with real receipt binding — an
+//!   epoch-tagged per-HOP key registry with explicit rotation, MAC
+//!   verification at publish and again at fetch — and the on-path
+//!   visibility rule, with an [`InMemoryBus`] reference implementation
+//!   and a [`ShardedBus`] that spreads frames across `PathID`-hashed
+//!   shards.
 //! * [`measure`] —§7.1 sizes measured from actual encoded frames,
 //!   feeding `vpm_core::overhead`'s `measured_*` report.
 
@@ -31,10 +36,11 @@ pub mod measure;
 pub mod transport;
 
 pub use codec::{
-    DecodedFrame, FrameStats, Profile, WireDecoder, WireEncoder, WireError, WireFrame, MAGIC,
-    VERSION,
+    DecodedFrame, FrameSignature, FrameStats, Profile, WireDecoder, WireEncoder, WireError,
+    WireFrame, MAC_TRAILER_BYTES, MAGIC, VERSION,
 };
 pub use measure::{measured_overhead_report, measured_sizes};
 pub use transport::{
     InMemoryBus, Published, ReceiptTransport, ShardedBus, SubscriptionId, TransportError,
 };
+pub use vpm_hash::{HopKey, KeyEpoch};

@@ -8,9 +8,18 @@
 //! [`WireFrame`]s — with the enforcement points fixed by the trait's
 //! documented semantics rather than by any one backing store:
 //!
-//! * **Authenticity at publish**: a frame must decode and its batch's
-//!   tag must verify under the publishing HOP's registered key, so a
-//!   tampered batch never enters circulation.
+//! * **Authenticity at publish**: a frame must carry an HMAC-SHA-256
+//!   MAC trailer that verifies under the publishing HOP's registered
+//!   [`HopKey`] at the epoch the frame claims (and its batch's legacy
+//!   tag must verify under the key's tag prefix), so an unsigned,
+//!   forged, or tampered batch never enters circulation. Keys are
+//!   epoch-tagged: re-registering a *different* key for a HOP is
+//!   rejected ([`TransportError::KeyAlreadyRegistered`]) — replacing a
+//!   key requires an explicit [`ReceiptTransport::rotate_key`], which
+//!   bumps the epoch and keeps old epochs verifiable.
+//! * **Authenticity at fetch**: fetched entries re-verify their MAC
+//!   against the key registry before they are returned, so a store
+//!   that silently corrupted a frame cannot serve it.
 //! * **Visibility at fetch/poll**: a frame is returned only to
 //!   requesters on the `on_path` list the publisher declared.
 //! * **Shared, immutable frames**: published entries are handed out as
@@ -36,9 +45,15 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock};
 use vpm_core::processor::ReceiptBatch;
 use vpm_core::receipt::PathId;
+use vpm_hash::{HopKey, KeyEpoch};
 use vpm_packet::{DomainId, HopId};
 
 use crate::codec::{Profile, WireDecoder, WireEncoder, WireError, WireFrame};
+
+/// The per-HOP key registry shared by both bus implementations: the
+/// `Vec` index **is** the [`KeyEpoch`] — rotation appends, old epochs
+/// stay verifiable for frames already in circulation.
+type KeyRegistry = RwLock<HashMap<HopId, Vec<HopKey>>>;
 
 /// A published frame with its provenance, shared by reference.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,8 +66,11 @@ pub struct Published {
     pub hop: HopId,
     /// The encoded frame as published.
     pub frame: WireFrame,
-    /// The decoded batch (verified against the HOP's key at publish).
+    /// The decoded batch (MAC- and tag-verified against the HOP's key
+    /// at publish).
     pub batch: ReceiptBatch,
+    /// The key epoch the frame's MAC trailer verified under.
+    pub epoch: KeyEpoch,
     /// The frame's `PathID` table (shard routing, path-scoped fetch).
     pub paths: Vec<PathId>,
     /// Domains that observed the corresponding traffic — the only ones
@@ -79,6 +97,34 @@ pub enum TransportError {
         /// Offending HOP.
         hop: HopId,
     },
+    /// The frame's HMAC-SHA-256 trailer did not verify under the
+    /// registered key for the epoch the frame claims.
+    BadMac {
+        /// Offending HOP.
+        hop: HopId,
+    },
+    /// The frame carries no MAC trailer; the transport only circulates
+    /// signed frames.
+    Unsigned {
+        /// Offending HOP.
+        hop: HopId,
+    },
+    /// The frame claims a key epoch the registry has never issued for
+    /// this HOP.
+    UnknownKeyEpoch {
+        /// Offending HOP.
+        hop: HopId,
+        /// The epoch the frame claimed.
+        epoch: KeyEpoch,
+    },
+    /// A *different* key is already registered for the HOP. Silent
+    /// overwrite would let anyone forge receipts for an established
+    /// HOP; replacing a key requires an explicit
+    /// [`ReceiptTransport::rotate_key`].
+    KeyAlreadyRegistered {
+        /// The HOP whose key registration was refused.
+        hop: HopId,
+    },
     /// The requesting domain is not on the path the receipts describe.
     NotOnPath {
         /// The requester.
@@ -96,6 +142,21 @@ impl fmt::Display for TransportError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TransportError::BadTag { hop } => write!(f, "authenticity tag failed for {hop}"),
+            TransportError::BadMac { hop } => {
+                write!(f, "HMAC verification failed for {hop}")
+            }
+            TransportError::Unsigned { hop } => {
+                write!(f, "unsigned frame from {hop}: only signed frames circulate")
+            }
+            TransportError::UnknownKeyEpoch { hop, epoch } => {
+                write!(f, "{hop} has no key at {epoch}")
+            }
+            TransportError::KeyAlreadyRegistered { hop } => {
+                write!(
+                    f,
+                    "a different key is already registered for {hop}; use rotate_key"
+                )
+            }
             TransportError::NotOnPath { requester } => {
                 write!(f, "{requester} did not observe this traffic")
             }
@@ -121,13 +182,34 @@ impl From<WireError> for TransportError {
 /// fetch/poll — and must return entries in global publish order so
 /// different transports are byte-for-byte interchangeable.
 pub trait ReceiptTransport: Send + Sync {
-    /// Register a HOP's signing key (out-of-band trust establishment).
-    fn register_key(&self, hop: HopId, key: u64);
+    /// Register a HOP's signing key (out-of-band trust establishment)
+    /// at [`KeyEpoch`] 0. Re-registering the *same* key is an
+    /// idempotent no-op returning the current epoch; registering a
+    /// *different* key for an established HOP is refused with
+    /// [`TransportError::KeyAlreadyRegistered`] — replacing a key is
+    /// [`Self::rotate_key`]'s job, so a second registrant can never
+    /// silently overwrite a HOP's identity.
+    fn register_key(&self, hop: HopId, key: HopKey) -> Result<KeyEpoch, TransportError>;
 
-    /// Publish an encoded frame. Decodes it, verifies the batch tag
-    /// against the HOP's registered key (a tampered or malformed frame
-    /// never enters circulation) and stores it visible to `on_path`.
-    /// Returns the entry's global sequence number.
+    /// Explicitly rotate a HOP's key: appends `new_key` at the next
+    /// epoch and returns it. Old epochs remain in the registry so
+    /// frames signed before the rotation keep verifying. Rotating a
+    /// HOP that was never registered is
+    /// [`TransportError::UnknownHop`].
+    fn rotate_key(&self, hop: HopId, new_key: HopKey) -> Result<KeyEpoch, TransportError>;
+
+    /// The HOP's current (most recent) key epoch, or `None` if no key
+    /// was ever registered.
+    fn key_epoch(&self, hop: HopId) -> Option<KeyEpoch>;
+
+    /// Publish an encoded frame. Decodes it, requires a MAC trailer
+    /// ([`TransportError::Unsigned`]), verifies the HMAC under the
+    /// HOP's registered key at the claimed epoch
+    /// ([`TransportError::BadMac`] / [`TransportError::UnknownKeyEpoch`])
+    /// and the batch tag under that key's tag prefix
+    /// ([`TransportError::BadTag`]) — a forged, tampered, or malformed
+    /// frame never enters circulation — then stores it visible to
+    /// `on_path`. Returns the entry's global sequence number.
     fn publish(
         &self,
         domain: DomainId,
@@ -187,23 +269,98 @@ pub trait ReceiptTransport: Send + Sync {
         self.len() == 0
     }
 
-    /// Convenience: encode `batch` in `profile` and publish it.
+    /// Convenience: sign `batch` with `key` at the HOP's current
+    /// epoch, encode it in `profile`, and publish it. The key must be
+    /// the one registered for `batch.hop` at that epoch or the publish
+    /// is refused ([`TransportError::BadMac`]).
     fn publish_batch(
         &self,
         domain: DomainId,
         batch: &ReceiptBatch,
         profile: Profile,
         on_path: Vec<DomainId>,
+        key: &HopKey,
     ) -> Result<u64, TransportError> {
-        let frame = WireEncoder::new(profile).encode(batch)?;
+        let epoch = self
+            .key_epoch(batch.hop)
+            .ok_or(TransportError::UnknownHop(batch.hop))?;
+        let frame = WireEncoder::new(profile).encode_signed(batch, key, epoch)?;
         self.publish(domain, frame, on_path)
     }
 }
 
-/// Decode + verify a frame against the key table; shared by both
-/// implementations so their admission behaviour cannot drift.
+/// [`ReceiptTransport::register_key`] semantics over the shared
+/// registry: first registration lands at epoch 0, the same key is
+/// idempotent, a different key is refused.
+fn register_key_in(
+    keys: &KeyRegistry,
+    hop: HopId,
+    key: HopKey,
+) -> Result<KeyEpoch, TransportError> {
+    let mut keys = keys.write();
+    match keys.get(&hop) {
+        None => {
+            keys.insert(hop, vec![key]);
+            Ok(KeyEpoch(0))
+        }
+        Some(ring) => {
+            let current = KeyEpoch(ring.len() as u32 - 1);
+            if ring[current.0 as usize] == key {
+                Ok(current)
+            } else {
+                Err(TransportError::KeyAlreadyRegistered { hop })
+            }
+        }
+    }
+}
+
+/// [`ReceiptTransport::rotate_key`] semantics: append at the next
+/// epoch, keeping every old epoch verifiable.
+fn rotate_key_in(
+    keys: &KeyRegistry,
+    hop: HopId,
+    new_key: HopKey,
+) -> Result<KeyEpoch, TransportError> {
+    let mut keys = keys.write();
+    let ring = keys.get_mut(&hop).ok_or(TransportError::UnknownHop(hop))?;
+    ring.push(new_key);
+    Ok(KeyEpoch(ring.len() as u32 - 1))
+}
+
+fn key_epoch_in(keys: &KeyRegistry, hop: HopId) -> Option<KeyEpoch> {
+    keys.read()
+        .get(&hop)
+        .map(|ring| KeyEpoch(ring.len() as u32 - 1))
+}
+
+/// Look up the key a frame claims (by HOP + epoch) and verify its MAC
+/// trailer. The shared authenticity kernel of [`admit`] and the fetch
+/// re-check.
+fn verify_frame(
+    keys: &KeyRegistry,
+    hop: HopId,
+    epoch: Option<KeyEpoch>,
+    frame: &WireFrame,
+) -> Result<(KeyEpoch, HopKey), TransportError> {
+    let keys = keys.read();
+    let ring = keys.get(&hop).ok_or(TransportError::UnknownHop(hop))?;
+    let epoch = epoch.ok_or(TransportError::Unsigned { hop })?;
+    let key = *ring
+        .get(epoch.0 as usize)
+        .ok_or(TransportError::UnknownKeyEpoch { hop, epoch })?;
+    if !frame.verify_mac(&key) {
+        return Err(TransportError::BadMac { hop });
+    }
+    Ok((epoch, key))
+}
+
+/// Decode + verify a frame against the key registry; shared by both
+/// implementations so their admission behaviour cannot drift. The
+/// checks run in trust order: decode, key lookup, signature presence,
+/// epoch validity, HMAC over the whole frame, then the batch's legacy
+/// tag under the key's tag prefix.
 fn admit(
-    keys: &RwLock<HashMap<HopId, u64>>,
+    keys: &KeyRegistry,
     seq: u64,
     domain: DomainId,
     frame: WireFrame,
@@ -211,11 +368,8 @@ fn admit(
 ) -> Result<Published, TransportError> {
     let decoded = WireDecoder::decode(frame.as_bytes())?;
     let hop = decoded.batch.hop;
-    let key = *keys
-        .read()
-        .get(&hop)
-        .ok_or(TransportError::UnknownHop(hop))?;
-    if !decoded.batch.verify_tag(key) {
+    let (epoch, key) = verify_frame(keys, hop, decoded.signature.map(|s| s.epoch), &frame)?;
+    if !decoded.batch.verify_tag(key.tag_key()) {
         return Err(TransportError::BadTag { hop });
     }
     Ok(Published {
@@ -224,9 +378,22 @@ fn admit(
         hop,
         frame,
         batch: decoded.batch,
+        epoch,
         paths: decoded.paths,
         on_path,
     })
+}
+
+/// The fetch-side re-check: every entry about to be returned must
+/// still MAC-verify against the registry. Admission already proved
+/// this once; re-proving it on the way out means a store that
+/// corrupted a frame (or a registry that lost an epoch) serves a typed
+/// error instead of bad bytes.
+fn reverify(keys: &KeyRegistry, entries: &[Arc<Published>]) -> Result<(), TransportError> {
+    for p in entries {
+        verify_frame(keys, p.hop, Some(p.epoch), &p.frame)?;
+    }
+    Ok(())
 }
 
 /// The privacy rule shared by `fetch`/`fetch_path`: visible entries are
@@ -260,7 +427,7 @@ struct SubCursor {
 /// sharded transport is tested against.
 #[derive(Default)]
 pub struct InMemoryBus {
-    keys: RwLock<HashMap<HopId, u64>>,
+    keys: KeyRegistry,
     entries: RwLock<Vec<Arc<Published>>>,
     subs: Mutex<Vec<SubCursor>>,
 }
@@ -273,8 +440,16 @@ impl InMemoryBus {
 }
 
 impl ReceiptTransport for InMemoryBus {
-    fn register_key(&self, hop: HopId, key: u64) {
-        self.keys.write().insert(hop, key);
+    fn register_key(&self, hop: HopId, key: HopKey) -> Result<KeyEpoch, TransportError> {
+        register_key_in(&self.keys, hop, key)
+    }
+
+    fn rotate_key(&self, hop: HopId, new_key: HopKey) -> Result<KeyEpoch, TransportError> {
+        rotate_key_in(&self.keys, hop, new_key)
+    }
+
+    fn key_epoch(&self, hop: HopId) -> Option<KeyEpoch> {
+        key_epoch_in(&self.keys, hop)
     }
 
     fn publish(
@@ -302,7 +477,9 @@ impl ReceiptTransport for InMemoryBus {
             .filter(|p| p.hop == hop)
             .cloned()
             .collect();
-        apply_visibility(requester, matching)
+        let visible = apply_visibility(requester, matching)?;
+        reverify(&self.keys, &visible)?;
+        Ok(visible)
     }
 
     fn fetch_path(
@@ -317,7 +494,9 @@ impl ReceiptTransport for InMemoryBus {
             .filter(|p| p.paths.contains(path))
             .cloned()
             .collect();
-        apply_visibility(requester, matching)
+        let visible = apply_visibility(requester, matching)?;
+        reverify(&self.keys, &visible)?;
+        Ok(visible)
     }
 
     fn subscribe(&self, requester: DomainId) -> SubscriptionId {
@@ -460,7 +639,7 @@ enum ShardSub {
 /// global stream's contiguous-prefix ordering is unaffected.
 pub struct ShardedBus {
     shards: Vec<Shard>,
-    keys: RwLock<HashMap<HopId, u64>>,
+    keys: KeyRegistry,
     seq: AtomicU64,
     subs: Mutex<Vec<ShardSub>>,
     poll_shard_scans: AtomicU64,
@@ -631,8 +810,16 @@ impl ShardedBus {
 }
 
 impl ReceiptTransport for ShardedBus {
-    fn register_key(&self, hop: HopId, key: u64) {
-        self.keys.write().insert(hop, key);
+    fn register_key(&self, hop: HopId, key: HopKey) -> Result<KeyEpoch, TransportError> {
+        register_key_in(&self.keys, hop, key)
+    }
+
+    fn rotate_key(&self, hop: HopId, new_key: HopKey) -> Result<KeyEpoch, TransportError> {
+        rotate_key_in(&self.keys, hop, new_key)
+    }
+
+    fn key_epoch(&self, hop: HopId) -> Option<KeyEpoch> {
+        key_epoch_in(&self.keys, hop)
     }
 
     fn publish(
@@ -662,7 +849,9 @@ impl ReceiptTransport for ShardedBus {
         requester: DomainId,
         hop: HopId,
     ) -> Result<Vec<Arc<Published>>, TransportError> {
-        apply_visibility(requester, self.collect(|p| p.hop == hop))
+        let visible = apply_visibility(requester, self.collect(|p| p.hop == hop))?;
+        reverify(&self.keys, &visible)?;
+        Ok(visible)
     }
 
     fn fetch_path(
@@ -681,7 +870,9 @@ impl ReceiptTransport for ShardedBus {
             .cloned()
             .collect();
         matching.sort_by_key(|p| p.seq);
-        apply_visibility(requester, matching)
+        let visible = apply_visibility(requester, matching)?;
+        reverify(&self.keys, &visible)?;
+        Ok(visible)
     }
 
     fn subscribe(&self, requester: DomainId) -> SubscriptionId {
@@ -753,7 +944,14 @@ mod tests {
         }
     }
 
-    fn batch(hop: HopId, seq: u64, path_n: u8) -> (ReceiptBatch, u64) {
+    /// The deterministic per-HOP test key: seed-derived, so its tag
+    /// prefix matches the legacy `0xabc ^ hop` u64 keys the fixtures
+    /// were signed with.
+    fn hop_key(hop: HopId) -> HopKey {
+        HopKey::from_seed(0xabc ^ hop.0 as u64)
+    }
+
+    fn batch(hop: HopId, seq: u64, path_n: u8) -> (ReceiptBatch, HopKey) {
         let mut b = ReceiptBatch {
             hop,
             batch_seq: seq,
@@ -775,14 +973,16 @@ mod tests {
             }],
             auth_tag: 0,
         };
-        let key = 0xabc ^ hop.0 as u64;
-        b.auth_tag = b.compute_tag(key);
+        let key = hop_key(hop);
+        b.auth_tag = b.compute_tag(key.tag_key());
         (b, key)
     }
 
+    /// Sign-and-encode with the HOP's epoch-0 key (every suite HOP
+    /// registers exactly once).
     fn frame(b: &ReceiptBatch) -> WireFrame {
         WireEncoder::precise()
-            .encode(b)
+            .encode_signed(b, &hop_key(b.hop), KeyEpoch(0))
             .expect("test batch encodes")
     }
 
@@ -790,7 +990,17 @@ mod tests {
     /// identically against any implementation.
     fn transport_suite(t: &dyn ReceiptTransport) {
         let (b, key) = batch(HopId(5), 0, 1);
-        t.register_key(HopId(5), key);
+        assert_eq!(t.register_key(HopId(5), key), Ok(KeyEpoch(0)));
+        // Same-key re-registration is idempotent; a different key is a
+        // refused overwrite, not a silent one.
+        assert_eq!(t.register_key(HopId(5), key), Ok(KeyEpoch(0)));
+        let wrong = HopKey::from_seed(0xdead_beef);
+        assert_eq!(
+            t.register_key(HopId(5), wrong),
+            Err(TransportError::KeyAlreadyRegistered { hop: HopId(5) })
+        );
+        assert_eq!(t.key_epoch(HopId(5)), Some(KeyEpoch(0)));
+        assert_eq!(t.key_epoch(HopId(99)), None);
         t.publish(
             DomainId(2),
             frame(&b),
@@ -829,12 +1039,44 @@ mod tests {
             })
         );
 
-        // A tampered batch never enters circulation.
+        // A tampered batch never enters circulation: the publisher can
+        // re-MAC the tampered bytes (it holds the key), but the batch
+        // tag no longer verifies.
         let (mut doctored, _) = batch(HopId(5), 1, 1);
         doctored.aggregates[0].pkt_cnt += 1; // tamper after signing
         assert_eq!(
             t.publish(DomainId(2), frame(&doctored), vec![DomainId(2)]),
             Err(TransportError::BadTag { hop: HopId(5) })
+        );
+
+        // A frame signed with the wrong key — the forgery the key
+        // registry exists to stop — is refused before tag checking.
+        let forged = WireEncoder::precise()
+            .encode_signed(&b, &wrong, KeyEpoch(0))
+            .unwrap();
+        assert_eq!(
+            t.publish(DomainId(2), forged, vec![DomainId(2)]),
+            Err(TransportError::BadMac { hop: HopId(5) })
+        );
+
+        // An unsigned frame is refused even though its tag verifies.
+        let unsigned = WireEncoder::precise().encode(&b).unwrap();
+        assert_eq!(
+            t.publish(DomainId(2), unsigned, vec![DomainId(2)]),
+            Err(TransportError::Unsigned { hop: HopId(5) })
+        );
+
+        // A frame claiming an epoch the registry never issued is
+        // refused even when signed with the right key material.
+        let future = WireEncoder::precise()
+            .encode_signed(&b, &key, KeyEpoch(5))
+            .unwrap();
+        assert_eq!(
+            t.publish(DomainId(2), future, vec![DomainId(2)]),
+            Err(TransportError::UnknownKeyEpoch {
+                hop: HopId(5),
+                epoch: KeyEpoch(5)
+            })
         );
 
         // Unknown HOPs and malformed frames are refused.
@@ -853,7 +1095,7 @@ mod tests {
         let sub = t.subscribe(DomainId(1));
         assert!(t.poll(sub).unwrap().is_empty());
         let (b2, key2) = batch(HopId(6), 0, 2);
-        t.register_key(HopId(6), key2);
+        t.register_key(HopId(6), key2).unwrap();
         t.publish(DomainId(3), frame(&b2), vec![DomainId(1), DomainId(3)])
             .unwrap();
         let polled = t.poll(sub).unwrap();
@@ -862,7 +1104,7 @@ mod tests {
         assert!(t.poll(sub).unwrap().is_empty(), "a poll drains the stream");
         // A hidden publish is skipped silently by the stream.
         let (b3, key3) = batch(HopId(7), 0, 3);
-        t.register_key(HopId(7), key3);
+        t.register_key(HopId(7), key3).unwrap();
         t.publish(DomainId(4), frame(&b3), vec![DomainId(4)])
             .unwrap();
         assert!(t.poll(sub).unwrap().is_empty());
@@ -879,11 +1121,11 @@ mod tests {
         let psub = t.subscribe_path(DomainId(1), &path(4));
         assert!(t.poll(psub).unwrap().is_empty());
         let (b4, key4) = batch(HopId(8), 0, 4);
-        t.register_key(HopId(8), key4);
+        t.register_key(HopId(8), key4).unwrap();
         t.publish(DomainId(5), frame(&b4), vec![DomainId(1), DomainId(5)])
             .unwrap();
         let (b5, key5) = batch(HopId(9), 0, 5); // foreign path
-        t.register_key(HopId(9), key5);
+        t.register_key(HopId(9), key5).unwrap();
         t.publish(DomainId(5), frame(&b5), vec![DomainId(1), DomainId(5)])
             .unwrap();
         let polled = t.poll(psub).unwrap();
@@ -895,6 +1137,46 @@ mod tests {
             .unwrap(); // hidden from DomainId(1)
         assert!(t.poll(psub).unwrap().is_empty());
         assert_eq!(t.len(), 6);
+
+        // Explicit rotation: the new key signs at the next epoch; the
+        // epoch-0 frame already in circulation keeps verifying at
+        // fetch because old epochs stay in the registry.
+        let rotated = HopKey::from_seed(0xabc ^ 5 ^ 0x0f0f_0f0f);
+        assert_eq!(
+            t.rotate_key(HopId(55), rotated),
+            Err(TransportError::UnknownHop(HopId(55))),
+            "rotation is not registration"
+        );
+        assert_eq!(t.rotate_key(HopId(5), rotated), Ok(KeyEpoch(1)));
+        assert_eq!(t.key_epoch(HopId(5)), Some(KeyEpoch(1)));
+        let (mut brot, _) = batch(HopId(5), 3, 1);
+        brot.auth_tag = brot.compute_tag(rotated.tag_key());
+        t.publish_batch(
+            DomainId(2),
+            &brot,
+            Profile::Precise,
+            vec![DomainId(1), DomainId(2)],
+            &rotated,
+        )
+        .unwrap();
+        let got = t.fetch(DomainId(1), HopId(5)).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].epoch, KeyEpoch(0));
+        assert_eq!(got[1].epoch, KeyEpoch(1));
+        assert_eq!(got[1].batch, brot);
+        // The pre-rotation key no longer signs at the current epoch.
+        let (bold, old_key) = batch(HopId(5), 4, 1);
+        assert_eq!(
+            t.publish_batch(
+                DomainId(2),
+                &bold,
+                Profile::Precise,
+                vec![DomainId(2)],
+                &old_key
+            ),
+            Err(TransportError::BadMac { hop: HopId(5) })
+        );
+        assert_eq!(t.len(), 7);
     }
 
     #[test]
@@ -929,7 +1211,7 @@ mod tests {
             for i in 0..12u64 {
                 let hop = HopId(4 + (i % 3) as u16);
                 let (b, key) = batch(hop, i, (i % 5) as u8);
-                t.register_key(hop, key);
+                t.register_key(hop, key).unwrap();
                 t.publish(DomainId(1), frame(&b), vec![DomainId(1), DomainId(2)])
                     .unwrap();
             }
@@ -967,7 +1249,7 @@ mod tests {
     fn idle_polls_touch_no_shard() {
         let bus = ShardedBus::new(8);
         let (_, key1) = batch(HopId(1), 0, 1);
-        bus.register_key(HopId(1), key1);
+        bus.register_key(HopId(1), key1).unwrap();
         let gsub = bus.subscribe(DomainId(0));
         let psub = bus.subscribe_path(DomainId(0), &path(1));
         assert!(bus.poll(gsub).unwrap().is_empty());
@@ -979,7 +1261,7 @@ mod tests {
             .find(|&n| bus.shard_of_path(&path(n)) != bus.shard_of_path(&path(1)))
             .expect("some path lands in another shard");
         let (b, keyb) = batch(HopId(2), 0, other);
-        bus.register_key(HopId(2), keyb);
+        bus.register_key(HopId(2), keyb).unwrap();
         bus.publish(DomainId(1), frame(&b), vec![DomainId(0), DomainId(1)])
             .unwrap();
 
@@ -1014,7 +1296,7 @@ mod tests {
         let bus = ShardedBus::new(4);
         for h in 1..=3u16 {
             let (_, key) = batch(HopId(h), 0, h as u8);
-            bus.register_key(HopId(h), key);
+            bus.register_key(HopId(h), key).unwrap();
         }
         let cursor_sub = bus.subscribe(DomainId(0));
         let rescan_sub = bus.subscribe(DomainId(0));
@@ -1067,7 +1349,7 @@ mod tests {
         let bus = ShardedBus::new(8);
         for h in 1..=4u16 {
             let (_, key) = batch(HopId(h), 0, h as u8);
-            bus.register_key(HopId(h), key);
+            bus.register_key(HopId(h), key).unwrap();
         }
         let sub = bus.subscribe(DomainId(0));
         let total = 4 * 16;
@@ -1105,7 +1387,7 @@ mod tests {
         let bus = ShardedBus::new(8);
         for h in 1..=4u16 {
             let (_, key) = batch(HopId(h), 0, h as u8);
-            bus.register_key(HopId(h), key);
+            bus.register_key(HopId(h), key).unwrap();
         }
         let watched = path(2);
         let sub = bus.subscribe_path(DomainId(0), &watched);
@@ -1140,7 +1422,7 @@ mod tests {
         let bus = ShardedBus::new(8);
         for h in 1..=8u16 {
             let (_, key) = batch(HopId(h), 0, h as u8);
-            bus.register_key(HopId(h), key);
+            bus.register_key(HopId(h), key).unwrap();
         }
         std::thread::scope(|s| {
             for h in 1..=8u16 {

@@ -10,7 +10,9 @@
 //!                                    measure the collector hot path
 //! vpm bench-wire [--receipts N] [--records N] [--aggs N] [--window W]
 //!                [--repeats R] [--json]
-//!                                    measure the wire codec vs the JSON path
+//!                                    measure the wire codec vs the JSON path,
+//!                                    plus HMAC-signed frame encode/verify
+//!                                    against the unsigned baseline
 //! vpm bench-verifier [--paths N] [--jobs J] [--shards S] [--frames F]
 //!                    [--subs K] [--repeats R] [--json]
 //!                                    measure parallel verification and
@@ -56,7 +58,9 @@ fn print_usage() {
                       [--window W] [--repeats R] [--json]\n\
                                                 measure wire-codec encode/decode MB/s\n\
                                                 and bytes-per-sample (compact vs precise\n\
-                                                vs JSON shim) and write BENCH_wire.json\n\
+                                                vs JSON shim), plus HMAC-SHA-256 signed\n\
+                                                frame encode/verify vs the unsigned\n\
+                                                baseline, and write BENCH_wire.json\n\
            bench-verifier [--paths N] [--jobs J] [--shards S]\n\
                           [--frames F] [--subs K] [--repeats R] [--json]\n\
                                                 measure sequential vs parallel fleet\n\

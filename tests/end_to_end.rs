@@ -6,12 +6,13 @@ use vpm::core::verify::Verifier;
 use vpm::netsim::channel::{ChannelConfig, DelayModel};
 use vpm::netsim::reorder::ReorderModel;
 use vpm::packet::{DomainId, HopId, SimDuration};
-use vpm::sim::bus::ReceiptBus;
 use vpm::sim::run::{run_path, ClockMode, HopTuning, RunConfig};
 use vpm::sim::topology::Figure1;
 use vpm::sim::verdict::analyze_path;
 use vpm::trace::{TraceConfig, TraceGenerator, TracePacket};
-use vpm::wire::{Profile, ReceiptTransport, WireEncoder};
+use vpm::wire::{
+    InMemoryBus, KeyEpoch, Profile, ReceiptTransport, TransportError, WireEncoder, WireFrame,
+};
 
 fn trace(ms: u64, seed: u64) -> Vec<TracePacket> {
     TraceGenerator::new(TraceConfig {
@@ -84,11 +85,12 @@ fn receipts_flow_through_the_transport_with_privacy() {
     let topo = Figure1::ideal().build();
     let run = run_path(&t, &topo, &base_cfg());
 
-    let bus = ReceiptBus::new();
+    let bus = InMemoryBus::new();
     let on_path: Vec<DomainId> = topo.domain_ids();
     for h in &run.hops {
-        bus.register_key(h.hop, h.key);
-        bus.publish_batch(h.domain, &h.batch, Profile::Precise, on_path.clone())
+        let key = h.hop_key();
+        bus.register_key(h.hop, key).unwrap();
+        bus.publish_batch(h.domain, &h.batch, Profile::Precise, on_path.clone(), &key)
             .expect("honest batches publish");
     }
     assert_eq!(bus.len(), 8);
@@ -109,17 +111,37 @@ fn tampered_receipts_never_enter_circulation() {
     let t = trace(100, 3);
     let topo = Figure1::ideal().build();
     let run = run_path(&t, &topo, &base_cfg());
-    let bus = ReceiptBus::new();
+    let bus = InMemoryBus::new();
     let h5 = run.hop(HopId(5)).unwrap();
-    bus.register_key(h5.hop, h5.key);
+    let key = h5.hop_key();
+    bus.register_key(h5.hop, key).unwrap();
     let mut doctored = h5.batch.clone();
     if let Some(a) = doctored.aggregates.first_mut() {
         a.pkt_cnt += 100; // a relay inflates a count without re-signing
     }
-    let frame = WireEncoder::precise()
+
+    // A relay that strips the MAC and re-encodes is refused outright:
+    // only signed frames circulate.
+    let unsigned = WireEncoder::precise()
         .encode(&doctored)
         .expect("doctored batches still encode");
-    assert!(bus.publish(h5.domain, frame, topo.domain_ids()).is_err());
+    match bus.publish(h5.domain, unsigned, topo.domain_ids()) {
+        Err(TransportError::Unsigned { hop }) => assert_eq!(hop, h5.hop),
+        other => panic!("expected Unsigned, got {other:?}"),
+    }
+
+    // A signed frame corrupted in flight fails HMAC verification (the
+    // flipped bit lands in the MAC trailer so the frame still decodes;
+    // arbitrary-position corruption is proptested in the codec suite).
+    let signed = WireEncoder::precise()
+        .encode_signed(&h5.batch, &key, KeyEpoch(0))
+        .expect("honest batches sign");
+    let mut bytes = signed.as_bytes().to_vec();
+    *bytes.last_mut().unwrap() ^= 0x01;
+    match bus.publish(h5.domain, WireFrame::from_bytes(bytes), topo.domain_ids()) {
+        Err(TransportError::BadMac { hop }) => assert_eq!(hop, h5.hop),
+        other => panic!("expected BadMac, got {other:?}"),
+    }
     assert!(bus.is_empty());
 }
 
@@ -229,5 +251,5 @@ fn domain_estimates_survive_serde_roundtrip() {
 
     let batch_json = serde_json::to_string(&h4.batch).unwrap();
     let batch_back: vpm::core::processor::ReceiptBatch = serde_json::from_str(&batch_json).unwrap();
-    assert!(batch_back.verify_tag(h4.key));
+    assert!(batch_back.verify_tag(h4.tag_key()));
 }

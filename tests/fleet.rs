@@ -24,7 +24,7 @@ use vpm::sim::fleet::{
 use vpm::sim::topology::Figure1;
 use vpm::sim::verdict::analyze_from_transport;
 use vpm::sim::RunConfig;
-use vpm::wire::{InMemoryBus, Profile, ReceiptTransport, ShardedBus};
+use vpm::wire::{HopKey, InMemoryBus, Profile, ReceiptTransport, ShardedBus};
 
 fn small_fleet_config() -> FleetConfig {
     FleetConfig {
@@ -98,6 +98,82 @@ fn fleet_verdicts_are_byte_identical_across_jobs_and_transports() {
     );
 }
 
+/// The acceptance gate for the authenticity plane, at fleet scale: a
+/// running fleet's bus refuses key replacement, forged-key frames,
+/// and unsigned frames — and the attack leaves no trace in either the
+/// bus contents or the fleet verdicts.
+#[test]
+fn forged_and_replaced_keys_never_enter_fleet_circulation() {
+    use vpm::wire::{KeyEpoch, TransportError, WireEncoder};
+
+    let fleet = build_fleet(&FleetConfig {
+        paths: 3,
+        liars: 1,
+        publishers: 2,
+        trace_ms: 40,
+        target_pps: 25_000.0,
+        ..FleetConfig::default()
+    });
+    let bus = ShardedBus::new(8);
+    run_fleet(&fleet, &bus);
+    let len_before = bus.len();
+    let verdicts_before = bytes(&analyze_fleet_from_transport(&fleet, &bus, 2));
+
+    let victim_path = &fleet.paths[1].topology;
+    let victim = victim_path.hops()[3];
+    let domain = victim_path.domain_of(victim).unwrap().id;
+    let on_path = victim_path.domain_ids();
+
+    // An attacker cannot replace an established HOP's key...
+    let forged_key = HopKey::from_seed(0xdead_beef);
+    match bus.register_key(victim, forged_key) {
+        Err(TransportError::KeyAlreadyRegistered { hop }) => assert_eq!(hop, victim),
+        other => panic!("expected KeyAlreadyRegistered, got {other:?}"),
+    }
+
+    // ...so a fabricated batch signed under the attacker's key fails
+    // HMAC verification against the victim's real epoch-0 key.
+    let mut fake = ReceiptBatch {
+        hop: victim,
+        batch_seq: 99,
+        samples: vec![],
+        aggregates: vec![],
+        auth_tag: 0,
+    };
+    fake.auth_tag = fake.compute_tag(forged_key.tag_key());
+    let forged_frame = WireEncoder::precise()
+        .encode_signed(&fake, &forged_key, KeyEpoch(0))
+        .unwrap();
+    match bus.publish(domain, forged_frame, on_path.clone()) {
+        Err(TransportError::BadMac { hop }) => assert_eq!(hop, victim),
+        other => panic!("expected BadMac, got {other:?}"),
+    }
+    // The high-level publish path refuses the same forgery.
+    assert!(bus
+        .publish_batch(
+            domain,
+            &fake,
+            Profile::Precise,
+            on_path.clone(),
+            &forged_key
+        )
+        .is_err());
+
+    // Stripping the MAC doesn't help: unsigned frames don't circulate.
+    let unsigned = WireEncoder::precise().encode(&fake).unwrap();
+    match bus.publish(domain, unsigned, on_path) {
+        Err(TransportError::Unsigned { hop }) => assert_eq!(hop, victim),
+        other => panic!("expected Unsigned, got {other:?}"),
+    }
+
+    // Nothing entered circulation; the fleet's verdicts are untouched.
+    assert_eq!(bus.len(), len_before);
+    assert_eq!(
+        bytes(&analyze_fleet_from_transport(&fleet, &bus, 2)),
+        verdicts_before
+    );
+}
+
 /// Deterministic splitmix64 stream for the synthetic fleets.
 fn mix(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -129,8 +205,8 @@ fn synthetic_fleet(n: usize, seed: u64) -> (Fleet, ShardedBus) {
     for p in &paths {
         let on_path = p.topology.domain_ids();
         for (hop, path_id) in p.topology.hop_path_ids() {
-            let key = 0x5eed ^ hop.0 as u64;
-            bus.register_key(hop, key);
+            let key = HopKey::from_seed(0x5eed ^ hop.0 as u64);
+            bus.register_key(hop, key).unwrap();
             if mix(&mut rng) % 10 < 3 {
                 continue; // this HOP never reports (partial deployment)
             }
@@ -143,12 +219,13 @@ fn synthetic_fleet(n: usize, seed: u64) -> (Fleet, ShardedBus) {
                     aggregates: vec![],
                     auth_tag: 0,
                 };
-                empty.auth_tag = empty.compute_tag(key);
+                empty.auth_tag = empty.compute_tag(key.tag_key());
                 bus.publish_batch(
                     p.topology.domain_of(hop).unwrap().id,
                     &empty,
                     Profile::Precise,
                     on_path.clone(),
+                    &key,
                 )
                 .unwrap();
             }
@@ -176,12 +253,13 @@ fn synthetic_fleet(n: usize, seed: u64) -> (Fleet, ShardedBus) {
                 }],
                 auth_tag: 0,
             };
-            batch.auth_tag = batch.compute_tag(key);
+            batch.auth_tag = batch.compute_tag(key.tag_key());
             bus.publish_batch(
                 p.topology.domain_of(hop).unwrap().id,
                 &batch,
                 Profile::Precise,
                 on_path.clone(),
+                &key,
             )
             .unwrap();
         }

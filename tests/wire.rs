@@ -9,8 +9,8 @@ use vpm::core::verify::{match_samples, Verifier};
 use vpm::hash::Digest;
 use vpm::packet::{DomainId, HeaderSpec, HopId, SimDuration, SimTime};
 use vpm::wire::{
-    measured_sizes, InMemoryBus, Profile, ReceiptTransport, ShardedBus, WireDecoder, WireEncoder,
-    WireFrame,
+    measured_sizes, HopKey, InMemoryBus, Profile, ReceiptTransport, ShardedBus, WireDecoder,
+    WireEncoder, WireFrame,
 };
 
 fn fixture_path(n: u8) -> PathId {
@@ -211,8 +211,9 @@ fn compact_frames_support_verification_end_to_end() {
     // Ship both through the transport as compact frames.
     let bus = InMemoryBus::new();
     for b in [&up, &down] {
-        bus.register_key(b.hop, 0xabc ^ b.hop.0 as u64);
-        bus.publish_batch(DomainId(1), b, Profile::Compact, vec![DomainId(1)])
+        let key = HopKey::from_seed(0xabc ^ b.hop.0 as u64);
+        bus.register_key(b.hop, key).unwrap();
+        bus.publish_batch(DomainId(1), b, Profile::Compact, vec![DomainId(1)], &key)
             .unwrap();
     }
     let fetched_up = &bus.fetch(DomainId(1), HopId(4)).unwrap()[0].batch;
@@ -241,8 +242,9 @@ fn fetch_shares_entries_instead_of_cloning() {
         Box::new(ShardedBus::new(4)) as Box<dyn ReceiptTransport>,
     ] {
         let b = fixture_batch();
-        bus.register_key(b.hop, 0x5650_4d00 ^ 4);
-        bus.publish_batch(DomainId(2), &b, Profile::Precise, vec![DomainId(2)])
+        let key = HopKey::from_seed(0x5650_4d00 ^ 4);
+        bus.register_key(b.hop, key).unwrap();
+        bus.publish_batch(DomainId(2), &b, Profile::Precise, vec![DomainId(2)], &key)
             .unwrap();
         let first = bus.fetch(DomainId(2), b.hop).unwrap();
         let second = bus.fetch(DomainId(2), b.hop).unwrap();
