@@ -17,14 +17,20 @@
 //!   implementation) against the per-shard cursor poll, under the
 //!   adversarial access pattern the cursor design exists for: many
 //!   polls, each finding little new; plus the path-filtered
-//!   subscription that touches exactly one shard.
+//!   subscription that touches exactly one shard;
+//! * **idle-consumer cost** — the same paced publish stream drained by
+//!   a spin-polling consumer and by a blocking [`ReceiptTransport::wait`]
+//!   consumer, reporting polls issued per publish for each. This pins
+//!   the PR-7 contract in a measured number: a blocked waiter costs
+//!   O(publishes) polls while a spinner costs however many the CPU can
+//!   issue.
 //!
 //! `vpm bench-verifier` serializes the report to `BENCH_verifier.json`
 //! next to `BENCH_collector.json` and `BENCH_wire.json`; CI's
 //! bench-trend gate (`scripts/bench_check.py`) validates all three
 //! share the bench schema.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 use vpm_core::processor::ReceiptBatch;
@@ -91,6 +97,16 @@ pub struct VerifierBenchReport {
     /// `poll_rescan / poll_path_filtered` — the one-shard subscription
     /// win under the same interleave.
     pub path_poll_speedup: f64,
+    /// Polls a spin-polling consumer issues per paced publish while
+    /// mostly idle (the busy-wait cost the blocking `wait` replaces).
+    pub idle_spin_polls_per_publish: f64,
+    /// Polls a `wait`-driven consumer issues per paced publish on the
+    /// same stream (ideally ~1: one wakeup, one poll).
+    pub idle_wait_polls_per_publish: f64,
+    /// `idle_spin_polls_per_publish / idle_wait_polls_per_publish` —
+    /// how much poll traffic blocking waits eliminate on an idle
+    /// stream.
+    pub idle_poll_reduction: f64,
 }
 
 /// Time `body` `repeats` times; report the minimum seconds per call.
@@ -198,6 +214,60 @@ fn poll_frames(cfg: &VerifierBenchConfig) -> Vec<vpm_wire::WireFrame> {
         .collect()
 }
 
+/// Publishes in the idle-consumer comparison. Few on purpose: the
+/// workload is *pacing*, not volume — the measured quantity is polls
+/// issued while nothing is arriving.
+const IDLE_PUBLISHES: usize = 16;
+
+/// Gap between paced publishes. 2ms is wide enough that a spinner
+/// issues many polls per publish on any machine, short enough to keep
+/// the comparison under ~50ms per discipline.
+const IDLE_GAP: Duration = Duration::from_millis(2);
+
+/// Drain [`IDLE_PUBLISHES`] paced publishes with one consumer; return
+/// the number of `poll` calls it took. The spin discipline re-polls in
+/// a tight loop (the pre-PR-7 drain); the wait discipline blocks on
+/// [`ReceiptTransport::wait`] and polls only after a wakeup or a
+/// 250ms timeout slice.
+fn idle_polls(cfg: &VerifierBenchConfig, wait_based: bool) -> usize {
+    let bus = ShardedBus::new(cfg.shards);
+    let (_, key) = poll_batch(HopId(1), 0, 0);
+    bus.register_key(HopId(1), key)
+        .expect("bench keys register once");
+    let frames: Vec<_> = (0..IDLE_PUBLISHES as u64)
+        .map(|i| {
+            let (b, key) = poll_batch(HopId(1), i, 0);
+            vpm_wire::WireEncoder::new(Profile::Precise)
+                .encode_signed(&b, &key, KeyEpoch(0))
+                .expect("bench batches encode")
+        })
+        .collect();
+    let sub = bus.subscribe(DomainId(1));
+    let mut polls = 0usize;
+    let mut got = 0usize;
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            for frame in frames {
+                bus.publish(DomainId(0), frame, vec![DomainId(0), DomainId(1)])
+                    .expect("bench batches publish");
+                std::thread::sleep(IDLE_GAP);
+            }
+        });
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while got < IDLE_PUBLISHES && Instant::now() < deadline {
+            if wait_based {
+                let _ = bus
+                    .wait(sub, Duration::from_millis(250))
+                    .expect("known sub");
+            }
+            got += bus.poll(sub).expect("known sub").len();
+            polls += 1;
+        }
+    });
+    assert_eq!(got, IDLE_PUBLISHES, "idle consumer must drain the stream");
+    polls
+}
+
 /// Build and publish the verification fleet (untimed setup). The
 /// traces are long enough that per-path verification does real
 /// matching/quantile work — a toy trace would measure thread-pool
@@ -270,12 +340,23 @@ pub fn run(cfg: &VerifierBenchConfig) -> VerifierBenchReport {
     });
     record("poll_path_filtered", polls, path_poll);
 
+    // --- Idle-consumer cost: spin-poll vs blocking wait. ---
+    // Reported as polls-per-publish ratios, not rates: wall time here
+    // is dominated by the deliberate publish pacing, so a throughput
+    // number would measure the sleep, and the ratio is what the
+    // blocking `wait` API exists to shrink.
+    let spin = idle_polls(cfg, false) as f64 / IDLE_PUBLISHES as f64;
+    let wait = idle_polls(cfg, true) as f64 / IDLE_PUBLISHES as f64;
+
     VerifierBenchReport {
         config: *cfg,
         results,
         parallel_speedup: seq / par,
         cursor_poll_speedup: rescan / cursor,
         path_poll_speedup: rescan / path_poll,
+        idle_spin_polls_per_publish: spin,
+        idle_wait_polls_per_publish: wait,
+        idle_poll_reduction: spin / wait,
     }
 }
 
@@ -311,6 +392,13 @@ pub fn render_table(report: &VerifierBenchReport) -> String {
         s,
         "path-filtered poll speedup (full rescan / one shard):  {:.2}x",
         report.path_poll_speedup
+    );
+    let _ = writeln!(
+        s,
+        "idle consumer polls/publish (spin {:.1} vs wait {:.1}): {:.0}x fewer",
+        report.idle_spin_polls_per_publish,
+        report.idle_wait_polls_per_publish,
+        report.idle_poll_reduction
     );
     s
 }
@@ -351,9 +439,21 @@ mod tests {
         assert!(report.parallel_speedup > 0.0);
         assert!(report.cursor_poll_speedup > 0.0);
         assert!(report.path_poll_speedup > 0.0);
+        // A blocking waiter needs at least one poll per delivered
+        // wakeup; a spinner always needs at least as many. The exact
+        // spin count is machine-speed-dependent, the direction is not.
+        assert!(report.idle_wait_polls_per_publish > 0.0);
+        assert!(
+            report.idle_spin_polls_per_publish >= report.idle_wait_polls_per_publish,
+            "spin {} vs wait {}",
+            report.idle_spin_polls_per_publish,
+            report.idle_wait_polls_per_publish
+        );
+        assert!(report.idle_poll_reduction >= 1.0 && report.idle_poll_reduction.is_finite());
         let table = render_table(&report);
         assert!(table.contains("poll_cursor"));
         assert!(table.contains("speedup"));
+        assert!(table.contains("idle consumer polls/publish"));
     }
 
     #[test]

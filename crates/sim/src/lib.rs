@@ -59,7 +59,7 @@ pub use fleet::{
     analyze_fleet_from_transport, build_fleet, render_fleet_table, run_fleet, Fleet, FleetConfig,
     FleetLie, FleetPath, FleetPathVerdict,
 };
-pub use run::{run_path, run_path_with_transport, PathRun, RunConfig};
+pub use run::{run_path, run_path_with_transport, PathRun, RunConfig, RunError};
 pub use scenario_matrix::{
     evaluate_cell, evaluate_grid, full_grid, parse_filter, render_matrix_table, Cell, CellVerdict,
     MatrixFilter, CANONICAL_BASE_SEED,

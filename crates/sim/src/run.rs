@@ -15,6 +15,8 @@
 //! `encode → decode` round trip and proves it lossless.
 
 use std::collections::HashMap;
+use std::fmt;
+use std::time::{Duration, Instant};
 use vpm_core::processor::ReceiptBatch;
 use vpm_core::receipt::{AggReceipt, PathId, SampleRecord};
 use vpm_core::{HopConfig, HopPipeline};
@@ -23,7 +25,7 @@ use vpm_netsim::channel::{apply, arrivals, ChannelConfig};
 use vpm_netsim::clock::HopClock;
 use vpm_packet::{DomainId, HopId, SimDuration, SimTime};
 use vpm_trace::TracePacket;
-use vpm_wire::{Profile, ReceiptTransport, ShardedBus, WireEncoder};
+use vpm_wire::{Profile, ReceiptTransport, ShardedBus, TransportError, WaitOutcome, WireEncoder};
 
 use crate::topology::{DomainRole, Topology};
 
@@ -71,6 +73,12 @@ pub struct RunConfig {
     pub marker_dropper: Option<DomainId>,
     /// Seed for clock randomness.
     pub seed: u64,
+    /// Longest the runner blocks waiting for its own published frames
+    /// to come back through the transport before giving up with
+    /// [`RunError::DrainTimeout`]. On a private bus this never
+    /// triggers; on a shared or remote transport it bounds the damage
+    /// a publisher that died mid-publish can do.
+    pub drain_timeout: Duration,
 }
 
 impl Default for RunConfig {
@@ -84,7 +92,55 @@ impl Default for RunConfig {
             overrides: HashMap::new(),
             marker_dropper: None,
             seed: 0,
+            drain_timeout: Duration::from_secs(30),
         }
+    }
+}
+
+/// A path run failed at the dissemination layer. (The simulation
+/// itself is deterministic and total; only the receipt plane — a
+/// shared or remote transport — can fail a run.)
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// The runner's published frames did not all come back within
+    /// [`RunConfig::drain_timeout`] — the bounded replacement for the
+    /// old spin-forever drain. The classic cause: a concurrent
+    /// publisher claimed a global sequence number and died before
+    /// inserting, stalling the stream's contiguous prefix for good.
+    DrainTimeout {
+        /// Batches that did arrive before the deadline.
+        collected: usize,
+        /// Batches the run published and expected back.
+        expected: usize,
+        /// How long the drain waited.
+        waited: Duration,
+    },
+    /// The transport refused or failed an operation.
+    Transport(TransportError),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::DrainTimeout {
+                collected,
+                expected,
+                waited,
+            } => write!(
+                f,
+                "receipt drain timed out after {waited:?} with {collected}/{expected} \
+                 batches back — a publisher died mid-publish, or the transport stalled"
+            ),
+            RunError::Transport(e) => write!(f, "receipt transport failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<TransportError> for RunError {
+    fn from(e: TransportError) -> Self {
+        RunError::Transport(e)
     }
 }
 
@@ -203,6 +259,7 @@ fn drop_markers(stream: &Stream, digests: &[Digest], marker: Threshold) -> Strea
 /// transport and observe the published frames).
 pub fn run_path(trace: &[TracePacket], topology: &Topology, cfg: &RunConfig) -> PathRun {
     run_path_with_transport(trace, topology, cfg, &ShardedBus::new(RUN_TRANSPORT_SHARDS))
+        .expect("a private in-process bus cannot fail or stall")
 }
 
 /// Run a trace through a topology, publishing every HOP's receipt
@@ -216,16 +273,19 @@ pub fn run_path(trace: &[TracePacket], topology: &Topology, cfg: &RunConfig) -> 
 /// as long as their HOP and domain id sets are disjoint (e.g. paths
 /// built with `topology::Figure1::numbered`): each run's collector
 /// only sees its own frames, so every run's output is byte-identical
-/// to a run on a private bus (test-pinned below). The drain loops
-/// because another run's publisher sitting between claiming a
-/// sequence number and inserting stalls the stream's contiguous
-/// prefix; it resumes as soon as that publish lands.
+/// to a run on a private bus (test-pinned below). Another run's
+/// publisher sitting between claiming a sequence number and inserting
+/// stalls the stream's contiguous prefix; the drain *blocks* on
+/// [`ReceiptTransport::wait`] (no spinning) until the in-flight entry
+/// lands, and gives up with [`RunError::DrainTimeout`] after
+/// [`RunConfig::drain_timeout`] if it never does. The run's
+/// subscription is dropped before returning, success or not.
 pub fn run_path_with_transport(
     trace: &[TracePacket],
     topology: &Topology,
     cfg: &RunConfig,
     transport: &dyn ReceiptTransport,
-) -> PathRun {
+) -> Result<PathRun, RunError> {
     // Slice-digest the whole trace through the word-oriented lookup3
     // fast path (identical digests to per-packet `Packet::digest`).
     let digests: Vec<Digest> = vpm_packet::digest_packets(
@@ -330,45 +390,58 @@ pub fn run_path_with_transport(
     let sub = transport.subscribe(collector_domain);
     let encoder = WireEncoder::new(Profile::Precise);
     let mut hop_meta: HashMap<HopId, (DomainId, PathId, HopKey, KeyEpoch)> = HashMap::new();
-    for &hop in &hop_order {
-        let (mut pipe, _, path) = pipelines.remove(&hop).expect("still present");
-        let dom = topology.domain_of(hop).expect("hop has a domain").id;
-        let key = pipe.processor.hop_key();
-        let batch = pipe.final_report();
-        let epoch = transport
-            .register_key(hop, key)
-            .expect("per-HOP keys are consistent across runs");
-        let frame = encoder
-            .encode_signed(&batch, &key, epoch)
-            .expect("receipt batches encode");
-        transport
-            .publish(dom, frame, on_path.clone())
-            .expect("honest signed batches publish");
-        hop_meta.insert(hop, (dom, path, key, epoch));
-    }
-
-    // Drain the run's subscription until every published batch is
-    // back. One poll would suffice on a private transport, but on a
-    // shared bus a *concurrent* publisher (another fleet path) can sit
-    // between claiming a sequence number and inserting, which stalls
-    // the stream's contiguous prefix — loop until the in-flight entry
-    // lands. Frames from other paths are invisible to this collector
-    // (disjoint `on_path` sets) and skipped by the poll itself.
     let mut decoded: HashMap<HopId, ReceiptBatch> = HashMap::new();
-    while decoded.len() < hop_order.len() {
-        let polled = transport
-            .poll(sub)
-            .expect("the collector domain is on-path");
-        if polled.is_empty() {
-            std::thread::yield_now();
-            continue;
+    // Publish + drain share the subscription; run them in a closure so
+    // the subscription is unconditionally dropped afterwards — a
+    // failed run must not leak a cursor on a shared transport.
+    let published_and_drained = (|| -> Result<(), RunError> {
+        for &hop in &hop_order {
+            let (mut pipe, _, path) = pipelines.remove(&hop).expect("still present");
+            let dom = topology.domain_of(hop).expect("hop has a domain").id;
+            let key = pipe.processor.hop_key();
+            let batch = pipe.final_report();
+            let epoch = transport.register_key(hop, key)?;
+            let frame = encoder
+                .encode_signed(&batch, &key, epoch)
+                .expect("receipt batches encode");
+            transport.publish(dom, frame, on_path.clone())?;
+            hop_meta.insert(hop, (dom, path, key, epoch));
         }
-        for p in polled {
-            if hop_meta.contains_key(&p.hop) {
-                decoded.entry(p.hop).or_insert_with(|| p.batch.clone());
+
+        // Drain the run's subscription until every published batch is
+        // back. One poll would suffice on a private transport, but on
+        // a shared bus a *concurrent* publisher (another fleet path)
+        // can sit between claiming a sequence number and inserting,
+        // which stalls the stream's contiguous prefix — so block on
+        // `wait` (zero shard scans while idle) until the in-flight
+        // entry lands, bounded by the drain deadline: a publisher that
+        // claimed a number and died would otherwise hang this loop
+        // forever. Frames from other paths are invisible to this
+        // collector (disjoint `on_path` sets) and skipped by the poll.
+        let deadline = Instant::now() + cfg.drain_timeout;
+        loop {
+            for p in transport.poll(sub)? {
+                if hop_meta.contains_key(&p.hop) {
+                    decoded.entry(p.hop).or_insert_with(|| p.batch.clone());
+                }
+            }
+            if decoded.len() >= hop_order.len() {
+                return Ok(());
+            }
+            let now = Instant::now();
+            let timed_out =
+                now >= deadline || transport.wait(sub, deadline - now)? == WaitOutcome::TimedOut;
+            if timed_out {
+                return Err(RunError::DrainTimeout {
+                    collected: decoded.len(),
+                    expected: hop_order.len(),
+                    waited: cfg.drain_timeout,
+                });
             }
         }
-    }
+    })();
+    let _ = transport.unsubscribe(sub);
+    published_and_drained?;
 
     let mut hops = Vec::new();
     for &hop in &hop_order {
@@ -393,11 +466,11 @@ pub fn run_path_with_transport(
         });
     }
 
-    PathRun {
+    Ok(PathRun {
         hops,
         truths,
         trace_len: trace.len(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -452,7 +525,7 @@ mod tests {
         let t = trace(150, 21);
         let topo = Figure1::ideal().build();
         let transport = vpm_wire::InMemoryBus::new();
-        let run = run_path_with_transport(&t, &topo, &quick_cfg(), &transport);
+        let run = run_path_with_transport(&t, &topo, &quick_cfg(), &transport).unwrap();
         assert_eq!(transport.len(), run.hops.len());
         for h in &run.hops {
             assert!(h.batch.verify_tag(h.tag_key()), "{}", h.hop);
@@ -477,9 +550,11 @@ mod tests {
         let t = trace(150, 22);
         let topo = Figure1::ideal().build();
         let cfg = quick_cfg();
-        let baseline = run_path_with_transport(&t, &topo, &cfg, &vpm_wire::InMemoryBus::new());
+        let baseline =
+            run_path_with_transport(&t, &topo, &cfg, &vpm_wire::InMemoryBus::new()).unwrap();
         for shards in [1, 4, 16] {
-            let run = run_path_with_transport(&t, &topo, &cfg, &vpm_wire::ShardedBus::new(shards));
+            let run = run_path_with_transport(&t, &topo, &cfg, &vpm_wire::ShardedBus::new(shards))
+                .unwrap();
             assert_eq!(run.trace_len, baseline.trace_len);
             for (a, b) in baseline.hops.iter().zip(&run.hops) {
                 assert_eq!(a.hop, b.hop, "{shards} shards");
@@ -513,7 +588,8 @@ mod tests {
             for (i, slot) in runs.iter_mut().enumerate() {
                 let (traces, topos, cfg, shared) = (&traces, &topos, &cfg, &shared);
                 s.spawn(move || {
-                    *slot = Some(run_path_with_transport(&traces[i], &topos[i], cfg, shared));
+                    *slot =
+                        Some(run_path_with_transport(&traces[i], &topos[i], cfg, shared).unwrap());
                 });
             }
         });
@@ -527,6 +603,123 @@ mod tests {
                 assert_eq!(ha.aggregates, hb.aggregates, "instance {i}");
             }
         }
+    }
+
+    /// The PR's headline bugfix: a publisher that claims a global
+    /// sequence number and dies before inserting used to hang the
+    /// drain loop forever (unbounded `yield_now` spin). Now the drain
+    /// blocks on `wait` and surfaces a typed [`RunError::DrainTimeout`]
+    /// — and the failed run still releases its subscription.
+    #[test]
+    fn a_publisher_that_claims_a_seq_and_dies_times_out_instead_of_hanging() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        use vpm_wire::{Published, SubscriptionId, TransportError, WaitOutcome, WireFrame};
+
+        /// Delegates to a real [`ShardedBus`], but the first publish is
+        /// preceded by a sequence-number claim that never lands — the
+        /// exact hole a publisher dying between `fetch_add` and its
+        /// shard insert leaves behind.
+        struct DyingPublisher {
+            inner: ShardedBus,
+            killed: AtomicBool,
+        }
+
+        impl ReceiptTransport for DyingPublisher {
+            fn register_key(&self, hop: HopId, key: HopKey) -> Result<KeyEpoch, TransportError> {
+                self.inner.register_key(hop, key)
+            }
+            fn rotate_key(&self, hop: HopId, new_key: HopKey) -> Result<KeyEpoch, TransportError> {
+                self.inner.rotate_key(hop, new_key)
+            }
+            fn key_epoch(&self, hop: HopId) -> Option<KeyEpoch> {
+                self.inner.key_epoch(hop)
+            }
+            fn publish(
+                &self,
+                domain: DomainId,
+                frame: WireFrame,
+                on_path: Vec<DomainId>,
+            ) -> Result<u64, TransportError> {
+                if !self.killed.swap(true, Ordering::Relaxed) {
+                    self.inner.claim_seq_and_die();
+                }
+                self.inner.publish(domain, frame, on_path)
+            }
+            fn fetch(
+                &self,
+                requester: DomainId,
+                hop: HopId,
+            ) -> Result<Vec<Arc<Published>>, TransportError> {
+                self.inner.fetch(requester, hop)
+            }
+            fn fetch_path(
+                &self,
+                requester: DomainId,
+                path: &PathId,
+            ) -> Result<Vec<Arc<Published>>, TransportError> {
+                self.inner.fetch_path(requester, path)
+            }
+            fn subscribe(&self, requester: DomainId) -> SubscriptionId {
+                self.inner.subscribe(requester)
+            }
+            fn subscribe_path(&self, requester: DomainId, path: &PathId) -> SubscriptionId {
+                self.inner.subscribe_path(requester, path)
+            }
+            fn poll(&self, sub: SubscriptionId) -> Result<Vec<Arc<Published>>, TransportError> {
+                self.inner.poll(sub)
+            }
+            fn wait(
+                &self,
+                sub: SubscriptionId,
+                timeout: std::time::Duration,
+            ) -> Result<WaitOutcome, TransportError> {
+                self.inner.wait(sub, timeout)
+            }
+            fn unsubscribe(&self, sub: SubscriptionId) -> Result<(), TransportError> {
+                self.inner.unsubscribe(sub)
+            }
+            fn subscriptions(&self) -> usize {
+                self.inner.subscriptions()
+            }
+            fn len(&self) -> usize {
+                self.inner.len()
+            }
+        }
+
+        let t = trace(60, 33);
+        let topo = Figure1::ideal().build();
+        let mut cfg = quick_cfg();
+        cfg.drain_timeout = Duration::from_millis(200);
+        let transport = DyingPublisher {
+            inner: ShardedBus::new(4),
+            killed: AtomicBool::new(false),
+        };
+        let started = Instant::now();
+        let err = run_path_with_transport(&t, &topo, &cfg, &transport).unwrap_err();
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "the drain must be bounded, not a hang"
+        );
+        match err {
+            RunError::DrainTimeout {
+                collected,
+                expected,
+                waited,
+            } => {
+                // The hole precedes every real publish, so the global
+                // cursor releases nothing.
+                assert_eq!(collected, 0);
+                assert_eq!(expected, topo.hops().len());
+                assert_eq!(waited, Duration::from_millis(200));
+            }
+            other => panic!("expected DrainTimeout, got {other:?}"),
+        }
+        assert_eq!(
+            transport.inner.subscriptions(),
+            0,
+            "a failed run must not leak its subscription"
+        );
     }
 
     #[test]

@@ -357,7 +357,7 @@ mod tests {
             ..RunConfig::default()
         };
         let transport = vpm_wire::ShardedBus::new(4);
-        let run = crate::run::run_path_with_transport(&t, &topo, &cfg, &transport);
+        let run = crate::run::run_path_with_transport(&t, &topo, &cfg, &transport).unwrap();
         let from_run = analyze_path(&topo, &run);
         let requester = topo.domain_ids()[0];
         let from_wire = super::analyze_from_transport(&topo, &transport, requester).unwrap();
@@ -494,7 +494,7 @@ mod tests {
                 )
                 .unwrap();
         }
-        crate::run::run_path_with_transport(&t, &topo, &cfg, &transport);
+        crate::run::run_path_with_transport(&t, &topo, &cfg, &transport).unwrap();
         let requester = on_path[0];
         let by_hop = super::analyze_from_transport(&topo, &transport, requester).unwrap();
         let scoped = super::analyze_from_transport_scoped(&topo, &transport, requester).unwrap();

@@ -661,7 +661,7 @@ fn count32(n: usize) -> Result<u32, WireError> {
     u32::try_from(n).map_err(|_| WireError::TooManyItems(n))
 }
 
-fn encode_path(w: &mut Writer, p: &PathId) {
+pub(crate) fn encode_path(w: &mut Writer, p: &PathId) {
     w.u32(u32::from(p.spec.src_prefix.network()));
     w.u8(p.spec.src_prefix.len());
     w.u32(u32::from(p.spec.dst_prefix.network()));
@@ -681,7 +681,7 @@ fn encode_path(w: &mut Writer, p: &PathId) {
     w.u64(p.max_diff.as_nanos());
 }
 
-fn decode_path(r: &mut Reader<'_>) -> Result<PathId, WireError> {
+pub(crate) fn decode_path(r: &mut Reader<'_>) -> Result<PathId, WireError> {
     let prefix = |r: &mut Reader<'_>| -> Result<Ipv4Prefix, WireError> {
         let net = r.u32()?;
         let len = r.u8()?;
@@ -712,62 +712,62 @@ fn decode_path(r: &mut Reader<'_>) -> Result<PathId, WireError> {
 
 /// Little-endian append-only byte writer.
 #[derive(Default)]
-struct Writer {
+pub(crate) struct Writer {
     buf: Vec<u8>,
 }
 
 impl Writer {
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.buf.len()
     }
-    fn as_slice(&self) -> &[u8] {
+    pub(crate) fn as_slice(&self) -> &[u8] {
         &self.buf
     }
-    fn into_vec(self) -> Vec<u8> {
+    pub(crate) fn into_vec(self) -> Vec<u8> {
         self.buf
     }
-    fn bytes(&mut self, b: &[u8]) {
+    pub(crate) fn bytes(&mut self, b: &[u8]) {
         self.buf.extend_from_slice(b);
     }
-    fn u8(&mut self, v: u8) {
+    pub(crate) fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
-    fn u16(&mut self, v: u16) {
+    pub(crate) fn u16(&mut self, v: u16) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn u24(&mut self, v: u32) {
+    pub(crate) fn u24(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes()[..3]);
     }
-    fn u32(&mut self, v: u32) {
+    pub(crate) fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn u48(&mut self, v: u64) {
+    pub(crate) fn u48(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes()[..6]);
     }
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 }
 
 /// Bounds-checked little-endian reader; every overrun is a typed
 /// [`WireError::Truncated`].
-struct Reader<'a> {
+pub(crate) struct Reader<'a> {
     buf: &'a [u8],
     at: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Reader { buf, at: 0 }
     }
 
-    fn remaining(&self) -> usize {
+    pub(crate) fn remaining(&self) -> usize {
         self.buf.len() - self.at
     }
 
     /// Pre-flight an `items × size` section so corrupt counts fail fast
     /// instead of over-allocating before the per-item reads error out.
-    fn can_hold(&self, items: usize, size: usize) -> Result<(), WireError> {
+    pub(crate) fn can_hold(&self, items: usize, size: usize) -> Result<(), WireError> {
         let needed = items.saturating_mul(size);
         if needed > self.remaining() {
             return Err(WireError::Truncated {
@@ -778,7 +778,7 @@ impl<'a> Reader<'a> {
         Ok(())
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         if self.remaining() < n {
             return Err(WireError::Truncated {
                 at: self.at,
@@ -790,35 +790,35 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+    pub(crate) fn array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
         Ok(self.take(N)?.try_into().expect("take returned N bytes"))
     }
 
-    fn u8(&mut self) -> Result<u8, WireError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, WireError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u16(&mut self) -> Result<u16, WireError> {
+    pub(crate) fn u16(&mut self) -> Result<u16, WireError> {
         Ok(u16::from_le_bytes(self.array()?))
     }
 
-    fn u24(&mut self) -> Result<u32, WireError> {
+    pub(crate) fn u24(&mut self) -> Result<u32, WireError> {
         let b = self.take(3)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], 0]))
     }
 
-    fn u32(&mut self) -> Result<u32, WireError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, WireError> {
         Ok(u32::from_le_bytes(self.array()?))
     }
 
-    fn u48(&mut self) -> Result<u64, WireError> {
+    pub(crate) fn u48(&mut self) -> Result<u64, WireError> {
         let b = self.take(6)?;
         Ok(u64::from_le_bytes([
             b[0], b[1], b[2], b[3], b[4], b[5], 0, 0,
         ]))
     }
 
-    fn u64(&mut self) -> Result<u64, WireError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, WireError> {
         Ok(u64::from_le_bytes(self.array()?))
     }
 }

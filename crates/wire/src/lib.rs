@@ -33,6 +33,7 @@
 
 pub mod codec;
 pub mod measure;
+pub mod net;
 pub mod transport;
 
 pub use codec::{
@@ -40,7 +41,9 @@ pub use codec::{
     WireFrame, MAC_TRAILER_BYTES, MAGIC, VERSION,
 };
 pub use measure::{measured_overhead_report, measured_sizes};
+pub use net::{TcpServer, TcpTransport};
 pub use transport::{
     InMemoryBus, Published, ReceiptTransport, ShardedBus, SubscriptionId, TransportError,
+    WaitOutcome,
 };
 pub use vpm_hash::{HopKey, KeyEpoch};

@@ -40,7 +40,8 @@
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, PoisonError};
+use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
 use vpm_core::processor::ReceiptBatch;
@@ -85,8 +86,78 @@ impl Published {
 }
 
 /// A subscription handle returned by [`ReceiptTransport::subscribe`].
+///
+/// Handles are never reused: once [`ReceiptTransport::unsubscribe`]
+/// drops a subscription, its id stays dead — polling it is a typed
+/// [`TransportError::UnknownSubscription`], never a silent re-read of
+/// someone else's cursor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SubscriptionId(pub u64);
+
+/// Result of a blocking [`ReceiptTransport::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitOutcome {
+    /// New entries may be available for the subscription — poll now.
+    /// (For a filtered subscription the entries that woke the wait may
+    /// turn out invisible or foreign; `Ready` is a hint, not a
+    /// delivery guarantee.)
+    Ready,
+    /// The timeout elapsed with no completed publish in the
+    /// subscription's scope.
+    TimedOut,
+}
+
+/// A monotone wakeup counter: waiters snapshot it, re-check their
+/// condition, and block until it moves past the snapshot. Publishers
+/// bump it **after** an insert completes, so a publisher that claimed
+/// a sequence number and died never produces a wakeup — the waiter
+/// times out instead of spinning on a stream that cannot advance.
+///
+/// Built on `std::sync::{Mutex, Condvar}` (the `parking_lot` shim has
+/// no condvar). Lock poisoning is recovered, not propagated: the
+/// protected state is a bare counter whose every intermediate value is
+/// valid, so a panicking bumper cannot leave it corrupt — recovery
+/// converts a would-be poison panic into a spurious (harmless) wakeup.
+#[derive(Default)]
+struct Notifier {
+    count: std::sync::Mutex<u64>,
+    cond: Condvar,
+}
+
+impl Notifier {
+    /// Current wakeup count (snapshot before checking the condition).
+    fn current(&self) -> u64 {
+        *self.count.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Record one completed publish and wake every waiter.
+    fn bump(&self) {
+        let mut count = self.count.lock().unwrap_or_else(PoisonError::into_inner);
+        *count += 1;
+        self.cond.notify_all();
+    }
+
+    /// Block until the count moves past `seen` or `deadline` passes.
+    /// Returns `true` when woken by a bump, `false` on timeout.
+    fn wait_past(&self, seen: u64, deadline: Instant) -> bool {
+        let mut count = self.count.lock().unwrap_or_else(PoisonError::into_inner);
+        while *count <= seen {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, timeout) = self
+                .cond
+                .wait_timeout(count, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            count = guard;
+            if timeout.timed_out() && *count <= seen {
+                return false;
+            }
+        }
+        true
+    }
+}
 
 /// Errors from transport operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -134,8 +205,17 @@ pub enum TransportError {
     UnknownHop(HopId),
     /// The published frame does not decode.
     Malformed(WireError),
-    /// The subscription handle was never issued by this transport.
+    /// The subscription handle was never issued by this transport, or
+    /// was already dropped by [`ReceiptTransport::unsubscribe`].
     UnknownSubscription(SubscriptionId),
+    /// The connection to a remote transport endpoint failed: the
+    /// server is unreachable, or the connection dropped mid-operation
+    /// and could not be re-established.
+    Connection(String),
+    /// The remote peer violated the session protocol: bad handshake,
+    /// unknown opcode, an oversized or malformed message, or a frame
+    /// the server admitted but this client cannot decode.
+    Protocol(String),
 }
 
 impl fmt::Display for TransportError {
@@ -163,6 +243,8 @@ impl fmt::Display for TransportError {
             TransportError::UnknownHop(h) => write!(f, "no key registered for {h}"),
             TransportError::Malformed(e) => write!(f, "malformed frame: {e}"),
             TransportError::UnknownSubscription(s) => write!(f, "unknown subscription {}", s.0),
+            TransportError::Connection(e) => write!(f, "transport connection failed: {e}"),
+            TransportError::Protocol(e) => write!(f, "transport protocol violation: {e}"),
         }
     }
 }
@@ -260,6 +342,32 @@ pub trait ReceiptTransport: Send + Sync {
     /// shard-arrival when publishers race each other on the same path
     /// (see [`Self::subscribe_path`]).
     fn poll(&self, sub: SubscriptionId) -> Result<Vec<Arc<Published>>, TransportError>;
+
+    /// Block until the subscription plausibly has something to poll,
+    /// or `timeout` elapses — the event-driven alternative to a
+    /// spin-poll loop. Returns [`WaitOutcome::Ready`] when a completed
+    /// publish may have produced entries for this subscription (poll
+    /// to collect them; a filtered subscription may still poll empty),
+    /// and [`WaitOutcome::TimedOut`] when nothing landed in time.
+    ///
+    /// Crucially, readiness is keyed on **completed** publishes, not
+    /// claimed sequence numbers: a publisher that claimed a number and
+    /// died never signals `Ready`, so a waiting consumer times out
+    /// instead of burning CPU on a stream that cannot advance. An idle
+    /// wait on a sharded transport holds no shard lock and performs no
+    /// shard scan while blocked.
+    fn wait(&self, sub: SubscriptionId, timeout: Duration) -> Result<WaitOutcome, TransportError>;
+
+    /// Drop a subscription and its cursor state. The handle is dead
+    /// afterwards: polling, waiting on, or re-unsubscribing it is
+    /// [`TransportError::UnknownSubscription`]. Long-lived services
+    /// must pair every `subscribe` with an `unsubscribe` or the
+    /// transport accumulates cursors for the life of the process.
+    fn unsubscribe(&self, sub: SubscriptionId) -> Result<(), TransportError>;
+
+    /// Open subscriptions currently holding cursor state (diagnostics;
+    /// the lifecycle tests pin that this returns to zero).
+    fn subscriptions(&self) -> usize;
 
     /// Total published entries (diagnostics).
     fn len(&self) -> usize;
@@ -429,13 +537,21 @@ struct SubCursor {
 pub struct InMemoryBus {
     keys: KeyRegistry,
     entries: RwLock<Vec<Arc<Published>>>,
-    subs: Mutex<Vec<SubCursor>>,
+    subs: Mutex<HashMap<u64, SubCursor>>,
+    next_sub: AtomicU64,
+    notify: Notifier,
 }
 
 impl InMemoryBus {
     /// Empty bus.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    fn add_sub(&self, cursor: SubCursor) -> SubscriptionId {
+        let id = self.next_sub.fetch_add(1, Ordering::Relaxed);
+        self.subs.lock().insert(id, cursor);
+        SubscriptionId(id)
     }
 }
 
@@ -458,10 +574,16 @@ impl ReceiptTransport for InMemoryBus {
         frame: WireFrame,
         on_path: Vec<DomainId>,
     ) -> Result<u64, TransportError> {
-        let mut entries = self.entries.write();
-        let seq = entries.len() as u64;
-        let published = admit(&self.keys, seq, domain, frame, on_path)?;
-        entries.push(Arc::new(published));
+        let seq = {
+            let mut entries = self.entries.write();
+            let seq = entries.len() as u64;
+            let published = admit(&self.keys, seq, domain, frame, on_path)?;
+            entries.push(Arc::new(published));
+            seq
+        };
+        // Wake waiters only after the insert is visible (and outside
+        // the entry lock, so woken pollers never contend with us).
+        self.notify.bump();
         Ok(seq)
     }
 
@@ -500,29 +622,25 @@ impl ReceiptTransport for InMemoryBus {
     }
 
     fn subscribe(&self, requester: DomainId) -> SubscriptionId {
-        let mut subs = self.subs.lock();
-        subs.push(SubCursor {
+        self.add_sub(SubCursor {
             requester,
             next_seq: self.entries.read().len() as u64,
             path: None,
-        });
-        SubscriptionId(subs.len() as u64 - 1)
+        })
     }
 
     fn subscribe_path(&self, requester: DomainId, path: &PathId) -> SubscriptionId {
-        let mut subs = self.subs.lock();
-        subs.push(SubCursor {
+        self.add_sub(SubCursor {
             requester,
             next_seq: self.entries.read().len() as u64,
             path: Some(*path),
-        });
-        SubscriptionId(subs.len() as u64 - 1)
+        })
     }
 
     fn poll(&self, sub: SubscriptionId) -> Result<Vec<Arc<Published>>, TransportError> {
         let mut subs = self.subs.lock();
         let cursor = subs
-            .get_mut(sub.0 as usize)
+            .get_mut(&sub.0)
             .ok_or(TransportError::UnknownSubscription(sub))?;
         let entries = self.entries.read();
         let fresh: Vec<Arc<Published>> = entries
@@ -534,6 +652,41 @@ impl ReceiptTransport for InMemoryBus {
             .collect();
         cursor.next_seq = entries.len() as u64;
         Ok(fresh)
+    }
+
+    fn wait(&self, sub: SubscriptionId, timeout: Duration) -> Result<WaitOutcome, TransportError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            // Snapshot the wakeup count *before* checking the
+            // condition: a publish completing in between bumps past
+            // the snapshot and `wait_past` returns immediately — no
+            // lost wakeup.
+            let seen = self.notify.current();
+            let next_seq = self
+                .subs
+                .lock()
+                .get(&sub.0)
+                .ok_or(TransportError::UnknownSubscription(sub))?
+                .next_seq;
+            if (self.entries.read().len() as u64) > next_seq {
+                return Ok(WaitOutcome::Ready);
+            }
+            if !self.notify.wait_past(seen, deadline) {
+                return Ok(WaitOutcome::TimedOut);
+            }
+        }
+    }
+
+    fn unsubscribe(&self, sub: SubscriptionId) -> Result<(), TransportError> {
+        self.subs
+            .lock()
+            .remove(&sub.0)
+            .map(|_| ())
+            .ok_or(TransportError::UnknownSubscription(sub))
+    }
+
+    fn subscriptions(&self) -> usize {
+        self.subs.lock().len()
     }
 
     fn len(&self) -> usize {
@@ -573,6 +726,10 @@ fn shard_key_hop(hop: HopId) -> u64 {
 struct Shard {
     entries: RwLock<Vec<Arc<Published>>>,
     high_water: AtomicUsize,
+    /// Per-shard wakeups: bumped after an insert into *this* shard
+    /// completes, so a path-filtered waiter blocks through foreign-
+    /// shard traffic and wakes only for its own shard.
+    notify: Notifier,
 }
 
 impl Shard {
@@ -580,6 +737,7 @@ impl Shard {
         Shard {
             entries: RwLock::new(Vec::new()),
             high_water: AtomicUsize::new(0),
+            notify: Notifier::default(),
         }
     }
 }
@@ -608,6 +766,11 @@ struct PathCursor {
     path: PathId,
     shard: usize,
     pos: usize,
+    /// Entries below this global sequence number are suppressed — a
+    /// resumed subscription ([`ShardedBus::subscribe_path_from`])
+    /// rescans its shard from position 0 and relies on this filter to
+    /// deliver exactly the not-yet-seen suffix.
+    min_seq: u64,
 }
 
 enum ShardSub {
@@ -641,8 +804,12 @@ pub struct ShardedBus {
     shards: Vec<Shard>,
     keys: KeyRegistry,
     seq: AtomicU64,
-    subs: Mutex<Vec<ShardSub>>,
+    subs: Mutex<HashMap<u64, ShardSub>>,
+    next_sub: AtomicU64,
     poll_shard_scans: AtomicU64,
+    /// Bus-wide wakeups for global subscriptions (path-filtered ones
+    /// wait on their shard's notifier instead).
+    notify: Notifier,
 }
 
 impl ShardedBus {
@@ -652,9 +819,17 @@ impl ShardedBus {
             shards: (0..shards.max(1)).map(|_| Shard::new()).collect(),
             keys: RwLock::new(HashMap::new()),
             seq: AtomicU64::new(0),
-            subs: Mutex::new(Vec::new()),
+            subs: Mutex::new(HashMap::new()),
+            next_sub: AtomicU64::new(0),
             poll_shard_scans: AtomicU64::new(0),
+            notify: Notifier::default(),
         }
+    }
+
+    fn add_sub(&self, sub: ShardSub) -> SubscriptionId {
+        let id = self.next_sub.fetch_add(1, Ordering::Relaxed);
+        self.subs.lock().insert(id, sub);
+        SubscriptionId(id)
     }
 
     /// Number of shards.
@@ -668,6 +843,73 @@ impl ShardedBus {
     /// observable the fast-path tests pin.
     pub fn poll_shard_scans(&self) -> u64 {
         self.poll_shard_scans.load(Ordering::Relaxed)
+    }
+
+    /// The next global sequence number a publish would claim — the
+    /// "now" point a freshly established remote subscription records
+    /// as its resume position before any entry is delivered.
+    pub fn publish_seq(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Open a global subscription whose stream starts at global
+    /// sequence number `from_seq` instead of "now" — the cursor-resume
+    /// primitive a reconnecting remote client uses to pick its stream
+    /// back up without duplicating or skipping entries. `from_seq`
+    /// past the current sequence counter is clamped (a resume point
+    /// cannot lie in the future).
+    pub fn subscribe_from(&self, requester: DomainId, from_seq: u64) -> SubscriptionId {
+        self.add_sub(ShardSub::Global(GlobalCursor {
+            requester,
+            next_seq: from_seq.min(self.seq.load(Ordering::Relaxed)),
+            shard_pos: vec![0; self.shards.len()],
+            pending: BTreeMap::new(),
+        }))
+    }
+
+    /// Open a path-filtered subscription resuming at global sequence
+    /// number `from_seq`: the shard is rescanned from the start and
+    /// entries below `from_seq` are suppressed, so a reconnecting
+    /// client sees exactly the suffix it has not been delivered.
+    pub fn subscribe_path_from(
+        &self,
+        requester: DomainId,
+        path: &PathId,
+        from_seq: u64,
+    ) -> SubscriptionId {
+        self.add_sub(ShardSub::Path(PathCursor {
+            requester,
+            path: *path,
+            shard: self.shard_of_path(path),
+            pos: 0,
+            min_seq: from_seq,
+        }))
+    }
+
+    /// Test hook: claim a global sequence number and never insert the
+    /// entry — exactly what a publisher that dies between
+    /// `seq.fetch_add` and its shard insert leaves behind. A global
+    /// subscription's contiguous-prefix stream stalls at this number
+    /// forever; the hook exists so the `wait`/`DrainTimeout` paths can
+    /// be pinned against that failure without a racing thread.
+    #[doc(hidden)]
+    pub fn claim_seq_and_die(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Would a poll of this cursor plausibly return or park entries?
+    /// Readiness is judged from completed inserts only — parked
+    /// out-of-order entries count only when the stream's next sequence
+    /// number is among them, and shard movement is read from the
+    /// high-water marks (atomics, no shard lock, no scan) — so a
+    /// claimed-but-never-inserted sequence number never reports ready.
+    fn global_ready(&self, c: &GlobalCursor) -> bool {
+        c.pending.contains_key(&c.next_seq)
+            || self
+                .shards
+                .iter()
+                .zip(&c.shard_pos)
+                .any(|(s, &pos)| s.high_water.load(Ordering::Acquire) > pos)
     }
 
     fn shard_of_path(&self, path: &PathId) -> usize {
@@ -754,7 +996,9 @@ impl ShardedBus {
         let entries = shard.entries.read();
         let mut fresh: Vec<Arc<Published>> = entries[c.pos..]
             .iter()
-            .filter(|e| e.paths.contains(&c.path) && e.visible_to(c.requester))
+            .filter(|e| {
+                e.seq >= c.min_seq && e.paths.contains(&c.path) && e.visible_to(c.requester)
+            })
             .cloned()
             .collect();
         c.pos = entries.len();
@@ -776,7 +1020,7 @@ impl ShardedBus {
     ) -> Result<Vec<Arc<Published>>, TransportError> {
         let mut subs = self.subs.lock();
         let cursor = subs
-            .get_mut(sub.0 as usize)
+            .get_mut(&sub.0)
             .ok_or(TransportError::UnknownSubscription(sub))?;
         let c = match cursor {
             ShardSub::Path(c) => {
@@ -833,7 +1077,8 @@ impl ReceiptTransport for ShardedBus {
         let published = admit(&self.keys, 0, domain, frame, on_path)?;
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let published = Arc::new(Published { seq, ..published });
-        for shard in self.shard_set(&published) {
+        let touched = self.shard_set(&published);
+        for &shard in &touched {
             let shard = &self.shards[shard];
             let mut entries = shard.entries.write();
             entries.push(Arc::clone(&published));
@@ -841,6 +1086,14 @@ impl ReceiptTransport for ShardedBus {
             // the new high-water mark and then locks sees the entry.
             shard.high_water.store(entries.len(), Ordering::Release);
         }
+        // Wake blocked waiters only after every insert completed:
+        // path waiters on exactly the shards touched, global waiters
+        // on the bus-wide notifier. Bumping outside the write locks
+        // keeps publishers from serializing on waiter wakeup.
+        for &shard in &touched {
+            self.shards[shard].notify.bump();
+        }
+        self.notify.bump();
         Ok(seq)
     }
 
@@ -876,43 +1129,86 @@ impl ReceiptTransport for ShardedBus {
     }
 
     fn subscribe(&self, requester: DomainId) -> SubscriptionId {
-        let mut subs = self.subs.lock();
         // `shard_pos` starts at 0: every entry already present has a
         // sequence number below the subscription point (publishers
         // claim their number before inserting), so the first poll's
         // scan filters them out by `seq` and later polls never revisit
         // them.
-        subs.push(ShardSub::Global(GlobalCursor {
+        self.add_sub(ShardSub::Global(GlobalCursor {
             requester,
             next_seq: self.seq.load(Ordering::Relaxed),
             shard_pos: vec![0; self.shards.len()],
             pending: BTreeMap::new(),
-        }));
-        SubscriptionId(subs.len() as u64 - 1)
+        }))
     }
 
     fn subscribe_path(&self, requester: DomainId, path: &PathId) -> SubscriptionId {
         let shard = self.shard_of_path(path);
         let pos = self.shards[shard].entries.read().len();
-        let mut subs = self.subs.lock();
-        subs.push(ShardSub::Path(PathCursor {
+        self.add_sub(ShardSub::Path(PathCursor {
             requester,
             path: *path,
             shard,
             pos,
-        }));
-        SubscriptionId(subs.len() as u64 - 1)
+            min_seq: 0,
+        }))
     }
 
     fn poll(&self, sub: SubscriptionId) -> Result<Vec<Arc<Published>>, TransportError> {
         let mut subs = self.subs.lock();
         let cursor = subs
-            .get_mut(sub.0 as usize)
+            .get_mut(&sub.0)
             .ok_or(TransportError::UnknownSubscription(sub))?;
         Ok(match cursor {
             ShardSub::Global(c) => self.poll_global(c),
             ShardSub::Path(c) => self.poll_path(c),
         })
+    }
+
+    fn wait(&self, sub: SubscriptionId, timeout: Duration) -> Result<WaitOutcome, TransportError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            // Snapshot the relevant notifier *before* judging
+            // readiness: a publish that lands between the check and
+            // the block moves the count past the snapshot, so
+            // `wait_past` returns immediately — no lost wakeup.
+            let (ready, notifier, seen) = {
+                let mut subs = self.subs.lock();
+                let cursor = subs
+                    .get_mut(&sub.0)
+                    .ok_or(TransportError::UnknownSubscription(sub))?;
+                match cursor {
+                    ShardSub::Global(c) => {
+                        let seen = self.notify.current();
+                        (self.global_ready(c), &self.notify, seen)
+                    }
+                    ShardSub::Path(c) => {
+                        let shard = &self.shards[c.shard];
+                        let seen = shard.notify.current();
+                        let ready = shard.high_water.load(Ordering::Acquire) > c.pos;
+                        (ready, &shard.notify, seen)
+                    }
+                }
+            };
+            if ready {
+                return Ok(WaitOutcome::Ready);
+            }
+            if !notifier.wait_past(seen, deadline) {
+                return Ok(WaitOutcome::TimedOut);
+            }
+        }
+    }
+
+    fn unsubscribe(&self, sub: SubscriptionId) -> Result<(), TransportError> {
+        self.subs
+            .lock()
+            .remove(&sub.0)
+            .map(|_| ())
+            .ok_or(TransportError::UnknownSubscription(sub))
+    }
+
+    fn subscriptions(&self) -> usize {
+        self.subs.lock().len()
     }
 
     fn len(&self) -> usize {
@@ -1177,6 +1473,43 @@ mod tests {
             Err(TransportError::BadMac { hop: HopId(5) })
         );
         assert_eq!(t.len(), 7);
+
+        // Event-driven lifecycle: a subscription with undelivered
+        // entries is ready immediately; once drained, `wait` blocks
+        // until the timeout; `unsubscribe` drops the cursor and turns
+        // the id into a typed error on every entry point.
+        assert_eq!(t.subscriptions(), 2);
+        assert_eq!(
+            t.wait(sub, Duration::from_millis(500)),
+            Ok(WaitOutcome::Ready)
+        );
+        assert!(!t.poll(sub).unwrap().is_empty());
+        assert_eq!(
+            t.wait(sub, Duration::from_millis(5)),
+            Ok(WaitOutcome::TimedOut)
+        );
+        assert_eq!(
+            t.wait(SubscriptionId(999), Duration::from_millis(5)),
+            Err(TransportError::UnknownSubscription(SubscriptionId(999)))
+        );
+        t.unsubscribe(sub).unwrap();
+        t.unsubscribe(psub).unwrap();
+        assert_eq!(t.subscriptions(), 0, "unsubscribe drops cursor state");
+        assert_eq!(t.poll(sub), Err(TransportError::UnknownSubscription(sub)));
+        assert_eq!(
+            t.wait(sub, Duration::from_millis(5)),
+            Err(TransportError::UnknownSubscription(sub))
+        );
+        assert_eq!(
+            t.unsubscribe(sub),
+            Err(TransportError::UnknownSubscription(sub))
+        );
+        // Ids are never reused: a fresh subscription gets a new id even
+        // though the old cursors are gone.
+        let fresh = t.subscribe(DomainId(1));
+        assert_ne!(fresh, sub);
+        assert_ne!(fresh, psub);
+        t.unsubscribe(fresh).unwrap();
     }
 
     #[test]
@@ -1443,5 +1776,174 @@ mod tests {
             assert_eq!(got.len(), 4);
             assert!(got.windows(2).all(|w| w[0].seq < w[1].seq));
         }
+    }
+
+    /// A blocked waiter is woken by a publish that lands *after* it
+    /// went to sleep — the event-driven path, not a poll race.
+    #[test]
+    fn wait_wakes_on_a_publish_that_lands_mid_wait() {
+        let makes: [fn(usize) -> Box<dyn ReceiptTransport + Sync>; 2] = [
+            |s| Box::new(ShardedBus::new(s)),
+            |_| Box::new(InMemoryBus::new()),
+        ];
+        for make in makes {
+            let bus = make(8);
+            let (b, key) = batch(HopId(3), 0, 2);
+            bus.register_key(HopId(3), key).unwrap();
+            let sub = bus.subscribe(DomainId(0));
+            let psub = bus.subscribe_path(DomainId(0), &path(2));
+            std::thread::scope(|s| {
+                let bus = &bus;
+                s.spawn(move || {
+                    std::thread::sleep(Duration::from_millis(30));
+                    bus.publish(DomainId(1), frame(&b), vec![DomainId(0), DomainId(1)])
+                        .unwrap();
+                });
+                for handle in [sub, psub] {
+                    assert_eq!(
+                        bus.wait(handle, Duration::from_secs(10)),
+                        Ok(WaitOutcome::Ready),
+                        "a publish must wake the blocked waiter"
+                    );
+                    assert_eq!(bus.poll(handle).unwrap().len(), 1);
+                }
+            });
+        }
+    }
+
+    /// Acceptance criterion: an idle subscriber blocked in `wait`
+    /// performs **zero** shard scans — blocking replaces spinning, it
+    /// does not hide it.
+    #[test]
+    fn blocked_waiters_scan_no_shards() {
+        let bus = ShardedBus::new(8);
+        let gsub = bus.subscribe(DomainId(0));
+        let psub = bus.subscribe_path(DomainId(0), &path(2));
+        let before = bus.poll_shard_scans();
+        for sub in [gsub, psub] {
+            assert_eq!(
+                bus.wait(sub, Duration::from_millis(40)),
+                Ok(WaitOutcome::TimedOut)
+            );
+        }
+        assert_eq!(
+            bus.poll_shard_scans(),
+            before,
+            "a blocked wait must not touch any shard"
+        );
+    }
+
+    /// Path subscriptions block on their own shard's notifier: a
+    /// publish routed to a *different* shard neither wakes nor readies
+    /// them, while the matching shard's waiter sees `Ready`.
+    #[test]
+    fn path_waits_use_per_shard_wakeups() {
+        let bus = ShardedBus::new(8);
+        // Find two paths on distinct shards.
+        let (p1, p2) = {
+            let first = path(1);
+            let mut other = None;
+            for n in 2..=20u8 {
+                if bus.shard_of_path(&path(n)) != bus.shard_of_path(&first) {
+                    other = Some(path(n));
+                    break;
+                }
+            }
+            (first, other.expect("8 shards must split 20 paths"))
+        };
+        let (b, key) = batch(HopId(3), 0, 1); // references p1 only
+        bus.register_key(HopId(3), key).unwrap();
+        let sub_hit = bus.subscribe_path(DomainId(0), &p1);
+        let sub_miss = bus.subscribe_path(DomainId(0), &p2);
+        bus.publish(DomainId(1), frame(&b), vec![DomainId(0), DomainId(1)])
+            .unwrap();
+        assert_eq!(
+            bus.wait(sub_hit, Duration::from_secs(5)),
+            Ok(WaitOutcome::Ready)
+        );
+        assert_eq!(
+            bus.wait(sub_miss, Duration::from_millis(30)),
+            Ok(WaitOutcome::TimedOut),
+            "a foreign shard's publish must not ready this waiter"
+        );
+    }
+
+    /// The dead-publisher failure this PR exists for: a sequence
+    /// number claimed but never inserted stalls a global cursor's
+    /// contiguous prefix. `wait` must judge readiness from *completed*
+    /// inserts, so the waiter times out instead of spinning ready.
+    #[test]
+    fn a_claimed_but_never_inserted_seq_does_not_ready_a_wait() {
+        let bus = ShardedBus::new(4);
+        let (b, key) = batch(HopId(3), 0, 1);
+        bus.register_key(HopId(3), key).unwrap();
+        let sub = bus.subscribe(DomainId(0));
+        bus.claim_seq_and_die();
+        assert_eq!(
+            bus.wait(sub, Duration::from_millis(40)),
+            Ok(WaitOutcome::TimedOut),
+            "a claimed-only seq is not an event"
+        );
+        assert!(bus.poll(sub).unwrap().is_empty());
+        // A real publish after the hole wakes the waiter; the poll
+        // parks it behind the hole (nothing released yet) and the next
+        // wait sees the parked entry is not the stream head.
+        bus.publish(DomainId(1), frame(&b), vec![DomainId(0), DomainId(1)])
+            .unwrap();
+        assert_eq!(
+            bus.wait(sub, Duration::from_secs(5)),
+            Ok(WaitOutcome::Ready)
+        );
+        assert!(
+            bus.poll(sub).unwrap().is_empty(),
+            "the hole blocks the contiguous prefix"
+        );
+        assert_eq!(
+            bus.wait(sub, Duration::from_millis(40)),
+            Ok(WaitOutcome::TimedOut),
+            "a parked out-of-order entry must not re-ready the wait"
+        );
+    }
+
+    /// Cursor resume: `subscribe_from` / `subscribe_path_from` replay
+    /// exactly the suffix at-or-past the resume point — no duplicates,
+    /// no skips — which is what a reconnecting TCP client relies on.
+    #[test]
+    fn resumed_subscriptions_replay_exactly_the_suffix() {
+        let bus = ShardedBus::new(4);
+        for h in 1..=2u16 {
+            let (_, key) = batch(HopId(h), 0, h as u8);
+            bus.register_key(HopId(h), key).unwrap();
+        }
+        let mut seqs = Vec::new();
+        for i in 0..10u64 {
+            let h = 1 + (i % 2) as u16;
+            let (b, _) = batch(HopId(h), i, h as u8);
+            seqs.push(
+                bus.publish(DomainId(h), frame(&b), vec![DomainId(0), DomainId(h)])
+                    .unwrap(),
+            );
+        }
+        let resume = seqs[4];
+        let sub = bus.subscribe_from(DomainId(0), resume);
+        let got: Vec<u64> = bus.poll(sub).unwrap().iter().map(|p| p.seq).collect();
+        assert_eq!(got, seqs[4..], "global resume replays seq >= resume once");
+        assert!(bus.poll(sub).unwrap().is_empty());
+
+        // Path resume: only path-1 entries (hop 1) at-or-past resume.
+        let psub = bus.subscribe_path_from(DomainId(0), &path(1), resume);
+        let got: Vec<u64> = bus.poll(psub).unwrap().iter().map(|p| p.seq).collect();
+        let expect: Vec<u64> = seqs[4..].iter().copied().step_by(2).collect();
+        assert_eq!(got, expect, "path resume filters below the resume seq");
+        assert!(bus.poll(psub).unwrap().is_empty());
+
+        // A future resume point clamps to "now": nothing is replayed,
+        // and the next publish is delivered normally.
+        let ahead = bus.subscribe_from(DomainId(0), u64::MAX);
+        assert!(bus.poll(ahead).unwrap().is_empty());
+        let (b, _) = batch(HopId(1), 99, 1);
+        bus.publish(DomainId(1), frame(&b), vec![DomainId(0), DomainId(1)])
+            .unwrap();
+        assert_eq!(bus.poll(ahead).unwrap().len(), 1);
     }
 }

@@ -19,6 +19,9 @@ numeric is missing, non-numeric, or non-finite, or variant names
 collide. `BENCH_wire.json` must additionally carry the signed-frame
 variants (`encode_signed_*` / `verify_signed_*`): the authenticity
 plane is part of the wire bench's contract, not an optional extra.
+`BENCH_verifier.json` must carry the idle-consumer summaries
+(`idle_*_polls_per_publish` / `idle_poll_reduction`): blocking waits
+vs spin-polls is part of the verifier bench's contract.
 
 Trend gate (`--baseline DIR`) — DIR is searched recursively for a file
 with the same basename as each checked artifact (the layout
@@ -60,6 +63,15 @@ REQUIRED_WIRE_VARIANTS = (
     "encode_signed_precise",
     "verify_signed_compact",
     "verify_signed_precise",
+)
+
+# The verifier bench must carry the idle-consumer comparison (blocking
+# wait vs spin-poll): the dissemination plane's event-driven contract
+# is part of the bench's schema, not an optional extra.
+REQUIRED_VERIFIER_SUMMARIES = (
+    "idle_spin_polls_per_publish",
+    "idle_wait_polls_per_publish",
+    "idle_poll_reduction",
 )
 
 
@@ -132,6 +144,14 @@ def check_schema(path: str, report: dict) -> dict:
             fail(
                 f"{path}: signed-frame variants missing from the wire "
                 f"bench: {', '.join(missing)}"
+            )
+
+    if os.path.basename(path) == "BENCH_verifier.json":
+        missing = [s for s in REQUIRED_VERIFIER_SUMMARIES if s not in report]
+        if missing:
+            fail(
+                f"{path}: idle-consumer summaries missing from the "
+                f"verifier bench: {', '.join(missing)}"
             )
 
     print(f"bench_check: {path}: {len(by_name)} variants, schema OK")

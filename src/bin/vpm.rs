@@ -3,9 +3,14 @@
 //! ```text
 //! vpm matrix [--filter k=v] [--json] [--jobs N]   run the scenario matrix
 //! vpm fleet [--paths N] [--jobs J] [--liars K] [--shards S] [--json]
+//!           [--transport tcp:ADDR]
 //!                                    run the many-path fleet and verify every
 //!                                    path in parallel (exit 1 on any false
-//!                                    accusation or missed liar)
+//!                                    accusation or missed liar), over the
+//!                                    in-process bus or a `vpm serve` endpoint
+//! vpm serve [--listen ADDR] [--shards S]
+//!                                    serve a sharded receipt bus over TCP
+//!                                    (the out-of-process dissemination plane)
 //! vpm bench-collector [--packets N] [--paths P] [--batch B] [--repeats R] [--json]
 //!                                    measure the collector hot path
 //! vpm bench-wire [--receipts N] [--records N] [--aggs N] [--window W]
@@ -43,11 +48,20 @@ fn print_usage() {
                                                 cells); axes: delay, loss, reorder,\n\
                                                 rate, clock, deploy, adversary\n\
            fleet [--paths N] [--jobs J] [--liars K] [--shards S] [--json]\n\
+                 [--transport tcp:ADDR]\n\
                                                 run N independent paths through one\n\
                                                 sharded bus (concurrent publishers)\n\
                                                 and verify each path from its frames,\n\
                                                 J paths at a time; exit 1 on any\n\
-                                                false accusation or missed liar\n\
+                                                false accusation or missed liar;\n\
+                                                --transport tcp:HOST:PORT publishes\n\
+                                                and verifies through a `vpm serve`\n\
+                                                endpoint instead of in-process\n\
+           serve [--listen ADDR] [--shards S]   serve a sharded receipt bus over\n\
+                                                length-prefixed TCP (default\n\
+                                                127.0.0.1:0 picks a free port,\n\
+                                                printed on startup); MAC/key-epoch\n\
+                                                checks run server-side\n\
            bench-collector [--packets N] [--paths P] [--batch B]\n\
                            [--repeats R] [--json]\n\
                                                 measure collector hot-path ns/packet and\n\
@@ -174,13 +188,14 @@ fn matrix(args: &[String]) -> ExitCode {
 }
 
 /// Parse and run `vpm fleet [--paths N] [--jobs J] [--liars K]
-/// [--shards S] [--json]`.
+/// [--shards S] [--json] [--transport tcp:ADDR]`.
 fn fleet(args: &[String]) -> ExitCode {
     let mut paths = 64usize;
     let mut jobs = 4usize;
     let mut liars: Option<usize> = None;
     let mut shards = 32usize;
     let mut json = false;
+    let mut tcp_addr: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -188,6 +203,20 @@ fn fleet(args: &[String]) -> ExitCode {
             "--json" => {
                 json = true;
                 i += 1;
+            }
+            "--transport" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("vpm: --transport needs tcp:HOST:PORT");
+                    return usage();
+                };
+                match v.strip_prefix("tcp:") {
+                    Some(addr) if !addr.is_empty() => tcp_addr = Some(addr.to_string()),
+                    _ => {
+                        eprintln!("vpm: --transport value '{v}' is not tcp:HOST:PORT");
+                        return usage();
+                    }
+                }
+                i += 2;
             }
             "--paths" | "--jobs" | "--liars" | "--shards" => {
                 let Some(v) = args.get(i + 1) else {
@@ -235,9 +264,21 @@ fn fleet(args: &[String]) -> ExitCode {
         ..vpm::sim::FleetConfig::default()
     };
     let fleet = vpm::sim::build_fleet(&cfg);
-    let bus = vpm::wire::ShardedBus::new(shards);
-    vpm::sim::run_fleet(&fleet, &bus);
-    let verdicts = vpm::sim::analyze_fleet_from_transport(&fleet, &bus, jobs);
+    // Same fleet, two dissemination planes: the in-process sharded bus
+    // (default) or a `vpm serve` endpoint over TCP. The verdicts are
+    // byte-identical either way (test-pinned).
+    let transport: Box<dyn vpm::wire::ReceiptTransport> = match &tcp_addr {
+        None => Box::new(vpm::wire::ShardedBus::new(shards)),
+        Some(addr) => match vpm::wire::TcpTransport::connect(addr.clone()) {
+            Ok(t) => Box::new(t),
+            Err(e) => {
+                eprintln!("vpm: cannot reach receipt server at {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    vpm::sim::run_fleet(&fleet, transport.as_ref());
+    let verdicts = vpm::sim::analyze_fleet_from_transport(&fleet, transport.as_ref(), jobs);
     if json {
         match serde_json::to_string(&verdicts) {
             Ok(s) => println!("{s}"),
@@ -253,6 +294,64 @@ fn fleet(args: &[String]) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+/// Parse and run `vpm serve [--listen ADDR] [--shards S]`: bind a
+/// [`vpm::wire::TcpServer`] over a fresh sharded bus and serve until
+/// killed.
+fn serve(args: &[String]) -> ExitCode {
+    let mut listen = String::from("127.0.0.1:0");
+    let mut shards = 32usize;
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--listen" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("vpm: --listen needs HOST:PORT");
+                    return usage();
+                };
+                listen = v.clone();
+                i += 2;
+            }
+            "--shards" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("vpm: --shards needs a number");
+                    return usage();
+                };
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => shards = n,
+                    _ => {
+                        eprintln!("vpm: --shards value '{v}' is not a positive integer");
+                        return usage();
+                    }
+                }
+                i += 2;
+            }
+            other => {
+                eprintln!("vpm: unknown serve option '{other}'");
+                return usage();
+            }
+        }
+    }
+
+    let bus = std::sync::Arc::new(vpm::wire::ShardedBus::new(shards));
+    let server = match vpm::wire::TcpServer::bind(listen.as_str(), bus) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("vpm: cannot bind {listen}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The exact line harnesses scrape for the resolved ephemeral port.
+    println!("vpm serve: listening on {}", server.local_addr());
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    // Serve until the process is killed; connections are handled on
+    // the server's own threads.
+    loop {
+        std::thread::park();
     }
 }
 
@@ -473,6 +572,7 @@ fn main() -> ExitCode {
     match cmd.as_str() {
         "matrix" => return matrix(&args),
         "fleet" => return fleet(&args),
+        "serve" => return serve(&args),
         "bench-collector" => return bench_collector(&args),
         "bench-wire" => return bench_wire(&args),
         "bench-verifier" => return bench_verifier(&args),

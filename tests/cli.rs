@@ -152,11 +152,51 @@ fn fleet_rejects_bad_flags() {
             "overflows the 16-bit HOP id space",
         ),
         (vec!["fleet", "--frobnicate"], "unknown fleet option"),
+        (vec!["fleet", "--transport"], "--transport needs"),
+        (
+            vec!["fleet", "--transport", "udp:1.2.3.4:5"],
+            "is not tcp:HOST:PORT",
+        ),
+        (vec!["fleet", "--transport", "tcp:"], "is not tcp:HOST:PORT"),
     ] {
         let out = vpm(&args);
         assert_eq!(out.status.code(), Some(2), "{args:?}");
         assert!(stderr(&out).contains(needle), "{args:?}: {}", stderr(&out));
     }
+}
+
+#[test]
+fn fleet_reports_an_unreachable_receipt_server_as_failure() {
+    // Port 1 on loopback is essentially never listening; the connect
+    // is eager, so this fails fast with a clear message, exit 1.
+    let out = vpm(&["fleet", "--paths", "2", "--transport", "tcp:127.0.0.1:1"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("cannot reach receipt server"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn serve_rejects_bad_flags() {
+    for (args, needle) in [
+        (vec!["serve", "--shards", "0"], "--shards value"),
+        (vec!["serve", "--shards", "many"], "--shards value"),
+        (vec!["serve", "--listen"], "--listen needs"),
+        (vec!["serve", "--frobnicate"], "unknown serve option"),
+    ] {
+        let out = vpm(&args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        assert!(stderr(&out).contains(needle), "{args:?}: {}", stderr(&out));
+    }
+}
+
+#[test]
+fn serve_reports_an_unbindable_listen_address_as_failure() {
+    let out = vpm(&["serve", "--listen", "256.256.256.256:0"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(stderr(&out).contains("cannot bind"), "{}", stderr(&out));
 }
 
 #[test]

@@ -1,0 +1,255 @@
+//! The out-of-process dissemination plane over real loopback sockets:
+//!
+//! * a fleet run through `TcpTransport` → `vpm serve`'s `TcpServer`
+//!   produces verdict JSON byte-identical to the in-process
+//!   `ShardedBus` run;
+//! * malformed client bytes — a torn length prefix, a truncated body —
+//!   neither hang nor kill the server, and later clients are served;
+//! * a mid-stream disconnect is survived transparently: the client
+//!   reconnects and resumes its cursor with no duplicated and no
+//!   skipped frame;
+//! * authenticity is enforced **server-side**: a forged-MAC frame, an
+//!   unknown key epoch, and an unsigned frame are refused with the
+//!   same typed errors the in-process bus raises.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use vpm::core::processor::ReceiptBatch;
+use vpm::core::receipt::{AggId, AggReceipt, PathId, SampleReceipt, SampleRecord};
+use vpm::hash::Digest;
+use vpm::packet::{DomainId, HeaderSpec, HopId, SimDuration, SimTime};
+use vpm::sim::fleet::{analyze_fleet_from_transport, build_fleet, run_fleet, FleetConfig};
+use vpm::wire::{
+    HopKey, KeyEpoch, Profile, ReceiptTransport, ShardedBus, TcpServer, TcpTransport,
+    TransportError, WaitOutcome, WireEncoder,
+};
+
+/// A server over a fresh sharded bus plus a connected client.
+fn serve() -> (TcpServer, TcpTransport) {
+    let bus = Arc::new(ShardedBus::new(8));
+    let server = TcpServer::bind("127.0.0.1:0", bus).expect("bind loopback");
+    let client = TcpTransport::connect(server.local_addr().to_string()).expect("connect");
+    (server, client)
+}
+
+fn test_path(n: u8) -> PathId {
+    PathId {
+        spec: HeaderSpec::new(
+            format!("10.{n}.0.0/16").parse().unwrap(),
+            "192.168.0.0/24".parse().unwrap(),
+        ),
+        prev_hop: Some(HopId(3)),
+        next_hop: Some(HopId(5)),
+        max_diff: SimDuration::from_millis(2),
+    }
+}
+
+fn hop_key(hop: HopId) -> HopKey {
+    HopKey::from_seed(0xabc ^ hop.0 as u64)
+}
+
+fn batch(hop: HopId, seq: u64, path_n: u8) -> ReceiptBatch {
+    let mut b = ReceiptBatch {
+        hop,
+        batch_seq: seq,
+        samples: vec![SampleReceipt {
+            path: test_path(path_n),
+            samples: vec![SampleRecord {
+                pkt_id: Digest(0x1000 + seq),
+                time: SimTime::from_micros(10 * seq),
+            }],
+        }],
+        aggregates: vec![AggReceipt {
+            path: test_path(path_n),
+            agg: AggId {
+                first: Digest(1),
+                last: Digest(2),
+            },
+            pkt_cnt: 100,
+            agg_trans: vec![],
+        }],
+        auth_tag: 0,
+    };
+    b.auth_tag = b.compute_tag(hop_key(hop).tag_key());
+    b
+}
+
+#[test]
+fn tcp_fleet_verdicts_are_byte_identical_to_the_in_process_bus() {
+    let fleet = build_fleet(&FleetConfig {
+        paths: 6,
+        liars: 2,
+        publishers: 2,
+        trace_ms: 60,
+        target_pps: 25_000.0,
+        ..FleetConfig::default()
+    });
+
+    let in_process = ShardedBus::new(8);
+    run_fleet(&fleet, &in_process);
+    let local = analyze_fleet_from_transport(&fleet, &in_process, 2);
+
+    let (mut server, client) = serve();
+    run_fleet(&fleet, &client);
+    let remote = analyze_fleet_from_transport(&fleet, &client, 2);
+    server.shutdown();
+
+    assert_eq!(
+        serde_json::to_string(&local).unwrap(),
+        serde_json::to_string(&remote).unwrap(),
+        "the transport must be invisible in the verdict bytes"
+    );
+    assert!(remote.iter().all(|v| v.passed()));
+}
+
+#[test]
+fn a_torn_length_prefix_neither_hangs_nor_kills_the_server() {
+    let (mut server, client) = serve();
+    let addr = server.local_addr();
+
+    // Connection 1: a valid hello, then 2 of the 4 length-prefix
+    // bytes, then a hard close.
+    {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.write_all(b"VPMN").unwrap();
+        raw.write_all(&[1u8]).unwrap();
+        raw.write_all(&[0xff, 0xff]).unwrap();
+    }
+    // Connection 2: a full length prefix claiming 100 bytes, then
+    // only 3 bytes of body, then a hard close.
+    {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.write_all(b"VPMN").unwrap();
+        raw.write_all(&[1u8]).unwrap();
+        raw.write_all(&100u32.to_le_bytes()).unwrap();
+        raw.write_all(&[1, 2, 3]).unwrap();
+    }
+    // Connection 3: garbage instead of a hello.
+    {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.write_all(b"NOPE!").unwrap();
+    }
+
+    // The server is still alive and still serves well-formed clients.
+    let key = hop_key(HopId(5));
+    assert_eq!(client.register_key(HopId(5), key), Ok(KeyEpoch(0)));
+    assert_eq!(client.key_epoch(HopId(5)), Some(KeyEpoch(0)));
+    let b = batch(HopId(5), 0, 1);
+    let frame = WireEncoder::new(Profile::Precise)
+        .encode_signed(&b, &key, KeyEpoch(0))
+        .unwrap();
+    client
+        .publish(DomainId(2), frame, vec![DomainId(0), DomainId(2)])
+        .unwrap();
+    assert_eq!(client.len(), 1);
+    server.shutdown();
+}
+
+#[test]
+fn a_mid_stream_disconnect_resumes_the_cursor_without_duplicates_or_skips() {
+    let (mut server, client) = serve();
+    let key = hop_key(HopId(5));
+    client.register_key(HopId(5), key).unwrap();
+
+    let sub = client.subscribe(DomainId(0));
+    let publish = |seq: u64| {
+        let b = batch(HopId(5), seq, 1);
+        let frame = WireEncoder::new(Profile::Precise)
+            .encode_signed(&b, &key, KeyEpoch(0))
+            .unwrap();
+        client
+            .publish(DomainId(2), frame, vec![DomainId(0), DomainId(2)])
+            .unwrap()
+    };
+
+    let mut expected = Vec::new();
+    for seq in 0..5 {
+        expected.push(publish(seq));
+    }
+    let mut got: Vec<u64> = client.poll(sub).unwrap().iter().map(|p| p.seq).collect();
+
+    // Kill the TCP connection under the client. The next poll must
+    // reconnect, re-subscribe at the cursor's resume point, and
+    // deliver exactly the frames published after the ones above.
+    client.break_connection();
+    for seq in 5..10 {
+        expected.push(publish(seq));
+    }
+    got.extend(client.poll(sub).unwrap().iter().map(|p| p.seq));
+
+    // And again, this time with the break *before* any poll drained
+    // the new frames — nothing published while disconnected is lost.
+    client.break_connection();
+    for seq in 10..15 {
+        expected.push(publish(seq));
+    }
+    got.extend(client.poll(sub).unwrap().iter().map(|p| p.seq));
+
+    assert_eq!(got, expected, "no duplicate, no skip, publish order");
+
+    // The blocking wait also survives the reconnect path.
+    assert_eq!(
+        client.wait(sub, Duration::from_millis(20)),
+        Ok(WaitOutcome::TimedOut)
+    );
+    client.break_connection();
+    expected.push(publish(15));
+    assert_eq!(
+        client.wait(sub, Duration::from_secs(5)),
+        Ok(WaitOutcome::Ready)
+    );
+    let tail: Vec<u64> = client.poll(sub).unwrap().iter().map(|p| p.seq).collect();
+    assert_eq!(tail, expected[15..]);
+
+    client.unsubscribe(sub).unwrap();
+    assert_eq!(client.subscriptions(), 0);
+    server.shutdown();
+}
+
+#[test]
+fn forged_frames_are_refused_server_side_with_typed_errors() {
+    let (mut server, client) = serve();
+    let key = hop_key(HopId(5));
+    client.register_key(HopId(5), key).unwrap();
+    let b = batch(HopId(5), 0, 1);
+
+    // Forged MAC: sign with the right key, then flip a bit in the MAC
+    // trailer. The server — not the client — must refuse it.
+    let good = WireEncoder::new(Profile::Precise)
+        .encode_signed(&b, &key, KeyEpoch(0))
+        .unwrap();
+    let mut bytes = good.as_bytes().to_vec();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    let forged = vpm::wire::WireFrame::from_bytes(bytes);
+    assert_eq!(
+        client.publish(DomainId(2), forged, vec![DomainId(0)]),
+        Err(TransportError::BadMac { hop: HopId(5) })
+    );
+
+    // A claimed key epoch nobody registered.
+    let wrong_epoch = WireEncoder::new(Profile::Precise)
+        .encode_signed(&b, &key, KeyEpoch(7))
+        .unwrap();
+    assert_eq!(
+        client.publish(DomainId(2), wrong_epoch, vec![DomainId(0)]),
+        Err(TransportError::UnknownKeyEpoch {
+            hop: HopId(5),
+            epoch: KeyEpoch(7),
+        })
+    );
+
+    // An unsigned frame on a signed-only plane.
+    let unsigned = WireEncoder::new(Profile::Precise).encode(&b).unwrap();
+    assert_eq!(
+        client.publish(DomainId(2), unsigned, vec![DomainId(0)]),
+        Err(TransportError::Unsigned { hop: HopId(5) })
+    );
+
+    // Nothing entered circulation.
+    assert_eq!(client.len(), 0);
+    server.shutdown();
+}
