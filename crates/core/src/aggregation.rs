@@ -262,6 +262,7 @@ impl Aggregator {
         let two_j_plus = self.two_j_plus();
         let mut i = 0;
         while i < items.len() {
+            // vpm-lint: allow(R1, cuts is built with one flag per item)
             if cuts[i] {
                 let (digest, time) = items[i];
                 self.recent_push_evict(digest, time, two_j_plus);
@@ -282,7 +283,7 @@ impl Aggregator {
                 });
                 i += 1;
             } else {
-                let run_end = cuts[i..]
+                let run_end = cuts[i..] // vpm-lint: allow(R1, i is below items.len(), which cuts matches)
                     .iter()
                     .position(|&c| c)
                     .map_or(items.len(), |off| i + off);
@@ -295,15 +296,15 @@ impl Aggregator {
                 // moves the open aggregate into `pending`.
                 let mut k = i;
                 while k < run_end && !self.pending.is_empty() {
-                    let (digest, time) = items[k];
+                    let (digest, time) = items[k]; // vpm-lint: allow(R1, k ranges within the run found above)
                     self.recent_push_evict(digest, time, two_j_plus);
                     self.finalize_ready(time);
                     k += 1;
                 }
                 if k < run_end {
-                    self.recent_extend_evict(&items[k..run_end], two_j_plus);
+                    self.recent_extend_evict(&items[k..run_end], two_j_plus); // vpm-lint: allow(R1, run_end is clamped to items.len())
                 }
-                let (last_d, last_t) = items[run_end - 1];
+                let (last_d, last_t) = items[run_end - 1]; // vpm-lint: allow(R1, the run is non-empty, so run_end > i >= 0)
                 let run_len = (run_end - i) as u64;
                 match self.open.as_mut() {
                     Some(open) => {
@@ -314,7 +315,7 @@ impl Aggregator {
                     None => {
                         // Stream start: the first packet opens an
                         // aggregate even when it is not a cutting point.
-                        let (first_d, first_t) = items[i];
+                        let (first_d, first_t) = items[i]; // vpm-lint: allow(R1, i is below items.len())
                         self.open = Some(OpenAgg {
                             first: first_d,
                             first_time: first_t,
@@ -330,21 +331,23 @@ impl Aggregator {
     }
 
     fn finalize_ready(&mut self, now: SimTime) {
-        while let Some(front) = self.pending.front() {
-            if now > front.boundary_time + self.j_window {
-                let pc = self.pending.pop_front().expect("peeked");
-                let lo = pc.boundary_time - self.j_window;
-                let hi = pc.boundary_time + self.j_window;
-                let window: Vec<Digest> = self
-                    .recent
-                    .iter()
-                    .filter(|r| r.time >= lo && r.time <= hi)
-                    .map(|r| r.pkt_id)
-                    .collect();
-                self.push_finished(pc.agg, window, true);
-            } else {
+        while self
+            .pending
+            .front()
+            .is_some_and(|f| now > f.boundary_time + self.j_window)
+        {
+            let Some(pc) = self.pending.pop_front() else {
                 break;
-            }
+            };
+            let lo = pc.boundary_time - self.j_window;
+            let hi = pc.boundary_time + self.j_window;
+            let window: Vec<Digest> = self
+                .recent
+                .iter()
+                .filter(|r| r.time >= lo && r.time <= hi)
+                .map(|r| r.pkt_id)
+                .collect();
+            self.push_finished(pc.agg, window, true);
         }
     }
 

@@ -43,7 +43,7 @@ impl Migration {
 /// Returns `(before, from_boundary_on)`; `None` if absent.
 fn split_at_boundary(window: &[Digest], boundary: Digest) -> Option<(&[Digest], &[Digest])> {
     let pos = window.iter().position(|&d| d == boundary)?;
-    Some((&window[..pos], &window[pos..]))
+    Some((&window[..pos], &window[pos..])) // vpm-lint: allow(R1, position() returned an in-bounds index)
 }
 
 /// Compute the migration for one boundary from the `AggTrans` windows

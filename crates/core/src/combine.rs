@@ -82,16 +82,19 @@ pub fn combine_samples(receipts: &[SampleReceipt]) -> Result<SampleReceipt, Comb
 /// packet (the cut that closed `i` starts `i+1`). We enforce that
 /// condition when the window is non-empty.
 pub fn combine_aggregates(receipts: &[AggReceipt]) -> Result<AggReceipt, CombineError> {
-    let first = receipts.first().ok_or(CombineError::Empty)?;
+    let (first, last) = match (receipts.first(), receipts.last()) {
+        (Some(f), Some(l)) => (f, l),
+        _ => return Err(CombineError::Empty),
+    };
     if receipts.iter().any(|r| r.path != first.path) {
         return Err(CombineError::PathMismatch);
     }
     for (i, pair) in receipts.windows(2).enumerate() {
+        // vpm-lint: allow(R1, windows(2) yields exactly two elements)
         if !pair[0].agg_trans.is_empty() && !pair[0].trans_contains(pair[1].agg.first) {
             return Err(CombineError::NotConsecutive { at: i });
         }
     }
-    let last = receipts.last().expect("non-empty");
     Ok(AggReceipt {
         path: first.path,
         agg: AggId {

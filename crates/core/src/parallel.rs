@@ -9,7 +9,7 @@
 //! changes wall-clock time and nothing else.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Map `f` over `items` with `jobs` scoped worker threads, returning
 /// results in input order.
@@ -21,6 +21,7 @@ use std::sync::Mutex;
 /// and the sequential fold runs inline. Workers claim indices from a
 /// shared atomic counter and write each result into its own slot, so
 /// scheduling order never leaks into the result.
+#[allow(clippy::expect_used)] // audited: every expect below carries a vpm-lint allow
 pub fn par_map_indexed<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -37,19 +38,27 @@ where
         for _ in 0..jobs {
             s.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
+                let Some(item) = items.get(i) else {
                     break;
+                };
+                let r = f(i, item);
+                if let Some(slot) = slots
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .get_mut(i)
+                {
+                    *slot = Some(r);
                 }
-                let r = f(i, &items[i]);
-                slots.lock().expect("no panics hold the lock")[i] = Some(r);
             });
         }
     });
     slots
         .into_inner()
-        .expect("workers joined")
+        .unwrap_or_else(PoisonError::into_inner)
         .into_iter()
-        .map(|v| v.expect("every index was computed"))
+        // Every index below `items.len()` was claimed by exactly one
+        // worker before the scope joined, so every slot is `Some`.
+        .map(|v| v.expect("every index was computed")) // vpm-lint: allow(R1, scope join proves every claimed slot was written)
         .collect()
 }
 

@@ -185,6 +185,7 @@ impl DelaySampler {
         let mut swept_total = 0u64;
         let mut i = 0;
         while i < items.len() {
+            // vpm-lint: allow(R1, markers is built with one flag per item)
             if markers[i] {
                 let (digest, time) = items[i];
                 self.stats.markers += 1;
@@ -203,11 +204,11 @@ impl DelaySampler {
                 self.stats.sampled += sampled + 1;
                 i += 1;
             } else {
-                let run_end = markers[i..]
+                let run_end = markers[i..] // vpm-lint: allow(R1, i is below items.len(), which markers matches)
                     .iter()
                     .position(|&m| m)
                     .map_or(items.len(), |off| i + off);
-                let run = &items[i..run_end];
+                let run = &items[i..run_end]; // vpm-lint: allow(R1, run_end is clamped to items.len())
                 match self.buffer_cap {
                     Some(cap) => {
                         for &(digest, time) in run {

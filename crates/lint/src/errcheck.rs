@@ -1,0 +1,199 @@
+//! R5 — error-variant test reachability.
+//!
+//! Every public error enum on the verdict path must have each of its
+//! variants *constructed by at least one test* — an error arm nobody
+//! can provoke in a test is an arm whose formatting, matching, and
+//! transport behavior is unverified. The variant list is extracted
+//! from source (never hand-copied), so adding a variant without a test
+//! fails the gate until a test constructs it.
+//!
+//! The construction check is a lexical proxy: the token sequence
+//! `Enum :: Variant` anywhere in test scope (unit `#[cfg(test)]`
+//! modules, integration tests, examples). Matching on a variant also
+//! counts — a test that asserts `matches!(err, WireError::Truncated
+//! {..})` has necessarily provoked the variant.
+
+use crate::report::Violation;
+use std::collections::HashSet;
+use std::path::Path;
+
+/// The audited error enums: (declaring file, enum name). Kept in the
+/// lint so the list itself is reviewed; the *variants* come from
+/// source.
+pub const AUDITED_ENUMS: &[(&str, &str)] = &[
+    ("crates/wire/src/codec.rs", "WireError"),
+    ("crates/wire/src/transport.rs", "TransportError"),
+    ("crates/sim/src/run.rs", "RunError"),
+];
+
+/// Extract the variant names of `enum enum_name { … }` from source.
+pub fn extract_variants(src: &str, enum_name: &str) -> Vec<String> {
+    let lexed = crate::lexer::lex(src);
+    let toks = &lexed.tokens;
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].is_ident("enum") && toks[i + 1].is_ident(enum_name) && !toks[i].in_attr {
+            // Skip generics/where to the opening brace.
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct('{') {
+                j += 1;
+            }
+            return variants_in_body(&toks[j + 1..]);
+        }
+        i += 1;
+    }
+    Vec::new()
+}
+
+/// Collect variant names from the token stream just past the enum's
+/// opening brace: idents at depth 0 in variant-head position (start of
+/// body or right after a depth-0 `,`), skipping attribute tokens and
+/// any payload (`(..)` / `{..}` / `= expr`).
+fn variants_in_body(toks: &[crate::lexer::Token<'_>]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i64;
+    let mut at_head = true;
+    for t in toks {
+        if t.in_attr {
+            continue;
+        }
+        if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+            at_head = false;
+            continue;
+        }
+        if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+            if depth < 0 {
+                break; // enum body closed
+            }
+            continue;
+        }
+        if depth == 0 && t.is_punct(',') {
+            at_head = true;
+            continue;
+        }
+        if depth == 0 && at_head && t.kind == crate::lexer::TokKind::Ident {
+            out.push(t.text.to_string());
+            at_head = false;
+        }
+    }
+    out
+}
+
+/// Collect every `A::B` pair whose tokens sit in test scope.
+pub fn test_scope_paths(
+    lexed: &crate::lexer::Lexed<'_>,
+    test_only: bool,
+    out: &mut HashSet<(String, String)>,
+) {
+    let toks = &lexed.tokens;
+    for i in 0..toks.len().saturating_sub(3) {
+        if toks[i].kind == crate::lexer::TokKind::Ident
+            && toks[i + 1].is_punct(':')
+            && toks[i + 2].is_punct(':')
+            && toks[i + 3].kind == crate::lexer::TokKind::Ident
+            && (test_only || toks[i + 3].in_test)
+        {
+            out.insert((toks[i].text.to_string(), toks[i + 3].text.to_string()));
+        }
+    }
+}
+
+/// Run R5: every variant of every audited enum must appear as
+/// `Enum::Variant` in test scope somewhere in the workspace.
+pub fn r5(root: &Path, constructed: &HashSet<(String, String)>) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (rel, enum_name) in AUDITED_ENUMS {
+        let src = match std::fs::read_to_string(root.join(rel)) {
+            Ok(s) => s,
+            Err(e) => {
+                out.push(Violation {
+                    rule: "R5",
+                    check: "missing-source".to_string(),
+                    file: (*rel).to_string(),
+                    line: 1,
+                    message: format!("cannot read audited enum source: {e}"),
+                });
+                continue;
+            }
+        };
+        let variants = extract_variants(&src, enum_name);
+        if variants.is_empty() {
+            out.push(Violation {
+                rule: "R5",
+                check: "missing-enum".to_string(),
+                file: (*rel).to_string(),
+                line: 1,
+                message: format!(
+                    "audited enum {enum_name} not found in {rel} — \
+                     update AUDITED_ENUMS in crates/lint/src/errcheck.rs"
+                ),
+            });
+            continue;
+        }
+        for v in variants {
+            if !constructed.contains(&((*enum_name).to_string(), v.clone())) {
+                out.push(Violation {
+                    rule: "R5",
+                    check: "untested-variant".to_string(),
+                    file: (*rel).to_string(),
+                    line: 1,
+                    message: format!(
+                        "{enum_name}::{v} is never constructed or matched by any test — \
+                         add a test that provokes it"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_extract_with_payloads_and_attrs() {
+        let src = r#"
+            /// Docs.
+            #[derive(Debug)]
+            pub enum E {
+                /// A unit variant.
+                Unit,
+                Tuple(u32, String),
+                Struct { at: usize, needed: usize },
+                #[allow(dead_code)]
+                Last,
+            }
+            pub enum Other { X }
+        "#;
+        assert_eq!(
+            extract_variants(src, "E"),
+            vec!["Unit", "Tuple", "Struct", "Last"]
+        );
+        assert_eq!(extract_variants(src, "Other"), vec!["X"]);
+        assert!(extract_variants(src, "Missing").is_empty());
+    }
+
+    #[test]
+    fn paths_collect_only_in_test_scope() {
+        let src = r#"
+            fn product() { let _ = E::NotCounted; }
+            #[cfg(test)]
+            mod tests {
+                fn t() { assert!(matches!(x, E::Counted { .. })); }
+            }
+        "#;
+        let lexed = crate::lexer::lex(src);
+        let mut set = HashSet::new();
+        test_scope_paths(&lexed, false, &mut set);
+        assert!(set.contains(&("E".to_string(), "Counted".to_string())));
+        assert!(!set.contains(&("E".to_string(), "NotCounted".to_string())));
+        // test_only files count everything.
+        let mut set2 = HashSet::new();
+        test_scope_paths(&lexed, true, &mut set2);
+        assert!(set2.contains(&("E".to_string(), "NotCounted".to_string())));
+    }
+}

@@ -147,8 +147,7 @@ pub fn run_bottleneck(
 ) -> Vec<PacketFate> {
     let horizon = foreground
         .last()
-        .map(|&(t, _)| t + SimDuration::from_millis(1))
-        .unwrap_or(SimTime::ZERO);
+        .map_or(SimTime::ZERO, |&(t, _)| t + SimDuration::from_millis(1));
 
     let mut queue = DropTail::new(cfg.rate_bps, cfg.queue_limit);
     let mut events: EventQueue<Ev> = EventQueue::new();
@@ -401,8 +400,8 @@ mod tests {
             .filter_map(|f| f.delay().map(|d| d.as_millis_f64()))
             .collect();
         assert!(!delays.is_empty());
-        let max = delays.iter().cloned().fold(0.0, f64::max);
-        let min = delays.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = delays.iter().copied().fold(0.0, f64::max);
+        let min = delays.iter().copied().fold(f64::INFINITY, f64::min);
         assert!(max > 5.0, "no delay spikes: max {max} ms");
         assert!(min < 1.0, "even quiet periods delayed: min {min} ms");
     }
@@ -483,7 +482,7 @@ mod tests {
         // TCP fills residual capacity and UDP bursts spike it: delays
         // must show real congestion but stay within the queue bound.
         assert!(mean > 1.0, "mixed traffic too gentle: mean {mean} ms");
-        let max = delays.iter().cloned().fold(0.0, f64::max);
+        let max = delays.iter().copied().fold(0.0, f64::max);
         assert!(max <= 42.0, "max {max} ms exceeds queue bound");
     }
 }

@@ -14,6 +14,8 @@
 //! workload as VPM, so the table above becomes measured numbers
 //! (`examples/baseline_comparison.rs`).
 
+// vpm-lint: allow-file(R1, baseline kernels index fixed-shape parallel arrays sized by the same trace; every subscript is bounded by construction)
+
 use serde::{Deserialize, Serialize};
 use vpm_core::aggregation::Aggregator;
 use vpm_core::sampling::DelaySampler;
@@ -121,9 +123,7 @@ pub fn strawman(w: &Workload) -> SchemeReport {
     // matching is exact, so delay quantiles and loss are exact.
     let truth = w.truth_delays();
     let est = truth.clone(); // per-packet receipts: the estimate IS the truth
-    let qerr = quantile_error(&truth, &est, &DEFAULT_QUANTILES)
-        .map(|r| r.max_error)
-        .unwrap_or(f64::NAN);
+    let qerr = quantile_error(&truth, &est, &DEFAULT_QUANTILES).map_or(f64::NAN, |r| r.max_error);
     SchemeReport {
         name: "Strawman (per-packet receipts)".into(),
         bytes_per_pkt_per_hop: SAMPLE_RECORD_BYTES,
@@ -164,9 +164,8 @@ pub fn trajectory_sampling(w: &Workload, rate: f64, biased: bool) -> SchemeRepor
         .filter(|&i| w.survives[i] && sampled[i])
         .map(|i| actual[i])
         .collect();
-    let qerr = quantile_error(&truth, &est, &DEFAULT_QUANTILES)
-        .map(|r| r.max_error)
-        .unwrap_or(f64::INFINITY);
+    let qerr =
+        quantile_error(&truth, &est, &DEFAULT_QUANTILES).map_or(f64::INFINITY, |r| r.max_error);
 
     // Loss estimated from sampled packets' fates.
     let s_total = sampled.iter().filter(|&&s| s).count();
@@ -201,6 +200,7 @@ pub fn trajectory_sampling(w: &Workload, rate: f64, biased: bool) -> SchemeRepor
 /// Returns `(report, phantom_loss_under_reordering)` — the second value
 /// quantifies the §3.3 reordering failure: |loss error| in packets on a
 /// *lossless* reordered copy of the stream.
+#[allow(clippy::expect_used)] // audited: every expect below carries a vpm-lint allow
 pub fn difference_aggregator(w: &Workload, agg_size: u64) -> (SchemeReport, u64) {
     // Loss from counts: exact when no reordering (same cut digests).
     let delta = Aggregator::delta_for_aggregate_size(agg_size);
@@ -300,6 +300,7 @@ pub fn difference_aggregator(w: &Workload, agg_size: u64) -> (SchemeReport, u64)
 
 /// VPM on the same workload: marker-keyed sampling + aggregation with
 /// AggTrans windows.
+#[allow(clippy::expect_used)] // audited: every expect below carries a vpm-lint allow
 pub fn vpm_scheme(w: &Workload, rate: f64, agg_size: u64) -> SchemeReport {
     let marker = Threshold::from_rate(5e-3);
     let sigma = Threshold::from_rate(rate);
@@ -315,9 +316,8 @@ pub fn vpm_scheme(w: &Workload, rate: f64, agg_size: u64) -> SchemeReport {
     let matched = match_samples(&h_in.drain(), &h_out.drain());
     let est: Vec<f64> = matched.iter().map(|m| m.delay_ms()).collect();
     let truth = w.truth_delays();
-    let qerr = quantile_error(&truth, &est, &DEFAULT_QUANTILES)
-        .map(|r| r.max_error)
-        .unwrap_or(f64::INFINITY);
+    let qerr =
+        quantile_error(&truth, &est, &DEFAULT_QUANTILES).map_or(f64::INFINITY, |r| r.max_error);
 
     // Loss via the aggregate join (exact).
     let delta = Aggregator::delta_for_aggregate_size(agg_size);
@@ -397,8 +397,7 @@ pub fn render_table(reports: &[SchemeReport]) -> String {
             r.name,
             r.bytes_per_pkt_per_hop,
             r.delay_quantile_error_ms
-                .map(|e| format!("{e:.3}"))
-                .unwrap_or_else(|| "none".into()),
+                .map_or_else(|| "none".into(), |e| format!("{e:.3}")),
             r.loss_error,
         ));
         s.push_str(&format!("{:<6}↳ {}\n", "", r.verdict));

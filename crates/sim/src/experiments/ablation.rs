@@ -98,6 +98,7 @@ pub fn sampling_bias(cfg: &AblationConfig) -> BiasAblation {
     let naive_sampled: Vec<bool> = digests.iter().map(|d| sigma.passes(d.0)).collect();
     let naive_delays: Vec<f64> = (0..n)
         .map(|i| {
+            // vpm-lint: allow(R1, parallel per-packet arrays share one length)
             if naive_sampled[i] {
                 cfg.fast_delay_ms
             } else {
@@ -107,8 +108,8 @@ pub fn sampling_bias(cfg: &AblationConfig) -> BiasAblation {
         .collect();
     let naive_true_p90 = empirical_quantile(&sort_samples(naive_delays.clone()), 0.9);
     let naive_est: Vec<f64> = (0..n)
-        .filter(|&i| naive_sampled[i])
-        .map(|i| naive_delays[i])
+        .filter(|&i| naive_sampled[i]) // vpm-lint: allow(R1, parallel per-packet arrays share one length)
+        .map(|i| naive_delays[i]) // vpm-lint: allow(R1, parallel per-packet arrays share one length)
         .collect();
     let naive_est_p90 = empirical_quantile(&sort_samples(naive_est), 0.9);
 
@@ -120,9 +121,9 @@ pub fn sampling_bias(cfg: &AblationConfig) -> BiasAblation {
     let mut hop_in = DelaySampler::new(marker, sigma);
     let mut hop_out = DelaySampler::new(marker, sigma);
     for i in 0..n {
-        hop_in.observe(digests[i], t_in[i]);
-        let t_out = t_in[i] + SimDuration::from_secs_f64(vpm_delays[i] / 1e3);
-        hop_out.observe(digests[i], t_out);
+        hop_in.observe(digests[i], t_in[i]); // vpm-lint: allow(R1, parallel per-packet arrays share one length)
+        let t_out = t_in[i] + SimDuration::from_secs_f64(vpm_delays[i] / 1e3); // vpm-lint: allow(R1, parallel per-packet arrays share one length)
+        hop_out.observe(digests[i], t_out); // vpm-lint: allow(R1, parallel per-packet arrays share one length)
     }
     let matched = match_samples(&hop_in.drain(), &hop_out.drain());
     let vpm_est: Vec<f64> = matched.iter().map(|m| m.delay_ms()).collect();
@@ -158,6 +159,7 @@ pub struct AggTransAblation {
 /// Run the AggTrans ablation: a lossless domain that reorders packets
 /// near boundaries. Honest counts disagree unless windows re-align
 /// them.
+#[allow(clippy::expect_used)] // audited: every expect below carries a vpm-lint allow
 pub fn aggtrans_alignment(seed: u64) -> AggTransAblation {
     let trace = TraceGenerator::new(TraceConfig {
         target_pps: 50_000.0,
@@ -172,8 +174,8 @@ pub fn aggtrans_alignment(seed: u64) -> AggTransAblation {
     let delta = Aggregator::delta_for_aggregate_size(500);
     let path = PathId {
         spec: HeaderSpec::new(
-            "10.0.0.0/12".parse().expect("static"),
-            "172.16.0.0/14".parse().expect("static"),
+            "10.0.0.0/12".parse().expect("static"), // vpm-lint: allow(R1, parses a fixed literal prefix)
+            "172.16.0.0/14".parse().expect("static"), // vpm-lint: allow(R1, parses a fixed literal prefix)
         ),
         prev_hop: None,
         next_hop: None,
@@ -193,7 +195,7 @@ pub fn aggtrans_alignment(seed: u64) -> AggTransAblation {
     // Upstream HOP: pristine order.
     let mut up = Aggregator::new(delta, j);
     for (i, &t) in times.iter().enumerate() {
-        up.observe(digests[i], t);
+        up.observe(digests[i], t); // vpm-lint: allow(R1, i ranges over the trace arrays)
     }
     up.flush();
     let up_receipts = to_receipts(&up.drain());
@@ -210,7 +212,7 @@ pub fn aggtrans_alignment(seed: u64) -> AggTransAblation {
     let mut down = Aggregator::new(delta, j);
     let perturbed = model.perturb(&shifted, seed ^ 0x0f);
     for &i in &order {
-        down.observe(digests[i], perturbed[i]);
+        down.observe(digests[i], perturbed[i]); // vpm-lint: allow(R1, parallel per-packet arrays share one length)
     }
     down.flush();
     let down_receipts = to_receipts(&down.drain());

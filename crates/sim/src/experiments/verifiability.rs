@@ -123,12 +123,12 @@ pub fn run(cfg: &VerifiabilityConfig) -> Vec<VerifiabilityPoint> {
     // through X plus both links.
     let truth_3_to_6: Vec<f64> = deliveries
         .iter()
-        .map(|d| (d.ts_out + cfg.link_delay).signed_delta(t3[d.idx]) as f64 / 1e6)
+        .map(|d| (d.ts_out + cfg.link_delay).signed_delta(t3[d.idx]) as f64 / 1e6) // vpm-lint: allow(R1, d.idx indexes the trace the deliveries came from)
         .collect();
     // Ground truth for X's own segment (HOP 4 → HOP 5).
     let truth_4_to_5: Vec<f64> = deliveries
         .iter()
-        .map(|d| d.ts_out.signed_delta(t4[d.idx]) as f64 / 1e6)
+        .map(|d| d.ts_out.signed_delta(t4[d.idx]) as f64 / 1e6) // vpm-lint: allow(R1, d.idx indexes the trace the deliveries came from)
         .collect();
 
     let marker = Threshold::from_rate(cfg.marker_rate);
@@ -136,7 +136,7 @@ pub fn run(cfg: &VerifiabilityConfig) -> Vec<VerifiabilityPoint> {
         |rate: f64, idx_times: &[(usize, SimTime)]| -> Vec<vpm_core::receipt::SampleRecord> {
             let mut s = DelaySampler::new(marker, Threshold::from_rate(rate));
             for &(i, t) in idx_times {
-                s.observe(digests[i], t);
+                s.observe(digests[i], t); // vpm-lint: allow(R1, i ranges over the trace arrays)
             }
             s.drain()
         };
@@ -155,8 +155,7 @@ pub fn run(cfg: &VerifiabilityConfig) -> Vec<VerifiabilityPoint> {
     let matched_self = match_samples(&s4, &s5);
     let est_self: Vec<f64> = matched_self.iter().map(|m| m.delay_ms()).collect();
     let self_acc = quantile_error(&truth_4_to_5, &est_self, &DEFAULT_QUANTILES)
-        .map(|r| r.max_error)
-        .unwrap_or(f64::INFINITY);
+        .map_or(f64::INFINITY, |r| r.max_error);
 
     let mut points = Vec::new();
     for &n_rate in &cfg.neighbor_rates {
@@ -165,8 +164,7 @@ pub fn run(cfg: &VerifiabilityConfig) -> Vec<VerifiabilityPoint> {
         let matched_verify = match_samples(&s3, &s6);
         let est_verify: Vec<f64> = matched_verify.iter().map(|m| m.delay_ms()).collect();
         let verify_acc = quantile_error(&truth_3_to_6, &est_verify, &DEFAULT_QUANTILES)
-            .map(|r| r.max_error)
-            .unwrap_or(f64::INFINITY);
+            .map_or(f64::INFINITY, |r| r.max_error);
         points.push(VerifiabilityPoint {
             neighbor_rate: n_rate,
             self_accuracy_ms: self_acc,

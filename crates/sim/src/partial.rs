@@ -126,10 +126,14 @@ pub fn analyze_partial(
         }
     }
 
+    // The deployment set arrives as a `HashSet`; the report must not
+    // inherit its per-process iteration order.
+    let mut deployed_sorted: Vec<DomainId> = deployed.iter().copied().collect(); // vpm-lint: allow(R2, hash order erased by the sort below)
+    deployed_sorted.sort_unstable();
     PartialAnalysis {
         domains,
         segments,
-        deployed: deployed.iter().copied().collect(),
+        deployed: deployed_sorted,
     }
 }
 

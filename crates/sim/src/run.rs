@@ -173,8 +173,9 @@ pub struct HopOutput {
 impl HopOutput {
     /// The full signing key; panics on collector-rebuilt outputs,
     /// which don't carry secrets.
+    #[allow(clippy::expect_used)] // audited: every expect below carries a vpm-lint allow
     pub fn hop_key(&self) -> HopKey {
-        self.key.expect("output carries its signing key")
+        self.key.expect("output carries its signing key") // vpm-lint: allow(R1, the builder sets the key before any output is produced)
     }
 
     /// The legacy u64 tag key (for `ReceiptBatch::verify_tag`); panics
@@ -237,11 +238,11 @@ fn transform(stream: &Stream, channel: &ChannelConfig) -> (Stream, Vec<f64>) {
     let deliveries = arrivals(&out);
     let mut delays = Vec::with_capacity(deliveries.len());
     for d in &deliveries {
-        delays.push(d.ts_out.signed_delta(times[d.idx]) as f64 / 1e6);
+        delays.push(d.ts_out.signed_delta(times[d.idx]) as f64 / 1e6); // vpm-lint: allow(R1, d.idx indexes the trace the deliveries came from)
     }
     let next: Stream = deliveries
         .iter()
-        .map(|d| (stream[d.idx].0, d.ts_out))
+        .map(|d| (stream[d.idx].0, d.ts_out)) // vpm-lint: allow(R1, d.idx indexes the trace the deliveries came from)
         .collect();
     (next, delays)
 }
@@ -249,7 +250,7 @@ fn transform(stream: &Stream, channel: &ChannelConfig) -> (Stream, Vec<f64>) {
 fn drop_markers(stream: &Stream, digests: &[Digest], marker: Threshold) -> Stream {
     stream
         .iter()
-        .filter(|&&(idx, _)| !marker.passes(digests[idx].0))
+        .filter(|&&(idx, _)| !marker.passes(digests[idx].0)) // vpm-lint: allow(R1, idx indexes the trace the samples came from)
         .copied()
         .collect()
 }
@@ -257,9 +258,10 @@ fn drop_markers(stream: &Stream, digests: &[Digest], marker: Threshold) -> Strea
 /// Run a trace through a topology, disseminating receipts over a
 /// private [`ShardedBus`] (see [`run_path_with_transport`] to supply a
 /// transport and observe the published frames).
+#[allow(clippy::expect_used)] // audited: every expect below carries a vpm-lint allow
 pub fn run_path(trace: &[TracePacket], topology: &Topology, cfg: &RunConfig) -> PathRun {
     run_path_with_transport(trace, topology, cfg, &ShardedBus::new(RUN_TRANSPORT_SHARDS))
-        .expect("a private in-process bus cannot fail or stall")
+        .expect("a private in-process bus cannot fail or stall") // vpm-lint: allow(R1, a private in-process bus cannot fail or stall)
 }
 
 /// Run a trace through a topology, publishing every HOP's receipt
@@ -280,6 +282,7 @@ pub fn run_path(trace: &[TracePacket], topology: &Topology, cfg: &RunConfig) -> 
 /// lands, and gives up with [`RunError::DrainTimeout`] after
 /// [`RunConfig::drain_timeout`] if it never does. The run's
 /// subscription is dropped before returning, success or not.
+#[allow(clippy::expect_used)] // audited: every expect below carries a vpm-lint allow
 pub fn run_path_with_transport(
     trace: &[TracePacket],
     topology: &Topology,
@@ -300,7 +303,7 @@ pub fn run_path_with_transport(
     let hop_order = topology.hops();
     let mut pipelines: HashMap<HopId, (HopPipeline, HopClock, PathId)> = HashMap::new();
     for (hop, path) in topology.hop_path_ids() {
-        let dom = topology.domain_of(hop).expect("hop has a domain");
+        let dom = topology.domain_of(hop).expect("hop has a domain"); // vpm-lint: allow(R1, every hop in a built topology belongs to a domain)
         let tuning = cfg.overrides.get(&hop).copied().unwrap_or(HopTuning {
             sampling_rate: cfg.sampling_rate,
             aggregate_size: cfg.aggregate_size,
@@ -329,12 +332,12 @@ pub fn run_path_with_transport(
     let mut observe = |pipelines: &mut HashMap<HopId, (HopPipeline, HopClock, PathId)>,
                        hop: HopId,
                        stream: &Stream| {
-        let (pipe, clock, _) = pipelines.get_mut(&hop).expect("registered hop");
+        let (pipe, clock, _) = pipelines.get_mut(&hop).expect("registered hop"); // vpm-lint: allow(R1, every on-path hop was registered in the loop above)
         for part in stream.chunks(OBSERVE_BATCH) {
             batch.clear();
             batch.extend(
                 part.iter()
-                    .map(|&(idx, t)| (0, digests[idx], clock.read(t))),
+                    .map(|&(idx, t)| (0, digests[idx], clock.read(t))), // vpm-lint: allow(R1, idx indexes the trace the samples came from)
             );
             pipe.collector.observe_batch(&batch);
         }
@@ -375,7 +378,7 @@ pub fn run_path_with_transport(
         }
         // Inter-domain link to the next domain.
         if d_idx < topology.links.len() {
-            let (next, _) = transform(&stream, &topology.links[d_idx].channel);
+            let (next, _) = transform(&stream, &topology.links[d_idx].channel); // vpm-lint: allow(R1, d_idx ranges over topology.links)
             stream = next;
         }
     }
@@ -386,7 +389,7 @@ pub fn run_path_with_transport(
     // subscription and rebuild the outputs from the *decoded* batches —
     // the codec round trip is on the pipeline's critical path.
     let on_path = topology.domain_ids();
-    let collector_domain = *on_path.first().expect("topology has domains");
+    let collector_domain = *on_path.first().expect("topology has domains"); // vpm-lint: allow(R1, built topologies always have at least one domain)
     let sub = transport.subscribe(collector_domain);
     let encoder = WireEncoder::new(Profile::Precise);
     let mut hop_meta: HashMap<HopId, (DomainId, PathId, HopKey, KeyEpoch)> = HashMap::new();
@@ -396,14 +399,14 @@ pub fn run_path_with_transport(
     // failed run must not leak a cursor on a shared transport.
     let published_and_drained = (|| -> Result<(), RunError> {
         for &hop in &hop_order {
-            let (mut pipe, _, path) = pipelines.remove(&hop).expect("still present");
-            let dom = topology.domain_of(hop).expect("hop has a domain").id;
+            let (mut pipe, _, path) = pipelines.remove(&hop).expect("still present"); // vpm-lint: allow(R1, hop_order and pipelines are populated from the same path)
+            let dom = topology.domain_of(hop).expect("hop has a domain").id; // vpm-lint: allow(R1, every hop in a built topology belongs to a domain)
             let key = pipe.processor.hop_key();
             let batch = pipe.final_report();
             let epoch = transport.register_key(hop, key)?;
             let frame = encoder
                 .encode_signed(&batch, &key, epoch)
-                .expect("receipt batches encode");
+                .expect("receipt batches encode"); // vpm-lint: allow(R1, encoding a batch this code just built cannot exceed wire limits)
             transport.publish(dom, frame, on_path.clone())?;
             hop_meta.insert(hop, (dom, path, key, epoch));
         }
@@ -418,7 +421,7 @@ pub fn run_path_with_transport(
         // claimed a number and died would otherwise hang this loop
         // forever. Frames from other paths are invisible to this
         // collector (disjoint `on_path` sets) and skipped by the poll.
-        let deadline = Instant::now() + cfg.drain_timeout;
+        let deadline = Instant::now() + cfg.drain_timeout; // vpm-lint: allow(R2, bounds a blocking-wait timeout; never feeds a verdict)
         loop {
             for p in transport.poll(sub)? {
                 if hop_meta.contains_key(&p.hop) {
@@ -428,7 +431,7 @@ pub fn run_path_with_transport(
             if decoded.len() >= hop_order.len() {
                 return Ok(());
             }
-            let now = Instant::now();
+            let now = Instant::now(); // vpm-lint: allow(R2, bounds a blocking-wait timeout; never feeds a verdict)
             let timed_out =
                 now >= deadline || transport.wait(sub, deadline - now)? == WaitOutcome::TimedOut;
             if timed_out {
@@ -445,8 +448,8 @@ pub fn run_path_with_transport(
 
     let mut hops = Vec::new();
     for &hop in &hop_order {
-        let (dom, path, key, epoch) = hop_meta.remove(&hop).expect("published above");
-        let batch = decoded.remove(&hop).expect("published frame came back");
+        let (dom, path, key, epoch) = hop_meta.remove(&hop).expect("published above"); // vpm-lint: allow(R1, hop_meta was populated for every published hop above)
+        let batch = decoded.remove(&hop).expect("published frame came back"); // vpm-lint: allow(R1, the drain loop returns only once every hop's frame arrived)
         let samples: Vec<SampleRecord> = batch
             .samples
             .iter()
@@ -720,6 +723,84 @@ mod tests {
             0,
             "a failed run must not leak its subscription"
         );
+    }
+
+    /// A transport that refuses the very first operation surfaces as a
+    /// typed [`RunError::Transport`] — the run does not panic, retry,
+    /// or misreport the failure as a drain timeout.
+    #[test]
+    fn a_refusing_transport_is_a_typed_run_error() {
+        use std::sync::Arc;
+        use vpm_wire::{Published, SubscriptionId, TransportError, WaitOutcome, WireFrame};
+
+        /// Refuses every fallible operation with a connection error —
+        /// the shape a dead `vpm serve` endpoint presents.
+        struct RefusingTransport;
+
+        impl ReceiptTransport for RefusingTransport {
+            fn register_key(&self, _: HopId, _: HopKey) -> Result<KeyEpoch, TransportError> {
+                Err(TransportError::Connection("refused by test".into()))
+            }
+            fn rotate_key(&self, _: HopId, _: HopKey) -> Result<KeyEpoch, TransportError> {
+                Err(TransportError::Connection("refused by test".into()))
+            }
+            fn key_epoch(&self, _: HopId) -> Option<KeyEpoch> {
+                None
+            }
+            fn publish(
+                &self,
+                _: DomainId,
+                _: WireFrame,
+                _: Vec<DomainId>,
+            ) -> Result<u64, TransportError> {
+                Err(TransportError::Connection("refused by test".into()))
+            }
+            fn fetch(&self, _: DomainId, _: HopId) -> Result<Vec<Arc<Published>>, TransportError> {
+                Err(TransportError::Connection("refused by test".into()))
+            }
+            fn fetch_path(
+                &self,
+                _: DomainId,
+                _: &PathId,
+            ) -> Result<Vec<Arc<Published>>, TransportError> {
+                Err(TransportError::Connection("refused by test".into()))
+            }
+            fn subscribe(&self, _: DomainId) -> SubscriptionId {
+                SubscriptionId(0)
+            }
+            fn subscribe_path(&self, _: DomainId, _: &PathId) -> SubscriptionId {
+                SubscriptionId(0)
+            }
+            fn poll(&self, _: SubscriptionId) -> Result<Vec<Arc<Published>>, TransportError> {
+                Err(TransportError::Connection("refused by test".into()))
+            }
+            fn wait(
+                &self,
+                _: SubscriptionId,
+                _: std::time::Duration,
+            ) -> Result<WaitOutcome, TransportError> {
+                Err(TransportError::Connection("refused by test".into()))
+            }
+            fn unsubscribe(&self, _: SubscriptionId) -> Result<(), TransportError> {
+                Ok(())
+            }
+            fn subscriptions(&self) -> usize {
+                0
+            }
+            fn len(&self) -> usize {
+                0
+            }
+        }
+
+        let t = trace(20, 11);
+        let topo = Figure1::ideal().build();
+        let err = run_path_with_transport(&t, &topo, &quick_cfg(), &RefusingTransport).unwrap_err();
+        match err {
+            RunError::Transport(TransportError::Connection(msg)) => {
+                assert_eq!(msg, "refused by test");
+            }
+            other => panic!("expected Transport(Connection), got {other:?}"),
+        }
     }
 
     #[test]

@@ -506,7 +506,7 @@ pub fn full_grid(base_seed: u64) -> Vec<Cell> {
         clock: ClockAxis,
     ) -> AdversaryAxis {
         loop {
-            let cand = all[*cursor % all.len()];
+            let cand = all[*cursor % all.len()]; // vpm-lint: allow(R1, all is the fixed, non-empty axis table)
             *cursor += 1;
             if cand.legal(delay, loss, clock) {
                 return cand;
@@ -693,7 +693,7 @@ fn quantile(values: &[f64], q: f64) -> f64 {
         return f64::NAN;
     }
     let mut v = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("delays are finite"));
+    v.sort_by(f64::total_cmp);
     vpm_stats::empirical_quantile(&v, q)
 }
 
@@ -737,6 +737,7 @@ const LINK_DELAY_MS: f64 = 0.05;
 
 /// Evaluate one cell. Pure: the same cell always produces the same
 /// verdict, byte for byte.
+#[allow(clippy::expect_used)] // audited: every expect below carries a vpm-lint allow
 pub fn evaluate_cell(cell: &Cell) -> CellVerdict {
     let t = trace(cell);
     let topo = topology(cell, &t);
@@ -758,7 +759,7 @@ pub fn evaluate_cell(cell: &Cell) -> CellVerdict {
     }
 
     // --- Invariant 2: estimates track retained ground truth. ---
-    let x_truth = honest_run.truth("X").expect("X is on the path");
+    let x_truth = honest_run.truth("X").expect("X is on the path"); // vpm-lint: allow(R1, X is a fixed transit domain of the Figure-1 topology)
     let x_loss_truth = 1.0 - x_truth.delivered as f64 / x_truth.sent as f64;
     let x_delay_truth_ms = median(&x_truth.delays_ms);
 
@@ -769,7 +770,7 @@ pub fn evaluate_cell(cell: &Cell) -> CellVerdict {
     // must localize its behaviour instead (§8).
     let (x_loss_est, x_delay_est_ms, matched_samples, delay_offset_ms) = match cell.deploy {
         DeployAxis::Full => {
-            let x_report = honest.domain("X").expect("X is a transit domain");
+            let x_report = honest.domain("X").expect("X is a transit domain"); // vpm-lint: allow(R1, X is a fixed transit domain of the Figure-1 topology)
             (
                 x_report.estimate.loss.rate().unwrap_or(f64::NAN),
                 est_median(&x_report.estimate),
@@ -778,7 +779,7 @@ pub fn evaluate_cell(cell: &Cell) -> CellVerdict {
             )
         }
         DeployAxis::Partial => {
-            let x_id = topo.domain_by_name("X").expect("X exists").id;
+            let x_id = topo.domain_by_name("X").expect("X exists").id; // vpm-lint: allow(R1, X is a fixed transit domain of the Figure-1 topology)
             let deployed: HashSet<DomainId> = topo
                 .domains
                 .iter()
@@ -838,10 +839,10 @@ pub fn evaluate_cell(cell: &Cell) -> CellVerdict {
     // where L and N carry loss of their own and must instead be
     // *measured* accurately before they start lying.
     for name in ["L", "N"] {
-        let report = honest.domain(name).expect("transit domain");
+        let report = honest.domain(name).expect("transit domain"); // vpm-lint: allow(R1, the name iterates over known Figure-1 transit domains)
         let loss = report.estimate.loss.rate().unwrap_or(f64::NAN);
         if cell.adversary == AdversaryAxis::TwoLiars {
-            let truth = honest_run.truth(name).expect("truth retained");
+            let truth = honest_run.truth(name).expect("truth retained"); // vpm-lint: allow(R1, truth is retained for every transit domain of the run)
             let truth_rate = 1.0 - truth.delivered as f64 / truth.sent as f64;
             // NaN-safe: an unavailable estimate must count as out of
             // tolerance.
@@ -883,7 +884,7 @@ pub fn evaluate_cell(cell: &Cell) -> CellVerdict {
             let fl = flagged(&analysis);
             let x_est = analysis
                 .domain("X")
-                .expect("X")
+                .expect("X") // vpm-lint: allow(R1, X is a fixed transit domain of the Figure-1 topology)
                 .estimate
                 .loss
                 .rate()
@@ -930,7 +931,7 @@ pub fn evaluate_cell(cell: &Cell) -> CellVerdict {
         }
         AdversaryAxis::MarkerDrop => {
             let mut attack_cfg = cfg.clone();
-            attack_cfg.marker_dropper = Some(topo.domain_by_name("X").expect("X exists").id);
+            attack_cfg.marker_dropper = Some(topo.domain_by_name("X").expect("X exists").id); // vpm-lint: allow(R1, X is a fixed transit domain of the Figure-1 topology)
             let attacked = run_path(&t, &topo, &attack_cfg);
             let analysis = analyze_path(&topo, &attacked);
             let fl = flagged(&analysis);
@@ -940,22 +941,22 @@ pub fn evaluate_cell(cell: &Cell) -> CellVerdict {
             let marker = Threshold::from_rate(attack_cfg.marker_rate);
             let downstream: HashSet<_> = attacked
                 .hop(HopId(6))
-                .expect("N ingress")
+                .expect("N ingress") // vpm-lint: allow(R1, hop 6 is N's ingress in the fixed Figure-1 layout)
                 .samples
                 .iter()
                 .map(|r| r.pkt_id)
                 .collect();
             let vanished = attacked
                 .hop(HopId(4))
-                .expect("X ingress")
+                .expect("X ingress") // vpm-lint: allow(R1, hop 4 is X's ingress in the fixed Figure-1 layout)
                 .samples
                 .iter()
                 .filter(|r| marker.passes(r.pkt_id.0) && !downstream.contains(&r.pkt_id))
                 .count();
             let matched = |run: &PathRun| {
                 vpm_core::verify::match_samples(
-                    &run.hop(HopId(4)).expect("hop 4").samples,
-                    &run.hop(HopId(6)).expect("hop 6").samples,
+                    &run.hop(HopId(4)).expect("hop 4").samples, // vpm-lint: allow(R1, hop 4 exists in the fixed Figure-1 layout)
+                    &run.hop(HopId(6)).expect("hop 6").samples, // vpm-lint: allow(R1, hop 6 exists in the fixed Figure-1 layout)
                 )
                 .len()
             };
@@ -986,8 +987,8 @@ pub fn evaluate_cell(cell: &Cell) -> CellVerdict {
                     },
                 }],
             );
-            let liar_egress = run.hop(HopId(5)).expect("X egress").clone();
-            cover_up(&liar_egress, run.hop_mut(HopId(6)).expect("N ingress"));
+            let liar_egress = run.hop(HopId(5)).expect("X egress").clone(); // vpm-lint: allow(R1, hop 5 is X's egress in the fixed Figure-1 layout)
+            cover_up(&liar_egress, run.hop_mut(HopId(6)).expect("N ingress")); // vpm-lint: allow(R1, hop 6 is N's ingress in the fixed Figure-1 layout)
             let analysis = analyze_path(&topo, &run);
             let fl = flagged(&analysis);
             // The coalition hides the X→N mismatch…
@@ -998,7 +999,7 @@ pub fn evaluate_cell(cell: &Cell) -> CellVerdict {
             // books inherit it.
             let n_est = analysis
                 .domain("N")
-                .expect("N")
+                .expect("N") // vpm-lint: allow(R1, N is a fixed transit domain of the Figure-1 topology)
                 .estimate
                 .loss
                 .rate()
@@ -1054,9 +1055,9 @@ pub fn evaluate_cell(cell: &Cell) -> CellVerdict {
             let biased_run = run_path(&t, &biased_topo, &cfg);
             let analysis = analyze_path(&biased_topo, &biased_run);
             let fl = flagged(&analysis);
-            let truth = biased_run.truth("X").expect("X");
+            let truth = biased_run.truth("X").expect("X"); // vpm-lint: allow(R1, X is a fixed transit domain of the Figure-1 topology)
             let truth_med = median(&truth.delays_ms);
-            let est_med = est_median(&analysis.domain("X").expect("X").estimate);
+            let est_med = est_median(&analysis.domain("X").expect("X").estimate); // vpm-lint: allow(R1, X is a fixed transit domain of the Figure-1 topology)
             let fast_ms = cell.delay.fast_path().as_nanos() as f64 / 1e6;
             let tol = delay_tolerance(cell, truth_med);
             // NaN-safe: a NaN estimate must count as a failure.
@@ -1107,7 +1108,7 @@ pub fn evaluate_cell(cell: &Cell) -> CellVerdict {
             for name in ["L", "N"] {
                 let est = analysis
                     .domain(name)
-                    .expect("liar domain")
+                    .expect("liar domain") // vpm-lint: allow(R1, the liar domain is a fixed transit of the Figure-1 topology)
                     .estimate
                     .loss
                     .rate()

@@ -73,9 +73,7 @@ pub fn combined_verdict(
     delay: Option<&QuantileEstimate>,
     loss: &LossStats,
 ) -> Verdict {
-    let d = delay
-        .map(|e| delay_verdict(spec, e))
-        .unwrap_or(Verdict::Inconclusive);
+    let d = delay.map_or(Verdict::Inconclusive, |e| delay_verdict(spec, e));
     let l = loss_verdict(spec, loss);
     match (d, l) {
         (Verdict::Violated, _) | (_, Verdict::Violated) => Verdict::Violated,

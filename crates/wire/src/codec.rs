@@ -301,13 +301,15 @@ impl WireFrame {
     /// The MAC covers every byte before the 32-byte MAC itself
     /// (header, body, and the epoch field), so any single-bit change
     /// anywhere in the frame invalidates it.
+    #[allow(clippy::expect_used)] // audited: every expect below carries a vpm-lint allow
     pub fn verify_mac(&self, key: &HopKey) -> bool {
         let n = self.bytes.len();
+        // vpm-lint: allow(R1, bytes[5] is covered by the length check on the same line)
         if n < HEADER_BYTES + MAC_TRAILER_BYTES || self.bytes[5] & FLAG_SIGNED == 0 {
             return false;
         }
         let (msg, mac) = self.bytes.split_at(n - SHA256_DIGEST_BYTES);
-        let mac: [u8; SHA256_DIGEST_BYTES] = mac.try_into().expect("32-byte split");
+        let mac: [u8; SHA256_DIGEST_BYTES] = mac.try_into().expect("32-byte split"); // vpm-lint: allow(R1, split_at(n - 32) yields an exactly 32-byte tail)
         mac_eq(&key.mac(msg), &mac)
     }
 
@@ -444,7 +446,7 @@ impl WireEncoder {
         // Sample bodies.
         let body_start = w.len();
         for r in &batch.samples {
-            w.u32(path_index[&r.path]);
+            w.u32(path_index[&r.path]); // vpm-lint: allow(R1, the path table was built from these same receipts above)
             for s in &r.samples {
                 match self.profile {
                     Profile::Compact => {
@@ -464,7 +466,7 @@ impl WireEncoder {
         let agg_start = w.len();
         w.u32(count32(batch.aggregates.len())?);
         for a in &batch.aggregates {
-            w.u32(path_index[&a.path]);
+            w.u32(path_index[&a.path]); // vpm-lint: allow(R1, the path table was built from these same receipts above)
             match self.profile {
                 Profile::Compact => {
                     w.u32(compact::truncate_digest(a.agg.first));
@@ -736,13 +738,13 @@ impl Writer {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
     pub(crate) fn u24(&mut self, v: u32) {
-        self.buf.extend_from_slice(&v.to_le_bytes()[..3]);
+        self.buf.extend_from_slice(&v.to_le_bytes()[..3]); // vpm-lint: allow(R1, to_le_bytes() yields 8 bytes and 3 are taken)
     }
     pub(crate) fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
     pub(crate) fn u48(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_le_bytes()[..6]);
+        self.buf.extend_from_slice(&v.to_le_bytes()[..6]); // vpm-lint: allow(R1, to_le_bytes() yields 8 bytes and 6 are taken)
     }
     pub(crate) fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
@@ -785,17 +787,18 @@ impl<'a> Reader<'a> {
                 needed: n - self.remaining(),
             });
         }
-        let s = &self.buf[self.at..self.at + n];
+        let s = &self.buf[self.at..self.at + n]; // vpm-lint: allow(R1, take() checked at + n <= buf.len() above)
         self.at += n;
         Ok(s)
     }
 
+    #[allow(clippy::expect_used)] // audited: every expect below carries a vpm-lint allow
     pub(crate) fn array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
-        Ok(self.take(N)?.try_into().expect("take returned N bytes"))
+        Ok(self.take(N)?.try_into().expect("take returned N bytes")) // vpm-lint: allow(R1, take(N) returned exactly N bytes)
     }
 
     pub(crate) fn u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1)?[0])
+        Ok(self.take(1)?[0]) // vpm-lint: allow(R1, take(1) returned exactly one byte)
     }
 
     pub(crate) fn u16(&mut self) -> Result<u16, WireError> {
@@ -804,7 +807,7 @@ impl<'a> Reader<'a> {
 
     pub(crate) fn u24(&mut self) -> Result<u32, WireError> {
         let b = self.take(3)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], 0]))
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], 0])) // vpm-lint: allow(R1, take(3) returned exactly three bytes)
     }
 
     pub(crate) fn u32(&mut self) -> Result<u32, WireError> {
@@ -814,6 +817,7 @@ impl<'a> Reader<'a> {
     pub(crate) fn u48(&mut self) -> Result<u64, WireError> {
         let b = self.take(6)?;
         Ok(u64::from_le_bytes([
+            // vpm-lint: allow(R1, take(6) returned exactly six bytes)
             b[0], b[1], b[2], b[3], b[4], b[5], 0, 0,
         ]))
     }
@@ -1088,6 +1092,64 @@ mod tests {
         );
         // …but fits the precise profile.
         assert!(WireFrame::encode(&big, Profile::Precise).is_ok());
+
+        // A prefix length over 32 in the first path-table entry (the
+        // length byte follows the 4-byte network).
+        let at = HEADER_BYTES + 2 + 4;
+        let mut bad = bytes.clone();
+        bad[at] = 99;
+        assert_eq!(WireDecoder::decode(&bad), Err(WireError::BadPrefixLen(99)));
+        // A hop-option tag that is neither 0 (absent) nor 1 (present):
+        // the prev-hop tag sits after both 5-byte prefixes.
+        let at = HEADER_BYTES + 2 + 10;
+        let mut bad = bytes.clone();
+        bad[at] = 7;
+        assert_eq!(WireDecoder::decode(&bad), Err(WireError::BadOptionTag(7)));
+    }
+
+    #[test]
+    fn encode_refuses_a_path_table_wider_than_its_16_bit_count() {
+        // 2^16 distinct /32 pairs: one more path than the u16 path
+        // count can index.
+        let n = u16::MAX as usize + 1;
+        let batch = ReceiptBatch {
+            hop: HopId(1),
+            batch_seq: 0,
+            samples: Vec::new(),
+            aggregates: (0..n)
+                .map(|i| AggReceipt {
+                    path: PathId {
+                        spec: HeaderSpec::new(
+                            Ipv4Prefix::new(std::net::Ipv4Addr::from(i as u32), 32).unwrap(),
+                            "192.168.0.0/24".parse().unwrap(),
+                        ),
+                        prev_hop: None,
+                        next_hop: None,
+                        max_diff: SimDuration::from_millis(1),
+                    },
+                    agg: AggId {
+                        first: Digest(1),
+                        last: Digest(2),
+                    },
+                    pkt_cnt: 1,
+                    agg_trans: Vec::new(),
+                })
+                .collect(),
+            auth_tag: 0,
+        };
+        assert_eq!(
+            WireFrame::encode(&batch, Profile::Compact),
+            Err(WireError::TooManyPaths(n))
+        );
+    }
+
+    #[test]
+    fn item_counts_beyond_u32_are_a_typed_refusal() {
+        // The 4-byte section counts cannot index more items than
+        // u32::MAX; `count32` is the single chokepoint.
+        let n = u32::MAX as usize + 1;
+        assert_eq!(count32(n), Err(WireError::TooManyItems(n)));
+        assert_eq!(count32(7), Ok(7));
     }
 
     #[test]

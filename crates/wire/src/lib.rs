@@ -30,6 +30,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Mirror vpm-lint's R1 (panic-freedom) in the compiler's own
+// diagnostics for non-test code; sites vpm-lint allows carry a
+// matching narrow `#[allow]`.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod codec;
 pub mod measure;

@@ -18,11 +18,12 @@ use vpm_packet::{HeaderSpec, HopId, SimDuration, SimTime};
 
 use crate::codec::WireEncoder;
 
+#[allow(clippy::expect_used)] // audited: every expect below carries a vpm-lint allow
 fn canonical_path(n: u8) -> PathId {
     PathId {
         spec: HeaderSpec::new(
-            format!("10.{n}.0.0/16").parse().expect("valid prefix"),
-            format!("172.16.{n}.0/24").parse().expect("valid prefix"),
+            format!("10.{n}.0.0/16").parse().expect("valid prefix"), // vpm-lint: allow(R1, formats a valid /16 from a u8 octet)
+            format!("172.16.{n}.0/24").parse().expect("valid prefix"), // vpm-lint: allow(R1, formats a valid /24 from a u8 octet)
         ),
         prev_hop: Some(HopId(3)),
         next_hop: Some(HopId(5)),
@@ -63,10 +64,11 @@ fn batch(samples: &[usize], aggs: &[usize]) -> ReceiptBatch {
     }
 }
 
+#[allow(clippy::expect_used)] // audited: every expect below carries a vpm-lint allow
 fn encoded_len(b: &ReceiptBatch) -> usize {
     WireEncoder::compact()
         .encode(b)
-        .expect("canonical batches encode")
+        .expect("canonical batches encode") // vpm-lint: allow(R1, encoding a batch this code just built cannot exceed wire limits)
         .len()
 }
 

@@ -130,10 +130,13 @@ impl Notifier {
         *self.count.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Record one completed publish and wake every waiter.
+    /// Record one completed publish and wake every waiter. The guard
+    /// is released before notifying so woken waiters never stall on a
+    /// mutex the notifier still holds.
     fn bump(&self) {
         let mut count = self.count.lock().unwrap_or_else(PoisonError::into_inner);
         *count += 1;
+        drop(count);
         self.cond.notify_all();
     }
 
@@ -142,7 +145,7 @@ impl Notifier {
     fn wait_past(&self, seen: u64, deadline: Instant) -> bool {
         let mut count = self.count.lock().unwrap_or_else(PoisonError::into_inner);
         while *count <= seen {
-            let now = Instant::now();
+            let now = Instant::now(); // vpm-lint: allow(R2, bounds a blocking-wait timeout; never feeds a verdict)
             if now >= deadline {
                 return false;
             }
@@ -413,6 +416,7 @@ fn register_key_in(
         }
         Some(ring) => {
             let current = KeyEpoch(ring.len() as u32 - 1);
+            // vpm-lint: allow(R1, key rings are created non-empty and never shrink)
             if ring[current.0 as usize] == key {
                 Ok(current)
             } else {
@@ -655,7 +659,7 @@ impl ReceiptTransport for InMemoryBus {
     }
 
     fn wait(&self, sub: SubscriptionId, timeout: Duration) -> Result<WaitOutcome, TransportError> {
-        let deadline = Instant::now() + timeout;
+        let deadline = Instant::now() + timeout; // vpm-lint: allow(R2, bounds a blocking-wait timeout; never feeds a verdict)
         loop {
             // Snapshot the wakeup count *before* checking the
             // condition: a publish completing in between bumps past
@@ -699,20 +703,20 @@ const SHARD_SEED: u64 = 0x5348_4152_4453_3031; // "SHARDS01"
 
 fn shard_key_path(path: &PathId) -> u64 {
     let mut b = [0u8; 24];
-    b[0..4].copy_from_slice(&u32::from(path.spec.src_prefix.network()).to_le_bytes());
-    b[4] = path.spec.src_prefix.len();
-    b[5..9].copy_from_slice(&u32::from(path.spec.dst_prefix.network()).to_le_bytes());
-    b[9] = path.spec.dst_prefix.len();
+    b[0..4].copy_from_slice(&u32::from(path.spec.src_prefix.network()).to_le_bytes()); // vpm-lint: allow(R1, b is a fixed 24-byte array with constant offsets)
+    b[4] = path.spec.src_prefix.len(); // vpm-lint: allow(R1, b is a fixed 24-byte array with constant offsets)
+    b[5..9].copy_from_slice(&u32::from(path.spec.dst_prefix.network()).to_le_bytes()); // vpm-lint: allow(R1, b is a fixed 24-byte array with constant offsets)
+    b[9] = path.spec.dst_prefix.len(); // vpm-lint: allow(R1, b is a fixed 24-byte array with constant offsets)
     let hop_bytes = |h: Option<HopId>| match h {
         None => [0u8, 0, 0],
         Some(h) => {
             let le = h.0.to_le_bytes();
-            [1, le[0], le[1]]
+            [1, le[0], le[1]] // vpm-lint: allow(R1, le is the fixed 2-byte LE encoding)
         }
     };
-    b[10..13].copy_from_slice(&hop_bytes(path.prev_hop));
-    b[13..16].copy_from_slice(&hop_bytes(path.next_hop));
-    b[16..24].copy_from_slice(&path.max_diff.as_nanos().to_le_bytes());
+    b[10..13].copy_from_slice(&hop_bytes(path.prev_hop)); // vpm-lint: allow(R1, b is a fixed 24-byte array with constant offsets)
+    b[13..16].copy_from_slice(&hop_bytes(path.next_hop)); // vpm-lint: allow(R1, b is a fixed 24-byte array with constant offsets)
+    b[16..24].copy_from_slice(&path.max_diff.as_nanos().to_le_bytes()); // vpm-lint: allow(R1, b is a fixed 24-byte array with constant offsets)
     vpm_hash::lookup3::hash64(&b, SHARD_SEED)
 }
 
@@ -960,11 +964,13 @@ impl ShardedBus {
             return Vec::new();
         }
         for (i, shard) in self.shards.iter().enumerate() {
+            // vpm-lint: allow(R1, shard_pos has one entry per shard)
             if shard.high_water.load(Ordering::Acquire) <= c.shard_pos[i] {
                 continue; // shard idle since the last poll: skip lock-free
             }
             self.poll_shard_scans.fetch_add(1, Ordering::Relaxed);
             let entries = shard.entries.read();
+            // vpm-lint: allow(R1, shard_pos entries never exceed the shard's length)
             for e in &entries[c.shard_pos[i]..] {
                 // `>= next_seq` drops the second copy of a multi-shard
                 // entry whose first copy was already released.
@@ -972,7 +978,7 @@ impl ShardedBus {
                     c.pending.entry(e.seq).or_insert_with(|| Arc::clone(e));
                 }
             }
-            c.shard_pos[i] = entries.len();
+            c.shard_pos[i] = entries.len(); // vpm-lint: allow(R1, shard_pos has one entry per shard)
         }
         let mut fresh = Vec::new();
         while let Some(e) = c.pending.remove(&c.next_seq) {
@@ -988,13 +994,13 @@ impl ShardedBus {
     /// idle shard costs one atomic load — no lock, no global sequence
     /// read.
     fn poll_path(&self, c: &mut PathCursor) -> Vec<Arc<Published>> {
-        let shard = &self.shards[c.shard];
+        let shard = &self.shards[c.shard]; // vpm-lint: allow(R1, shard indices are reduced modulo the shard count)
         if shard.high_water.load(Ordering::Acquire) <= c.pos {
             return Vec::new();
         }
         self.poll_shard_scans.fetch_add(1, Ordering::Relaxed);
         let entries = shard.entries.read();
-        let mut fresh: Vec<Arc<Published>> = entries[c.pos..]
+        let mut fresh: Vec<Arc<Published>> = entries[c.pos..] // vpm-lint: allow(R1, c.pos is below high_water, which never exceeds entries.len())
             .iter()
             .filter(|e| {
                 e.seq >= c.min_seq && e.paths.contains(&c.path) && e.visible_to(c.requester)
@@ -1079,7 +1085,7 @@ impl ReceiptTransport for ShardedBus {
         let published = Arc::new(Published { seq, ..published });
         let touched = self.shard_set(&published);
         for &shard in &touched {
-            let shard = &self.shards[shard];
+            let shard = &self.shards[shard]; // vpm-lint: allow(R1, shard indices are reduced modulo the shard count)
             let mut entries = shard.entries.write();
             entries.push(Arc::clone(&published));
             // Published under the write lock, so a poller that sees
@@ -1091,7 +1097,7 @@ impl ReceiptTransport for ShardedBus {
         // on the bus-wide notifier. Bumping outside the write locks
         // keeps publishers from serializing on waiter wakeup.
         for &shard in &touched {
-            self.shards[shard].notify.bump();
+            self.shards[shard].notify.bump(); // vpm-lint: allow(R1, shard indices are reduced modulo the shard count)
         }
         self.notify.bump();
         Ok(seq)
@@ -1114,7 +1120,7 @@ impl ReceiptTransport for ShardedBus {
     ) -> Result<Vec<Arc<Published>>, TransportError> {
         // The whole point of path sharding: one shard holds every frame
         // referencing this path.
-        let shard = &self.shards[self.shard_of_path(path)];
+        let shard = &self.shards[self.shard_of_path(path)]; // vpm-lint: allow(R1, shard indices are reduced modulo the shard count)
         let mut matching: Vec<Arc<Published>> = shard
             .entries
             .read()
@@ -1144,7 +1150,7 @@ impl ReceiptTransport for ShardedBus {
 
     fn subscribe_path(&self, requester: DomainId, path: &PathId) -> SubscriptionId {
         let shard = self.shard_of_path(path);
-        let pos = self.shards[shard].entries.read().len();
+        let pos = self.shards[shard].entries.read().len(); // vpm-lint: allow(R1, shard indices are reduced modulo the shard count)
         self.add_sub(ShardSub::Path(PathCursor {
             requester,
             path: *path,
@@ -1166,7 +1172,7 @@ impl ReceiptTransport for ShardedBus {
     }
 
     fn wait(&self, sub: SubscriptionId, timeout: Duration) -> Result<WaitOutcome, TransportError> {
-        let deadline = Instant::now() + timeout;
+        let deadline = Instant::now() + timeout; // vpm-lint: allow(R2, bounds a blocking-wait timeout; never feeds a verdict)
         loop {
             // Snapshot the relevant notifier *before* judging
             // readiness: a publish that lands between the check and
@@ -1183,7 +1189,7 @@ impl ReceiptTransport for ShardedBus {
                         (self.global_ready(c), &self.notify, seen)
                     }
                     ShardSub::Path(c) => {
-                        let shard = &self.shards[c.shard];
+                        let shard = &self.shards[c.shard]; // vpm-lint: allow(R1, shard indices are reduced modulo the shard count)
                         let seen = shard.notify.current();
                         let ready = shard.high_water.load(Ordering::Acquire) > c.pos;
                         (ready, &shard.notify, seen)

@@ -84,15 +84,17 @@ fn main() {
             e.quantiles
                 .iter()
                 .find(|q| (q.q - sla.quantile).abs() < 1e-9)
-                .cloned()
+                .copied()
         });
         println!(
             "{:>8} {:>10.2} {:>12.3} {:>14} {:>10}",
             s.name,
             s.loss_rate.unwrap_or(f64::NAN) * 100.0,
             s.median_delay_ms.unwrap_or(f64::NAN),
-            p95.map(|q| format!("{:.2} [{:.2},{:.2}]", q.value, q.lo, q.hi))
-                .unwrap_or_else(|| "n/a".into()),
+            p95.map_or_else(
+                || "n/a".into(),
+                |q| format!("{:.2} [{:.2},{:.2}]", q.value, q.lo, q.hi)
+            ),
             s.matched_samples
         );
     }

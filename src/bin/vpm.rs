@@ -22,6 +22,12 @@
 //!                    [--subs K] [--repeats R] [--json]
 //!                                    measure parallel verification and
 //!                                    cursor-poll throughput
+//! vpm lint [--json] [--rule ID] [--root PATH] [--audit]
+//!                                    run the in-tree invariant analyzer
+//!                                    (R1 panic-freedom, R2 determinism,
+//!                                    R3 lock discipline, R4 wire-constant
+//!                                    drift, R5 error-variant reachability);
+//!                                    exit 1 on any violation
 //! vpm fig2 [secs] [seed] [n_seeds]   regenerate Figure 2
 //! vpm fig3 [secs] [seed]             regenerate Figure 3
 //! vpm verifiability [secs] [seed]    regenerate the §7.2 sweep
@@ -81,6 +87,12 @@ fn print_usage() {
                                                 verification and full-rescan vs\n\
                                                 per-shard-cursor polling; write\n\
                                                 BENCH_verifier.json\n\
+           lint [--json] [--rule ID] [--root PATH] [--audit]\n\
+                                                run the workspace invariant analyzer\n\
+                                                (R1 panic-freedom, R2 determinism, R3\n\
+                                                lock discipline, R4 wire-constant\n\
+                                                drift, R5 error-variant reachability);\n\
+                                                exit 1 on violations, 2 on bad usage\n\
            fig2 [secs=2] [seed=1] [n_seeds=3]   Figure 2 (delay accuracy)\n\
            fig3 [secs=20] [seed=1]              Figure 3 (loss granularity)\n\
            verifiability [secs=2] [seed=1]      §7.2 verification sweep\n\
@@ -553,6 +565,83 @@ fn bench_wire(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Parse and run `vpm lint [--json] [--rule ID] [--root PATH]
+/// [--audit]`: the in-tree invariant analyzer (see `vpm-lint`).
+fn lint(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut audit = false;
+    let mut rule: Option<String> = None;
+    let mut root: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            "--audit" => {
+                audit = true;
+                i += 1;
+            }
+            "--rule" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("vpm: --rule needs a rule ID (R1..R5)");
+                    return usage();
+                };
+                if !vpm::lint::RULE_IDS.contains(&v.as_str()) {
+                    eprintln!(
+                        "vpm: unknown rule '{v}' (known: {})",
+                        vpm::lint::RULE_IDS.join(", ")
+                    );
+                    return usage();
+                }
+                rule = Some(v.clone());
+                i += 2;
+            }
+            "--root" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("vpm: --root needs a directory");
+                    return usage();
+                };
+                root = Some(v.clone());
+                i += 2;
+            }
+            other => {
+                eprintln!("vpm: unknown lint option '{other}'");
+                return usage();
+            }
+        }
+    }
+    // Default to the working directory when it is a workspace root
+    // (the CI invocation), falling back to the source tree this binary
+    // was built from (`cargo run -- lint` from anywhere).
+    let root = root.unwrap_or_else(|| {
+        if std::path::Path::new("Cargo.toml").is_file() {
+            ".".to_string()
+        } else {
+            env!("CARGO_MANIFEST_DIR").to_string()
+        }
+    });
+    let report = match vpm::lint::run(std::path::Path::new(&root), rule.as_deref()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("vpm: lint cannot analyze {root}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human(audit));
+    }
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn print_overhead_rows(rows: &[(String, f64, f64)]) {
     for (label, paper, ours) in rows {
         let p = if paper.is_nan() {
@@ -576,6 +665,7 @@ fn main() -> ExitCode {
         "bench-collector" => return bench_collector(&args),
         "bench-wire" => return bench_wire(&args),
         "bench-verifier" => return bench_verifier(&args),
+        "lint" => return lint(&args),
         "fig2" => {
             let cfg = experiments::fig2::Fig2Config::paper(
                 SimDuration::from_secs(arg(&args, 1, 2u64)),

@@ -46,6 +46,7 @@
 //! | [`wire`] | `vpm-wire` | v1 binary receipt codec, `ReceiptTransport` dissemination |
 //! | [`sim`] | `vpm-sim` | topologies, adversaries, the paper's experiments, the scenario matrix, the many-path fleet |
 //! | [`mod@bench`] | `vpm-bench` | measured throughput harnesses (`vpm bench-collector`, `vpm bench-wire`, `vpm bench-verifier`) |
+//! | [`lint`] | `vpm-lint` | in-tree invariant analyzer (`vpm lint`): panic-freedom, determinism, lock discipline, wire-constant drift |
 //!
 //! ## Minimal example
 //!
@@ -82,6 +83,7 @@
 pub use vpm_bench as bench;
 pub use vpm_core as core;
 pub use vpm_hash as hash;
+pub use vpm_lint as lint;
 pub use vpm_netsim as netsim;
 pub use vpm_packet as packet;
 pub use vpm_sim as sim;

@@ -419,3 +419,119 @@ fn matrix_table_matches_golden_file() {
         "vpm matrix rendering drifted from tests/golden/matrix_slice.txt"
     );
 }
+
+// ------------------------------------------------------------------ lint
+
+fn lint_scratch_tree(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("vpm_lint_cli_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("crates/wire/src")).unwrap();
+    std::fs::write(
+        dir.join("Cargo.toml"),
+        "[workspace]\nmembers = [\"crates/wire\"]\n",
+    )
+    .unwrap();
+    dir
+}
+
+#[test]
+fn lint_runs_clean_on_this_tree() {
+    let out = vpm(&["lint", "--root", env!("CARGO_MANIFEST_DIR")]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "vpm lint found violations:\n{}{}",
+        stdout(&out),
+        stderr(&out)
+    );
+    assert!(stdout(&out).contains("0 violation(s)"), "{}", stdout(&out));
+}
+
+#[test]
+fn lint_json_output_carries_the_report_fields() {
+    let out = vpm(&["lint", "--json", "--root", env!("CARGO_MANIFEST_DIR")]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let s = stdout(&out);
+    for field in [
+        "\"violations\":",
+        "\"allows\":",
+        "\"files_scanned\":",
+        "\"ok\":true",
+    ] {
+        assert!(s.contains(field), "missing {field} in {s}");
+    }
+}
+
+#[test]
+fn lint_exits_nonzero_on_an_injected_violation() {
+    let dir = lint_scratch_tree("inject");
+    std::fs::write(
+        dir.join("crates/wire/src/lib.rs"),
+        "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    )
+    .unwrap();
+    let out = vpm(&["lint", "--root", dir.to_str().unwrap(), "--rule", "R1"]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "expected the injected unwrap to fail the gate:\n{}{}",
+        stdout(&out),
+        stderr(&out)
+    );
+    assert!(stdout(&out).contains("[R1/unwrap]"), "{}", stdout(&out));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn lint_rejects_an_unknown_rule_id() {
+    let out = vpm(&["lint", "--rule", "R9"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("unknown rule"), "{}", stderr(&out));
+}
+
+#[test]
+fn lint_r4_fails_on_a_seeded_golden_mismatch() {
+    let dir = lint_scratch_tree("r4seed");
+    let src_root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    for rel in [
+        "crates/hash/src/sha256.rs",
+        "crates/hash/src/lib.rs",
+        "crates/core/src/receipt.rs",
+        "crates/wire/src/codec.rs",
+        "README.md",
+    ] {
+        let to = dir.join(rel);
+        std::fs::create_dir_all(to.parent().unwrap()).unwrap();
+        std::fs::copy(src_root.join(rel), to).unwrap();
+    }
+    // Corrupt one batch-sequence byte of the compact golden frame (hex
+    // chars 16..18 encode frame byte 8, the first `batch_seq` byte):
+    // the compact and precise frames now disagree and R4 must say so.
+    let golden = std::fs::read_to_string(src_root.join("tests/golden/wire_v1.hex")).unwrap();
+    let seeded: String = golden
+        .lines()
+        .map(|line| {
+            if let Some(hex) = line.strip_prefix("compact ") {
+                let mut h: Vec<u8> = hex.trim().bytes().collect();
+                h[16] = if h[16] == b'0' { b'1' } else { b'0' };
+                format!("compact {}", String::from_utf8(h).unwrap())
+            } else {
+                line.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    std::fs::create_dir_all(dir.join("tests/golden")).unwrap();
+    std::fs::write(dir.join("tests/golden/wire_v1.hex"), seeded).unwrap();
+
+    let out = vpm(&["lint", "--root", dir.to_str().unwrap(), "--rule", "R4"]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "expected the seeded mismatch to fail R4:\n{}{}",
+        stdout(&out),
+        stderr(&out)
+    );
+    assert!(stdout(&out).contains("[R4/"), "{}", stdout(&out));
+    let _ = std::fs::remove_dir_all(&dir);
+}
