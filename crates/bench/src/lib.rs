@@ -8,6 +8,7 @@
 use vpm_packet::SimDuration;
 use vpm_trace::{TraceConfig, TraceGenerator, TracePacket};
 
+pub mod audit_bench;
 pub mod collector_bench;
 pub mod verifier_bench;
 pub mod wire_bench;

@@ -18,6 +18,10 @@
 //!   cross-validating the compact frame against the precise one.
 //! * **R5 — error-variant reachability.** Every variant of the audited
 //!   error enums must be constructed or matched by at least one test.
+//! * **R6 — shim-surface drift.** The public API of every offline shim
+//!   under `shims/` must match the audited manifest
+//!   (`shims/MANIFEST.txt`) exactly, both directions — widening a shim
+//!   is a reviewed change, not a drive-by edit.
 //!
 //! False positives are suppressed inline with
 //! `// vpm-lint: allow(RULE, reason)` — the reason is mandatory and
@@ -33,6 +37,7 @@ pub mod errcheck;
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod shimcheck;
 pub mod walk;
 pub mod wirecheck;
 
@@ -44,7 +49,7 @@ use std::collections::HashSet;
 use std::path::Path;
 
 /// The rule IDs a directive may name.
-pub const RULE_IDS: [&str; 5] = ["R1", "R2", "R3", "R4", "R5"];
+pub const RULE_IDS: [&str; 6] = ["R1", "R2", "R3", "R4", "R5", "R6"];
 
 /// Run the analyzer over the workspace rooted at `root`. `rule`
 /// restricts the run to a single rule ID (malformed-directive `A0`
@@ -114,6 +119,9 @@ pub fn run(root: &Path, rule: Option<&str>) -> Result<Report, WalkError> {
     }
     if want("R5") {
         report.violations.extend(errcheck::r5(root, &constructed));
+    }
+    if want("R6") {
+        report.violations.extend(shimcheck::r6(root));
     }
 
     report

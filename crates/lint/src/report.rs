@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 /// One rule violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Stable rule ID (`R1`…`R5`, or `A0` for a malformed directive).
+    /// Stable rule ID (`R1`…`R6`, or `A0` for a malformed directive).
     pub rule: &'static str,
     /// Sub-check within the rule (e.g. `unwrap`, `index`, `clock`).
     pub check: String,

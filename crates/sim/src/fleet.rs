@@ -182,8 +182,9 @@ fn is_liar(i: usize, n: usize, k: usize) -> bool {
     (i + 1) * k / n > i * k / n
 }
 
-/// Deterministic splitmix64 stream over the fleet seed.
-fn mix(seed: u64, salt: u64) -> u64 {
+/// Deterministic splitmix64 stream over the fleet seed (shared with
+/// the audit workload's churn process).
+pub(crate) fn mix(seed: u64, salt: u64) -> u64 {
     let mut z = seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

@@ -40,6 +40,11 @@
 //!   strategy (incl. two independent liars) as one enumerable,
 //!   reproducible, parallel-evaluable table — the repo's primary
 //!   verification instrument, surfaced as `vpm matrix`.
+//! * [`audit`] — continuous operation: a streaming [`audit::Auditor`]
+//!   that follows the bus under churn for thousands of intervals with
+//!   bounded memory (epoch GC below its own cursor), checkpoints into
+//!   `vpm_wire::AuditCheckpoint` snapshots, and restores from them
+//!   with byte-identical verdicts — surfaced as `vpm audit`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,6 +54,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod adversary;
+pub mod audit;
 pub mod baselines;
 pub mod bus;
 pub mod experiments;
@@ -59,6 +65,9 @@ pub mod scenario_matrix;
 pub mod topology;
 pub mod verdict;
 
+pub use audit::{
+    run_audit, AuditConfig, AuditError, AuditOutcome, AuditRunStats, AuditVerdict, Auditor,
+};
 pub use fleet::{
     analyze_fleet_from_transport, build_fleet, render_fleet_table, run_fleet, Fleet, FleetConfig,
     FleetLie, FleetPath, FleetPathVerdict,

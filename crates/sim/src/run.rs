@@ -669,6 +669,13 @@ mod tests {
             fn subscribe_path(&self, requester: DomainId, path: &PathId) -> SubscriptionId {
                 self.inner.subscribe_path(requester, path)
             }
+            fn subscribe_from(
+                &self,
+                requester: DomainId,
+                from_seq: u64,
+            ) -> Result<SubscriptionId, TransportError> {
+                self.inner.subscribe_from(requester, from_seq)
+            }
             fn poll(&self, sub: SubscriptionId) -> Result<Vec<Arc<Published>>, TransportError> {
                 self.inner.poll(sub)
             }
@@ -770,6 +777,13 @@ mod tests {
             }
             fn subscribe_path(&self, _: DomainId, _: &PathId) -> SubscriptionId {
                 SubscriptionId(0)
+            }
+            fn subscribe_from(
+                &self,
+                _: DomainId,
+                _: u64,
+            ) -> Result<SubscriptionId, TransportError> {
+                Err(TransportError::Connection("refused by test".into()))
             }
             fn poll(&self, _: SubscriptionId) -> Result<Vec<Arc<Published>>, TransportError> {
                 Err(TransportError::Connection("refused by test".into()))

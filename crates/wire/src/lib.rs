@@ -24,7 +24,14 @@
 //!   verification at publish and again at fetch — and the on-path
 //!   visibility rule, with an [`InMemoryBus`] reference implementation
 //!   and a [`ShardedBus`] that spreads frames across `PathID`-hashed
-//!   shards.
+//!   shards. Continuous operation is bounded-memory: verified entries
+//!   compact into per-HOP [`IntervalSummary`] digests
+//!   ([`ReceiptTransport::compact_before`]) and a subscriber whose
+//!   cursor falls behind the retention horizon gets a typed
+//!   [`TransportError::LaggedBehind`], never a silently gapped stream.
+//! * [`checkpoint`] — the versioned [`AuditCheckpoint`] snapshot a
+//!   streaming verifier stops and resumes from (cursor + per-path
+//!   incremental verdict state), pinned by its own golden fixture.
 //! * [`measure`] —§7.1 sizes measured from actual encoded frames,
 //!   feeding `vpm_core::overhead`'s `measured_*` report.
 
@@ -35,11 +42,13 @@
 // matching narrow `#[allow]`.
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod checkpoint;
 pub mod codec;
 pub mod measure;
 pub mod net;
 pub mod transport;
 
+pub use checkpoint::{AuditCheckpoint, PathAuditState};
 pub use codec::{
     DecodedFrame, FrameSignature, FrameStats, Profile, WireDecoder, WireEncoder, WireError,
     WireFrame, MAC_TRAILER_BYTES, MAGIC, VERSION,
@@ -47,7 +56,7 @@ pub use codec::{
 pub use measure::{measured_overhead_report, measured_sizes};
 pub use net::{TcpServer, TcpTransport};
 pub use transport::{
-    InMemoryBus, Published, ReceiptTransport, ShardedBus, SubscriptionId, TransportError,
-    WaitOutcome,
+    CompactionReport, InMemoryBus, IntervalSummary, Published, ReceiptTransport, ShardedBus,
+    SubscriptionId, TransportError, WaitOutcome,
 };
 pub use vpm_hash::{HopKey, KeyEpoch};

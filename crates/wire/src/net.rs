@@ -18,7 +18,15 @@
 //!   written against the trait works unchanged across a socket. It
 //!   reconnects on connection loss and resumes its subscriptions from
 //!   the last delivered global sequence number — no duplicates, no
-//!   skips (pinned by the loopback tests).
+//!   skips (pinned by the loopback tests). If the server GC'd past
+//!   the resume point while the client was away, re-establishment
+//!   surfaces the typed [`TransportError::LaggedBehind`] instead of
+//!   resuming with silently missing frames.
+//!
+//! Retention is remote too: `compact_before` / `horizon` /
+//! `summaries` round-trip to the server's bus, so an out-of-process
+//! auditor can drive the GC cadence and read the per-HOP digests the
+//! passes leave behind.
 //!
 //! # Session protocol
 //!
@@ -62,7 +70,8 @@ use vpm_packet::{DomainId, HopId};
 
 use crate::codec::{decode_path, encode_path, Reader, WireError, WireFrame, Writer};
 use crate::transport::{
-    Published, ReceiptTransport, ShardedBus, SubscriptionId, TransportError, WaitOutcome,
+    CompactionReport, IntervalSummary, Published, ReceiptTransport, ShardedBus, SubscriptionId,
+    TransportError, WaitOutcome,
 };
 
 /// Hello preamble both sides send on connect: magic + protocol version.
@@ -102,6 +111,9 @@ const OP_POLL: u8 = 9;
 const OP_WAIT: u8 = 10;
 const OP_UNSUBSCRIBE: u8 = 11;
 const OP_LEN: u8 = 12;
+const OP_COMPACT: u8 = 13;
+const OP_HORIZON: u8 = 14;
+const OP_SUMMARIES: u8 = 15;
 
 // Typed-error wire codes (response status 1).
 const ERR_BAD_TAG: u8 = 1;
@@ -114,6 +126,7 @@ const ERR_UNKNOWN_HOP: u8 = 7;
 const ERR_MALFORMED: u8 = 8;
 const ERR_UNKNOWN_SUBSCRIPTION: u8 = 9;
 const ERR_PROTOCOL: u8 = 10;
+const ERR_LAGGED_BEHIND: u8 = 11;
 
 fn proto_err(msg: impl Into<String>) -> TransportError {
     TransportError::Protocol(msg.into())
@@ -169,6 +182,10 @@ fn encode_error(w: &mut Writer, e: &TransportError) {
             w.u8(ERR_PROTOCOL);
             write_string(w, msg);
         }
+        TransportError::LaggedBehind { horizon } => {
+            w.u8(ERR_LAGGED_BEHIND);
+            w.u64(*horizon);
+        }
     }
 }
 
@@ -200,6 +217,7 @@ fn decode_error(r: &mut Reader<'_>) -> Result<TransportError, WireError> {
         }
         ERR_UNKNOWN_SUBSCRIPTION => TransportError::UnknownSubscription(SubscriptionId(r.u64()?)),
         ERR_PROTOCOL => TransportError::Protocol(read_string(r)?),
+        ERR_LAGGED_BEHIND => TransportError::LaggedBehind { horizon: r.u64()? },
         other => TransportError::Protocol(format!("unknown error code {other}")),
     })
 }
@@ -265,6 +283,31 @@ fn read_entry(r: &mut Reader<'_>) -> Result<Published, TransportError> {
         epoch,
         paths: decoded.paths,
         on_path,
+    })
+}
+
+/// Fixed-size (58-byte) encoding of one interval summary.
+fn write_summary(w: &mut Writer, s: &IntervalSummary) {
+    w.u16(s.hop.0);
+    w.u64(s.first_seq);
+    w.u64(s.last_seq);
+    w.u64(s.frames);
+    w.u64(s.samples);
+    w.u64(s.aggregates);
+    w.u64(s.pkt_cnt);
+    w.u64(s.digest);
+}
+
+fn read_summary(r: &mut Reader<'_>) -> Result<IntervalSummary, WireError> {
+    Ok(IntervalSummary {
+        hop: HopId(r.u16()?),
+        first_seq: r.u64()?,
+        last_seq: r.u64()?,
+        frames: r.u64()?,
+        samples: r.u64()?,
+        aggregates: r.u64()?,
+        pkt_cnt: r.u64()?,
+        digest: r.u64()?,
     })
 }
 
@@ -458,9 +501,12 @@ fn handle_request_inner(
             } else {
                 bus.publish_seq()
             };
+            // A resume point the bus has GC'd past is refused with the
+            // typed `LaggedBehind`, serialized back to the client —
+            // never a cursor that silently skips reclaimed frames.
             let sub = match &path {
-                None => bus.subscribe_from(requester, from),
-                Some(p) => bus.subscribe_path_from(requester, p, from),
+                None => bus.subscribe_from(requester, from)?,
+                Some(p) => bus.subscribe_path_from(requester, p, from)?,
             };
             session.queues.insert(sub.0, VecDeque::new());
             w.u64(sub.0);
@@ -520,6 +566,22 @@ fn handle_request_inner(
         }
         OP_LEN => {
             w.u64(bus.len() as u64);
+        }
+        OP_COMPACT => {
+            let before_seq = r.u64().map_err(malformed)?;
+            let report = bus.compact_before(before_seq)?;
+            w.u64(report.reclaimed);
+            w.u64(report.horizon);
+        }
+        OP_HORIZON => {
+            w.u64(bus.horizon()?);
+        }
+        OP_SUMMARIES => {
+            let sums = bus.summaries()?;
+            w.u32(sums.len() as u32);
+            for s in &sums {
+                write_summary(&mut w, s);
+            }
         }
         other => return Err(proto_err(format!("unknown opcode {other}"))),
     }
@@ -997,6 +1059,33 @@ impl ReceiptTransport for TcpTransport {
         SubscriptionId(local)
     }
 
+    fn subscribe_from(
+        &self,
+        requester: DomainId,
+        from_seq: u64,
+    ) -> Result<SubscriptionId, TransportError> {
+        let mut state = self.state.lock();
+        let local = state.next_sub;
+        state.next_sub += 1;
+        state.subs.insert(
+            local,
+            ClientSub {
+                requester,
+                path: None,
+                server_sub: None,
+                resume_seq: Some(from_seq),
+            },
+        );
+        // A resume is an assertion about history, so establishment is
+        // NOT lazy here: a resume point the server already GC'd past
+        // must be refused now, typed, not at some later first poll.
+        if let Err(e) = self.establish(&mut state, local) {
+            state.subs.remove(&local);
+            return Err(e);
+        }
+        Ok(SubscriptionId(local))
+    }
+
     fn poll(&self, sub: SubscriptionId) -> Result<Vec<Arc<Published>>, TransportError> {
         let mut state = self.state.lock();
         let server_sub = self.establish(&mut state, sub.0)?;
@@ -1081,6 +1170,46 @@ impl ReceiptTransport for TcpTransport {
         };
         Reader::new(&resp).u64().map_or(0, |n| n as usize)
     }
+
+    /// Ask the *server* to compact its bus. Safe to retry: a repeated
+    /// pass below the (now raised) horizon is a no-op on the server.
+    fn compact_before(&self, before_seq: u64) -> Result<CompactionReport, TransportError> {
+        let mut w = Writer::default();
+        w.u8(OP_COMPACT);
+        w.u64(before_seq);
+        let mut state = self.state.lock();
+        let resp = self.request_idempotent(&mut state, w.as_slice())?;
+        let mut r = Reader::new(&resp);
+        let bad = |e: WireError| proto_err(format!("bad compact response: {e}"));
+        Ok(CompactionReport {
+            reclaimed: r.u64().map_err(bad)?,
+            horizon: r.u64().map_err(bad)?,
+        })
+    }
+
+    fn horizon(&self) -> Result<u64, TransportError> {
+        let mut w = Writer::default();
+        w.u8(OP_HORIZON);
+        let mut state = self.state.lock();
+        let resp = self.request_idempotent(&mut state, w.as_slice())?;
+        Reader::new(&resp)
+            .u64()
+            .map_err(|e| proto_err(format!("bad horizon response: {e}")))
+    }
+
+    fn summaries(&self) -> Result<Vec<IntervalSummary>, TransportError> {
+        let mut w = Writer::default();
+        w.u8(OP_SUMMARIES);
+        let mut state = self.state.lock();
+        let resp = self.request_idempotent(&mut state, w.as_slice())?;
+        let mut r = Reader::new(&resp);
+        let bad = |e: WireError| proto_err(format!("bad summaries response: {e}"));
+        let n = r.u32().map_err(bad)? as usize;
+        // 58 bytes per fixed-size summary record; pre-flight the count
+        // so a corrupt header cannot trigger a huge allocation.
+        r.can_hold(n, 58).map_err(bad)?;
+        (0..n).map(|_| read_summary(&mut r).map_err(bad)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -1106,6 +1235,7 @@ mod tests {
             TransportError::UnknownHop(HopId(4)),
             TransportError::UnknownSubscription(SubscriptionId(99)),
             TransportError::Protocol("nope".into()),
+            TransportError::LaggedBehind { horizon: 123_456 },
         ];
         for e in cases {
             let mut w = Writer::default();

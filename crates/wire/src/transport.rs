@@ -211,6 +211,17 @@ pub enum TransportError {
     /// The subscription handle was never issued by this transport, or
     /// was already dropped by [`ReceiptTransport::unsubscribe`].
     UnknownSubscription(SubscriptionId),
+    /// The subscription's cursor fell behind the retention horizon: a
+    /// [`ReceiptTransport::compact_before`] pass reclaimed entries the
+    /// stream had not delivered yet. The transport refuses to resume
+    /// the stream with a silent gap — the subscriber must drop the
+    /// subscription and re-subscribe at or past `horizon` (the lowest
+    /// sequence number still retained), accepting that the reclaimed
+    /// prefix is now only available as [`IntervalSummary`] digests.
+    LaggedBehind {
+        /// The lowest global sequence number still retained.
+        horizon: u64,
+    },
     /// The connection to a remote transport endpoint failed: the
     /// server is unreachable, or the connection dropped mid-operation
     /// and could not be re-established.
@@ -246,6 +257,12 @@ impl fmt::Display for TransportError {
             TransportError::UnknownHop(h) => write!(f, "no key registered for {h}"),
             TransportError::Malformed(e) => write!(f, "malformed frame: {e}"),
             TransportError::UnknownSubscription(s) => write!(f, "unknown subscription {}", s.0),
+            TransportError::LaggedBehind { horizon } => {
+                write!(
+                    f,
+                    "subscription lagged behind the retention horizon {horizon}; re-subscribe"
+                )
+            }
             TransportError::Connection(e) => write!(f, "transport connection failed: {e}"),
             TransportError::Protocol(e) => write!(f, "transport protocol violation: {e}"),
         }
@@ -257,6 +274,81 @@ impl std::error::Error for TransportError {}
 impl From<WireError> for TransportError {
     fn from(e: WireError) -> Self {
         TransportError::Malformed(e)
+    }
+}
+
+/// What one [`ReceiptTransport::compact_before`] pass did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Distinct entries reclaimed by this pass (a multi-shard entry
+    /// counts once).
+    pub reclaimed: u64,
+    /// The retention horizon after the pass: the lowest global
+    /// sequence number still served as a full entry.
+    pub horizon: u64,
+}
+
+/// The per-HOP digest a compaction pass leaves behind for the entries
+/// it reclaims: enough to audit *that* the traffic was receipted (and
+/// to bind the reclaimed frames' exact bytes) without retaining the
+/// frames themselves. One summary is appended per HOP per compaction
+/// pass, in HOP order within the pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntervalSummary {
+    /// The reporting HOP the reclaimed frames belonged to.
+    pub hop: HopId,
+    /// Lowest global sequence number folded into this summary.
+    pub first_seq: u64,
+    /// Highest global sequence number folded into this summary.
+    pub last_seq: u64,
+    /// Reclaimed frames from this HOP.
+    pub frames: u64,
+    /// Sample receipts across those frames.
+    pub samples: u64,
+    /// Aggregate receipts across those frames.
+    pub aggregates: u64,
+    /// Total packet count claimed by those aggregate receipts.
+    pub pkt_cnt: u64,
+    /// Chained lookup3 digest over the reclaimed frames' exact wire
+    /// bytes, folded in global sequence order — the compact stand-in
+    /// for the bytes the pass dropped.
+    pub digest: u64,
+}
+
+/// Fold reclaimed entries (in global sequence order) into per-HOP
+/// [`IntervalSummary`] records and append them to `sink`. Shared by
+/// both bus implementations so their summary semantics cannot drift.
+fn fold_summaries<'a, I>(sink: &RwLock<Vec<IntervalSummary>>, dropped: I)
+where
+    I: Iterator<Item = &'a Arc<Published>>,
+{
+    let mut per_hop: BTreeMap<HopId, IntervalSummary> = BTreeMap::new();
+    for p in dropped {
+        let s = per_hop.entry(p.hop).or_insert(IntervalSummary {
+            hop: p.hop,
+            first_seq: p.seq,
+            last_seq: p.seq,
+            frames: 0,
+            samples: 0,
+            aggregates: 0,
+            pkt_cnt: 0,
+            digest: 0,
+        });
+        s.first_seq = s.first_seq.min(p.seq);
+        s.last_seq = s.last_seq.max(p.seq);
+        s.frames += 1;
+        s.samples += p
+            .batch
+            .samples
+            .iter()
+            .map(|sr| sr.samples.len() as u64)
+            .sum::<u64>();
+        s.aggregates += p.batch.aggregates.len() as u64;
+        s.pkt_cnt += p.batch.aggregates.iter().map(|a| a.pkt_cnt).sum::<u64>();
+        s.digest = vpm_hash::lookup3::hash64(p.frame.as_bytes(), s.digest);
+    }
+    if !per_hop.is_empty() {
+        sink.write().extend(per_hop.into_values());
     }
 }
 
@@ -332,6 +424,20 @@ pub trait ReceiptTransport: Send + Sync {
     /// the same path may be delivered in shard-arrival order instead.
     fn subscribe_path(&self, requester: DomainId, path: &PathId) -> SubscriptionId;
 
+    /// Open a global subscription whose stream starts at global
+    /// sequence number `from_seq` instead of "now" — the resume
+    /// primitive a checkpointed verifier restarts from. `from_seq`
+    /// past the current publish sequence is clamped (a resume point
+    /// cannot lie in the future); `from_seq` below the retention
+    /// horizon is a typed [`TransportError::LaggedBehind`] — the
+    /// suffix the resume owes was reclaimed, and resuming would mean
+    /// silently missing frames.
+    fn subscribe_from(
+        &self,
+        requester: DomainId,
+        from_seq: u64,
+    ) -> Result<SubscriptionId, TransportError>;
+
     /// Drain a subscription: visible entries published since the last
     /// poll. Entries the requester may not see are skipped silently (a
     /// stream, unlike a targeted fetch, is not an assertion that
@@ -372,8 +478,49 @@ pub trait ReceiptTransport: Send + Sync {
     /// the lifecycle tests pin that this returns to zero).
     fn subscriptions(&self) -> usize;
 
-    /// Total published entries (diagnostics).
+    /// Total **retained** entries (diagnostics): published entries not
+    /// yet reclaimed by [`Self::compact_before`]. The long-horizon
+    /// audit workload pins this flat under periodic compaction.
     fn len(&self) -> usize;
+
+    /// Reclaim every entry below `before_seq`: drop the stored frames
+    /// and fold them into per-HOP [`IntervalSummary`] digests
+    /// ([`Self::summaries`]). Entries at or past `before_seq` are
+    /// untouched. Callers must only compact below sequence numbers
+    /// whose publishes have **completed**; an entry whose publisher is
+    /// still mid-insert below the new horizon is swept by the next
+    /// pass, never lost silently and never a panic.
+    ///
+    /// After the pass, any subscription whose cursor is below the new
+    /// horizon gets a typed [`TransportError::LaggedBehind`] from
+    /// `poll`/`wait` — never a silently gapped stream. `before_seq`
+    /// past the current publish sequence is clamped; a `before_seq` at
+    /// or below the current horizon is a no-op reporting 0 reclaimed.
+    ///
+    /// The default implementation retains everything (a transport
+    /// without retention support reports a no-op pass).
+    fn compact_before(&self, before_seq: u64) -> Result<CompactionReport, TransportError> {
+        let _ = before_seq;
+        Ok(CompactionReport {
+            reclaimed: 0,
+            horizon: self.horizon()?,
+        })
+    }
+
+    /// The retention horizon: the lowest global sequence number still
+    /// served as a full entry (0 when nothing was ever compacted).
+    /// Fallible because a remote transport answers it with a round
+    /// trip.
+    fn horizon(&self) -> Result<u64, TransportError> {
+        Ok(0)
+    }
+
+    /// Interval summaries left behind by compaction passes, in pass
+    /// order (per-HOP order within each pass). Empty when nothing was
+    /// ever compacted.
+    fn summaries(&self) -> Result<Vec<IntervalSummary>, TransportError> {
+        Ok(Vec::new())
+    }
 
     /// Is the transport empty?
     fn is_empty(&self) -> bool {
@@ -534,16 +681,44 @@ struct SubCursor {
     path: Option<PathId>,
 }
 
+/// The retained suffix of the publish stream: entry `i` of `entries`
+/// holds global sequence number `base + i`. Compaction drains a prefix
+/// and advances `base` — sequence numbers are forever, storage is not.
+#[derive(Default)]
+struct Store {
+    /// The retention horizon: the sequence number of `entries[0]`.
+    base: u64,
+    entries: Vec<Arc<Published>>,
+}
+
+impl Store {
+    /// The next sequence number a publish claims.
+    fn next_seq(&self) -> u64 {
+        self.base + self.entries.len() as u64
+    }
+
+    /// The retained entries at or past `from_seq`, or `LaggedBehind`
+    /// when `from_seq` predates the horizon.
+    fn suffix(&self, from_seq: u64) -> Result<&[Arc<Published>], TransportError> {
+        if from_seq < self.base {
+            return Err(TransportError::LaggedBehind { horizon: self.base });
+        }
+        let at = ((from_seq - self.base) as usize).min(self.entries.len());
+        Ok(&self.entries[at..]) // vpm-lint: allow(R1, at is clamped to entries.len())
+    }
+}
+
 /// The single-lock reference transport: one `RwLock` over one entry
 /// vector. Simple, obviously correct, and the behavioural baseline the
 /// sharded transport is tested against.
 #[derive(Default)]
 pub struct InMemoryBus {
     keys: KeyRegistry,
-    entries: RwLock<Vec<Arc<Published>>>,
+    entries: RwLock<Store>,
     subs: Mutex<HashMap<u64, SubCursor>>,
     next_sub: AtomicU64,
     notify: Notifier,
+    summaries: RwLock<Vec<IntervalSummary>>,
 }
 
 impl InMemoryBus {
@@ -579,10 +754,10 @@ impl ReceiptTransport for InMemoryBus {
         on_path: Vec<DomainId>,
     ) -> Result<u64, TransportError> {
         let seq = {
-            let mut entries = self.entries.write();
-            let seq = entries.len() as u64;
+            let mut store = self.entries.write();
+            let seq = store.next_seq();
             let published = admit(&self.keys, seq, domain, frame, on_path)?;
-            entries.push(Arc::new(published));
+            store.entries.push(Arc::new(published));
             seq
         };
         // Wake waiters only after the insert is visible (and outside
@@ -599,6 +774,7 @@ impl ReceiptTransport for InMemoryBus {
         let matching: Vec<Arc<Published>> = self
             .entries
             .read()
+            .entries
             .iter()
             .filter(|p| p.hop == hop)
             .cloned()
@@ -616,6 +792,7 @@ impl ReceiptTransport for InMemoryBus {
         let matching: Vec<Arc<Published>> = self
             .entries
             .read()
+            .entries
             .iter()
             .filter(|p| p.paths.contains(path))
             .cloned()
@@ -628,7 +805,7 @@ impl ReceiptTransport for InMemoryBus {
     fn subscribe(&self, requester: DomainId) -> SubscriptionId {
         self.add_sub(SubCursor {
             requester,
-            next_seq: self.entries.read().len() as u64,
+            next_seq: self.entries.read().next_seq(),
             path: None,
         })
     }
@@ -636,9 +813,27 @@ impl ReceiptTransport for InMemoryBus {
     fn subscribe_path(&self, requester: DomainId, path: &PathId) -> SubscriptionId {
         self.add_sub(SubCursor {
             requester,
-            next_seq: self.entries.read().len() as u64,
+            next_seq: self.entries.read().next_seq(),
             path: Some(*path),
         })
+    }
+
+    fn subscribe_from(
+        &self,
+        requester: DomainId,
+        from_seq: u64,
+    ) -> Result<SubscriptionId, TransportError> {
+        let store = self.entries.read();
+        if from_seq < store.base {
+            return Err(TransportError::LaggedBehind {
+                horizon: store.base,
+            });
+        }
+        Ok(self.add_sub(SubCursor {
+            requester,
+            next_seq: from_seq.min(store.next_seq()),
+            path: None,
+        }))
     }
 
     fn poll(&self, sub: SubscriptionId) -> Result<Vec<Arc<Published>>, TransportError> {
@@ -646,15 +841,18 @@ impl ReceiptTransport for InMemoryBus {
         let cursor = subs
             .get_mut(&sub.0)
             .ok_or(TransportError::UnknownSubscription(sub))?;
-        let entries = self.entries.read();
-        let fresh: Vec<Arc<Published>> = entries
+        let store = self.entries.read();
+        // A cursor behind the horizon errors and stays put: every poll
+        // repeats `LaggedBehind` until the subscriber re-subscribes —
+        // the stream never silently resumes past a gap.
+        let fresh: Vec<Arc<Published>> = store
+            .suffix(cursor.next_seq)?
             .iter()
-            .skip(cursor.next_seq as usize)
             .filter(|p| p.visible_to(cursor.requester))
             .filter(|p| cursor.path.as_ref().is_none_or(|f| p.paths.contains(f)))
             .cloned()
             .collect();
-        cursor.next_seq = entries.len() as u64;
+        cursor.next_seq = store.next_seq();
         Ok(fresh)
     }
 
@@ -672,8 +870,19 @@ impl ReceiptTransport for InMemoryBus {
                 .get(&sub.0)
                 .ok_or(TransportError::UnknownSubscription(sub))?
                 .next_seq;
-            if (self.entries.read().len() as u64) > next_seq {
-                return Ok(WaitOutcome::Ready);
+            {
+                let store = self.entries.read();
+                // A compaction pass bumps the notifier, so a parked
+                // waiter re-judges and surfaces the overrun instead of
+                // sleeping on (or delivering) a reclaimed page.
+                if next_seq < store.base {
+                    return Err(TransportError::LaggedBehind {
+                        horizon: store.base,
+                    });
+                }
+                if store.next_seq() > next_seq {
+                    return Ok(WaitOutcome::Ready);
+                }
             }
             if !self.notify.wait_past(seen, deadline) {
                 return Ok(WaitOutcome::TimedOut);
@@ -694,7 +903,40 @@ impl ReceiptTransport for InMemoryBus {
     }
 
     fn len(&self) -> usize {
-        self.entries.read().len()
+        self.entries.read().entries.len()
+    }
+
+    fn compact_before(&self, before_seq: u64) -> Result<CompactionReport, TransportError> {
+        let dropped = {
+            let mut store = self.entries.write();
+            let cut = before_seq.min(store.next_seq());
+            if cut <= store.base {
+                return Ok(CompactionReport {
+                    reclaimed: 0,
+                    horizon: store.base,
+                });
+            }
+            let n = (cut - store.base) as usize;
+            let dropped: Vec<Arc<Published>> = store.entries.drain(..n).collect();
+            store.base = cut;
+            dropped
+        };
+        fold_summaries(&self.summaries, dropped.iter());
+        // Wake parked waiters so a cursor the pass overran reports
+        // `LaggedBehind` now, not at its next timeout.
+        self.notify.bump();
+        Ok(CompactionReport {
+            reclaimed: dropped.len() as u64,
+            horizon: self.entries.read().base,
+        })
+    }
+
+    fn horizon(&self) -> Result<u64, TransportError> {
+        Ok(self.entries.read().base)
+    }
+
+    fn summaries(&self) -> Result<Vec<IntervalSummary>, TransportError> {
+        Ok(self.summaries.read().clone())
     }
 }
 
@@ -727,9 +969,20 @@ fn shard_key_hop(hop: HopId) -> u64 {
 /// One shard: its entries behind a private `RwLock`, plus a high-water
 /// mark (the number of fully inserted entries) readable without the
 /// lock so idle shards can be skipped for free.
+///
+/// Cursor positions into a shard are **logical**: position `p` means
+/// "the `p`-th entry ever inserted into this shard", and the physical
+/// vector index is `p - trimmed`. Compaction removes a prefix and
+/// advances `trimmed` by the same amount, so `high_water` (a logical
+/// count) never moves backwards and caught-up cursors stay valid
+/// across GC passes.
 struct Shard {
     entries: RwLock<Vec<Arc<Published>>>,
     high_water: AtomicUsize,
+    /// Entries ever reclaimed from this shard; only mutated under the
+    /// shard's write lock, read with `Acquire` for the lock-free lag
+    /// check.
+    trimmed: AtomicUsize,
     /// Per-shard wakeups: bumped after an insert into *this* shard
     /// completes, so a path-filtered waiter blocks through foreign-
     /// shard traffic and wakes only for its own shard.
@@ -741,6 +994,7 @@ impl Shard {
         Shard {
             entries: RwLock::new(Vec::new()),
             high_water: AtomicUsize::new(0),
+            trimmed: AtomicUsize::new(0),
             notify: Notifier::default(),
         }
     }
@@ -772,8 +1026,8 @@ struct PathCursor {
     pos: usize,
     /// Entries below this global sequence number are suppressed — a
     /// resumed subscription ([`ShardedBus::subscribe_path_from`])
-    /// rescans its shard from position 0 and relies on this filter to
-    /// deliver exactly the not-yet-seen suffix.
+    /// rescans its shard from its oldest retained entry and relies on
+    /// this filter to deliver exactly the not-yet-seen suffix.
     min_seq: u64,
 }
 
@@ -814,6 +1068,14 @@ pub struct ShardedBus {
     /// Bus-wide wakeups for global subscriptions (path-filtered ones
     /// wait on their shard's notifier instead).
     notify: Notifier,
+    /// The retention horizon: the lowest global sequence number still
+    /// served as a full entry. Raised (never lowered) at the *start*
+    /// of a compaction pass, so a racing poller sees a conservative
+    /// typed `LaggedBehind` rather than a silently gapped stream.
+    horizon: AtomicU64,
+    /// Serializes compaction passes (publish/poll never take this).
+    gc_lock: Mutex<()>,
+    summaries: RwLock<Vec<IntervalSummary>>,
 }
 
 impl ShardedBus {
@@ -827,6 +1089,9 @@ impl ShardedBus {
             next_sub: AtomicU64::new(0),
             poll_shard_scans: AtomicU64::new(0),
             notify: Notifier::default(),
+            horizon: AtomicU64::new(0),
+            gc_lock: Mutex::new(()),
+            summaries: RwLock::new(Vec::new()),
         }
     }
 
@@ -861,33 +1126,54 @@ impl ShardedBus {
     /// primitive a reconnecting remote client uses to pick its stream
     /// back up without duplicating or skipping entries. `from_seq`
     /// past the current sequence counter is clamped (a resume point
-    /// cannot lie in the future).
-    pub fn subscribe_from(&self, requester: DomainId, from_seq: u64) -> SubscriptionId {
-        self.add_sub(ShardSub::Global(GlobalCursor {
+    /// cannot lie in the future); `from_seq` below the retention
+    /// horizon is a typed [`TransportError::LaggedBehind`] — the
+    /// suffix the resume owes was reclaimed, and resuming would mean
+    /// silently missing frames.
+    pub fn subscribe_from(
+        &self,
+        requester: DomainId,
+        from_seq: u64,
+    ) -> Result<SubscriptionId, TransportError> {
+        let horizon = self.horizon.load(Ordering::Acquire);
+        if from_seq < horizon {
+            return Err(TransportError::LaggedBehind { horizon });
+        }
+        Ok(self.add_sub(ShardSub::Global(GlobalCursor {
             requester,
             next_seq: from_seq.min(self.seq.load(Ordering::Relaxed)),
             shard_pos: vec![0; self.shards.len()],
             pending: BTreeMap::new(),
-        }))
+        })))
     }
 
     /// Open a path-filtered subscription resuming at global sequence
-    /// number `from_seq`: the shard is rescanned from the start and
-    /// entries below `from_seq` are suppressed, so a reconnecting
-    /// client sees exactly the suffix it has not been delivered.
+    /// number `from_seq`: the shard is rescanned from its oldest
+    /// retained entry and entries below `from_seq` are suppressed, so
+    /// a reconnecting client sees exactly the suffix it has not been
+    /// delivered. A `from_seq` below the retention horizon is a typed
+    /// [`TransportError::LaggedBehind`], exactly as for
+    /// [`Self::subscribe_from`].
     pub fn subscribe_path_from(
         &self,
         requester: DomainId,
         path: &PathId,
         from_seq: u64,
-    ) -> SubscriptionId {
-        self.add_sub(ShardSub::Path(PathCursor {
+    ) -> Result<SubscriptionId, TransportError> {
+        let horizon = self.horizon.load(Ordering::Acquire);
+        if from_seq < horizon {
+            return Err(TransportError::LaggedBehind { horizon });
+        }
+        let shard = self.shard_of_path(path);
+        // Logical position of the shard's oldest retained entry.
+        let pos = self.shards[shard].trimmed.load(Ordering::Acquire); // vpm-lint: allow(R1, shard indices are reduced modulo the shard count)
+        Ok(self.add_sub(ShardSub::Path(PathCursor {
             requester,
             path: *path,
-            shard: self.shard_of_path(path),
-            pos: 0,
+            shard,
+            pos,
             min_seq: from_seq,
-        }))
+        })))
     }
 
     /// Test hook: claim a global sequence number and never insert the
@@ -956,12 +1242,18 @@ impl ShardedBus {
     /// Incremental poll of a global subscription: scan only shards
     /// whose high-water mark moved, park out-of-order arrivals in the
     /// cursor's reorder buffer, and release the contiguous sequence
-    /// prefix.
-    fn poll_global(&self, c: &mut GlobalCursor) -> Vec<Arc<Published>> {
+    /// prefix. A cursor behind the retention horizon is a typed
+    /// [`TransportError::LaggedBehind`], repeated on every poll until
+    /// the subscriber re-subscribes — never a silently gapped stream.
+    fn poll_global(&self, c: &mut GlobalCursor) -> Result<Vec<Arc<Published>>, TransportError> {
+        let horizon = self.horizon.load(Ordering::Acquire);
+        if c.next_seq < horizon {
+            return Err(TransportError::LaggedBehind { horizon });
+        }
         // Idle fast path: nothing has claimed a sequence number past
         // the cursor and nothing is parked — no shard is touched.
         if c.pending.is_empty() && self.seq.load(Ordering::Relaxed) <= c.next_seq {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         for (i, shard) in self.shards.iter().enumerate() {
             // vpm-lint: allow(R1, shard_pos has one entry per shard)
@@ -970,15 +1262,23 @@ impl ShardedBus {
             }
             self.poll_shard_scans.fetch_add(1, Ordering::Relaxed);
             let entries = shard.entries.read();
-            // vpm-lint: allow(R1, shard_pos entries never exceed the shard's length)
-            for e in &entries[c.shard_pos[i]..] {
+            // Physical scan start: the cursor's logical position minus
+            // the reclaimed prefix. Entries GC removed below it all had
+            // `seq < horizon <= next_seq` (checked above), so skipping
+            // them drops nothing the stream still owes.
+            let trimmed = shard.trimmed.load(Ordering::Acquire);
+            let start = c.shard_pos[i] // vpm-lint: allow(R1, shard_pos has one entry per shard)
+                .saturating_sub(trimmed)
+                .min(entries.len());
+            // vpm-lint: allow(R1, the start index is clamped to the entry count)
+            for e in &entries[start..] {
                 // `>= next_seq` drops the second copy of a multi-shard
                 // entry whose first copy was already released.
                 if e.seq >= c.next_seq {
                     c.pending.entry(e.seq).or_insert_with(|| Arc::clone(e));
                 }
             }
-            c.shard_pos[i] = entries.len(); // vpm-lint: allow(R1, shard_pos has one entry per shard)
+            c.shard_pos[i] = trimmed + entries.len(); // vpm-lint: allow(R1, shard_pos has one entry per shard)
         }
         let mut fresh = Vec::new();
         while let Some(e) = c.pending.remove(&c.next_seq) {
@@ -987,29 +1287,46 @@ impl ShardedBus {
                 fresh.push(e);
             }
         }
-        fresh
+        Ok(fresh)
     }
 
     /// Poll of a path-filtered subscription: exactly one shard, and an
     /// idle shard costs one atomic load — no lock, no global sequence
-    /// read.
-    fn poll_path(&self, c: &mut PathCursor) -> Vec<Arc<Published>> {
+    /// read. A cursor whose shard position fell behind the shard's
+    /// reclaimed prefix is a typed [`TransportError::LaggedBehind`]
+    /// (the reclaimed entries *may* have referenced the watched path;
+    /// the transport refuses to guess).
+    fn poll_path(&self, c: &mut PathCursor) -> Result<Vec<Arc<Published>>, TransportError> {
         let shard = &self.shards[c.shard]; // vpm-lint: allow(R1, shard indices are reduced modulo the shard count)
+        if c.pos < shard.trimmed.load(Ordering::Acquire) {
+            return Err(TransportError::LaggedBehind {
+                horizon: self.horizon.load(Ordering::Acquire),
+            });
+        }
         if shard.high_water.load(Ordering::Acquire) <= c.pos {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         self.poll_shard_scans.fetch_add(1, Ordering::Relaxed);
         let entries = shard.entries.read();
-        let mut fresh: Vec<Arc<Published>> = entries[c.pos..] // vpm-lint: allow(R1, c.pos is below high_water, which never exceeds entries.len())
+        // Re-check under the lock: a GC pass may have trimmed past the
+        // cursor between the lock-free check and the lock.
+        let trimmed = shard.trimmed.load(Ordering::Acquire);
+        if c.pos < trimmed {
+            return Err(TransportError::LaggedBehind {
+                horizon: self.horizon.load(Ordering::Acquire),
+            });
+        }
+        let start = (c.pos - trimmed).min(entries.len());
+        let mut fresh: Vec<Arc<Published>> = entries[start..] // vpm-lint: allow(R1, the start index is clamped to the entry count)
             .iter()
             .filter(|e| {
                 e.seq >= c.min_seq && e.paths.contains(&c.path) && e.visible_to(c.requester)
             })
             .cloned()
             .collect();
-        c.pos = entries.len();
+        c.pos = trimmed + entries.len();
         fresh.sort_by_key(|e| e.seq);
-        fresh
+        Ok(fresh)
     }
 
     /// The pre-cursor poll algorithm, kept as a reference: rescan
@@ -1029,13 +1346,14 @@ impl ShardedBus {
             .get_mut(&sub.0)
             .ok_or(TransportError::UnknownSubscription(sub))?;
         let c = match cursor {
-            ShardSub::Path(c) => {
-                let fresh = self.poll_path(c);
-                return Ok(fresh);
-            }
+            ShardSub::Path(c) => return self.poll_path(c),
             ShardSub::Global(c) => c,
         };
         let since = c.next_seq;
+        let horizon = self.horizon.load(Ordering::Acquire);
+        if since < horizon {
+            return Err(TransportError::LaggedBehind { horizon });
+        }
         if self.seq.load(Ordering::Relaxed) <= since {
             return Ok(Vec::new());
         }
@@ -1090,7 +1408,12 @@ impl ReceiptTransport for ShardedBus {
             entries.push(Arc::clone(&published));
             // Published under the write lock, so a poller that sees
             // the new high-water mark and then locks sees the entry.
-            shard.high_water.store(entries.len(), Ordering::Release);
+            // `trimmed` only mutates under this same lock, so the sum
+            // is the consistent logical insert count.
+            let trimmed = shard.trimmed.load(Ordering::Relaxed);
+            shard
+                .high_water
+                .store(trimmed + entries.len(), Ordering::Release);
         }
         // Wake blocked waiters only after every insert completed:
         // path waiters on exactly the shards touched, global waiters
@@ -1150,7 +1473,12 @@ impl ReceiptTransport for ShardedBus {
 
     fn subscribe_path(&self, requester: DomainId, path: &PathId) -> SubscriptionId {
         let shard = self.shard_of_path(path);
-        let pos = self.shards[shard].entries.read().len(); // vpm-lint: allow(R1, shard indices are reduced modulo the shard count)
+        // Start at the logical end of the shard: reclaimed prefix + retained.
+        let pos = {
+            let s = &self.shards[shard]; // vpm-lint: allow(R1, shard indices are reduced modulo the shard count)
+            let entries = s.entries.read();
+            s.trimmed.load(Ordering::Relaxed) + entries.len()
+        };
         self.add_sub(ShardSub::Path(PathCursor {
             requester,
             path: *path,
@@ -1160,15 +1488,23 @@ impl ReceiptTransport for ShardedBus {
         }))
     }
 
+    fn subscribe_from(
+        &self,
+        requester: DomainId,
+        from_seq: u64,
+    ) -> Result<SubscriptionId, TransportError> {
+        ShardedBus::subscribe_from(self, requester, from_seq)
+    }
+
     fn poll(&self, sub: SubscriptionId) -> Result<Vec<Arc<Published>>, TransportError> {
         let mut subs = self.subs.lock();
         let cursor = subs
             .get_mut(&sub.0)
             .ok_or(TransportError::UnknownSubscription(sub))?;
-        Ok(match cursor {
+        match cursor {
             ShardSub::Global(c) => self.poll_global(c),
             ShardSub::Path(c) => self.poll_path(c),
-        })
+        }
     }
 
     fn wait(&self, sub: SubscriptionId, timeout: Duration) -> Result<WaitOutcome, TransportError> {
@@ -1178,6 +1514,9 @@ impl ReceiptTransport for ShardedBus {
             // readiness: a publish that lands between the check and
             // the block moves the count past the snapshot, so
             // `wait_past` returns immediately — no lost wakeup.
+            // Compaction passes bump the same notifiers, so a parked
+            // waiter the GC overran wakes here and surfaces
+            // `LaggedBehind` instead of sleeping on a reclaimed page.
             let (ready, notifier, seen) = {
                 let mut subs = self.subs.lock();
                 let cursor = subs
@@ -1186,11 +1525,20 @@ impl ReceiptTransport for ShardedBus {
                 match cursor {
                     ShardSub::Global(c) => {
                         let seen = self.notify.current();
+                        let horizon = self.horizon.load(Ordering::Acquire);
+                        if c.next_seq < horizon {
+                            return Err(TransportError::LaggedBehind { horizon });
+                        }
                         (self.global_ready(c), &self.notify, seen)
                     }
                     ShardSub::Path(c) => {
                         let shard = &self.shards[c.shard]; // vpm-lint: allow(R1, shard indices are reduced modulo the shard count)
                         let seen = shard.notify.current();
+                        if c.pos < shard.trimmed.load(Ordering::Acquire) {
+                            return Err(TransportError::LaggedBehind {
+                                horizon: self.horizon.load(Ordering::Acquire),
+                            });
+                        }
                         let ready = shard.high_water.load(Ordering::Acquire) > c.pos;
                         (ready, &shard.notify, seen)
                     }
@@ -1224,6 +1572,66 @@ impl ReceiptTransport for ShardedBus {
             .flat_map(|s| s.entries.read().iter().map(|p| p.seq).collect::<Vec<_>>())
             .filter(|&s| seen.insert(s))
             .count()
+    }
+
+    fn compact_before(&self, before_seq: u64) -> Result<CompactionReport, TransportError> {
+        let _pass = self.gc_lock.lock();
+        let cut = before_seq.min(self.seq.load(Ordering::Relaxed));
+        let old = self.horizon.load(Ordering::Acquire);
+        if cut <= old {
+            return Ok(CompactionReport {
+                reclaimed: 0,
+                horizon: old,
+            });
+        }
+        // Raise the horizon before touching any shard: a poller racing
+        // this pass sees a conservative typed `LaggedBehind` (the
+        // entries may still be present for a moment), never a stream
+        // that silently resumed past reclaimed entries.
+        self.horizon.store(cut, Ordering::Release);
+        // Dedup by sequence number: a multi-path entry lives in several
+        // shards but is reclaimed (and folded into its HOP's summary)
+        // once, in global sequence order.
+        let mut dropped: BTreeMap<u64, Arc<Published>> = BTreeMap::new();
+        for shard in &self.shards {
+            let mut entries = shard.entries.write();
+            let before = entries.len();
+            entries.retain(|e| {
+                if e.seq < cut {
+                    dropped.entry(e.seq).or_insert_with(|| Arc::clone(e));
+                    false
+                } else {
+                    true
+                }
+            });
+            let removed = before - entries.len();
+            // Mutated under the shard write lock; `high_water` (a
+            // logical count) is deliberately untouched.
+            shard.trimmed.fetch_add(removed, Ordering::Release);
+        }
+        fold_summaries(&self.summaries, dropped.values());
+        // The horizon, trims, and summaries are all published; release
+        // the pass guard before waking waiters so wakeups never
+        // serialize behind a concurrent GC pass.
+        drop(_pass);
+        // Wake every parked waiter so cursors the pass overran report
+        // `LaggedBehind` now, not at their next timeout.
+        for shard in &self.shards {
+            shard.notify.bump();
+        }
+        self.notify.bump();
+        Ok(CompactionReport {
+            reclaimed: dropped.len() as u64,
+            horizon: cut,
+        })
+    }
+
+    fn horizon(&self) -> Result<u64, TransportError> {
+        Ok(self.horizon.load(Ordering::Acquire))
+    }
+
+    fn summaries(&self) -> Result<Vec<IntervalSummary>, TransportError> {
+        Ok(self.summaries.read().clone())
     }
 }
 
@@ -1931,13 +2339,15 @@ mod tests {
             );
         }
         let resume = seqs[4];
-        let sub = bus.subscribe_from(DomainId(0), resume);
+        let sub = bus.subscribe_from(DomainId(0), resume).unwrap();
         let got: Vec<u64> = bus.poll(sub).unwrap().iter().map(|p| p.seq).collect();
         assert_eq!(got, seqs[4..], "global resume replays seq >= resume once");
         assert!(bus.poll(sub).unwrap().is_empty());
 
         // Path resume: only path-1 entries (hop 1) at-or-past resume.
-        let psub = bus.subscribe_path_from(DomainId(0), &path(1), resume);
+        let psub = bus
+            .subscribe_path_from(DomainId(0), &path(1), resume)
+            .unwrap();
         let got: Vec<u64> = bus.poll(psub).unwrap().iter().map(|p| p.seq).collect();
         let expect: Vec<u64> = seqs[4..].iter().copied().step_by(2).collect();
         assert_eq!(got, expect, "path resume filters below the resume seq");
@@ -1945,11 +2355,229 @@ mod tests {
 
         // A future resume point clamps to "now": nothing is replayed,
         // and the next publish is delivered normally.
-        let ahead = bus.subscribe_from(DomainId(0), u64::MAX);
+        let ahead = bus.subscribe_from(DomainId(0), u64::MAX).unwrap();
         assert!(bus.poll(ahead).unwrap().is_empty());
         let (b, _) = batch(HopId(1), 99, 1);
         bus.publish(DomainId(1), frame(&b), vec![DomainId(0), DomainId(1)])
             .unwrap();
         assert_eq!(bus.poll(ahead).unwrap().len(), 1);
+    }
+
+    /// The retention contract, exercised identically on both buses:
+    /// compaction reclaims a prefix into per-HOP summaries and raises
+    /// the horizon; caught-up cursors stream on seamlessly; lagging
+    /// cursors get a sticky typed error; the boundary is exact.
+    fn retention_suite(t: &dyn ReceiptTransport) {
+        let on = vec![DomainId(0), DomainId(1)];
+        for h in [5u16, 6] {
+            let (_, key) = batch(HopId(h), 0, 1);
+            t.register_key(HopId(h), key).unwrap();
+        }
+        // Publish `i` as hop 5/6 alternating, on paths 0/1 alternating.
+        let pub_i = |i: u64| {
+            let hop = HopId(5 + (i % 2) as u16);
+            let (b, _) = batch(hop, i, (i % 2) as u8);
+            t.publish(DomainId(1), frame(&b), on.clone()).unwrap()
+        };
+        for i in 0..6 {
+            pub_i(i);
+        }
+        assert_eq!(t.horizon(), Ok(0));
+        assert!(t.summaries().unwrap().is_empty());
+
+        let caught = t.subscribe(DomainId(0));
+        let lagging = t.subscribe(DomainId(0));
+        let lagging_path = t.subscribe_path(DomainId(0), &path(0));
+        for i in 6..10 {
+            pub_i(i);
+        }
+        assert_eq!(t.poll(caught).unwrap().len(), 4);
+
+        // Reclaim everything below sequence number 8.
+        assert_eq!(
+            t.compact_before(8),
+            Ok(CompactionReport {
+                reclaimed: 8,
+                horizon: 8
+            })
+        );
+        assert_eq!(t.horizon(), Ok(8));
+        assert_eq!(t.len(), 2, "only the suffix is retained");
+        // The horizon is monotone: a lower cut is a no-op.
+        assert_eq!(
+            t.compact_before(4),
+            Ok(CompactionReport {
+                reclaimed: 0,
+                horizon: 8
+            })
+        );
+
+        // The caught-up cursor is unaffected…
+        assert!(t.poll(caught).unwrap().is_empty());
+        // …the cursors the pass overran get the typed error — sticky
+        // on every entry point until the subscription is dropped.
+        let lagged = Err(TransportError::LaggedBehind { horizon: 8 });
+        assert_eq!(t.poll(lagging), lagged);
+        assert_eq!(
+            t.poll(lagging),
+            lagged,
+            "the error repeats, no silent resume"
+        );
+        assert_eq!(
+            t.wait(lagging, Duration::from_millis(10)),
+            Err(TransportError::LaggedBehind { horizon: 8 })
+        );
+        assert_eq!(t.poll(lagging_path), lagged, "path cursors lag too");
+        t.unsubscribe(lagging).unwrap();
+        t.unsubscribe(lagging_path).unwrap();
+
+        // The pass left per-HOP digests of exactly the reclaimed
+        // prefix: hop 5 published seqs 0,2,4,6 and hop 6 seqs 1,3,5,7,
+        // each frame carrying 1 sample + 1 aggregate of 100 packets.
+        let sums = t.summaries().unwrap();
+        assert_eq!(sums.len(), 2, "one summary per HOP per pass");
+        assert_eq!(
+            (sums[0].hop, sums[0].first_seq, sums[0].last_seq),
+            (HopId(5), 0, 6)
+        );
+        assert_eq!(
+            (sums[1].hop, sums[1].first_seq, sums[1].last_seq),
+            (HopId(6), 1, 7)
+        );
+        for s in &sums {
+            assert_eq!((s.frames, s.samples, s.aggregates), (4, 4, 4));
+            assert_eq!(s.pkt_cnt, 400);
+            assert_ne!(s.digest, 0, "the digest binds the reclaimed bytes");
+        }
+
+        // Compaction exactly at the epoch boundary: a cut at the next
+        // publish sequence reclaims everything, and the caught-up
+        // cursor sits exactly on the horizon — polling empty, timing
+        // out, never lagging.
+        pub_i(10);
+        assert_eq!(t.poll(caught).unwrap().len(), 1);
+        assert_eq!(
+            t.compact_before(u64::MAX),
+            Ok(CompactionReport {
+                reclaimed: 3,
+                horizon: 11
+            }),
+            "a future cut clamps to the publish sequence"
+        );
+        assert_eq!(t.len(), 0);
+        assert!(t.is_empty());
+        assert!(t.poll(caught).unwrap().is_empty());
+        assert_eq!(
+            t.wait(caught, Duration::from_millis(10)),
+            Ok(WaitOutcome::TimedOut)
+        );
+        // The stream continues seamlessly past the boundary.
+        pub_i(11);
+        let got = t.poll(caught).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].seq, 11);
+        assert_eq!(
+            t.summaries().unwrap().len(),
+            4,
+            "the second pass appended its own per-HOP summaries"
+        );
+        t.unsubscribe(caught).unwrap();
+    }
+
+    #[test]
+    fn in_memory_bus_passes_the_retention_suite() {
+        retention_suite(&InMemoryBus::new());
+    }
+
+    #[test]
+    fn sharded_bus_passes_the_retention_suite_for_1_4_16_shards() {
+        for shards in [1, 4, 16] {
+            retention_suite(&ShardedBus::new(shards));
+        }
+    }
+
+    /// Summaries — counts, sequence ranges, and chained digests — must
+    /// not depend on the backend or shard count: compaction folds in
+    /// global sequence order everywhere.
+    #[test]
+    fn summaries_are_identical_across_transports() {
+        let make: Vec<Box<dyn Fn() -> Box<dyn ReceiptTransport>>> = vec![
+            Box::new(|| Box::new(InMemoryBus::new())),
+            Box::new(|| Box::new(ShardedBus::new(1))),
+            Box::new(|| Box::new(ShardedBus::new(4))),
+            Box::new(|| Box::new(ShardedBus::new(16))),
+        ];
+        let mut all: Vec<Vec<IntervalSummary>> = Vec::new();
+        for mk in &make {
+            let t = mk();
+            for i in 0..12u64 {
+                let hop = HopId(4 + (i % 3) as u16);
+                let (b, key) = batch(hop, i, (i % 5) as u8);
+                t.register_key(hop, key).unwrap();
+                t.publish(DomainId(1), frame(&b), vec![DomainId(1), DomainId(2)])
+                    .unwrap();
+            }
+            t.compact_before(5).unwrap();
+            t.compact_before(9).unwrap();
+            all.push(t.summaries().unwrap());
+        }
+        for s in &all[1..] {
+            assert_eq!(s, &all[0], "summaries must be backend-independent");
+        }
+    }
+
+    /// The GC edge case the ISSUE names: a subscriber parked in
+    /// `wait()` across a compaction pass must wake with the typed
+    /// `LaggedBehind`, not a stale page and not a timeout.
+    #[test]
+    fn a_waiter_parked_across_a_gc_pass_wakes_lagged_not_stale() {
+        let bus = ShardedBus::new(4);
+        let (b, key) = batch(HopId(3), 0, 1);
+        bus.register_key(HopId(3), key).unwrap();
+        // A hole at seq 0 parks the global cursor: the entry at seq 1
+        // is polled into the reorder buffer but never released, so the
+        // waiter genuinely blocks.
+        bus.claim_seq_and_die();
+        bus.publish(DomainId(1), frame(&b), vec![DomainId(0), DomainId(1)])
+            .unwrap();
+        let sub = bus.subscribe_from(DomainId(0), 0).unwrap();
+        assert!(bus.poll(sub).unwrap().is_empty(), "parked behind the hole");
+        std::thread::scope(|s| {
+            let bus = &bus;
+            let waiter = s.spawn(move || bus.wait(sub, Duration::from_secs(10)));
+            std::thread::sleep(Duration::from_millis(30));
+            // GC deliberately moves the horizon past the hole while
+            // the waiter is blocked.
+            assert_eq!(
+                bus.compact_before(2),
+                Ok(CompactionReport {
+                    reclaimed: 1,
+                    horizon: 2
+                })
+            );
+            assert_eq!(
+                waiter.join().unwrap(),
+                Err(TransportError::LaggedBehind { horizon: 2 }),
+                "the GC pass must wake the parked waiter with the typed error"
+            );
+        });
+        bus.unsubscribe(sub).unwrap();
+        // Resuming below the horizon is refused; resuming at it works,
+        // which is also how a stream stuck on a dead publisher's hole
+        // gets unstuck.
+        assert_eq!(
+            bus.subscribe_from(DomainId(0), 1),
+            Err(TransportError::LaggedBehind { horizon: 2 })
+        );
+        assert_eq!(
+            bus.subscribe_path_from(DomainId(0), &path(1), 0),
+            Err(TransportError::LaggedBehind { horizon: 2 })
+        );
+        let sub2 = bus.subscribe_from(DomainId(0), 2).unwrap();
+        let (b2, _) = batch(HopId(3), 1, 1);
+        bus.publish(DomainId(1), frame(&b2), vec![DomainId(0), DomainId(1)])
+            .unwrap();
+        assert_eq!(bus.poll(sub2).unwrap().len(), 1);
+        bus.unsubscribe(sub2).unwrap();
     }
 }

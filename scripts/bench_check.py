@@ -3,9 +3,9 @@
 shares the bench schema, and (when a baseline is available) that
 throughput has not regressed against the previous run's artifacts.
 
-All three measured harnesses (`vpm bench-collector`, `vpm bench-wire`,
-`vpm bench-verifier`) serialize the same shape so the artifacts can be
-tracked as one performance trajectory:
+All four measured harnesses (`vpm bench-collector`, `vpm bench-wire`,
+`vpm bench-verifier`, `vpm bench-audit`) serialize the same shape so
+the artifacts can be tracked as one performance trajectory:
 
     {
       "config":  { ... workload shape ... },
@@ -22,6 +22,10 @@ plane is part of the wire bench's contract, not an optional extra.
 `BENCH_verifier.json` must carry the idle-consumer summaries
 (`idle_*_polls_per_publish` / `idle_poll_reduction`): blocking waits
 vs spin-polls is part of the verifier bench's contract.
+`BENCH_audit.json` must carry the continuous-operation variants
+(streaming audit, GC reclaim, checkpoint codec both ways) and the
+GC/checkpoint summaries: bounded memory is part of the audit bench's
+contract.
 
 Trend gate (`--baseline DIR`) — DIR is searched recursively for a file
 with the same basename as each checked artifact (the layout
@@ -44,6 +48,7 @@ DEFAULT_ARTIFACTS = [
     "BENCH_collector.json",
     "BENCH_wire.json",
     "BENCH_verifier.json",
+    "BENCH_audit.json",
 ]
 
 # A new run may be this much slower than the baseline before the gate
@@ -72,6 +77,21 @@ REQUIRED_VERIFIER_SUMMARIES = (
     "idle_spin_polls_per_publish",
     "idle_wait_polls_per_publish",
     "idle_poll_reduction",
+)
+
+# The audit bench must measure every continuous-operation claim: the
+# end-to-end streaming audit, GC reclaim, and the checkpoint codec
+# round-trip, plus the bounded-memory summaries.
+REQUIRED_AUDIT_VARIANTS = (
+    "audit_intervals",
+    "gc_reclaim",
+    "checkpoint_encode",
+    "checkpoint_restore",
+)
+REQUIRED_AUDIT_SUMMARIES = (
+    "gc_reclaimed_per_pass",
+    "checkpoint_bytes",
+    "audit_max_entries",
 )
 
 
@@ -152,6 +172,20 @@ def check_schema(path: str, report: dict) -> dict:
             fail(
                 f"{path}: idle-consumer summaries missing from the "
                 f"verifier bench: {', '.join(missing)}"
+            )
+
+    if os.path.basename(path) == "BENCH_audit.json":
+        missing = [v for v in REQUIRED_AUDIT_VARIANTS if v not in by_name]
+        if missing:
+            fail(
+                f"{path}: continuous-operation variants missing from "
+                f"the audit bench: {', '.join(missing)}"
+            )
+        missing = [s for s in REQUIRED_AUDIT_SUMMARIES if s not in report]
+        if missing:
+            fail(
+                f"{path}: GC/checkpoint summaries missing from the "
+                f"audit bench: {', '.join(missing)}"
             )
 
     print(f"bench_check: {path}: {len(by_name)} variants, schema OK")

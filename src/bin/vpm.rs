@@ -11,6 +11,17 @@
 //! vpm serve [--listen ADDR] [--shards S]
 //!                                    serve a sharded receipt bus over TCP
 //!                                    (the out-of-process dissemination plane)
+//! vpm audit [--paths N] [--intervals N] [--shards S] [--gc-every N]
+//!           [--checkpoint-every N] [--restart-at K] [--seed S]
+//!           [--assert-flat] [--json]
+//!                                    run the long-horizon streaming audit
+//!                                    under churn with epoch GC and
+//!                                    checkpointable verification; --json
+//!                                    prints the restart-invariant verdict
+//! vpm bench-audit [--paths N] [--intervals N] [--shards S] [--gc-every N]
+//!                 [--checkpoint-paths P] [--repeats R] [--json]
+//!                                    measure audit throughput, GC reclaim
+//!                                    rate, and checkpoint codec cost
 //! vpm bench-collector [--packets N] [--paths P] [--batch B] [--repeats R] [--json]
 //!                                    measure the collector hot path
 //! vpm bench-wire [--receipts N] [--records N] [--aggs N] [--window W]
@@ -26,7 +37,8 @@
 //!                                    run the in-tree invariant analyzer
 //!                                    (R1 panic-freedom, R2 determinism,
 //!                                    R3 lock discipline, R4 wire-constant
-//!                                    drift, R5 error-variant reachability);
+//!                                    drift, R5 error-variant reachability,
+//!                                    R6 shim-surface drift);
 //!                                    exit 1 on any violation
 //! vpm fig2 [secs] [seed] [n_seeds]   regenerate Figure 2
 //! vpm fig3 [secs] [seed]             regenerate Figure 3
@@ -68,6 +80,24 @@ fn print_usage() {
                                                 127.0.0.1:0 picks a free port,\n\
                                                 printed on startup); MAC/key-epoch\n\
                                                 checks run server-side\n\
+           audit [--paths N] [--intervals N] [--shards S] [--gc-every N]\n\
+                 [--checkpoint-every N] [--restart-at K] [--seed S]\n\
+                 [--assert-flat] [--json]\n\
+                                                follow a churning fleet for N reporting\n\
+                                                intervals with a streaming verifier:\n\
+                                                epoch GC below the audit cursor,\n\
+                                                periodic checkpoints, optional\n\
+                                                stop/restore at interval K; --json\n\
+                                                prints the restart-invariant verdict,\n\
+                                                --assert-flat fails (exit 1) if bus\n\
+                                                entries or RSS grow\n\
+           bench-audit [--paths N] [--intervals N] [--shards S]\n\
+                       [--gc-every N] [--checkpoint-paths P]\n\
+                       [--repeats R] [--json]\n\
+                                                measure streaming-audit intervals/s,\n\
+                                                GC reclaim rate, and checkpoint\n\
+                                                encode/restore cost; write\n\
+                                                BENCH_audit.json\n\
            bench-collector [--packets N] [--paths P] [--batch B]\n\
                            [--repeats R] [--json]\n\
                                                 measure collector hot-path ns/packet and\n\
@@ -91,8 +121,9 @@ fn print_usage() {
                                                 run the workspace invariant analyzer\n\
                                                 (R1 panic-freedom, R2 determinism, R3\n\
                                                 lock discipline, R4 wire-constant\n\
-                                                drift, R5 error-variant reachability);\n\
-                                                exit 1 on violations, 2 on bad usage\n\
+                                                drift, R5 error-variant reachability,\n\
+                                                R6 shim-surface drift); exit 1 on\n\
+                                                violations, 2 on bad usage\n\
            fig2 [secs=2] [seed=1] [n_seeds=3]   Figure 2 (delay accuracy)\n\
            fig3 [secs=20] [seed=1]              Figure 3 (loss granularity)\n\
            verifiability [secs=2] [seed=1]      §7.2 verification sweep\n\
@@ -430,6 +461,179 @@ fn bench_verifier(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Parse and run `vpm audit [--paths N] [--intervals N] [--shards S]
+/// [--gc-every N] [--checkpoint-every N] [--restart-at K] [--seed S]
+/// [--assert-flat] [--json]`.
+fn audit(args: &[String]) -> ExitCode {
+    let mut cfg = vpm::sim::audit::AuditConfig::default();
+    let mut json = false;
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            "--assert-flat" => {
+                cfg.assert_flat = true;
+                i += 1;
+            }
+            "--paths" | "--intervals" | "--shards" | "--gc-every" | "--checkpoint-every"
+            | "--restart-at" | "--seed" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("vpm: {flag} needs a number");
+                    return usage();
+                };
+                let Ok(parsed) = v.parse::<u64>() else {
+                    eprintln!("vpm: {flag} value '{v}' is not a non-negative integer");
+                    return usage();
+                };
+                match flag {
+                    "--paths" => {
+                        if parsed == 0 || parsed > vpm::sim::audit::workload::MAX_AUDIT_PATHS as u64
+                        {
+                            eprintln!(
+                                "vpm: --paths must be 1..={}",
+                                vpm::sim::audit::workload::MAX_AUDIT_PATHS
+                            );
+                            return usage();
+                        }
+                        cfg.paths = parsed as usize;
+                    }
+                    "--intervals" => cfg.intervals = parsed,
+                    "--shards" => {
+                        if parsed == 0 {
+                            eprintln!("vpm: --shards must be positive");
+                            return usage();
+                        }
+                        cfg.shards = parsed as usize;
+                    }
+                    "--gc-every" => cfg.gc_every = parsed,
+                    "--checkpoint-every" => cfg.checkpoint_every = parsed,
+                    "--restart-at" => cfg.restart_at = Some(parsed),
+                    _ => cfg.seed = parsed,
+                }
+                i += 2;
+            }
+            other => {
+                eprintln!("vpm: unknown audit option '{other}'");
+                return usage();
+            }
+        }
+    }
+
+    let outcome = match vpm::sim::audit::run_audit(&cfg) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("vpm: audit failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if json {
+        // The verdict alone: deterministic in the seed and invariant
+        // under checkpoint/restart, so the CI byte-identity gate can
+        // `cmp` two runs directly. Stats (timings, RSS) stay out.
+        match serde_json::to_string(&outcome.verdict) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("vpm: cannot serialize audit verdict: {e:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let v = &outcome.verdict;
+        let s = &outcome.stats;
+        println!(
+            "audit: {} intervals over {} paths ({} shards), seed {:#x}",
+            v.intervals, cfg.paths, cfg.shards, cfg.seed
+        );
+        println!(
+            "  verdicts: {} path-intervals audited, {} flagged, {} paths seen",
+            v.audited_intervals,
+            v.flagged_intervals,
+            v.paths.len()
+        );
+        println!(
+            "  bus: {} publishes, {} reclaimed over {} GC passes, peak {} retained, {} at end",
+            s.publishes, s.reclaimed, s.gc_passes, s.max_entries, s.final_entries
+        );
+        println!(
+            "  checkpoints: {} taken ({} bytes last), {} restarts, {} summary records",
+            s.checkpoints, s.checkpoint_bytes, s.restarts, s.summary_records
+        );
+        if let (Some(base), Some(end)) = (s.rss_baseline_kb, s.rss_end_kb) {
+            println!("  rss: {base} KiB after warmup, {end} KiB at end");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Parse and run `vpm bench-audit [--paths N] [--intervals N]
+/// [--shards S] [--gc-every N] [--checkpoint-paths P] [--repeats R]
+/// [--json]`.
+fn bench_audit(args: &[String]) -> ExitCode {
+    let mut cfg = vpm::bench::audit_bench::AuditBenchConfig::default();
+    let mut json = false;
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            "--paths" | "--intervals" | "--shards" | "--gc-every" | "--checkpoint-paths"
+            | "--repeats" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("vpm: {flag} needs a number");
+                    return usage();
+                };
+                let parsed = match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("vpm: {flag} value '{v}' is not a positive integer");
+                        return usage();
+                    }
+                };
+                match flag {
+                    "--paths" => cfg.paths = parsed,
+                    "--intervals" => cfg.intervals = parsed as u64,
+                    "--shards" => cfg.shards = parsed,
+                    "--gc-every" => cfg.gc_every = parsed as u64,
+                    "--checkpoint-paths" => cfg.checkpoint_paths = parsed,
+                    _ => cfg.repeats = parsed,
+                }
+                i += 2;
+            }
+            other => {
+                eprintln!("vpm: unknown bench-audit option '{other}'");
+                return usage();
+            }
+        }
+    }
+
+    let report = vpm::bench::audit_bench::run(&cfg);
+    let serialized = match serde_json::to_string(&report) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("vpm: cannot serialize bench report: {e:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write("BENCH_audit.json", &serialized) {
+        eprintln!("vpm: cannot write BENCH_audit.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    if json {
+        println!("{serialized}");
+    } else {
+        print!("{}", vpm::bench::audit_bench::render_table(&report));
+        println!("wrote BENCH_audit.json");
+    }
+    ExitCode::SUCCESS
+}
+
 /// Parse and run `vpm bench-collector [--packets N] [--paths P]
 /// [--batch B] [--json]`.
 fn bench_collector(args: &[String]) -> ExitCode {
@@ -586,7 +790,7 @@ fn lint(args: &[String]) -> ExitCode {
             }
             "--rule" => {
                 let Some(v) = args.get(i + 1) else {
-                    eprintln!("vpm: --rule needs a rule ID (R1..R5)");
+                    eprintln!("vpm: --rule needs a rule ID (R1..R6)");
                     return usage();
                 };
                 if !vpm::lint::RULE_IDS.contains(&v.as_str()) {
@@ -662,6 +866,8 @@ fn main() -> ExitCode {
         "matrix" => return matrix(&args),
         "fleet" => return fleet(&args),
         "serve" => return serve(&args),
+        "audit" => return audit(&args),
+        "bench-audit" => return bench_audit(&args),
         "bench-collector" => return bench_collector(&args),
         "bench-wire" => return bench_wire(&args),
         "bench-verifier" => return bench_verifier(&args),

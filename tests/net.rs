@@ -209,6 +209,77 @@ fn a_mid_stream_disconnect_resumes_the_cursor_without_duplicates_or_skips() {
     server.shutdown();
 }
 
+/// Satellite regression: the server GCs past a disconnected client's
+/// resume point. The reconnect must NOT silently resume above the
+/// horizon (skipping reclaimed frames) — it surfaces the typed
+/// `LaggedBehind`, and a fresh subscription still works.
+#[test]
+fn a_gc_pass_during_a_disconnect_surfaces_lagged_behind_typed() {
+    let bus = Arc::new(ShardedBus::new(8));
+    let mut server = TcpServer::bind("127.0.0.1:0", bus.clone()).expect("bind loopback");
+    let client = TcpTransport::connect(server.local_addr().to_string()).expect("connect");
+    let key = hop_key(HopId(5));
+    client.register_key(HopId(5), key).unwrap();
+
+    let encode = |seq: u64| {
+        WireEncoder::new(Profile::Precise)
+            .encode_signed(&batch(HopId(5), seq, 1), &key, KeyEpoch(0))
+            .unwrap()
+    };
+    let sub = client.subscribe(DomainId(0));
+    for seq in 0..5 {
+        client
+            .publish(DomainId(2), encode(seq), vec![DomainId(0), DomainId(2)])
+            .unwrap();
+    }
+    assert_eq!(client.poll(sub).unwrap().len(), 5, "cursor now at seq 5");
+
+    // Kill the TCP connection under the client; while it is away the
+    // bus keeps moving and a server-side GC pass reclaims everything
+    // below seq 10 — including the suffix the client's resume owes.
+    client.break_connection();
+    for seq in 5..10 {
+        bus.publish(DomainId(2), encode(seq), vec![DomainId(0), DomainId(2)])
+            .unwrap();
+    }
+    let report = bus.compact_before(10).unwrap();
+    assert_eq!(report.horizon, 10);
+    assert!(report.reclaimed > 0);
+
+    // The next poll reconnects and re-subscribes at resume point 5 —
+    // which the server must refuse, typed, with the live horizon. A
+    // silent resume at 10 would have skipped frames 5..10 forever.
+    match client.poll(sub) {
+        Err(TransportError::LaggedBehind { horizon }) => assert_eq!(horizon, 10),
+        other => panic!("expected LaggedBehind, got {other:?}"),
+    }
+    // The refusal is not transient: the resume point cannot heal.
+    assert!(matches!(
+        client.poll(sub),
+        Err(TransportError::LaggedBehind { .. })
+    ));
+    // `wait` on the lagged subscription refuses the same way rather
+    // than blocking for frames that can never be delivered.
+    assert!(matches!(
+        client.wait(sub, Duration::from_millis(50)),
+        Err(TransportError::LaggedBehind { .. })
+    ));
+
+    // The client itself is fine: a fresh subscription (at "now") and
+    // new traffic flow normally, and the horizon is visible remotely.
+    let fresh = client.subscribe(DomainId(0));
+    client
+        .publish(DomainId(2), encode(10), vec![DomainId(0), DomainId(2)])
+        .unwrap();
+    let seqs: Vec<u64> = client.poll(fresh).unwrap().iter().map(|p| p.seq).collect();
+    assert_eq!(seqs, vec![10]);
+    assert_eq!(client.horizon().unwrap(), 10);
+
+    client.unsubscribe(fresh).unwrap();
+    client.unsubscribe(sub).unwrap();
+    server.shutdown();
+}
+
 #[test]
 fn forged_frames_are_refused_server_side_with_typed_errors() {
     let (mut server, client) = serve();
