@@ -25,7 +25,7 @@ use vpm_bench::collector_bench::{
     build_workload, mk_collector as mk_collector_multi, CollectorBenchConfig,
 };
 use vpm_core::receipt::PathId;
-use vpm_core::{Collector, HopConfig};
+use vpm_core::{Collector, HopConfig, Ingest};
 use vpm_hash::{Digest, DEFAULT_DIGEST_SEED};
 use vpm_packet::{DomainId, HopId, SimDuration, SimTime};
 
@@ -44,6 +44,11 @@ fn mk_collector() -> Collector {
     c
 }
 
+// The per-packet rows below deliberately stay on the deprecated
+// `observe`/`observe_digest` surface: they track the historical
+// per-packet architecture across releases and their measured
+// semantics must not move.
+#[allow(deprecated)]
 fn bench_observe_full(c: &mut Criterion) {
     let trace = bench_trace(200, 1);
     let mut g = c.benchmark_group("collector");
@@ -63,6 +68,7 @@ fn bench_observe_full(c: &mut Criterion) {
     g.finish();
 }
 
+#[allow(deprecated)]
 fn bench_observe_digest_fastpath(c: &mut Criterion) {
     // Pre-classified, pre-digested: the pure Algorithm 1 + Algorithm 2
     // data-plane cost (what a NetFlow-style engine would run).
@@ -91,7 +97,8 @@ fn bench_observe_digest_fastpath(c: &mut Criterion) {
             mk_collector,
             |mut col| {
                 for chunk in triples.chunks(4096) {
-                    col.observe_batch(chunk);
+                    let report = col.ingest(chunk);
+                    debug_assert!(report.is_clean());
                 }
                 col
             },
@@ -101,11 +108,13 @@ fn bench_observe_digest_fastpath(c: &mut Criterion) {
     g.finish();
 }
 
+#[allow(deprecated)]
 fn bench_observe_200paths(c: &mut Criterion) {
     let cfg = CollectorBenchConfig {
         packets: 40_000,
         paths: 200,
         batch: 4096,
+        shards: 2,
         repeats: 1,
     };
     let w = build_workload(&cfg);
@@ -162,7 +171,8 @@ fn bench_observe_200paths(c: &mut Criterion) {
             || mk_collector_multi(&w),
             |mut col| {
                 for chunk in triples.chunks(cfg.batch) {
-                    col.observe_batch(chunk);
+                    let report = col.ingest(chunk);
+                    debug_assert!(report.is_clean());
                 }
                 col
             },
@@ -179,9 +189,15 @@ fn bench_report_cycle(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let mut col = mk_collector();
-                for tp in &trace {
-                    col.observe(&tp.packet, tp.ts);
-                }
+                let batch: Vec<(usize, Digest, SimTime)> = trace
+                    .iter()
+                    .filter_map(|tp| {
+                        col.classify(&tp.packet)
+                            .map(|idx| (idx, tp.packet.digest(), tp.ts))
+                    })
+                    .collect();
+                let report = col.ingest(&batch);
+                debug_assert!(report.is_clean());
                 col.flush();
                 (col, vpm_core::Processor::new(HopId(4)))
             },

@@ -7,7 +7,7 @@ use vpm_bench::{banner, bench_trace};
 use vpm_core::overhead;
 use vpm_core::receipt::PathId;
 use vpm_core::verify::{join_aggregates, match_samples};
-use vpm_core::{Collector, HopConfig, Processor};
+use vpm_core::{Collector, HopConfig, Ingest, Processor};
 use vpm_packet::{DomainId, HopId, SimDuration};
 
 fn regenerate() {
@@ -51,11 +51,16 @@ fn hop_outputs() -> HopData {
     };
     let (mut c4, mut p4) = mk(4);
     let (mut c5, mut p5) = mk(5);
-    for tp in &trace {
-        let d = tp.packet.digest();
-        c4.observe_digest(0, d, tp.ts);
-        c5.observe_digest(0, d, tp.ts + SimDuration::from_micros(300));
-    }
+    let batch4: Vec<_> = trace
+        .iter()
+        .map(|tp| (0usize, tp.packet.digest(), tp.ts))
+        .collect();
+    let batch5: Vec<_> = batch4
+        .iter()
+        .map(|&(idx, d, t)| (idx, d, t + SimDuration::from_micros(300)))
+        .collect();
+    assert!(c4.ingest(&batch4).is_clean());
+    assert!(c5.ingest(&batch5).is_clean());
     c4.flush();
     c5.flush();
     let b4 = p4.report(&mut c4);

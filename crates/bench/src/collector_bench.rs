@@ -8,7 +8,13 @@
 //! collector's classification/digest/update variants and reports
 //! ns/packet and Mpps per variant, including a reconstruction of the
 //! pre-index linear-scan hot path so the before/after is visible in
-//! one run. `vpm bench-collector` serializes the report to
+//! one run. Three rows probe the current architecture's ceilings: the
+//! multi-lane SIMD digest kernel against its scalar twin
+//! (`digest_batch_scalar` / `digest_batch_words`), the sharded
+//! multi-core plane against the single-core batch path
+//! (`ingest_sharded`), and the paper's 100,000-path regime
+//! (`classify_paper_scale` / `ingest_paper_scale`).
+//! `vpm bench-collector` serializes the report to
 //! `BENCH_collector.json`, seeding the repo's performance trajectory.
 
 use std::net::Ipv4Addr;
@@ -16,12 +22,21 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 use vpm_core::receipt::PathId;
-use vpm_core::{Collector, HopConfig};
+use vpm_core::{Collector, HopConfig, Ingest, ShardedCollector};
 use vpm_hash::{Digest, DEFAULT_DIGEST_SEED};
 use vpm_packet::{
     ipv4, DomainId, HeaderSpec, HopId, Ipv4Header, Ipv4Prefix, Packet, SimDuration, SimTime,
     Transport, UdpHeader, DIGEST_INPUT_WORDS,
 };
+
+/// The paper's target classifier fan-out (§7.1 sizes per-path state
+/// for a 100,000-path router); the `*_paper_scale` variants always run
+/// at this path count regardless of `--paths`.
+pub const PAPER_SCALE_PATHS: usize = 100_000;
+
+fn default_shards() -> usize {
+    4
+}
 
 /// Workload shape for one collector benchmark run.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -32,6 +47,10 @@ pub struct CollectorBenchConfig {
     pub paths: usize,
     /// Batch size for the batched variants.
     pub batch: usize,
+    /// Shard count for the `ingest_sharded` variant (per-core
+    /// collectors; size to the worker cores under test).
+    #[serde(default = "default_shards")]
+    pub shards: usize,
     /// Timed repetitions per variant (the minimum is reported).
     pub repeats: usize,
 }
@@ -45,6 +64,7 @@ impl Default for CollectorBenchConfig {
             // still leaves ~20-packet per-path partitions to amortize
             // over.
             batch: 4096,
+            shards: default_shards(),
             repeats: 3,
         }
     }
@@ -78,6 +98,19 @@ pub struct CollectorBenchReport {
     /// rebuilt data plane (index + slice digest + batch) against the
     /// pre-index per-packet architecture doing the same work.
     pub hot_path_speedup: f64,
+    /// `digest_batch_scalar / digest_batch_words` — the multi-lane
+    /// SIMD digest kernel against the scalar loop on identical blocks
+    /// (both rows include word-block extraction, so the ratio isolates
+    /// the kernel swap).
+    #[serde(default)]
+    pub simd_digest_speedup: f64,
+    /// `observe_batch_prehashed / ingest_sharded` — the sharded
+    /// multi-core plane against the single-core batch path on the same
+    /// triples. Below 1.0 on a single-core box (partition + spawn
+    /// overhead with nothing to run in parallel); grows with worker
+    /// cores.
+    #[serde(default)]
+    pub sharded_speedup: f64,
 }
 
 /// The benchmark workload: registered path specs plus a packet stream
@@ -93,14 +126,22 @@ pub struct Workload {
     pub path_idx: Vec<usize>,
 }
 
+fn src_addr(p: usize) -> Ipv4Addr {
+    Ipv4Addr::new(10, (p >> 16) as u8, (p >> 8) as u8, p as u8)
+}
+
+fn dst_addr(p: usize) -> Ipv4Addr {
+    Ipv4Addr::new(20, (p >> 16) as u8, (p >> 8) as u8, p as u8)
+}
+
 /// Build the deterministic benchmark workload.
 pub fn build_workload(cfg: &CollectorBenchConfig) -> Workload {
-    assert!(cfg.paths > 0 && cfg.paths <= u16::MAX as usize + 1);
+    assert!(cfg.paths > 0 && cfg.paths <= 1 << 24);
     let specs: Vec<HeaderSpec> = (0..cfg.paths)
         .map(|p| {
             HeaderSpec::new(
-                Ipv4Prefix::new(Ipv4Addr::new(10, (p >> 8) as u8, p as u8, 1), 32).unwrap(),
-                Ipv4Prefix::new(Ipv4Addr::new(20, (p >> 8) as u8, p as u8, 1), 32).unwrap(),
+                Ipv4Prefix::new(src_addr(p), 32).unwrap(),
+                Ipv4Prefix::new(dst_addr(p), 32).unwrap(),
             )
         })
         .collect();
@@ -109,12 +150,7 @@ pub fn build_workload(cfg: &CollectorBenchConfig) -> Workload {
     let mut path_idx = Vec::with_capacity(cfg.packets);
     for i in 0..cfg.packets {
         let p = i % cfg.paths;
-        let mut ip = Ipv4Header::simple(
-            Ipv4Addr::new(10, (p >> 8) as u8, p as u8, 1),
-            Ipv4Addr::new(20, (p >> 8) as u8, p as u8, 1),
-            ipv4::PROTO_UDP,
-            428,
-        );
+        let mut ip = Ipv4Header::simple(src_addr(p), dst_addr(p), ipv4::PROTO_UDP, 428);
         ip.id = i as u16;
         packets.push(Packet {
             seq: i as u64,
@@ -137,26 +173,44 @@ pub fn build_workload(cfg: &CollectorBenchConfig) -> Workload {
     }
 }
 
+fn path_of(spec: HeaderSpec) -> PathId {
+    PathId {
+        spec,
+        prev_hop: Some(HopId(3)),
+        next_hop: Some(HopId(5)),
+        max_diff: SimDuration::from_millis(2),
+    }
+}
+
+fn hop_config() -> HopConfig {
+    HopConfig::new(HopId(4), DomainId(2))
+        .with_sampling_rate(0.01)
+        .with_aggregate_size(1000)
+}
+
 /// Collector under test: paper-default thresholds (1% sampling,
 /// 1000-packet aggregates) with every workload spec registered. Shared
 /// with the criterion bench so the two harnesses stay comparable.
 pub fn mk_collector(w: &Workload) -> Collector {
-    let cfg = HopConfig::new(HopId(4), DomainId(2))
-        .with_sampling_rate(0.01)
-        .with_aggregate_size(1000);
-    let mut c = Collector::new(cfg);
+    let mut c = Collector::new(hop_config());
     for &spec in &w.specs {
-        c.register_path(PathId {
-            spec,
-            prev_hop: Some(HopId(3)),
-            next_hop: Some(HopId(5)),
-            max_diff: SimDuration::from_millis(2),
-        });
+        c.register_path(path_of(spec));
     }
     c
 }
 
-/// Time `body` (which must consume the whole workload once per call)
+/// Sharded collector under test: same thresholds, same registration
+/// order — so global path indices line up with [`mk_collector`]'s and
+/// the two planes accept identical batches.
+pub fn mk_sharded(w: &Workload, shards: usize) -> ShardedCollector {
+    let mut c = ShardedCollector::new(hop_config(), shards);
+    for &spec in &w.specs {
+        c.register_path(path_of(spec));
+    }
+    c
+}
+
+/// Time `body` (which must consume `packets` packets per call)
 /// `repeats` times and return the minimum ns/packet.
 fn time_variant<F: FnMut() -> u64>(packets: usize, repeats: usize, mut body: F) -> f64 {
     let mut best = f64::INFINITY;
@@ -189,11 +243,17 @@ pub fn run(cfg: &CollectorBenchConfig) -> CollectorBenchReport {
 
     // The pre-index data plane, reconstructed: O(paths) linear
     // classification scan, then digest + update. This is what
-    // `Collector::observe` did before the classifier index.
-    let linear = time_variant(n, cfg.repeats, || {
+    // `Collector::observe` did before the classifier index. The scan
+    // is O(paths × packets), so at large `--paths` only a prefix is
+    // measured — ns/packet is unaffected, the run stays bounded.
+    let n_linear = n.min(((1usize << 28) / cfg.paths.max(1)).max(1_000));
+    // Measures the deprecated per-packet surface on purpose: this row
+    // is the historical architecture and its semantics must not move.
+    #[allow(deprecated)]
+    let linear = time_variant(n_linear, cfg.repeats, || {
         let mut col = mk_collector(&w);
         let mut seen = 0u64;
-        for (pkt, &t) in w.packets.iter().zip(&w.times) {
+        for (pkt, &t) in w.packets.iter().zip(&w.times).take(n_linear) {
             if let Some(idx) = w.specs.iter().position(|s| s.matches(pkt)) {
                 col.observe_digest(idx, pkt.digest_with(DEFAULT_DIGEST_SEED), t);
                 seen += 1;
@@ -204,7 +264,10 @@ pub fn run(cfg: &CollectorBenchConfig) -> CollectorBenchReport {
     });
     record("observe_linear_scan", linear);
 
-    // The live full hot path: classifier index + digest + update.
+    // The per-packet full hot path: classifier index + digest +
+    // update. Deliberately still on the deprecated `observe` — the row
+    // tracks the per-packet architecture across releases.
+    #[allow(deprecated)]
     let indexed = time_variant(n, cfg.repeats, || {
         let mut col = mk_collector(&w);
         let mut seen = 0u64;
@@ -219,8 +282,10 @@ pub fn run(cfg: &CollectorBenchConfig) -> CollectorBenchReport {
     record("observe_indexed", indexed);
 
     // Pre-classified, pre-digested per-packet path (what a
-    // NetFlow-style engine with its own classifier would run).
+    // NetFlow-style engine with its own classifier would run). Also
+    // intentionally on the deprecated per-packet surface.
     let digests: Vec<Digest> = w.packets.iter().map(|p| p.digest()).collect();
+    #[allow(deprecated)]
     let prehashed = time_variant(n, cfg.repeats, || {
         let mut col = mk_collector(&w);
         for ((&idx, &d), &t) in w.path_idx.iter().zip(&digests).zip(&w.times) {
@@ -231,23 +296,24 @@ pub fn run(cfg: &CollectorBenchConfig) -> CollectorBenchReport {
     });
     record("observe_prehashed", prehashed);
 
-    // The batched data plane: same inputs, amortized counters, pass
-    // masks, and per-path batch fast paths.
+    // The batched data plane behind the `Ingest` surface: same inputs,
+    // amortized counters, pass masks, and per-path batch fast paths.
     let triples: Vec<(usize, Digest, SimTime)> = (0..n)
         .map(|i| (w.path_idx[i], digests[i], w.times[i]))
         .collect();
     let batched = time_variant(n, cfg.repeats, || {
         let mut col = mk_collector(&w);
         for chunk in triples.chunks(cfg.batch.max(1)) {
-            col.observe_batch(chunk);
+            let report = col.ingest(chunk);
+            debug_assert!(report.is_clean());
         }
         std::hint::black_box(col.counters());
         n as u64
     });
     record("observe_batch_prehashed", batched);
 
-    // The rebuilt data plane end to end: classifier index + word-block
-    // `digest_batch` + `observe_batch`, in ring-buffer-sized chunks.
+    // The rebuilt data plane end to end: classifier index + multi-lane
+    // `digest_batch` + batch ingest, in ring-buffer-sized chunks.
     // Compare against `observe_linear_scan` — the same work in the
     // pre-index, per-packet architecture.
     let full_batched = time_variant(n, cfg.repeats, || {
@@ -273,7 +339,8 @@ pub fn run(cfg: &CollectorBenchConfig) -> CollectorBenchReport {
                     seen += 1;
                 }
             }
-            col.observe_batch(&triples);
+            let report = col.ingest(&triples);
+            debug_assert!(report.is_clean());
             at = upto;
         }
         std::hint::black_box(col.counters());
@@ -281,8 +348,26 @@ pub fn run(cfg: &CollectorBenchConfig) -> CollectorBenchReport {
     });
     record("observe_full_batched", full_batched);
 
-    // Digest computation alone: per-packet byte path vs the
-    // word-block `digest_batch` slice path.
+    // The multi-core plane: identical prehashed triples, partitioned
+    // to per-core collectors by `PathId::shard_key` and run on scoped
+    // workers. On a many-core box this row beats the single-core batch
+    // path; on one core it pays partition + spawn overhead for
+    // nothing, which `sharded_speedup` reports honestly.
+    let sharded = time_variant(n, cfg.repeats, || {
+        let mut col = mk_sharded(&w, cfg.shards);
+        for chunk in triples.chunks(cfg.batch.max(1)) {
+            let report = col.ingest(chunk);
+            debug_assert!(report.is_clean());
+        }
+        std::hint::black_box(col.counters());
+        n as u64
+    });
+    record("ingest_sharded", sharded);
+
+    // Digest computation alone: per-packet byte path vs the word-block
+    // `digest_batch` slice path, scalar and multi-lane. The scalar and
+    // multi-lane rows do identical block extraction, so their ratio is
+    // the SIMD kernel win alone.
     let d_bytes = time_variant(n, cfg.repeats, || {
         let mut acc = 0u64;
         for pkt in &w.packets {
@@ -292,6 +377,16 @@ pub fn run(cfg: &CollectorBenchConfig) -> CollectorBenchReport {
         n as u64
     });
     record("digest_per_packet", d_bytes);
+
+    let d_scalar = time_variant(n, cfg.repeats, || {
+        let blocks: Vec<[u32; DIGEST_INPUT_WORDS]> =
+            w.packets.iter().map(|p| p.digest_words()).collect();
+        let mut out = Vec::new();
+        vpm_hash::digest_batch_scalar(&blocks, DEFAULT_DIGEST_SEED, &mut out);
+        std::hint::black_box(out.len());
+        n as u64
+    });
+    record("digest_batch_scalar", d_scalar);
 
     let d_words = time_variant(n, cfg.repeats, || {
         let blocks: Vec<[u32; DIGEST_INPUT_WORDS]> =
@@ -303,12 +398,53 @@ pub fn run(cfg: &CollectorBenchConfig) -> CollectorBenchReport {
     });
     record("digest_batch_words", d_words);
 
+    // The paper's target regime: a 100,000-path table. Classification
+    // must stay O(1) at that fan-out and ingest must not degrade with
+    // table size. The collectors are built once, outside the timed
+    // bodies — at this path count registration would otherwise
+    // dominate the measurement.
+    let paper_cfg = CollectorBenchConfig {
+        paths: PAPER_SCALE_PATHS,
+        ..*cfg
+    };
+    let pw = build_workload(&paper_cfg);
+    let pcol = mk_collector(&pw);
+    let classify_paper = time_variant(n, cfg.repeats, || {
+        let mut seen = 0u64;
+        for pkt in &pw.packets {
+            if pcol.classify(pkt).is_some() {
+                seen += 1;
+            }
+        }
+        seen
+    });
+    record("classify_paper_scale", classify_paper);
+
+    let p_digests: Vec<Digest> = pw.packets.iter().map(|p| p.digest()).collect();
+    let p_triples: Vec<(usize, Digest, SimTime)> = (0..pw.packets.len())
+        .map(|i| (pw.path_idx[i], p_digests[i], pw.times[i]))
+        .collect();
+    // Reused across repeats: per-path state accumulates, but the
+    // per-packet ingest cost it measures is steady.
+    let mut pcol_mut = mk_collector(&pw);
+    let ingest_paper = time_variant(n, cfg.repeats, || {
+        for chunk in p_triples.chunks(cfg.batch.max(1)) {
+            let report = pcol_mut.ingest(chunk);
+            debug_assert!(report.is_clean());
+        }
+        std::hint::black_box(pcol_mut.counters());
+        n as u64
+    });
+    record("ingest_paper_scale", ingest_paper);
+
     CollectorBenchReport {
         config: *cfg,
         results,
         classify_speedup: linear / indexed,
         batch_speedup: prehashed / batched,
         hot_path_speedup: linear / full_batched,
+        simd_digest_speedup: d_scalar / d_words,
+        sharded_speedup: batched / sharded,
     }
 }
 
@@ -318,8 +454,8 @@ pub fn render_table(report: &CollectorBenchReport) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
-        "collector hot path — {} packets, {} paths, batch {}",
-        report.config.packets, report.config.paths, report.config.batch
+        "collector hot path — {} packets, {} paths, batch {}, {} shards",
+        report.config.packets, report.config.paths, report.config.batch, report.config.shards
     );
     let _ = writeln!(s, "{:<28} {:>12} {:>10}", "variant", "ns/packet", "Mpps");
     for r in &report.results {
@@ -344,6 +480,16 @@ pub fn render_table(report: &CollectorBenchReport) -> String {
         "hot-path speedup (linear scan / full batched):    {:.2}x",
         report.hot_path_speedup
     );
+    let _ = writeln!(
+        s,
+        "SIMD digest speedup (scalar / multi-lane):        {:.2}x",
+        report.simd_digest_speedup
+    );
+    let _ = writeln!(
+        s,
+        "sharded speedup (single-core batch / sharded):    {:.2}x",
+        report.sharded_speedup
+    );
     s
 }
 
@@ -357,6 +503,7 @@ mod tests {
             packets: 2_000,
             paths: 37,
             batch: 64,
+            shards: 2,
             repeats: 1,
         };
         let w = build_workload(&cfg);
@@ -372,11 +519,27 @@ mod tests {
     }
 
     #[test]
+    fn sharded_and_single_collectors_share_global_indices() {
+        let cfg = CollectorBenchConfig {
+            packets: 500,
+            paths: 64,
+            batch: 64,
+            shards: 4,
+            repeats: 1,
+        };
+        let w = build_workload(&cfg);
+        let sharded = mk_sharded(&w, cfg.shards);
+        assert_eq!(sharded.path_count(), cfg.paths);
+        assert_eq!(sharded.shard_count(), cfg.shards);
+    }
+
+    #[test]
     fn report_has_all_variants_and_sane_numbers() {
         let report = run(&CollectorBenchConfig {
             packets: 5_000,
             paths: 20,
             batch: 128,
+            shards: 2,
             repeats: 1,
         });
         let names: Vec<&str> = report.results.iter().map(|r| r.name.as_str()).collect();
@@ -388,8 +551,12 @@ mod tests {
                 "observe_prehashed",
                 "observe_batch_prehashed",
                 "observe_full_batched",
+                "ingest_sharded",
                 "digest_per_packet",
+                "digest_batch_scalar",
                 "digest_batch_words",
+                "classify_paper_scale",
+                "ingest_paper_scale",
             ]
         );
         for r in &report.results {
@@ -401,7 +568,11 @@ mod tests {
         }
         assert!(report.classify_speedup > 0.0);
         assert!(report.batch_speedup > 0.0);
+        assert!(report.simd_digest_speedup > 0.0);
+        assert!(report.sharded_speedup > 0.0);
         let table = render_table(&report);
         assert!(table.contains("observe_batch_prehashed"));
+        assert!(table.contains("ingest_sharded"));
+        assert!(table.contains("classify_paper_scale"));
     }
 }

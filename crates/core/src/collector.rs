@@ -20,6 +20,7 @@ use vpm_packet::{HeaderSpec, Packet, SimTime};
 
 use crate::aggregation::{Aggregator, FinishedAggregate};
 use crate::hop::HopConfig;
+use crate::ingest::{Ingest, IngestError, IngestReport};
 use crate::receipt::{AggReceipt, PathId, SampleReceipt, SampleRecord};
 use crate::sampling::DelaySampler;
 
@@ -161,6 +162,11 @@ pub struct Collector {
     /// `scratch_epoch`. O(1) per packet, nothing to clear per batch.
     scratch_slot: Vec<(u32, u32)>,
     scratch_epoch: u32,
+    /// `PathId -> index` of every registered path, making
+    /// [`Collector::register_path`] idempotent: re-registering an
+    /// identical `PathId` returns the existing index instead of
+    /// silently growing a duplicate state slot.
+    registered: HashMap<PathId, usize>,
 }
 
 impl Collector {
@@ -178,11 +184,21 @@ impl Collector {
             scratch_groups: Vec::new(),
             scratch_slot: Vec::new(),
             scratch_epoch: 0,
+            registered: HashMap::new(),
         }
     }
 
     /// Register a path; returns its index for the digest fast path.
+    ///
+    /// Idempotent on exact duplicates: registering a `PathId` that is
+    /// already registered returns the existing index and changes
+    /// nothing — previously this silently created a second state slot
+    /// that could never be classified into (the classifier keeps the
+    /// earliest index per spec), splitting drains from observations.
     pub fn register_path(&mut self, path: PathId) -> usize {
+        if let Some(&idx) = self.registered.get(&path) {
+            return idx;
+        }
         let mut sampler = DelaySampler::new(self.config.marker, self.config.sampling);
         if let Some(cap) = self.config.buffer_cap {
             sampler = sampler.with_buffer_cap(cap);
@@ -190,6 +206,7 @@ impl Collector {
         let idx = self.paths.len();
         self.index.insert(path.spec, idx);
         self.scratch_slot.push((0, 0));
+        self.registered.insert(path, idx);
         self.paths.push(PathState {
             path,
             sampler,
@@ -220,6 +237,10 @@ impl Collector {
     /// Returns the path index it was classified into, if any; an
     /// unmatched packet is counted in [`CostCounters::unclassified`]
     /// (no digest is computed for it, so no hash is charged).
+    #[deprecated(
+        since = "0.10.0",
+        note = "classify + digest upstream, then batch through `Ingest::ingest`"
+    )]
     pub fn observe(&mut self, pkt: &Packet, t: SimTime) -> Option<usize> {
         let Some(idx) = self.index.classify(pkt) else {
             self.counters.unclassified += 1;
@@ -236,6 +257,11 @@ impl Collector {
     /// hash the HOP would have computed). Returns `false` — charging no
     /// hash and counting the packet as unclassified — when `idx` names
     /// no registered path.
+    #[deprecated(
+        since = "0.10.0",
+        note = "use `Ingest::ingest`, which reports the out-of-range case as a \
+                typed `IngestError::PathOutOfRange` instead of a silent bool"
+    )]
     pub fn observe_digest(&mut self, idx: usize, digest: Digest, t: SimTime) -> bool {
         if idx >= self.paths.len() {
             self.counters.unclassified += 1;
@@ -256,7 +282,17 @@ impl Collector {
     /// (`µ`) and cut (`δ`) threshold checks are precomputed into pass
     /// masks in tight loops, and the per-path sampler/aggregator take
     /// their own batch fast paths.
+    #[deprecated(
+        since = "0.10.0",
+        note = "use `Ingest::ingest`, which additionally reports rejected entries"
+    )]
     pub fn observe_batch(&mut self, batch: &[(usize, Digest, SimTime)]) {
+        self.ingest_batch(batch);
+    }
+
+    /// The shared batch-observation engine behind [`Ingest::ingest`]
+    /// and the deprecated [`Self::observe_batch`] shim.
+    fn ingest_batch(&mut self, batch: &[(usize, Digest, SimTime)]) {
         let Some(&(first_idx, _, _)) = batch.first() else {
             return;
         };
@@ -428,8 +464,56 @@ impl Collector {
     }
 }
 
+impl Ingest for Collector {
+    /// Observe one batch of pre-classified, pre-digested packets.
+    ///
+    /// State and [`CostCounters`] end up byte-identical to the
+    /// per-packet fold (pinned by `batch_observe_matches_per_packet`);
+    /// on top of that, every entry naming an unregistered path index
+    /// comes back as a typed [`IngestError::PathOutOfRange`] — the
+    /// entry itself is counted as unclassified and charged no hash,
+    /// exactly as before.
+    fn ingest(&mut self, batch: &[(usize, Digest, SimTime)]) -> IngestReport {
+        let paths = self.paths.len();
+        let mut errors = Vec::new();
+        for (entry, &(index, _, _)) in batch.iter().enumerate() {
+            if index >= paths {
+                errors.push(IngestError::PathOutOfRange {
+                    entry,
+                    index,
+                    paths,
+                });
+            }
+        }
+        let accepted = (batch.len() - errors.len()) as u64;
+        self.ingest_batch(batch);
+        IngestReport { accepted, errors }
+    }
+
+    fn flush(&mut self) {
+        Collector::flush(self);
+    }
+
+    fn drain_receipts(
+        &mut self,
+        samples: &mut Vec<SampleReceipt>,
+        aggregates: &mut Vec<AggReceipt>,
+    ) {
+        Collector::drain_receipts(self, samples, aggregates);
+    }
+
+    fn counters(&self) -> CostCounters {
+        Collector::counters(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    // The deprecated observe trio stays byte-identical to `ingest`
+    // for its one-release deprecation window; these tests keep
+    // exercising it until it is deleted.
+    #![allow(deprecated)]
+
     use super::*;
     use vpm_packet::{DomainId, HeaderSpec, HopId, SimDuration};
 
@@ -767,6 +851,106 @@ mod tests {
             }
             per_packet.flush();
         }
+    }
+
+    /// Re-registering an identical `PathId` must return the original
+    /// index and create no second state slot; a *different* `PathId`
+    /// sharing the same spec still gets its own slot (the classifier
+    /// keeps first-match-wins as ever).
+    #[test]
+    fn duplicate_registration_is_idempotent() {
+        let spec = vpm_trace::TraceConfig::paper_default(1, 0).spec;
+        let mut c = Collector::new(config());
+        let a = c.register_path(path_id(spec));
+        let b = c.register_path(path_id(spec));
+        assert_eq!(a, b, "exact duplicate returns the existing index");
+        assert_eq!(c.path_count(), 1, "no phantom state slot");
+
+        // Same spec, different hops: a distinct PathId, distinct slot.
+        let mut other = path_id(spec);
+        other.next_hop = Some(HopId(9));
+        let d = c.register_path(other);
+        assert_ne!(a, d);
+        assert_eq!(c.path_count(), 2);
+
+        // Observations after the duplicate registration land on the
+        // one true slot.
+        let trace = mk_trace(500);
+        for tp in &trace {
+            assert_eq!(c.observe(&tp.packet, tp.ts), Some(a));
+        }
+        c.flush();
+        let (_, aggs) = c.drain_path(a);
+        let total: u64 = aggs.iter().map(|x| x.pkt_cnt).sum();
+        assert_eq!(total, trace.len() as u64);
+    }
+
+    /// `Ingest::ingest` must (a) leave state and counters exactly as
+    /// the per-packet `observe_digest` fold would, and (b) surface
+    /// each out-of-range entry as a typed `PathOutOfRange` carrying
+    /// its batch position.
+    #[test]
+    fn ingest_reports_out_of_range_entries_typed() {
+        let trace = mk_trace(100);
+        let spec = vpm_trace::TraceConfig::paper_default(1, 0).spec;
+        let mut c = Collector::new(config());
+        let idx = c.register_path(path_id(spec));
+
+        let batch: Vec<(usize, Digest, SimTime)> = trace
+            .iter()
+            .enumerate()
+            .map(|(i, tp)| {
+                (
+                    if i % 10 == 3 { 42 } else { idx },
+                    tp.packet.digest(),
+                    tp.ts,
+                )
+            })
+            .collect();
+        let bad = batch.iter().filter(|&&(i, _, _)| i == 42).count();
+
+        let mut reference = Collector::new(config());
+        reference.register_path(path_id(spec));
+        for &(i, d, t) in &batch {
+            reference.observe_digest(i, d, t);
+        }
+
+        let report = c.ingest(&batch);
+        assert_eq!(report.accepted, (batch.len() - bad) as u64);
+        assert_eq!(report.rejected(), bad as u64);
+        assert!(!report.is_clean());
+        for (err, (entry_pos, _)) in report
+            .errors
+            .iter()
+            .zip(batch.iter().enumerate().filter(|(_, e)| e.0 == 42))
+        {
+            match *err {
+                IngestError::PathOutOfRange {
+                    entry,
+                    index,
+                    paths,
+                } => {
+                    assert_eq!(entry, entry_pos);
+                    assert_eq!(index, 42);
+                    assert_eq!(paths, 1);
+                }
+            }
+        }
+        assert_eq!(c.counters(), reference.counters());
+        assert_eq!(
+            c.counters().unclassified,
+            bad as u64,
+            "typed errors and unclassified accounting agree"
+        );
+
+        // A clean batch allocates no error list.
+        let clean: Vec<(usize, Digest, SimTime)> = trace
+            .iter()
+            .map(|tp| (idx, tp.packet.digest(), tp.ts))
+            .collect();
+        let report = c.ingest(&clean);
+        assert!(report.is_clean());
+        assert_eq!(report.accepted, clean.len() as u64);
     }
 
     #[test]

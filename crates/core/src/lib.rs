@@ -47,20 +47,24 @@ pub mod collector;
 pub mod combine;
 pub mod consistency;
 pub mod hop;
+pub mod ingest;
 pub mod overhead;
 pub mod parallel;
 pub mod partition;
 pub mod processor;
 pub mod receipt;
 pub mod sampling;
+pub mod sharded;
 pub mod verify;
 
 pub use aggregation::Aggregator;
 pub use collector::Collector;
 pub use hop::{HopConfig, HopPipeline, DEFAULT_J_WINDOW, DEFAULT_MARKER_RATE};
+pub use ingest::{Ingest, IngestError, IngestReport};
 pub use parallel::par_map_indexed;
 pub use partition::Partition;
 pub use processor::{Processor, ReceiptBatch};
-pub use receipt::{AggId, AggReceipt, PathId, SampleReceipt, SampleRecord};
+pub use receipt::{AggId, AggReceipt, PathId, SampleReceipt, SampleRecord, SHARD_SEED};
 pub use sampling::DelaySampler;
+pub use sharded::ShardedCollector;
 pub use verify::{DomainEstimate, Verifier};

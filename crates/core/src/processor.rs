@@ -20,7 +20,7 @@ use serde::{Deserialize, Serialize};
 use vpm_hash::HopKey;
 use vpm_packet::HopId;
 
-use crate::collector::Collector;
+use crate::ingest::Ingest;
 use crate::receipt::{compact, AggReceipt, PathId, SampleReceipt};
 
 /// A batch of receipts emitted by one HOP at one reporting interval.
@@ -164,8 +164,13 @@ impl Processor {
     }
 
     /// Drain the collector into a signed receipt batch (one pass over
-    /// the collector's path table via `Collector::drain_receipts`).
-    pub fn report(&mut self, collector: &mut Collector) -> ReceiptBatch {
+    /// the collector plane's path table via [`Ingest::drain_receipts`]).
+    ///
+    /// Generic over the whole ingest surface: a single-core
+    /// [`Collector`](crate::Collector) and a multi-core
+    /// [`ShardedCollector`](crate::ShardedCollector) produce
+    /// byte-identical batches for the same registrations and traffic.
+    pub fn report<I: Ingest + ?Sized>(&mut self, collector: &mut I) -> ReceiptBatch {
         let mut samples = Vec::new();
         let mut aggregates = Vec::new();
         collector.drain_receipts(&mut samples, &mut aggregates);
@@ -194,6 +199,7 @@ impl Processor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::collector::Collector;
     use crate::hop::HopConfig;
     use crate::receipt::PathId;
     use vpm_packet::{DomainId, SimDuration};
@@ -215,19 +221,31 @@ mod tests {
         (collector, Processor::new(HopId(4)))
     }
 
+    /// Classify + digest upstream, then one batch-first `ingest` call —
+    /// the post-redesign shape of a collector feed.
+    fn ingest_packets<'a>(
+        collector: &mut Collector,
+        packets: impl Iterator<Item = &'a vpm_trace::TracePacket>,
+    ) {
+        let batch: Vec<_> = packets
+            .filter_map(|tp| {
+                collector
+                    .classify(&tp.packet)
+                    .map(|idx| (idx, tp.packet.digest(), tp.ts))
+            })
+            .collect();
+        let report = collector.ingest(&batch);
+        assert!(report.is_clean());
+    }
+
     fn feed(collector: &mut Collector, n: usize, seed: u64) {
         let cfg = vpm_trace::TraceConfig {
             target_pps: 50_000.0,
             duration: SimDuration::from_millis(400),
             ..vpm_trace::TraceConfig::paper_default(1, seed)
         };
-        for tp in vpm_trace::TraceGenerator::new(cfg)
-            .generate()
-            .iter()
-            .take(n)
-        {
-            collector.observe(&tp.packet, tp.ts);
-        }
+        let trace = vpm_trace::TraceGenerator::new(cfg).generate();
+        ingest_packets(collector, trace.iter().take(n));
     }
 
     #[test]
@@ -293,9 +311,7 @@ mod tests {
             let mut samples = Vec::new();
             let mut aggs = Vec::new();
             for part in trace.chunks(trace.len() / chunks + 1) {
-                for tp in part {
-                    c.observe(&tp.packet, tp.ts);
-                }
+                ingest_packets(&mut c, part.iter());
                 let b = p.report(&mut c);
                 samples.extend(b.samples.into_iter().flat_map(|r| r.samples));
                 aggs.extend(b.aggregates);

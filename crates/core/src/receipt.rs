@@ -31,6 +31,45 @@ pub struct PathId {
     pub max_diff: SimDuration,
 }
 
+/// Seed for the stable shard hash (lookup3 over the `PathID` fields):
+/// `"SHARDS01"`. Shared by every plane that partitions work by path —
+/// the wire transport's sharded bus and the multi-core
+/// [`ShardedCollector`](crate::ShardedCollector) — so a path always
+/// lands on the same shard index no matter which layer is sharding.
+pub const SHARD_SEED: u64 = 0x5348_4152_4453_3031; // "SHARDS01"
+
+impl PathId {
+    /// Stable 64-bit shard key: lookup3 over a fixed 24-byte encoding
+    /// of the `PathID` fields under [`SHARD_SEED`].
+    ///
+    /// This is *the* path-sharding hash of the system. The sharded
+    /// receipt bus (`vpm-wire`) and the multi-core
+    /// [`ShardedCollector`](crate::ShardedCollector) both reduce this
+    /// key modulo their shard count, so co-locating collector shards
+    /// with bus shards is a matter of matching shard counts, not of
+    /// re-deriving a second hash. The encoding (and therefore every
+    /// existing shard assignment) is unchanged from the bus-private
+    /// hash it replaces.
+    pub fn shard_key(&self) -> u64 {
+        let mut b = [0u8; 24];
+        b[0..4].copy_from_slice(&u32::from(self.spec.src_prefix.network()).to_le_bytes()); // vpm-lint: allow(R1, b is a fixed 24-byte array with constant offsets)
+        b[4] = self.spec.src_prefix.len(); // vpm-lint: allow(R1, b is a fixed 24-byte array with constant offsets)
+        b[5..9].copy_from_slice(&u32::from(self.spec.dst_prefix.network()).to_le_bytes()); // vpm-lint: allow(R1, b is a fixed 24-byte array with constant offsets)
+        b[9] = self.spec.dst_prefix.len(); // vpm-lint: allow(R1, b is a fixed 24-byte array with constant offsets)
+        let hop_bytes = |h: Option<HopId>| match h {
+            None => [0u8, 0, 0],
+            Some(h) => {
+                let le = h.0.to_le_bytes();
+                [1, le[0], le[1]] // vpm-lint: allow(R1, le is the fixed 2-byte LE encoding)
+            }
+        };
+        b[10..13].copy_from_slice(&hop_bytes(self.prev_hop)); // vpm-lint: allow(R1, b is a fixed 24-byte array with constant offsets)
+        b[13..16].copy_from_slice(&hop_bytes(self.next_hop)); // vpm-lint: allow(R1, b is a fixed 24-byte array with constant offsets)
+        b[16..24].copy_from_slice(&self.max_diff.as_nanos().to_le_bytes()); // vpm-lint: allow(R1, b is a fixed 24-byte array with constant offsets)
+        vpm_hash::lookup3::hash64(&b, SHARD_SEED)
+    }
+}
+
 /// One sampled measurement: `⟨PktID, Time⟩`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct SampleRecord {

@@ -1,0 +1,311 @@
+//! Multi-lane lookup3: four packet digests per kernel invocation.
+//!
+//! [`hash64_words_x4`] computes [`crate::lookup3::hash64_words`] for
+//! four equal-width word blocks at once. For the fixed-width blocks the
+//! collector digests (`hashword2` over `W` words), lookup3's control
+//! flow depends only on `W`, never on the data — every lane walks the
+//! same `mix`/`final` schedule — which is exactly the shape that maps
+//! onto 4×32-bit SIMD lanes.
+//!
+//! Two implementations sit behind one dispatch:
+//!
+//! * **SSE2** (`x86_64`, where the `sse2` target feature is statically
+//!   enabled — it is baseline for the architecture): each of lookup3's
+//!   `a`/`b`/`c` state words becomes a `__m128i` holding that word for
+//!   all four lanes, and the `mix`/`final` schedules run once on vector
+//!   registers. Rotates are `slli`/`srli`/`or` triples since SSE2 has
+//!   no vector rotate.
+//! * **Portable** (everything else, including NEON-class hosts until a
+//!   checked `aarch64` kernel lands): the scalar `hashword2` per lane.
+//!   Byte-identical by construction, so the dispatch is invisible to
+//!   callers.
+//!
+//! Both paths are pinned byte-identical to the scalar reference by
+//! proptests in [`crate::digest`] (lengths 0..=257, misaligned
+//! sub-slices) and by the unit tests below.
+//!
+//! This is the one module in `vpm-hash` allowed to use `unsafe`, and
+//! only for the single SSE2 dispatch call (see the `SAFETY` comment);
+//! the rest of the crate remains `deny(unsafe_code)`.
+#![allow(unsafe_code)]
+
+use crate::lookup3::hash64_words;
+
+/// Number of blocks one multi-lane kernel invocation digests.
+pub const DIGEST_LANES: usize = 4;
+
+/// Hash four equal-width word blocks with lookup3 (`hashword2` seeded
+/// from the high/low halves of `seed`, like
+/// [`hash64_words`]), returning the four
+/// 64-bit hashes in block order.
+///
+/// Guaranteed byte-identical to calling
+/// [`hash64_words`] on each block, on
+/// every architecture.
+#[inline]
+pub fn hash64_words_x4<const W: usize>(
+    b0: &[u32; W],
+    b1: &[u32; W],
+    b2: &[u32; W],
+    b3: &[u32; W],
+    seed: u64,
+) -> [u64; 4] {
+    #[cfg(all(target_arch = "x86_64", target_feature = "sse2"))]
+    {
+        // SAFETY: the only precondition of calling a
+        // `#[target_feature(enable = "sse2")]` function is that the
+        // running CPU supports SSE2. The surrounding `cfg` makes that
+        // a compile-time fact: this arm only exists in builds where
+        // the `sse2` target feature is statically enabled (it is part
+        // of the x86_64 baseline), so every CPU this code can run on
+        // has it.
+        unsafe { sse2::hash64_words_x4(b0, b1, b2, b3, seed) }
+    }
+    #[cfg(not(all(target_arch = "x86_64", target_feature = "sse2")))]
+    {
+        hash64_words_x4_portable(b0, b1, b2, b3, seed)
+    }
+}
+
+/// The portable reference: scalar `hashword2` per lane. Public (not
+/// `cfg`-gated) so tests and benches can pin the SIMD path against it
+/// on architectures where both exist.
+#[inline]
+pub fn hash64_words_x4_portable<const W: usize>(
+    b0: &[u32; W],
+    b1: &[u32; W],
+    b2: &[u32; W],
+    b3: &[u32; W],
+    seed: u64,
+) -> [u64; 4] {
+    [
+        hash64_words(b0, seed),
+        hash64_words(b1, seed),
+        hash64_words(b2, seed),
+        hash64_words(b3, seed),
+    ]
+}
+
+#[cfg(all(target_arch = "x86_64", target_feature = "sse2"))]
+mod sse2 {
+    //! The 4-lane SSE2 kernel. Lane `j` of every vector holds block
+    //! `j`'s `a`/`b`/`c` state; the schedules below are line-for-line
+    //! `lookup3::mix` / `lookup3::final_mix` lifted onto `__m128i`.
+    //! All intrinsics here are value-based (no raw pointers), so inside
+    //! these `#[target_feature(enable = "sse2")]` functions every call
+    //! is safe — the single `unsafe` lives at the dispatch site in the
+    //! parent module.
+
+    #[cfg(target_arch = "x86_64")]
+    use core::arch::x86_64::{
+        __m128i, _mm_add_epi32, _mm_cvtsi128_si32, _mm_or_si128, _mm_set1_epi32, _mm_set_epi32,
+        _mm_shuffle_epi32, _mm_slli_epi32, _mm_srli_epi32, _mm_sub_epi32, _mm_xor_si128,
+    };
+
+    /// Vector left-rotate by a const amount (SSE2 has no rotate
+    /// instruction, so: `(x << K) | (x >> (32 - K))`).
+    macro_rules! rotv {
+        ($x:expr, $k:literal) => {{
+            let x = $x;
+            _mm_or_si128(_mm_slli_epi32::<$k>(x), _mm_srli_epi32::<{ 32 - $k }>(x))
+        }};
+    }
+
+    /// Gather word `i` of each block into one vector (lane `j` =
+    /// block `j`). `_mm_set_epi32` takes arguments high-lane-first.
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    fn gather<const W: usize>(
+        b0: &[u32; W],
+        b1: &[u32; W],
+        b2: &[u32; W],
+        b3: &[u32; W],
+        i: usize,
+    ) -> __m128i {
+        _mm_set_epi32(b3[i] as i32, b2[i] as i32, b1[i] as i32, b0[i] as i32)
+    }
+
+    /// Unpack a vector back into its four lanes.
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    fn lanes(v: __m128i) -> [u32; 4] {
+        [
+            _mm_cvtsi128_si32(v) as u32,
+            _mm_cvtsi128_si32(_mm_shuffle_epi32::<0b01_01_01_01>(v)) as u32,
+            _mm_cvtsi128_si32(_mm_shuffle_epi32::<0b10_10_10_10>(v)) as u32,
+            _mm_cvtsi128_si32(_mm_shuffle_epi32::<0b11_11_11_11>(v)) as u32,
+        ]
+    }
+
+    /// `lookup3::mix` on four lanes at once.
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    fn mix_x4(a: &mut __m128i, b: &mut __m128i, c: &mut __m128i) {
+        *a = _mm_sub_epi32(*a, *c);
+        *a = _mm_xor_si128(*a, rotv!(*c, 4));
+        *c = _mm_add_epi32(*c, *b);
+        *b = _mm_sub_epi32(*b, *a);
+        *b = _mm_xor_si128(*b, rotv!(*a, 6));
+        *a = _mm_add_epi32(*a, *c);
+        *c = _mm_sub_epi32(*c, *b);
+        *c = _mm_xor_si128(*c, rotv!(*b, 8));
+        *b = _mm_add_epi32(*b, *a);
+        *a = _mm_sub_epi32(*a, *c);
+        *a = _mm_xor_si128(*a, rotv!(*c, 16));
+        *c = _mm_add_epi32(*c, *b);
+        *b = _mm_sub_epi32(*b, *a);
+        *b = _mm_xor_si128(*b, rotv!(*a, 19));
+        *a = _mm_add_epi32(*a, *c);
+        *c = _mm_sub_epi32(*c, *b);
+        *c = _mm_xor_si128(*c, rotv!(*b, 4));
+        *b = _mm_add_epi32(*b, *a);
+    }
+
+    /// `lookup3::final_mix` on four lanes at once.
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    fn final_mix_x4(a: &mut __m128i, b: &mut __m128i, c: &mut __m128i) {
+        *c = _mm_xor_si128(*c, *b);
+        *c = _mm_sub_epi32(*c, rotv!(*b, 14));
+        *a = _mm_xor_si128(*a, *c);
+        *a = _mm_sub_epi32(*a, rotv!(*c, 11));
+        *b = _mm_xor_si128(*b, *a);
+        *b = _mm_sub_epi32(*b, rotv!(*a, 25));
+        *c = _mm_xor_si128(*c, *b);
+        *c = _mm_sub_epi32(*c, rotv!(*b, 16));
+        *a = _mm_xor_si128(*a, *c);
+        *a = _mm_sub_epi32(*a, rotv!(*c, 4));
+        *b = _mm_xor_si128(*b, *a);
+        *b = _mm_sub_epi32(*b, rotv!(*a, 14));
+        *c = _mm_xor_si128(*c, *b);
+        *c = _mm_sub_epi32(*c, rotv!(*b, 24));
+    }
+
+    /// Four `hashword2` evaluations in lockstep; mirrors
+    /// `lookup3::hashword2` statement for statement.
+    #[target_feature(enable = "sse2")]
+    pub(super) fn hash64_words_x4<const W: usize>(
+        b0: &[u32; W],
+        b1: &[u32; W],
+        b2: &[u32; W],
+        b3: &[u32; W],
+        seed: u64,
+    ) -> [u64; 4] {
+        let pc = (seed >> 32) as u32;
+        let pb = seed as u32;
+        let init = 0xdead_beef_u32
+            .wrapping_add((W as u32) << 2)
+            .wrapping_add(pc);
+        let mut a = _mm_set1_epi32(init as i32);
+        let mut b = a;
+        let mut c = _mm_set1_epi32(init.wrapping_add(pb) as i32);
+
+        let mut len = W;
+        let mut k = 0usize;
+        while len > 3 {
+            a = _mm_add_epi32(a, gather(b0, b1, b2, b3, k));
+            b = _mm_add_epi32(b, gather(b0, b1, b2, b3, k + 1));
+            c = _mm_add_epi32(c, gather(b0, b1, b2, b3, k + 2));
+            mix_x4(&mut a, &mut b, &mut c);
+            len -= 3;
+            k += 3;
+        }
+        match len {
+            3 => {
+                c = _mm_add_epi32(c, gather(b0, b1, b2, b3, k + 2));
+                b = _mm_add_epi32(b, gather(b0, b1, b2, b3, k + 1));
+                a = _mm_add_epi32(a, gather(b0, b1, b2, b3, k));
+                final_mix_x4(&mut a, &mut b, &mut c);
+            }
+            2 => {
+                b = _mm_add_epi32(b, gather(b0, b1, b2, b3, k + 1));
+                a = _mm_add_epi32(a, gather(b0, b1, b2, b3, k));
+                final_mix_x4(&mut a, &mut b, &mut c);
+            }
+            1 => {
+                a = _mm_add_epi32(a, gather(b0, b1, b2, b3, k));
+                final_mix_x4(&mut a, &mut b, &mut c);
+            }
+            _ => {}
+        }
+
+        let cs = lanes(c);
+        let bs = lanes(b);
+        [
+            ((cs[0] as u64) << 32) | bs[0] as u64,
+            ((cs[1] as u64) << 32) | bs[1] as u64,
+            ((cs[2] as u64) << 32) | bs[2] as u64,
+            ((cs[3] as u64) << 32) | bs[3] as u64,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blocks<const W: usize>(n: u32) -> Vec<[u32; W]> {
+        (0..n)
+            .map(|i| {
+                let mut b = [0u32; W];
+                for (j, w) in b.iter_mut().enumerate() {
+                    *w = i
+                        .wrapping_mul(0x9e37_79b9)
+                        .wrapping_add(j as u32)
+                        .rotate_left(j as u32);
+                }
+                b
+            })
+            .collect()
+    }
+
+    fn check_width<const W: usize>() {
+        let bs = blocks::<W>(16);
+        for seed in [0u64, 1, u64::MAX, 0x5650_4d32_3031_3000] {
+            for quad in bs.chunks_exact(4) {
+                let got = hash64_words_x4(&quad[0], &quad[1], &quad[2], &quad[3], seed);
+                let portable =
+                    hash64_words_x4_portable(&quad[0], &quad[1], &quad[2], &quad[3], seed);
+                assert_eq!(got, portable, "dispatch vs portable, W={W} seed={seed}");
+                for (j, block) in quad.iter().enumerate() {
+                    assert_eq!(
+                        got[j],
+                        hash64_words(block, seed),
+                        "lane {j} vs scalar, W={W} seed={seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The kernel must match scalar `hash64_words` lane for lane at
+    /// every width class lookup3 distinguishes: the digest width (6 =
+    /// one mix block + 3-word tail), each tail arm (1, 2, 3), a
+    /// no-mix-loop width (3), multi-block widths (7, 12), and the
+    /// degenerate empty block.
+    #[test]
+    fn all_width_classes_match_scalar() {
+        check_width::<0>();
+        check_width::<1>();
+        check_width::<2>();
+        check_width::<3>();
+        check_width::<4>();
+        check_width::<6>();
+        check_width::<7>();
+        check_width::<12>();
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        // Changing one lane's block must change only that lane's hash.
+        let bs = blocks::<6>(4);
+        let base = hash64_words_x4(&bs[0], &bs[1], &bs[2], &bs[3], 7);
+        let mut mutated = bs[2];
+        mutated[0] ^= 1;
+        let got = hash64_words_x4(&bs[0], &bs[1], &mutated, &bs[3], 7);
+        assert_eq!(got[0], base[0]);
+        assert_eq!(got[1], base[1]);
+        assert_ne!(got[2], base[2]);
+        assert_eq!(got[3], base[3]);
+    }
+}

@@ -26,21 +26,28 @@
 //! Everything here is deterministic and allocation-free: the same bytes
 //! always produce the same digest on every HOP, which is the foundation
 //! of receipt consistency checking.
+//!
+//! `unsafe` is denied crate-wide; the single exception is the SSE2
+//! dispatch call in [`lanes`], which carries its own module-scoped
+//! allow and a `SAFETY` argument (the feature gate is compile-time).
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod digest;
 pub mod hopkey;
+pub mod lanes;
 pub mod lookup3;
 pub mod sample;
 pub mod sha256;
 pub mod threshold;
 
 pub use digest::{
-    digest_batch, digest_bytes, digest_words, Digest, DigestSeed, DEFAULT_DIGEST_SEED,
+    digest_batch, digest_batch_scalar, digest_bytes, digest_words, Digest, DigestSeed,
+    DEFAULT_DIGEST_SEED,
 };
 pub use hopkey::{HopKey, KeyEpoch};
+pub use lanes::{hash64_words_x4, DIGEST_LANES};
 pub use sample::{sample_fcn, sample_fcn_keyed, SampleKey};
 pub use sha256::{hmac_sha256, mac_eq, sha256, Sha256, SHA256_BLOCK_BYTES, SHA256_DIGEST_BYTES};
 pub use threshold::Threshold;

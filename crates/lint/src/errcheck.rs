@@ -24,6 +24,7 @@ pub const AUDITED_ENUMS: &[(&str, &str)] = &[
     ("crates/wire/src/codec.rs", "WireError"),
     ("crates/wire/src/transport.rs", "TransportError"),
     ("crates/sim/src/run.rs", "RunError"),
+    ("crates/core/src/ingest.rs", "IngestError"),
 ];
 
 /// Extract the variant names of `enum enum_name { … }` from source.

@@ -1,4 +1,4 @@
-//! Receipt dissemination — compatibility surface.
+//! Receipt dissemination — re-export surface.
 //!
 //! The receipt bus grew up and moved out: dissemination lives in
 //! [`vpm_wire::transport`] as the transport-agnostic
@@ -8,12 +8,11 @@
 //! boundaries and two implementations: [`InMemoryBus`] (the
 //! single-lock reference store this module used to define) and
 //! [`ShardedBus`] (`PathID`-hash sharded for contention-free
-//! scale-out). This module re-exports that surface under the
-//! historical names so older call sites keep compiling, but new code
-//! should import from [`vpm_wire::transport`] directly — the aliases
-//! below are deprecated.
+//! scale-out). This module re-exports that surface for simulator
+//! convenience; the long-deprecated `ReceiptBus`/`BusError` aliases
+//! have been removed — import the [`ReceiptTransport`] names.
 //!
-//! What changed relative to the old `ReceiptBus`:
+//! What changed relative to the historical in-module bus:
 //!
 //! * batches travel as encoded [`vpm_wire::WireFrame`]s carrying an
 //!   HMAC-SHA-256 MAC trailer — `publish` decodes the actual wire
@@ -32,24 +31,8 @@ pub use vpm_wire::transport::{
     InMemoryBus, Published, ReceiptTransport, ShardedBus, SubscriptionId, TransportError,
 };
 
-/// The historical name of the in-memory dissemination bus.
-#[deprecated(
-    since = "0.6.0",
-    note = "use `vpm_wire::transport::InMemoryBus` (or a `ShardedBus`) directly"
-)]
-pub type ReceiptBus = InMemoryBus;
-
-/// The historical name of the transport error type.
-#[deprecated(
-    since = "0.6.0",
-    note = "use `vpm_wire::transport::TransportError` directly"
-)]
-pub type BusError = TransportError;
-
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // the aliases under test are the deprecation
-
     use super::*;
     use vpm_core::processor::ReceiptBatch;
     use vpm_packet::{DomainId, HopId};
@@ -68,11 +51,11 @@ mod tests {
         (b, key)
     }
 
-    /// The old module's API shape still works through the aliases (the
+    /// The re-exported surface works from the simulator crate (the
     /// full behavioural suite lives in `vpm_wire::transport`).
     #[test]
-    fn legacy_names_still_publish_and_fetch() {
-        let bus = ReceiptBus::new();
+    fn reexported_transport_publishes_and_fetches() {
+        let bus = InMemoryBus::new();
         let (b, key) = batch(HopId(5));
         bus.register_key(HopId(5), key).unwrap();
         bus.publish_batch(
@@ -88,7 +71,7 @@ mod tests {
         assert_eq!(got[0].hop, HopId(5));
         assert_eq!(got[0].batch, b);
         match bus.fetch(DomainId(9), HopId(5)) {
-            Err(BusError::NotOnPath { requester }) => assert_eq!(requester, DomainId(9)),
+            Err(TransportError::NotOnPath { requester }) => assert_eq!(requester, DomainId(9)),
             other => panic!("expected NotOnPath, got {other:?}"),
         }
     }

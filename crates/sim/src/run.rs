@@ -19,7 +19,7 @@ use std::fmt;
 use std::time::{Duration, Instant};
 use vpm_core::processor::ReceiptBatch;
 use vpm_core::receipt::{AggReceipt, PathId, SampleRecord};
-use vpm_core::{HopConfig, HopPipeline};
+use vpm_core::{HopConfig, HopPipeline, Ingest};
 use vpm_hash::{Digest, HopKey, KeyEpoch, Threshold};
 use vpm_netsim::channel::{apply, arrivals, ChannelConfig};
 use vpm_netsim::clock::HopClock;
@@ -326,7 +326,7 @@ pub fn run_path_with_transport(
     // Batched data plane: read the clock per packet, then push
     // ring-sized, pre-classified, pre-digested batches through the
     // collector's amortized hot path (byte-identical to per-packet
-    // `observe_digest`, measurably faster, O(batch) transient memory).
+    // observation, measurably faster, O(batch) transient memory).
     const OBSERVE_BATCH: usize = 4096;
     let mut batch: Vec<(usize, Digest, SimTime)> = Vec::with_capacity(OBSERVE_BATCH);
     let mut observe = |pipelines: &mut HashMap<HopId, (HopPipeline, HopClock, PathId)>,
@@ -339,7 +339,8 @@ pub fn run_path_with_transport(
                 part.iter()
                     .map(|&(idx, t)| (0, digests[idx], clock.read(t))), // vpm-lint: allow(R1, idx indexes the trace the samples came from)
             );
-            pipe.collector.observe_batch(&batch);
+            let report = pipe.collector.ingest(&batch);
+            debug_assert!(report.is_clean(), "path index 0 is always registered");
         }
     };
 

@@ -940,30 +940,17 @@ impl ReceiptTransport for InMemoryBus {
     }
 }
 
-/// Seed for the stable shard hash (lookup3 over the `PathID` fields).
-const SHARD_SEED: u64 = 0x5348_4152_4453_3031; // "SHARDS01"
-
+/// The path-shard hash lives on `PathId` itself
+/// ([`PathId::shard_key`], seeded with [`vpm_core::SHARD_SEED`]) so the
+/// multi-core `ShardedCollector` and this bus agree on shard
+/// assignment by construction. Only the HOP-key derivation is
+/// bus-local.
 fn shard_key_path(path: &PathId) -> u64 {
-    let mut b = [0u8; 24];
-    b[0..4].copy_from_slice(&u32::from(path.spec.src_prefix.network()).to_le_bytes()); // vpm-lint: allow(R1, b is a fixed 24-byte array with constant offsets)
-    b[4] = path.spec.src_prefix.len(); // vpm-lint: allow(R1, b is a fixed 24-byte array with constant offsets)
-    b[5..9].copy_from_slice(&u32::from(path.spec.dst_prefix.network()).to_le_bytes()); // vpm-lint: allow(R1, b is a fixed 24-byte array with constant offsets)
-    b[9] = path.spec.dst_prefix.len(); // vpm-lint: allow(R1, b is a fixed 24-byte array with constant offsets)
-    let hop_bytes = |h: Option<HopId>| match h {
-        None => [0u8, 0, 0],
-        Some(h) => {
-            let le = h.0.to_le_bytes();
-            [1, le[0], le[1]] // vpm-lint: allow(R1, le is the fixed 2-byte LE encoding)
-        }
-    };
-    b[10..13].copy_from_slice(&hop_bytes(path.prev_hop)); // vpm-lint: allow(R1, b is a fixed 24-byte array with constant offsets)
-    b[13..16].copy_from_slice(&hop_bytes(path.next_hop)); // vpm-lint: allow(R1, b is a fixed 24-byte array with constant offsets)
-    b[16..24].copy_from_slice(&path.max_diff.as_nanos().to_le_bytes()); // vpm-lint: allow(R1, b is a fixed 24-byte array with constant offsets)
-    vpm_hash::lookup3::hash64(&b, SHARD_SEED)
+    path.shard_key()
 }
 
 fn shard_key_hop(hop: HopId) -> u64 {
-    vpm_hash::lookup3::hash64(&hop.0.to_le_bytes(), SHARD_SEED ^ 0x55)
+    vpm_hash::lookup3::hash64(&hop.0.to_le_bytes(), vpm_core::SHARD_SEED ^ 0x55)
 }
 
 /// One shard: its entries behind a private `RwLock`, plus a high-water

@@ -6,7 +6,7 @@
 
 use vpm::core::overhead::{self, BandwidthSpec, TempBufferSpec, PAPER_PROCESSING};
 use vpm::core::receipt::PathId;
-use vpm::core::{Collector, HopConfig};
+use vpm::core::{Collector, HopConfig, Ingest};
 use vpm::packet::{DomainId, HopId, SimDuration};
 use vpm::trace::{TraceConfig, TraceGenerator};
 
@@ -86,9 +86,15 @@ fn main() {
         next_hop: Some(HopId(5)),
         max_diff: SimDuration::from_millis(2),
     });
-    for tp in &trace {
-        collector.observe(&tp.packet, tp.ts);
-    }
+    let batch: Vec<_> = trace
+        .iter()
+        .filter_map(|tp| {
+            collector
+                .classify(&tp.packet)
+                .map(|idx| (idx, tp.packet.digest(), tp.ts))
+        })
+        .collect();
+    assert!(collector.ingest(&batch).is_clean());
     let c = collector.counters();
     println!("packets processed:        {}", c.packets);
     println!(

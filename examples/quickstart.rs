@@ -12,7 +12,7 @@
 
 use vpm::core::receipt::PathId;
 use vpm::core::verify::Verifier;
-use vpm::core::{HopConfig, HopPipeline};
+use vpm::core::{HopConfig, HopPipeline, Ingest};
 use vpm::netsim::channel::{apply, arrivals, ChannelConfig, DelayModel};
 use vpm::netsim::reorder::ReorderModel;
 use vpm::packet::{DomainId, HopId, SimDuration, SimTime};
@@ -60,19 +60,22 @@ fn main() {
     let mut egress = mk_hop(5);
 
     // 4. Observe: ingress sees everything; egress sees what survives.
+    // The collector plane is batch-first: pre-classified, pre-digested
+    // `(path index, digest, timestamp)` batches through `Ingest`.
     let t_in: Vec<SimTime> = trace.iter().map(|tp| tp.ts).collect();
-    for (i, tp) in trace.iter().enumerate() {
-        ingress
-            .collector
-            .observe_digest(0, tp.packet.digest(), t_in[i]);
-    }
+    let in_batch: Vec<_> = trace
+        .iter()
+        .enumerate()
+        .map(|(i, tp)| (0usize, tp.packet.digest(), t_in[i]))
+        .collect();
+    assert!(ingress.collector.ingest(&in_batch).is_clean());
     let out = apply(&t_in, &transit);
     let deliveries = arrivals(&out);
-    for d in &deliveries {
-        egress
-            .collector
-            .observe_digest(0, trace[d.idx].packet.digest(), d.ts_out);
-    }
+    let out_batch: Vec<_> = deliveries
+        .iter()
+        .map(|d| (0usize, trace[d.idx].packet.digest(), d.ts_out))
+        .collect();
+    assert!(egress.collector.ingest(&out_batch).is_clean());
 
     // 5. Reporting interval: each HOP emits a signed receipt batch.
     let b_in = ingress.final_report();

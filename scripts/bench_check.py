@@ -16,7 +16,12 @@ the artifacts can be tracked as one performance trajectory:
 Schema gate (always on) — fails (exit 1) when a required key is
 missing, a variant has no throughput field, any value that must be
 numeric is missing, non-numeric, or non-finite, or variant names
-collide. `BENCH_wire.json` must additionally carry the signed-frame
+collide. `BENCH_collector.json` must carry the SIMD-vs-scalar digest
+rows, the sharded multi-core ingest row, and the 100k-path regime
+(`classify_paper_scale` / `ingest_paper_scale`), plus the
+`simd_digest_speedup` / `sharded_speedup` summaries: the current
+architecture's ceilings are part of the collector bench's contract.
+`BENCH_wire.json` must additionally carry the signed-frame
 variants (`encode_signed_*` / `verify_signed_*`): the authenticity
 plane is part of the wire bench's contract, not an optional extra.
 `BENCH_verifier.json` must carry the idle-consumer summaries
@@ -60,6 +65,21 @@ TOLERANCE = 0.15
 # trend-gated — only rates are).
 RATE_SUFFIXES = ("_per_s",)
 RATE_NAMES = ("mb_per_s", "mpps")
+
+# The collector bench must carry the current architecture's ceiling
+# rows: the multi-lane SIMD digest kernel against its scalar twin, the
+# sharded multi-core ingest plane, and the paper's 100k-path regime.
+REQUIRED_COLLECTOR_VARIANTS = (
+    "digest_batch_scalar",
+    "digest_batch_words",
+    "ingest_sharded",
+    "classify_paper_scale",
+    "ingest_paper_scale",
+)
+REQUIRED_COLLECTOR_SUMMARIES = (
+    "simd_digest_speedup",
+    "sharded_speedup",
+)
 
 # The wire bench must measure the authenticity plane: signed-frame
 # encode and MAC verification alongside the unsigned baseline.
@@ -125,8 +145,14 @@ def load(path: str) -> dict:
     return report
 
 
-def check_schema(path: str, report: dict) -> dict:
-    """Validate one artifact; return {variant name: result object}."""
+def check_schema(path: str, report: dict, require_contract: bool = True) -> dict:
+    """Validate one artifact; return {variant name: result object}.
+
+    `require_contract=False` skips the per-harness required-variant
+    checks — used for baselines, which may predate a newly added
+    requirement (the trend gate must not fail because the *previous*
+    run didn't measure a variant that didn't exist yet).
+    """
     config = report.get("config")
     if not isinstance(config, dict) or not config:
         fail(f"{path}: missing non-empty 'config' object")
@@ -157,6 +183,24 @@ def check_schema(path: str, report: dict) -> dict:
             continue
         if not is_finite_number(v):
             fail(f"{path}: summary field '{k}': not a finite number: {v!r}")
+
+    if not require_contract:
+        print(f"bench_check: {path}: {len(by_name)} variants, schema OK (baseline)")
+        return by_name
+
+    if os.path.basename(path) == "BENCH_collector.json":
+        missing = [v for v in REQUIRED_COLLECTOR_VARIANTS if v not in by_name]
+        if missing:
+            fail(
+                f"{path}: SIMD/sharded/paper-scale variants missing from "
+                f"the collector bench: {', '.join(missing)}"
+            )
+        missing = [s for s in REQUIRED_COLLECTOR_SUMMARIES if s not in report]
+        if missing:
+            fail(
+                f"{path}: SIMD/sharded summaries missing from the "
+                f"collector bench: {', '.join(missing)}"
+            )
 
     if os.path.basename(path) == "BENCH_wire.json":
         missing = [v for v in REQUIRED_WIRE_VARIANTS if v not in by_name]
@@ -202,7 +246,7 @@ def find_baseline(baseline_dir: str, basename: str):
 
 def check_trend(path: str, current: dict, baseline_path: str) -> int:
     """Compare rate fields against the baseline; return comparisons made."""
-    base = check_schema(baseline_path, load(baseline_path))
+    base = check_schema(baseline_path, load(baseline_path), require_contract=False)
     compared = 0
     for name, r in current.items():
         old = base.get(name)

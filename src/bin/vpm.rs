@@ -22,7 +22,7 @@
 //!                 [--checkpoint-paths P] [--repeats R] [--json]
 //!                                    measure audit throughput, GC reclaim
 //!                                    rate, and checkpoint codec cost
-//! vpm bench-collector [--packets N] [--paths P] [--batch B] [--repeats R] [--json]
+//! vpm bench-collector [--packets N] [--paths P] [--batch B] [--shards S] [--repeats R] [--json]
 //!                                    measure the collector hot path
 //! vpm bench-wire [--receipts N] [--records N] [--aggs N] [--window W]
 //!                [--repeats R] [--json]
@@ -98,7 +98,7 @@ fn print_usage() {
                                                 GC reclaim rate, and checkpoint\n\
                                                 encode/restore cost; write\n\
                                                 BENCH_audit.json\n\
-           bench-collector [--packets N] [--paths P] [--batch B]\n\
+           bench-collector [--packets N] [--paths P] [--batch B] [--shards S]\n\
                            [--repeats R] [--json]\n\
                                                 measure collector hot-path ns/packet and\n\
                                                 Mpps (linear scan vs classifier index,\n\
@@ -635,7 +635,7 @@ fn bench_audit(args: &[String]) -> ExitCode {
 }
 
 /// Parse and run `vpm bench-collector [--packets N] [--paths P]
-/// [--batch B] [--json]`.
+/// [--batch B] [--shards S] [--repeats R] [--json]`.
 fn bench_collector(args: &[String]) -> ExitCode {
     let mut cfg = vpm::bench::collector_bench::CollectorBenchConfig::default();
     let mut json = false;
@@ -647,7 +647,7 @@ fn bench_collector(args: &[String]) -> ExitCode {
                 json = true;
                 i += 1;
             }
-            "--packets" | "--paths" | "--batch" | "--repeats" => {
+            "--packets" | "--paths" | "--batch" | "--shards" | "--repeats" => {
                 let Some(v) = args.get(i + 1) else {
                     eprintln!("vpm: {flag} needs a number");
                     return usage();
@@ -663,6 +663,7 @@ fn bench_collector(args: &[String]) -> ExitCode {
                     "--packets" => cfg.packets = parsed,
                     "--paths" => cfg.paths = parsed,
                     "--batch" => cfg.batch = parsed,
+                    "--shards" => cfg.shards = parsed,
                     _ => cfg.repeats = parsed,
                 }
                 i += 2;
@@ -673,11 +674,8 @@ fn bench_collector(args: &[String]) -> ExitCode {
             }
         }
     }
-    if cfg.paths > u16::MAX as usize + 1 {
-        eprintln!(
-            "vpm: --paths is limited to {} /32 pairs",
-            u16::MAX as usize + 1
-        );
+    if cfg.paths > 1 << 24 {
+        eprintln!("vpm: --paths is limited to {} /32 pairs", 1usize << 24);
         return usage();
     }
 
